@@ -1,0 +1,58 @@
+//! Criterion bench: ground-truth SoC simulator throughput — full-workload
+//! measurement cost (one `measure` call = what every Table 6/8 data point
+//! costs) and raw event rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haxconn_core::baselines::{Baseline, BaselineKind};
+use haxconn_core::measure::measure;
+use haxconn_core::problem::{DnnTask, Workload};
+use haxconn_dnn::Model;
+use haxconn_profiler::NetworkProfile;
+use haxconn_soc::{orin_agx, simulate, Job, LayerCost, WorkItem};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let platform = orin_agx();
+
+    // Full measurement path of a realistic pair.
+    let workload = Workload::concurrent(vec![
+        DnnTask::new(
+            "GoogleNet",
+            NetworkProfile::profile(&platform, Model::GoogleNet, 10),
+        ),
+        DnnTask::new(
+            "ResNet101",
+            NetworkProfile::profile(&platform, Model::ResNet101, 10),
+        ),
+    ]);
+    let assignment = Baseline::assignment(BaselineKind::NaiveSplit, &platform, &workload);
+    c.bench_function("measure_pair", |b| {
+        b.iter(|| black_box(measure(&platform, &workload, &assignment)))
+    });
+
+    // Raw event rate on synthetic jobs.
+    let mut group = c.benchmark_group("simulate_items");
+    for &n in &[32usize, 128, 512] {
+        let jobs: Vec<Job> = (0..4)
+            .map(|j| Job {
+                name: format!("j{j}"),
+                items: (0..n / 4)
+                    .map(|i| WorkItem {
+                        pu: (i + j) % 2,
+                        cost: LayerCost::pure_memory(
+                            0.05 + (i % 7) as f64 * 0.03,
+                            (10.0 + (i % 11) as f64 * 8.0) * 1e5,
+                        ),
+                    })
+                    .collect(),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            b.iter(|| black_box(simulate(&platform, jobs, &[])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: throughput of the contention-interval timeline
+//! evaluator — the inner loop of the branch & bound solver, evaluated at
+//! every leaf.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haxconn_contention::ContentionModel;
+use haxconn_core::problem::{DnnTask, Workload};
+use haxconn_core::timeline::TimelineEvaluator;
+use haxconn_dnn::Model;
+use haxconn_profiler::NetworkProfile;
+use haxconn_soc::orin_agx;
+use std::hint::black_box;
+
+fn bench_timeline(c: &mut Criterion) {
+    let platform = orin_agx();
+    let contention = ContentionModel::calibrate(&platform);
+
+    let mut group = c.benchmark_group("timeline_evaluate");
+    for &n_tasks in &[2usize, 3, 4] {
+        let models = [
+            Model::GoogleNet,
+            Model::ResNet101,
+            Model::InceptionV4,
+            Model::ResNet50,
+        ];
+        let workload = Workload::concurrent(
+            models[..n_tasks]
+                .iter()
+                .map(|&m| {
+                    DnnTask::new(m.name(), NetworkProfile::profile(&platform, m, 10))
+                })
+                .collect(),
+        );
+        // A collaborative assignment: alternate tasks between PUs where
+        // supported.
+        let assignment: Vec<Vec<usize>> = workload
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(t, task)| {
+                task.profile
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        let want = if t % 2 == 0 {
+                            platform.gpu()
+                        } else {
+                            platform.dsa()
+                        };
+                        if g.cost[want].is_some() {
+                            want
+                        } else {
+                            platform.gpu()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let evaluator = TimelineEvaluator::new(&workload, &contention);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_tasks),
+            &assignment,
+            |b, a| b.iter(|| black_box(evaluator.evaluate(a))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timeline);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Fig. 3 — EMC utilization of convolution layers on GPU and DLA for
+//! varying input sizes (i1–i5) and filter sizes (f1–f5).
+//!
+//! Paper parameters: inputs (224,224,64), (224,112,64), (112,112,64),
+//! (112,56,64), (56,56,64); filters 1x1..5x5. The shapes to reproduce:
+//! larger inputs → higher memory throughput; larger filters → lower
+//! throughput (arithmetic intensity rises); GPU and DLA utilizations are
+//! correlated and proportional (the basis of the black-box estimator).
+
+use haxconn_dnn::{Layer, LayerKind, TensorShape};
+use haxconn_soc::{xavier_agx, LayerCost};
+
+fn conv_layer(c: usize, h: usize, w: usize, k: usize) -> Layer {
+    let inp = TensorShape::chw(c, h, w);
+    let pad = k / 2;
+    Layer {
+        id: 0,
+        name: format!("conv{k}x{k}"),
+        kind: LayerKind::Conv {
+            out_c: c,
+            kernel: (k, k),
+            stride: 1,
+            pad: (pad, pad),
+            groups: 1,
+        },
+        inputs: vec![],
+        input_shape: inp,
+        output_shape: inp.conv_out_rect(c, (k, k), 1, (pad, pad)),
+    }
+}
+
+fn main() {
+    let platform = xavier_agx();
+    let inputs = [
+        ("i1", 224usize, 224usize),
+        ("i2", 224, 112),
+        ("i3", 112, 112),
+        ("i4", 112, 56),
+        ("i5", 56, 56),
+    ];
+    let filters = [1usize, 2, 3, 4, 5];
+    let bw = platform.emc.bandwidth_gbps;
+
+    for (pu_id, label) in [(platform.gpu(), "GPU"), (platform.dsa(), "DLA")] {
+        println!("EMC utilization (% of {bw:.1} GB/s) — conv on {label}:");
+        print!("{:>6}", "");
+        for k in filters {
+            print!("{:>9}", format!("f{k} {k}x{k}"));
+        }
+        println!();
+        for &(name, h, w) in &inputs {
+            print!("{name:>4}  ");
+            for k in filters {
+                let layer = conv_layer(64, h, w, k);
+                let cost = LayerCost::of(&layer, platform.pu(pu_id));
+                print!("{:>9.1}", 100.0 * cost.demand_gbps / bw);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    // Correlation check (step 2/3 of the black-box method).
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    for &(_, h, w) in &inputs {
+        for k in filters {
+            let layer = conv_layer(64, h, w, k);
+            let g = LayerCost::of(&layer, platform.pu(platform.gpu())).demand_gbps;
+            let d = LayerCost::of(&layer, platform.pu(platform.dsa())).demand_gbps;
+            pairs.push((g, d));
+        }
+    }
+    let n = pairs.len() as f64;
+    let (mx, my) = (
+        pairs.iter().map(|p| p.0).sum::<f64>() / n,
+        pairs.iter().map(|p| p.1).sum::<f64>() / n,
+    );
+    let cov: f64 = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let sx: f64 = pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>().sqrt();
+    let sy: f64 = pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>().sqrt();
+    println!(
+        "GPU/DLA utilization correlation: r = {:.3} (paper: \"correlated and proportional\")",
+        cov / (sx * sy)
+    );
+}

@@ -1,0 +1,70 @@
+//! Table 2 — execution (E) and transition (T) characterization of
+//! GoogleNet's layer groups on Xavier AGX.
+//!
+//! Paper columns: layer-group range, GPU ms, DLA ms, D/G ratio (1.40–2.02),
+//! transition time G→D and D→G (D→G larger; both shrink toward the network
+//! end), and standalone memory throughput in % of EMC bandwidth (42–78%).
+
+use haxconn_bench::profile;
+use haxconn_dnn::Model;
+use haxconn_soc::xavier_agx;
+
+fn main() {
+    let platform = xavier_agx();
+    let prof = profile(&platform, Model::GoogleNet);
+    let gpu = platform.gpu();
+    let dla = platform.dsa();
+
+    println!(
+        "Table 2: GoogleNet layer groups on {} ({} layers, {} groups)\n",
+        platform.name,
+        prof.grouped.network.len(),
+        prof.len()
+    );
+    println!(
+        "{:>9} {:>8} {:>8} {:>6} {:>9} {:>9} {:>8}",
+        "layers", "GPU(ms)", "DLA(ms)", "D/G", "T G->D", "T D->G", "MemThr%"
+    );
+    for (i, (grp, gp)) in prof
+        .grouped
+        .groups
+        .iter()
+        .zip(prof.groups.iter())
+        .enumerate()
+    {
+        let gpu_ms = gp.cost[gpu].map(|c| c.time_ms);
+        let dla_ms = gp.cost[dla].map(|c| c.time_ms);
+        let ratio = match (gpu_ms, dla_ms) {
+            (Some(g), Some(d)) => format!("{:.2}", d / g),
+            _ => "-".to_string(),
+        };
+        let (tg2d, td2g) = if i + 1 < prof.len() {
+            (
+                format!("{:.3}", prof.transition_ms(i, gpu, dla)),
+                format!("{:.3}", prof.transition_ms(i, dla, gpu)),
+            )
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
+        println!(
+            "{:>9} {:>8} {:>8} {:>6} {:>9} {:>9} {:>8.2}",
+            format!("{}-{}", grp.start, grp.end),
+            gpu_ms.map(|v| format!("{v:.3}")).unwrap_or("-".into()),
+            dla_ms.map(|v| format!("{v:.3}")).unwrap_or("-".into()),
+            ratio,
+            tg2d,
+            td2g,
+            gp.emc_util_pct[gpu],
+        );
+    }
+    let ratios: Vec<f64> = prof
+        .dsa_gpu_ratio(gpu, dla)
+        .into_iter()
+        .flatten()
+        .collect();
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\nD/G ratio range: {min:.2}..{max:.2} (paper: 1.40..2.02) — the spread is what\ncreates profitable transition points."
+    );
+}

@@ -1,0 +1,52 @@
+//! Table 5 — standalone runtimes (ms) and relative performance of the DNN
+//! set on NVIDIA AGX Orin and Xavier AGX, GPU vs DLA.
+//!
+//! Shape to reproduce: GPU faster than DLA everywhere; D/G ratios between
+//! ~1.4 (GoogleNet-class) and ~3.2 (VGG19 on Xavier); Orin several times
+//! faster than Xavier; DLA runs use TensorRT-style GPU fallback for
+//! unsupported layers.
+
+use haxconn_bench::profile;
+use haxconn_dnn::Model;
+use haxconn_soc::{orin_agx, xavier_agx};
+
+fn main() {
+    let orin = orin_agx();
+    let xavier = xavier_agx();
+    let models = [
+        Model::CaffeNet,
+        Model::DenseNet121,
+        Model::GoogleNet,
+        Model::InceptionResNetV2,
+        Model::InceptionV4,
+        Model::ResNet18,
+        Model::ResNet50,
+        Model::ResNet101,
+        Model::ResNet152,
+        Model::Vgg19,
+    ];
+
+    println!(
+        "Table 5: standalone runtimes (ms)\n\n{:<12} {:>9} {:>9} {:>6}   {:>9} {:>9} {:>6}",
+        "DNN", "Orin GPU", "Orin DLA", "D/G", "Xav GPU", "Xav DLA", "D/G"
+    );
+    for m in models {
+        let po = profile(&orin, m);
+        let px = profile(&xavier, m);
+        let og = po.standalone_ms(orin.gpu()).expect("GPU supports all");
+        let od = po.standalone_with_fallback_ms(orin.dsa(), orin.gpu());
+        let xg = px.standalone_ms(xavier.gpu()).expect("GPU supports all");
+        let xd = px.standalone_with_fallback_ms(xavier.dsa(), xavier.gpu());
+        println!(
+            "{:<12} {:>9.2} {:>9.2} {:>6.2}   {:>9.2} {:>9.2} {:>6.2}",
+            m.name(),
+            og,
+            od,
+            od / og,
+            xg,
+            xd,
+            xd / xg
+        );
+    }
+    println!("\n(paper Orin GPU: GoogleNet 0.99, ResNet101 1.56, VGG19 1.07 ms; ratios 1.4-2.7)");
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! PCCS-style processor-centric shared-memory contention model.
+//!
+//! The paper (Section 3.3) estimates the slowdown a layer experiences under
+//! contention *without* profiling layer pairs: each layer is characterized
+//! once, standalone, by its requested memory throughput, and a
+//! processor-centric piecewise model — PCCS (Xu et al., MICRO'21) — maps
+//! `(requested throughput, external traffic)` to a slowdown. This decoupling
+//! collapses the pairwise profiling explosion into per-layer profiling plus
+//! a one-off per-PU calibration.
+//!
+//! Our [`ContentionModel`] follows the same recipe:
+//!
+//! * **Calibration** runs synthetic micro-workload pairs on the simulated
+//!   SoC at a coarse grid of `(own demand, external traffic)` points and
+//!   records the achieved bandwidth slowdown per PU.
+//! * **Prediction** bilinearly interpolates the piecewise surface.
+//!
+//! Because the grid is coarse and calibration probes use a single aggregated
+//! external stream, the model is *deliberately imperfect* with respect to
+//! the simulator's exact arbitration — mirroring the prediction error that
+//! PCCS exhibits against real memory controllers, and giving the scheduler's
+//! ε-slack constraint (paper Eq. 9) something real to absorb.
+
+pub mod model;
+pub mod surface;
+
+pub use model::ContentionModel;
+pub use surface::PiecewiseSurface;

@@ -1,0 +1,125 @@
+//! A piecewise-(bi)linear surface over `(own demand, external traffic)`.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular-grid piecewise-linear surface `z = f(x, y)` with bilinear
+/// interpolation inside cells and clamped extrapolation outside the grid —
+/// the functional form PCCS fits to measured slowdowns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PiecewiseSurface {
+    /// Knot positions along x (own demand, GB/s); strictly increasing.
+    pub xs: Vec<f64>,
+    /// Knot positions along y (external traffic, GB/s); strictly increasing.
+    pub ys: Vec<f64>,
+    /// Row-major values: `z[i][j] = f(xs[i], ys[j])`.
+    pub z: Vec<Vec<f64>>,
+}
+
+impl PiecewiseSurface {
+    /// Builds a surface by sampling `f` at the grid points.
+    pub fn fit(xs: Vec<f64>, ys: Vec<f64>, mut f: impl FnMut(f64, f64) -> f64) -> Self {
+        assert!(xs.len() >= 2 && ys.len() >= 2, "need at least a 2x2 grid");
+        assert!(
+            xs.windows(2).all(|w| w[0] < w[1]) && ys.windows(2).all(|w| w[0] < w[1]),
+            "knots must be strictly increasing"
+        );
+        let z = xs
+            .iter()
+            .map(|&x| ys.iter().map(|&y| f(x, y)).collect())
+            .collect();
+        PiecewiseSurface { xs, ys, z }
+    }
+
+    /// Index of the cell containing `v` along `knots` (clamped to the grid).
+    fn cell(knots: &[f64], v: f64) -> (usize, f64) {
+        if v <= knots[0] {
+            return (0, 0.0);
+        }
+        let last = knots.len() - 1;
+        if v >= knots[last] {
+            return (last - 1, 1.0);
+        }
+        // Knot vectors are tiny (<16); linear scan beats binary search.
+        let mut i = 0;
+        while knots[i + 1] < v {
+            i += 1;
+        }
+        let t = (v - knots[i]) / (knots[i + 1] - knots[i]);
+        (i, t)
+    }
+
+    /// Bilinear interpolation at `(x, y)`, clamped to the grid boundary.
+    pub fn eval(&self, x: f64, y: f64) -> f64 {
+        let (i, tx) = Self::cell(&self.xs, x);
+        let (j, ty) = Self::cell(&self.ys, y);
+        let z00 = self.z[i][j];
+        let z10 = self.z[i + 1][j];
+        let z01 = self.z[i][j + 1];
+        let z11 = self.z[i + 1][j + 1];
+        let a = z00 + (z10 - z00) * tx;
+        let b = z01 + (z11 - z01) * tx;
+        a + (b - a) * ty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane() -> PiecewiseSurface {
+        PiecewiseSurface::fit(
+            vec![0.0, 10.0, 20.0],
+            vec![0.0, 5.0, 10.0],
+            |x, y| 2.0 * x + 3.0 * y + 1.0,
+        )
+    }
+
+    #[test]
+    fn exact_at_knots() {
+        let s = plane();
+        assert_eq!(s.eval(10.0, 5.0), 2.0 * 10.0 + 3.0 * 5.0 + 1.0);
+        assert_eq!(s.eval(0.0, 0.0), 1.0);
+        assert_eq!(s.eval(20.0, 10.0), 71.0);
+    }
+
+    #[test]
+    fn bilinear_reproduces_planes_exactly() {
+        let s = plane();
+        for &(x, y) in &[(3.7, 2.2), (15.0, 9.9), (0.1, 4.9)] {
+            let expect = 2.0 * x + 3.0 * y + 1.0;
+            assert!((s.eval(x, y) - expect).abs() < 1e-9, "({x},{y})");
+        }
+    }
+
+    #[test]
+    fn clamps_outside_grid() {
+        let s = plane();
+        assert_eq!(s.eval(-5.0, -5.0), s.eval(0.0, 0.0));
+        assert_eq!(s.eval(100.0, 100.0), s.eval(20.0, 10.0));
+    }
+
+    #[test]
+    fn curved_function_has_bounded_cell_error() {
+        // A convex function is approximated within the bound implied by its
+        // curvature and the grid pitch.
+        let xs: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
+        let ys = xs.clone();
+        let f = |x: f64, y: f64| ((x + y) / 50.0).powi(2);
+        let s = PiecewiseSurface::fit(xs, ys, f);
+        let mut worst: f64 = 0.0;
+        let mut v = 0.5;
+        while v < 99.0 {
+            let e = (s.eval(v, v * 0.7) - f(v, v * 0.7)).abs();
+            worst = worst.max(e);
+            v += 3.3;
+        }
+        assert!(worst > 0.0, "a curved function must show *some* error");
+        assert!(worst < 0.05, "cell error too large: {worst}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_knots() {
+        PiecewiseSurface::fit(vec![0.0, 0.0], vec![0.0, 1.0], |_, _| 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Schedule caching for CFG toggling (paper Section 3.5).
+//!
+//! "Some scenarios, such as a drone switching between *discovery* or
+//! *tracking* modes, might require unique control flow graphs. Such CFGs
+//! and their corresponding schedules can be predetermined statically and
+//! toggled during the execution." — this module implements exactly that: a
+//! cache keyed by a workload signature, so that a previously optimized CFG
+//! phase reuses its schedule instantly when the autonomous loop returns to
+//! it, and D-HaX-CoNN only has to solve genuinely new phases.
+
+use crate::problem::Workload;
+use crate::scheduler::Schedule;
+use rustc_hash::FxHashMap;
+
+/// A structural signature of a workload: model names, group structure,
+/// dependencies and ties. Two workloads with equal signatures accept the
+/// same schedules.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkloadSignature {
+    tasks: Vec<(String, usize)>,
+    deps: Vec<(usize, usize)>,
+    ties: Vec<Option<usize>>,
+    platform: String,
+}
+
+impl WorkloadSignature {
+    /// Computes the signature of `workload` (profiled for `platform_name`).
+    pub fn of(workload: &Workload) -> WorkloadSignature {
+        WorkloadSignature {
+            tasks: workload
+                .tasks
+                .iter()
+                .map(|t| (t.profile.grouped.model.name().to_string(), t.num_groups()))
+                .collect(),
+            deps: workload.deps.iter().map(|d| (d.from, d.to)).collect(),
+            ties: workload.ties.clone(),
+            platform: workload
+                .tasks
+                .first()
+                .map(|t| t.profile.platform_name.clone())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// An LRU-less schedule cache (CFG phase sets are small — a handful of
+/// modes per autonomous system — so plain retention is right).
+#[derive(Default)]
+pub struct ScheduleCache {
+    entries: FxHashMap<WorkloadSignature, Schedule>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScheduleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached schedule for `workload`, if any.
+    pub fn get(&mut self, workload: &Workload) -> Option<&Schedule> {
+        let sig = WorkloadSignature::of(workload);
+        if self.entries.contains_key(&sig) {
+            self.hits += 1;
+            self.entries.get(&sig)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Stores `schedule` for `workload`'s signature, replacing any previous
+    /// entry.
+    pub fn insert(&mut self, workload: &Workload, schedule: Schedule) {
+        self.entries.insert(WorkloadSignature::of(workload), schedule);
+    }
+
+    /// Fetches the schedule for `workload`, computing and caching it with
+    /// `make` on a miss.
+    pub fn get_or_insert_with(
+        &mut self,
+        workload: &Workload,
+        make: impl FnOnce() -> Schedule,
+    ) -> &Schedule {
+        let sig = WorkloadSignature::of(workload);
+        if self.entries.contains_key(&sig) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.entries.insert(sig.clone(), make());
+        }
+        self.entries.get(&sig).expect("just inserted")
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached phases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{DnnTask, SchedulerConfig};
+    use crate::scheduler::HaxConn;
+    use haxconn_contention::ContentionModel;
+    use haxconn_dnn::Model;
+    use haxconn_profiler::NetworkProfile;
+    use haxconn_soc::orin_agx;
+
+    fn workload(models: &[Model]) -> Workload {
+        let p = orin_agx();
+        Workload::concurrent(
+            models
+                .iter()
+                .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 6)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn signature_distinguishes_phases() {
+        let a = WorkloadSignature::of(&workload(&[Model::GoogleNet, Model::ResNet18]));
+        let b = WorkloadSignature::of(&workload(&[Model::GoogleNet, Model::ResNet50]));
+        let a2 = WorkloadSignature::of(&workload(&[Model::GoogleNet, Model::ResNet18]));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn signature_sees_deps_and_ties() {
+        let base = workload(&[Model::GoogleNet, Model::GoogleNet]);
+        let piped = workload(&[Model::GoogleNet, Model::GoogleNet]).with_dep(0, 1);
+        let tied = workload(&[Model::GoogleNet, Model::GoogleNet]).with_tie(1, 0);
+        let s0 = WorkloadSignature::of(&base);
+        assert_ne!(s0, WorkloadSignature::of(&piped));
+        assert_ne!(s0, WorkloadSignature::of(&tied));
+    }
+
+    #[test]
+    fn cache_round_trip_and_counters() {
+        let p = orin_agx();
+        let cm = ContentionModel::calibrate(&p);
+        let phases = [
+            workload(&[Model::GoogleNet, Model::ResNet18]),
+            workload(&[Model::GoogleNet, Model::ResNet50]),
+        ];
+        let mut cache = ScheduleCache::new();
+        let mut solves = 0;
+        // Toggle through the phases twice; each phase solves exactly once.
+        for _round in 0..2 {
+            for w in &phases {
+                let s = cache.get_or_insert_with(w, || {
+                    solves += 1;
+                    HaxConn::schedule(&p, w, &cm, SchedulerConfig::default())
+                });
+                assert_eq!(s.assignment.len(), w.tasks.len());
+            }
+        }
+        assert_eq!(solves, 2);
+        assert_eq!(cache.len(), 2);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 2);
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn get_returns_none_on_unknown_phase() {
+        let mut cache = ScheduleCache::new();
+        assert!(cache.get(&workload(&[Model::AlexNet])).is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! D-HaX-CoNN: anytime / dynamic schedule generation (paper Section 3.5 &
+//! Fig. 7).
+//!
+//! When the autonomous system's control-flow graph changes at runtime (new
+//! DNN pairs appear), there is no time to wait for a full optimal solve.
+//! D-HaX-CoNN therefore:
+//!
+//! 1. starts from the best *naive* schedule (baselines are instantaneous;
+//!    the paper explicitly avoids Herald/H2H here because those also take
+//!    seconds),
+//! 2. runs the solver in the background, recording every strictly improving
+//!    incumbent with its solve-clock timestamp,
+//! 3. lets the runtime swap in the best incumbent available at each update
+//!    checkpoint (25 ms, 100 ms, ... in Fig. 7), converging to the optimal
+//!    schedule while inference keeps running.
+
+use crate::baselines::{Baseline, BaselineKind};
+use crate::encoding::ScheduleEncoding;
+use crate::problem::{SchedulerConfig, Workload};
+use crate::scheduler::{objective_cost, Schedule, ScheduleOrigin};
+use crate::timeline::TimelineEvaluator;
+use haxconn_contention::ContentionModel;
+use haxconn_soc::{Platform, PuId};
+use haxconn_solver::{solve, SolveOptions};
+use std::time::Duration;
+
+/// One recorded incumbent improvement.
+#[derive(Debug, Clone)]
+pub struct Incumbent {
+    /// The improving assignment.
+    pub assignment: Vec<Vec<PuId>>,
+    /// Its objective cost.
+    pub cost: f64,
+    /// Solve-clock timestamp at which it became available.
+    pub at: Duration,
+}
+
+/// The dynamic scheduler.
+pub struct DHaxConn {
+    /// Initial (naive) schedule the system starts executing with.
+    pub initial: Incumbent,
+    /// Strictly improving incumbents, in discovery order.
+    pub trace: Vec<Incumbent>,
+    /// Whether the background solve ran to proven optimality.
+    pub proven_optimal: bool,
+}
+
+impl DHaxConn {
+    /// Runs the D-HaX-CoNN pipeline for one workload: picks the best naive
+    /// starting schedule, then solves (bounded by `config.node_budget` if
+    /// set), recording the incumbent trace.
+    pub fn run(
+        platform: &Platform,
+        workload: &Workload,
+        model: &ContentionModel,
+        config: SchedulerConfig,
+    ) -> Self {
+        // 1. Initial schedule: best of the *instant* baselines only.
+        let mut ev = TimelineEvaluator::new(workload, model);
+        ev.contention_aware = config.contention_aware;
+        let naive = [BaselineKind::GpuOnly, BaselineKind::NaiveSplit];
+        let initial = naive
+            .iter()
+            .map(|&k| {
+                let a = Baseline::assignment(k, platform, workload);
+                let tl = ev.evaluate(&a);
+                Incumbent {
+                    cost: objective_cost(config.objective, &tl),
+                    assignment: a,
+                    at: Duration::ZERO,
+                }
+            })
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("no NaN"))
+            .expect("baselines nonempty");
+
+        // 2. Background solve with anytime incumbents, warm-started from
+        // the naive cost so only genuine improvements surface.
+        let relaxed = SchedulerConfig {
+            epsilon_ms: None,
+            ..config
+        };
+        let enc = ScheduleEncoding::new(workload, model, relaxed);
+        let mut trace: Vec<Incumbent> = Vec::new();
+        let sol = {
+            let trace_ref = &mut trace;
+            let enc_ref = &enc;
+            solve(
+                &enc,
+                SolveOptions {
+                    node_budget: config.node_budget,
+                    initial_upper_bound: Some(initial.cost),
+                    on_incumbent: Some(Box::new(move |a, c, at| {
+                        trace_ref.push(Incumbent {
+                            assignment: enc_ref.to_rows(a),
+                            cost: c,
+                            at,
+                        });
+                    })),
+                    ..Default::default()
+                },
+            )
+        };
+        DHaxConn {
+            initial,
+            trace,
+            proven_optimal: sol.proven_optimal(),
+        }
+    }
+
+    /// The schedule the runtime would be executing at solve-clock `at`
+    /// (the best incumbent discovered no later than `at`).
+    pub fn schedule_at(&self, at: Duration) -> &Incumbent {
+        self.trace
+            .iter()
+            .rev()
+            .find(|i| i.at <= at)
+            .unwrap_or(&self.initial)
+    }
+
+    /// The final (best) schedule.
+    pub fn best(&self) -> &Incumbent {
+        self.trace.last().unwrap_or(&self.initial)
+    }
+
+    /// Converts the best incumbent to a [`Schedule`].
+    pub fn into_schedule(
+        self,
+        workload: &Workload,
+        model: &ContentionModel,
+        config: SchedulerConfig,
+    ) -> Schedule {
+        let best = self.best().clone();
+        let mut ev = TimelineEvaluator::new(workload, model);
+        ev.contention_aware = config.contention_aware;
+        let predicted = ev.evaluate(&best.assignment);
+        let origin = if self.trace.is_empty() {
+            ScheduleOrigin::Fallback(BaselineKind::GpuOnly)
+        } else {
+            ScheduleOrigin::Optimal
+        };
+        Schedule {
+            assignment: best.assignment,
+            predicted,
+            cost: best.cost,
+            origin,
+            proven_optimal: self.proven_optimal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::DnnTask;
+    use crate::scheduler::HaxConn;
+    use haxconn_dnn::Model;
+    use haxconn_profiler::NetworkProfile;
+    use haxconn_soc::orin_agx;
+
+    fn setup(models: &[Model]) -> (Platform, Workload, ContentionModel) {
+        let p = orin_agx();
+        let tasks = models
+            .iter()
+            .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 6)))
+            .collect();
+        let cm = ContentionModel::calibrate(&p);
+        (p, Workload::concurrent(tasks), cm)
+    }
+
+    #[test]
+    fn starts_from_naive_and_improves() {
+        let (p, w, cm) = setup(&[Model::GoogleNet, Model::ResNet101]);
+        let d = DHaxConn::run(&p, &w, &cm, SchedulerConfig::default());
+        // Incumbents strictly improve over the naive start.
+        let mut prev = d.initial.cost;
+        for inc in &d.trace {
+            assert!(inc.cost < prev, "{} !< {prev}", inc.cost);
+            prev = inc.cost;
+        }
+        assert!(d.proven_optimal);
+    }
+
+    #[test]
+    fn schedule_at_interpolates_the_trace() {
+        let (p, w, cm) = setup(&[Model::GoogleNet, Model::ResNet101]);
+        let d = DHaxConn::run(&p, &w, &cm, SchedulerConfig::default());
+        // At time zero (before any incumbent), we run the naive schedule...
+        let at0 = d.schedule_at(Duration::ZERO);
+        assert!(at0.cost >= d.best().cost);
+        // ...and far in the future, the best one.
+        let later = d.schedule_at(Duration::from_secs(3600));
+        assert_eq!(later.cost, d.best().cost);
+    }
+
+    #[test]
+    fn converges_to_static_optimum() {
+        let (p, w, cm) = setup(&[Model::GoogleNet, Model::ResNet101]);
+        let cfg = SchedulerConfig::default();
+        let d = DHaxConn::run(&p, &w, &cm, cfg);
+        let s = HaxConn::schedule(&p, &w, &cm, cfg);
+        // The anytime best must match the static scheduler's quality (both
+        // compare on the relaxed predictive cost).
+        assert!(d.best().cost <= s.cost + 1e-6);
+    }
+
+    #[test]
+    fn node_budget_yields_partial_progress() {
+        let (p, w, cm) = setup(&[Model::ResNet152, Model::InceptionV4]);
+        let cfg = SchedulerConfig {
+            node_budget: Some(50),
+            ..Default::default()
+        };
+        let d = DHaxConn::run(&p, &w, &cm, cfg);
+        assert!(!d.proven_optimal);
+        // The initial schedule always exists even with a tiny budget.
+        assert!(d.initial.cost.is_finite());
+    }
+
+    #[test]
+    fn into_schedule_roundtrip() {
+        let (p, w, cm) = setup(&[Model::GoogleNet, Model::ResNet18]);
+        let cfg = SchedulerConfig::default();
+        let d = DHaxConn::run(&p, &w, &cm, cfg);
+        let s = d.into_schedule(&w, &cm, cfg);
+        assert_eq!(s.assignment.len(), 2);
+        assert!(s.cost.is_finite());
+    }
+}

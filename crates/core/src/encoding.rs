@@ -1,0 +1,315 @@
+//! Encoding of the scheduling problem for the constraint solver
+//! (paper Section 3.4 → `haxconn-solver`).
+//!
+//! Decision variables: one per (task, layer group), domain = the PUs that
+//! support every layer in the group (Eq. 1). The objective evaluates the
+//! full contention-interval timeline (Eqs. 2–8); the ε constraint (Eq. 9)
+//! rejects assignments whose same-PU queuing wait exceeds ε; and a
+//! transition budget per task keeps the search space small, mirroring the
+//! structure of the paper's optimal schedules (at most a couple of
+//! transitions per DNN).
+
+use crate::problem::{Objective, SchedulerConfig, Workload};
+use crate::timeline::TimelineEvaluator;
+use haxconn_contention::ContentionModel;
+use haxconn_solver::{Assignment, CostModel, PartialAssignment};
+
+/// The scheduling problem as a [`CostModel`].
+pub struct ScheduleEncoding<'a> {
+    workload: &'a Workload,
+    evaluator: TimelineEvaluator<'a>,
+    config: SchedulerConfig,
+    /// Per variable: allowed PU ids.
+    domains: Vec<Vec<u32>>,
+    /// Per variable: cheapest standalone time over its domain (admissible
+    /// bound ingredient).
+    min_time: Vec<f64>,
+    /// Per task: (first var, number of groups) of its *representative* —
+    /// tied tasks (pipeline frame instances) share their representative's
+    /// variables.
+    task_spans: Vec<(usize, usize)>,
+}
+
+impl<'a> ScheduleEncoding<'a> {
+    /// Builds the encoding.
+    pub fn new(
+        workload: &'a Workload,
+        model: &'a ContentionModel,
+        config: SchedulerConfig,
+    ) -> Self {
+        let mut evaluator = TimelineEvaluator::new(workload, model);
+        evaluator.contention_aware = config.contention_aware;
+        let mut domains = Vec::with_capacity(workload.num_vars());
+        let mut min_time = Vec::with_capacity(workload.num_vars());
+        let mut task_spans: Vec<(usize, usize)> =
+            Vec::with_capacity(workload.tasks.len());
+        for (t, task) in workload.tasks.iter().enumerate() {
+            if let Some(rep) = workload.ties[t] {
+                // Tied task: reuse the representative's variable span
+                // (representatives always precede their copies).
+                task_spans.push(task_spans[rep]);
+                continue;
+            }
+            task_spans.push((domains.len(), task.num_groups()));
+            for group in &task.profile.groups {
+                let pus = group.supported_pus();
+                assert!(!pus.is_empty(), "group supported nowhere");
+                let best = pus
+                    .iter()
+                    .map(|&pu| group.cost[pu].unwrap().time_ms)
+                    .fold(f64::INFINITY, f64::min);
+                domains.push(pus.iter().map(|&p| p as u32).collect());
+                min_time.push(best);
+            }
+        }
+        ScheduleEncoding {
+            workload,
+            evaluator,
+            config,
+            domains,
+            min_time,
+            task_spans,
+        }
+    }
+
+    /// Converts a flat solver assignment to per-task PU rows.
+    pub fn to_rows(&self, assignment: &Assignment) -> Vec<Vec<usize>> {
+        self.task_spans
+            .iter()
+            .map(|&(start, len)| {
+                assignment[start..start + len]
+                    .iter()
+                    .map(|&v| v as usize)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Lower bound on a task's completion: sum of cheapest standalone times
+    /// of its groups (contention ≥ 1, transitions ≥ 0, waits ≥ 0).
+    fn task_lower_bound(&self, task: usize, partial: &PartialAssignment) -> f64 {
+        let (start, len) = self.task_spans[task];
+        let mut sum = 0.0;
+        for g in 0..len {
+            let var = start + g;
+            sum += match partial[var] {
+                Some(pu) => self.workload.tasks[task].profile.groups[g].cost[pu as usize]
+                    .expect("domain-checked")
+                    .time_ms,
+                None => self.min_time[var],
+            };
+        }
+        // Streaming upstream chains add their lower bounds too.
+        for up in self.workload.upstream(task) {
+            sum += self.task_lower_bound(up, partial);
+        }
+        sum
+    }
+
+    /// Counts the *chosen* transitions in a task's (partial) assignment.
+    ///
+    /// Switches forced by singleton-domain groups (e.g. an LRN group the
+    /// DLA cannot run, which TensorRT would silently GPU-fallback) are not
+    /// charged against the budget: they are not scheduling decisions.
+    fn transitions_in(&self, task: usize, partial: &PartialAssignment) -> (usize, bool) {
+        let (start, len) = self.task_spans[task];
+        let mut count = 0;
+        let mut complete = true;
+        let mut prev: Option<(u32, bool)> = None; // (pu, was pinned)
+        #[allow(clippy::needless_range_loop)] // var ids span two arrays
+        for var in start..start + len {
+            let pinned = self.domains[var].len() == 1;
+            match partial[var] {
+                Some(v) => {
+                    if let Some((p, p_pinned)) = prev {
+                        if p != v && !pinned && !p_pinned {
+                            count += 1;
+                        }
+                    }
+                    prev = Some((v, pinned));
+                }
+                None => {
+                    complete = false;
+                    prev = None; // gap: later groups can't extend this run
+                }
+            }
+        }
+        (count, complete)
+    }
+}
+
+impl CostModel for ScheduleEncoding<'_> {
+    fn num_vars(&self) -> usize {
+        self.domains.len()
+    }
+
+    fn domain(&self, var: usize) -> &[u32] {
+        &self.domains[var]
+    }
+
+    fn prune(&self, partial: &PartialAssignment) -> bool {
+        // Transition budget (prefix transitions only ever grow). Tied tasks
+        // share their representative's variables, so checking
+        // representatives covers everyone.
+        for t in 0..self.task_spans.len() {
+            if self.workload.ties[t].is_some() {
+                continue;
+            }
+            let (count, _) = self.transitions_in(t, partial);
+            if count > self.config.max_transitions_per_task {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn bound(&self, partial: &PartialAssignment) -> f64 {
+        match self.config.objective {
+            Objective::MinMaxLatency => (0..self.task_spans.len())
+                .map(|t| self.task_lower_bound(t, partial))
+                .fold(0.0, f64::max),
+            Objective::MaxThroughput => {
+                // cost = -sum 1/T; T >= lb  =>  -sum 1/T >= -sum 1/lb.
+                -(0..self.task_spans.len())
+                    .map(|t| 1000.0 / self.task_lower_bound(t, partial).max(1e-9))
+                    .sum::<f64>()
+            }
+        }
+    }
+
+    fn cost(&self, assignment: &Assignment) -> Option<f64> {
+        let rows = self.to_rows(assignment);
+        let tl = self.evaluator.evaluate(&rows);
+        // Eq. 9: reject schedules that need more than ε of same-PU overlap
+        // absorption.
+        if let Some(eps) = self.config.epsilon_ms {
+            if tl.max_wait_ms > eps {
+                return None;
+            }
+        }
+        Some(match self.config.objective {
+            Objective::MinMaxLatency => tl
+                .task_latency_ms
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max),
+            Objective::MaxThroughput => {
+                -tl.task_latency_ms.iter().map(|&t| 1000.0 / t).sum::<f64>()
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::DnnTask;
+    use haxconn_dnn::Model;
+    use haxconn_profiler::NetworkProfile;
+    use haxconn_soc::orin_agx;
+    use haxconn_solver::{solve, SolveOptions};
+
+    fn setup(models: &[Model]) -> (haxconn_soc::Platform, Workload, ContentionModel) {
+        let p = orin_agx();
+        let tasks = models
+            .iter()
+            .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 6)))
+            .collect();
+        let cm = ContentionModel::calibrate(&p);
+        (p, Workload::concurrent(tasks), cm)
+    }
+
+    #[test]
+    fn domains_exclude_unsupported_pus() {
+        let (p, w, cm) = setup(&[Model::GoogleNet]);
+        let enc = ScheduleEncoding::new(&w, &cm, SchedulerConfig::default());
+        // GoogleNet's LRN stem group must be GPU-pinned.
+        let pinned = (0..enc.num_vars())
+            .filter(|&v| enc.domain(v) == [p.gpu() as u32])
+            .count();
+        assert!(pinned >= 1);
+    }
+
+    #[test]
+    fn bound_is_admissible() {
+        let (_p, w, cm) = setup(&[Model::ResNet18, Model::GoogleNet]);
+        let enc = ScheduleEncoding::new(&w, &cm, SchedulerConfig::default());
+        // For a handful of random-ish complete assignments, cost >= bound of
+        // the fully-unassigned partial.
+        let empty: Vec<Option<u32>> = vec![None; enc.num_vars()];
+        let root_bound = enc.bound(&empty);
+        let mut a: Vec<u32> = (0..enc.num_vars())
+            .map(|v| enc.domain(v)[0])
+            .collect();
+        for flip in 0..enc.num_vars() {
+            let d = enc.domain(flip);
+            a[flip] = d[d.len() - 1];
+            if let Some(c) = enc.cost(&a) {
+                assert!(
+                    c >= root_bound - 1e-9,
+                    "cost {c} below root bound {root_bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prune_rejects_transition_storms() {
+        let (p, w, cm) = setup(&[Model::ResNet50]);
+        let cfg = SchedulerConfig {
+            max_transitions_per_task: 1,
+            ..Default::default()
+        };
+        let enc = ScheduleEncoding::new(&w, &cm, cfg);
+        // Alternating partial assignment exceeds the budget quickly.
+        let mut partial: Vec<Option<u32>> = vec![None; enc.num_vars()];
+        let mut ok = true;
+        for v in 0..enc.num_vars().min(5) {
+            let d = enc.domain(v);
+            let pu = if v % 2 == 0 {
+                p.gpu() as u32
+            } else if d.len() > 1 {
+                p.dsa() as u32
+            } else {
+                d[0]
+            };
+            partial[v] = Some(pu);
+            if enc.prune(&partial) {
+                ok = false;
+                break;
+            }
+        }
+        assert!(!ok, "alternating assignment should be pruned");
+    }
+
+    #[test]
+    fn solver_finds_schedule_no_worse_than_gpu_only() {
+        let (p, w, cm) = setup(&[Model::GoogleNet, Model::ResNet101]);
+        let cfg = SchedulerConfig {
+            epsilon_ms: None, // relaxed: queuing modeled, not forbidden
+            max_transitions_per_task: 1,
+            ..Default::default()
+        };
+        let enc = ScheduleEncoding::new(&w, &cm, cfg);
+        let sol = solve(&enc, SolveOptions::default());
+        let (best, cost) = sol.best.expect("feasible");
+        // Compare against all-GPU in the same cost metric.
+        let gpu_only: Vec<u32> = (0..enc.num_vars()).map(|_| p.gpu() as u32).collect();
+        let gpu_cost = enc.cost(&gpu_only).unwrap();
+        assert!(cost <= gpu_cost + 1e-9, "optimal {cost} vs gpu {gpu_cost}");
+        assert_eq!(best.len(), enc.num_vars());
+    }
+
+    #[test]
+    fn epsilon_constraint_rejects_colocated_heavyweights() {
+        let (p, w, cm) = setup(&[Model::ResNet101, Model::ResNet101]);
+        let cfg = SchedulerConfig {
+            epsilon_ms: Some(0.01),
+            ..Default::default()
+        };
+        let enc = ScheduleEncoding::new(&w, &cm, cfg);
+        // Everything on GPU: the second instance queues for milliseconds.
+        let gpu_only: Vec<u32> = (0..enc.num_vars()).map(|_| p.gpu() as u32).collect();
+        assert!(enc.cost(&gpu_only).is_none());
+    }
+}

@@ -1,0 +1,161 @@
+//! Interval algebra: the overlap function of the paper's Eq. 8 and the
+//! contention-interval decomposition of Fig. 4.
+
+/// A half-open execution interval `[start, end)` in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Start time.
+    pub start: f64,
+    /// End time (`>= start`).
+    pub end: f64,
+}
+
+impl Interval {
+    /// Creates an interval; panics if `end < start`.
+    pub fn new(start: f64, end: f64) -> Self {
+        assert!(end >= start, "interval end {end} before start {start}");
+        Interval { start, end }
+    }
+
+    /// Duration in ms.
+    pub fn len(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Whether the interval has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0.0
+    }
+
+    /// Whether `t` lies inside `[start, end)`.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// The overlap length `I(i, j)` of Eq. 8: how long intervals `i` and `j`
+/// run concurrently. The paper's case analysis (one contains the other,
+/// partial overlap left/right, disjoint) collapses to the classic
+/// `max(0, min(e_i, e_j) - max(s_i, s_j))`, which this implements; the unit
+/// tests check each of Eq. 8's cases explicitly.
+pub fn overlap(i: Interval, j: Interval) -> f64 {
+    (i.end.min(j.end) - i.start.max(j.start)).max(0.0)
+}
+
+/// Decomposes interval `target` into sub-intervals whose boundaries are the
+/// start/end events of `others` (the `Int` array of Eq. 6). Within each
+/// returned piece, the set of concurrently active `others` is constant —
+/// these are the paper's *contention intervals*.
+pub fn contention_intervals(target: Interval, others: &[Interval]) -> Vec<Interval> {
+    let mut cuts: Vec<f64> = vec![target.start, target.end];
+    for o in others {
+        if o.start > target.start && o.start < target.end {
+            cuts.push(o.start);
+        }
+        if o.end > target.start && o.end < target.end {
+            cuts.push(o.end);
+        }
+    }
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("times are not NaN"));
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    cuts.windows(2)
+        .map(|w| Interval::new(w[0], w[1]))
+        .filter(|iv| !iv.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Eq. 8, case by case.
+    #[test]
+    fn eq8_case1_j_starts_first_partial() {
+        // s_j <= s_i <= e_j and i extends beyond j: overlap = e_j - s_i.
+        let i = Interval::new(5.0, 20.0);
+        let j = Interval::new(0.0, 10.0);
+        assert_eq!(overlap(i, j), 10.0 - 5.0);
+    }
+
+    #[test]
+    fn eq8_case2_j_inside_i() {
+        // i contains j: overlap = e_j - s_j.
+        let i = Interval::new(0.0, 20.0);
+        let j = Interval::new(5.0, 10.0);
+        assert_eq!(overlap(i, j), 5.0);
+    }
+
+    #[test]
+    fn eq8_case3_i_starts_first_partial() {
+        // s_i <= s_j <= e_i and j extends beyond i: overlap = e_i - s_j.
+        let i = Interval::new(0.0, 10.0);
+        let j = Interval::new(5.0, 20.0);
+        assert_eq!(overlap(i, j), 5.0);
+    }
+
+    #[test]
+    fn eq8_case4_i_inside_j() {
+        // j contains i: overlap = e_i - s_i.
+        let i = Interval::new(5.0, 10.0);
+        let j = Interval::new(0.0, 20.0);
+        assert_eq!(overlap(i, j), 5.0);
+    }
+
+    #[test]
+    fn eq8_disjoint_is_zero() {
+        let i = Interval::new(0.0, 5.0);
+        let j = Interval::new(6.0, 9.0);
+        assert_eq!(overlap(i, j), 0.0);
+        assert_eq!(overlap(j, i), 0.0);
+        // Touching intervals share no time.
+        assert_eq!(overlap(Interval::new(0.0, 5.0), Interval::new(5.0, 9.0)), 0.0);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_bounded() {
+        let cases = [
+            (Interval::new(0.0, 7.0), Interval::new(3.0, 12.0)),
+            (Interval::new(2.0, 4.0), Interval::new(2.0, 4.0)),
+            (Interval::new(0.0, 1.0), Interval::new(0.5, 0.7)),
+        ];
+        for (i, j) in cases {
+            assert_eq!(overlap(i, j), overlap(j, i));
+            assert!(overlap(i, j) <= i.len().min(j.len()) + 1e-12);
+            assert!(overlap(i, j) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn contention_interval_decomposition() {
+        // Fig. 4: a target layer overlapped by two others with staggered
+        // boundaries splits into pieces with constant co-runner sets.
+        let target = Interval::new(0.0, 10.0);
+        let others = [Interval::new(2.0, 6.0), Interval::new(4.0, 12.0)];
+        let pieces = contention_intervals(target, &others);
+        let bounds: Vec<(f64, f64)> = pieces.iter().map(|p| (p.start, p.end)).collect();
+        assert_eq!(bounds, vec![(0.0, 2.0), (2.0, 4.0), (4.0, 6.0), (6.0, 10.0)]);
+        // Pieces tile the target exactly.
+        let total: f64 = pieces.iter().map(Interval::len).sum();
+        assert!((total - target.len()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_intervals_no_others() {
+        let target = Interval::new(1.0, 2.0);
+        let pieces = contention_intervals(target, &[]);
+        assert_eq!(pieces, vec![target]);
+    }
+
+    #[test]
+    fn contention_intervals_ignore_outside_events() {
+        let target = Interval::new(5.0, 6.0);
+        let others = [Interval::new(0.0, 1.0), Interval::new(9.0, 11.0)];
+        assert_eq!(contention_intervals(target, &others), vec![target]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before start")]
+    fn reversed_interval_rejected() {
+        Interval::new(2.0, 1.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! First-class builders for the paper's four evaluation scenarios
+//! (Section 5).
+//!
+//! * **Scenario 1** — multiple instances of the same DNN processing
+//!   consecutive images concurrently (throughput farming).
+//! * **Scenario 2** — different DNNs processing the *same* input in
+//!   parallel, synchronizing afterwards (e.g. detection + segmentation).
+//! * **Scenario 3** — a streaming two-stage pipeline (detection → tracking)
+//!   over consecutive frames; unrolled here with per-frame dependencies and
+//!   tied per-frame assignments.
+//! * **Scenario 4** — a serial pair plus an independent DNN in parallel.
+
+use crate::problem::{DnnTask, Objective, Workload};
+use haxconn_dnn::Model;
+use haxconn_profiler::NetworkProfile;
+use haxconn_soc::Platform;
+
+/// One of the paper's evaluation scenarios, with the models involved.
+#[derive(Debug, Clone)]
+pub enum Scenario {
+    /// N concurrent instances of one DNN (Scenario 1).
+    SameDnnInstances {
+        /// The replicated model.
+        model: Model,
+        /// Number of instances.
+        instances: usize,
+    },
+    /// Different DNNs on the same input (Scenario 2).
+    ParallelSameInput {
+        /// Concurrent models.
+        models: Vec<Model>,
+    },
+    /// `first → second` streaming pipeline unrolled over frames
+    /// (Scenario 3).
+    StreamingPipeline {
+        /// The producer stage.
+        first: Model,
+        /// The consumer stage.
+        second: Model,
+        /// Number of in-flight frames to unroll (≥ 2 for overlap).
+        frames: usize,
+    },
+    /// `first → second` serial pair with `parallel` running alongside
+    /// (Scenario 4).
+    Hybrid {
+        /// Producer of the serial pair.
+        first: Model,
+        /// Consumer of the serial pair.
+        second: Model,
+        /// The independent concurrent model.
+        parallel: Model,
+    },
+}
+
+impl Scenario {
+    /// The objective the paper pairs with this scenario.
+    pub fn default_objective(&self) -> Objective {
+        match self {
+            // Throughput farming and pipelines optimize frames/time, which
+            // for a fixed frame count is the makespan (Eq. 11); Scenario 1
+            // uses the aggregate-throughput form (Eq. 10).
+            Scenario::SameDnnInstances { .. } => Objective::MaxThroughput,
+            Scenario::ParallelSameInput { .. } => Objective::MinMaxLatency,
+            Scenario::StreamingPipeline { .. } => Objective::MinMaxLatency,
+            Scenario::Hybrid { .. } => Objective::MinMaxLatency,
+        }
+    }
+
+    /// Number of frames this workload represents (for throughput
+    /// reporting).
+    pub fn frames(&self) -> usize {
+        match self {
+            Scenario::StreamingPipeline { frames, .. } => *frames,
+            _ => 1,
+        }
+    }
+
+    /// Builds the workload on `platform`, profiling each distinct model
+    /// once with `groups` layer groups.
+    pub fn workload(&self, platform: &Platform, groups: usize) -> Workload {
+        let profile = |m: Model| NetworkProfile::profile(platform, m, groups);
+        match self {
+            Scenario::SameDnnInstances { model, instances } => {
+                assert!(*instances >= 2, "scenario 1 needs at least two instances");
+                let p = profile(*model);
+                Workload::concurrent(
+                    (0..*instances)
+                        .map(|i| DnnTask::new(format!("{}#{i}", model.name()), p.clone()))
+                        .collect(),
+                )
+            }
+            Scenario::ParallelSameInput { models } => {
+                assert!(models.len() >= 2, "scenario 2 needs at least two DNNs");
+                Workload::concurrent(
+                    models
+                        .iter()
+                        .map(|&m| DnnTask::new(m.name(), profile(m)))
+                        .collect(),
+                )
+            }
+            Scenario::StreamingPipeline {
+                first,
+                second,
+                frames,
+            } => {
+                assert!(*frames >= 1, "need at least one frame");
+                let pa = profile(*first);
+                let pb = profile(*second);
+                let mut tasks = Vec::with_capacity(frames * 2);
+                for f in 0..*frames {
+                    tasks.push(DnnTask::new(
+                        format!("{}#f{f}", first.name()),
+                        pa.clone(),
+                    ));
+                    tasks.push(DnnTask::new(
+                        format!("{}#f{f}", second.name()),
+                        pb.clone(),
+                    ));
+                }
+                let mut w = Workload::concurrent(tasks);
+                for f in 0..*frames {
+                    w = w.with_dep(2 * f, 2 * f + 1);
+                    if f > 0 {
+                        w = w.with_tie(2 * f, 0).with_tie(2 * f + 1, 1);
+                    }
+                }
+                w
+            }
+            Scenario::Hybrid {
+                first,
+                second,
+                parallel,
+            } => Workload::concurrent(vec![
+                DnnTask::new(first.name(), profile(*first)),
+                DnnTask::new(second.name(), profile(*second)),
+                DnnTask::new(parallel.name(), profile(*parallel)),
+            ])
+            .with_dep(0, 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{Baseline, BaselineKind};
+    use crate::measure::measure;
+    use crate::problem::SchedulerConfig;
+    use crate::scheduler::HaxConn;
+    use haxconn_contention::ContentionModel;
+    use haxconn_soc::orin_agx;
+
+    #[test]
+    fn scenario1_builds_instances() {
+        let p = orin_agx();
+        let w = Scenario::SameDnnInstances {
+            model: Model::GoogleNet,
+            instances: 3,
+        }
+        .workload(&p, 6);
+        assert_eq!(w.tasks.len(), 3);
+        assert!(w.deps.is_empty());
+        assert_eq!(w.tasks[0].num_groups(), w.tasks[2].num_groups());
+    }
+
+    #[test]
+    fn scenario3_unrolls_with_ties_and_deps() {
+        let p = orin_agx();
+        let s = Scenario::StreamingPipeline {
+            first: Model::GoogleNet,
+            second: Model::ResNet18,
+            frames: 3,
+        };
+        let w = s.workload(&p, 6);
+        assert_eq!(w.tasks.len(), 6);
+        assert_eq!(w.deps.len(), 3);
+        // Frames 1 and 2 tie back to frame 0's tasks.
+        assert_eq!(w.ties[2], Some(0));
+        assert_eq!(w.ties[3], Some(1));
+        assert_eq!(w.ties[4], Some(0));
+        assert_eq!(w.ties[5], Some(1));
+        assert_eq!(s.frames(), 3);
+    }
+
+    #[test]
+    fn scenario4_has_one_dep() {
+        let p = orin_agx();
+        let w = Scenario::Hybrid {
+            first: Model::ResNet18,
+            second: Model::GoogleNet,
+            parallel: Model::ResNet50,
+        }
+        .workload(&p, 6);
+        assert_eq!(w.tasks.len(), 3);
+        assert_eq!(w.deps.len(), 1);
+        assert_eq!(w.upstream(1), vec![0]);
+    }
+
+    #[test]
+    fn scenarios_schedule_end_to_end() {
+        let p = orin_agx();
+        let cm = ContentionModel::calibrate(&p);
+        let scenarios = [
+            Scenario::SameDnnInstances {
+                model: Model::ResNet18,
+                instances: 2,
+            },
+            Scenario::ParallelSameInput {
+                models: vec![Model::GoogleNet, Model::ResNet50],
+            },
+            Scenario::StreamingPipeline {
+                first: Model::ResNet18,
+                second: Model::GoogleNet,
+                frames: 2,
+            },
+        ];
+        for s in scenarios {
+            let w = s.workload(&p, 6);
+            let cfg = SchedulerConfig::with_objective(s.default_objective());
+            let sched = HaxConn::schedule_validated(&p, &w, &cm, cfg);
+            let hax = measure(&p, &w, &sched.assignment);
+            for &kind in BaselineKind::all() {
+                let a = Baseline::assignment(kind, &p, &w);
+                let base = measure(&p, &w, &a);
+                match cfg.objective {
+                    Objective::MinMaxLatency => {
+                        assert!(hax.latency_ms <= base.latency_ms + 1e-9)
+                    }
+                    Objective::MaxThroughput => assert!(hax.fps >= base.fps - 1e-9),
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two instances")]
+    fn scenario1_needs_two() {
+        let p = orin_agx();
+        Scenario::SameDnnInstances {
+            model: Model::AlexNet,
+            instances: 1,
+        }
+        .workload(&p, 6);
+    }
+}

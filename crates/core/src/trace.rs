@@ -1,0 +1,199 @@
+//! Execution-trace export in the Chrome tracing (`chrome://tracing` /
+//! Perfetto) JSON format.
+//!
+//! Every measured run can be dumped as a trace where each PU is a track and
+//! each layer group (or transition flush/reformat step) is a complete
+//! event. Loading the JSON into Perfetto gives exactly the Fig. 1 / Fig. 4
+//! style visualizations of the paper.
+
+use crate::measure::{to_jobs, Measurement};
+use crate::problem::Workload;
+use haxconn_soc::{Platform, PuId};
+use serde::Serialize;
+
+/// One Chrome-tracing "complete" event.
+#[derive(Debug, Serialize)]
+pub struct TraceEvent {
+    /// Event name (task + group / transition label).
+    pub name: String,
+    /// Category: `"group"` or `"transition"`.
+    pub cat: String,
+    /// Phase: always `"X"` (complete event).
+    pub ph: &'static str,
+    /// Start timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds.
+    pub dur: f64,
+    /// Process id (constant; one process = the SoC).
+    pub pid: u32,
+    /// Thread id = PU id (one track per accelerator).
+    pub tid: u32,
+    /// Extra arguments (slowdown, demand).
+    pub args: TraceArgs,
+}
+
+/// Event metadata shown by the trace viewer.
+#[derive(Debug, Serialize)]
+pub struct TraceArgs {
+    /// Realized slowdown vs standalone.
+    pub slowdown: f64,
+    /// Requested memory throughput, GB/s.
+    pub demand_gbps: f64,
+}
+
+/// Metadata event naming a track.
+#[derive(Debug, Serialize)]
+struct ThreadNameEvent<'a> {
+    name: &'static str,
+    ph: &'static str,
+    pid: u32,
+    tid: u32,
+    args: ThreadNameArgs<'a>,
+}
+
+#[derive(Debug, Serialize)]
+struct ThreadNameArgs<'a> {
+    name: &'a str,
+}
+
+/// Builds the Chrome-tracing JSON for a measured run of `assignment`.
+///
+/// The returned string is a complete JSON array that Perfetto /
+/// `chrome://tracing` loads directly.
+pub fn chrome_trace_json(
+    platform: &Platform,
+    workload: &Workload,
+    assignment: &[Vec<PuId>],
+    measurement: &Measurement,
+) -> String {
+    let (jobs, _) = to_jobs(workload, assignment);
+    let mut parts: Vec<String> = Vec::new();
+
+    for (pu_id, pu) in platform.pus.iter().enumerate() {
+        let ev = ThreadNameEvent {
+            name: "thread_name",
+            ph: "M",
+            pid: 1,
+            tid: pu_id as u32,
+            args: ThreadNameArgs { name: &pu.name },
+        };
+        parts.push(serde_json::to_string(&ev).expect("serialize metadata"));
+    }
+
+    for (j, job) in jobs.iter().enumerate() {
+        let mut group_idx = 0usize;
+        for (item, timing) in job.items.iter().zip(measurement.raw.items[j].iter()) {
+            // Transition items are pure memory movers (no compute phase).
+            let is_transition = item.cost.compute_ms == 0.0;
+            let (name, cat) = if is_transition {
+                (format!("{} transition", job.name), "transition".to_string())
+            } else {
+                let n = format!("{} g{group_idx}", job.name);
+                group_idx += 1;
+                (n, "group".to_string())
+            };
+            let ev = TraceEvent {
+                name,
+                cat,
+                ph: "X",
+                ts: timing.start_ms * 1e3,
+                dur: (timing.end_ms - timing.start_ms) * 1e3,
+                pid: 1,
+                tid: item.pu as u32,
+                args: TraceArgs {
+                    slowdown: timing.slowdown,
+                    demand_gbps: item.cost.demand_gbps,
+                },
+            };
+            parts.push(serde_json::to_string(&ev).expect("serialize event"));
+        }
+    }
+    format!("[{}]", parts.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{Baseline, BaselineKind};
+    use crate::measure::measure;
+    use crate::problem::DnnTask;
+    use haxconn_dnn::Model;
+    use haxconn_profiler::NetworkProfile;
+    use haxconn_soc::orin_agx;
+
+    fn setup() -> (Platform, Workload) {
+        let p = orin_agx();
+        let w = Workload::concurrent(vec![
+            DnnTask::new("det", NetworkProfile::profile(&p, Model::GoogleNet, 8)),
+            DnnTask::new("cls", NetworkProfile::profile(&p, Model::ResNet18, 8)),
+        ]);
+        (p, w)
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_expected_events() {
+        let (p, w) = setup();
+        let a = Baseline::assignment(BaselineKind::NaiveSplit, &p, &w);
+        let m = measure(&p, &w, &a);
+        let json = chrome_trace_json(&p, &w, &a, &m);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = parsed.as_array().expect("array");
+        // Thread-name metadata for each PU + one event per item.
+        let groups: usize = w.tasks.iter().map(|t| t.num_groups()).sum();
+        assert!(events.len() >= p.pus.len() + groups);
+        // All complete events have non-negative durations and known tids.
+        for ev in events.iter().filter(|e| e["ph"] == "X") {
+            assert!(ev["dur"].as_f64().unwrap() >= 0.0);
+            let tid = ev["tid"].as_u64().unwrap() as usize;
+            assert!(tid < p.pus.len());
+            assert!(ev["args"]["slowdown"].as_f64().unwrap() >= 1.0 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn transitions_appear_as_their_own_category() {
+        let (p, w) = setup();
+        // Force a transition in task 0.
+        let mut a = Baseline::assignment(BaselineKind::GpuOnly, &p, &w);
+        #[allow(clippy::needless_range_loop)]
+        for g in 3..6 {
+            if w.tasks[0].profile.groups[g].cost[p.dsa()].is_some() {
+                a[0][g] = p.dsa();
+            }
+        }
+        let m = measure(&p, &w, &a);
+        let json = chrome_trace_json(&p, &w, &a, &m);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let transitions = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["cat"] == "transition")
+            .count();
+        assert!(transitions >= 2, "flush + reformat events expected");
+    }
+
+    #[test]
+    fn events_sorted_within_each_job_chain() {
+        let (p, w) = setup();
+        let a = Baseline::assignment(BaselineKind::NaiveSplit, &p, &w);
+        let m = measure(&p, &w, &a);
+        let json = chrome_trace_json(&p, &w, &a, &m);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        // For each task name, the events' ts values are non-decreasing in
+        // emission order (chain order).
+        for task in ["det", "cls"] {
+            let ts: Vec<f64> = parsed
+                .as_array()
+                .unwrap()
+                .iter()
+                .filter(|e| {
+                    e["ph"] == "X"
+                        && e["name"].as_str().unwrap_or("").starts_with(task)
+                })
+                .map(|e| e["ts"].as_f64().unwrap())
+                .collect();
+            assert!(ts.windows(2).all(|w| w[1] >= w[0] - 1e-6), "{task}: {ts:?}");
+        }
+    }
+}

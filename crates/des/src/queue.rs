@@ -1,0 +1,154 @@
+//! The pending-event set.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the event queue. Ordered by `(time, seq)` so that equal-time
+/// events pop in the order they were scheduled (FIFO), which makes every
+/// simulation built on this queue deterministic.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to pop the earliest entry first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with deterministic FIFO
+/// tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events (the sequence counter keeps advancing so
+    /// determinism across a clear is preserved).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ms(3.0), "c");
+        q.schedule(SimTime::from_ms(1.0), "a");
+        q.schedule(SimTime::from_ms(2.0), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(5.0);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ms(1.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(1.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ms(10.0), 10);
+        q.schedule(SimTime::from_ms(5.0), 5);
+        assert_eq!(q.pop().unwrap().1, 5);
+        q.schedule(SimTime::from_ms(7.0), 7);
+        q.schedule(SimTime::from_ms(6.0), 6);
+        assert_eq!(q.pop().unwrap().1, 6);
+        assert_eq!(q.pop().unwrap().1, 7);
+        assert_eq!(q.pop().unwrap().1, 10);
+    }
+}

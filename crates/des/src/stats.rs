@@ -1,0 +1,193 @@
+//! Measurement accumulators used by simulator counters.
+
+use crate::time::SimTime;
+
+/// Time-weighted average of a piecewise-constant signal, e.g. EMC bandwidth
+/// utilization over a simulation run.
+///
+/// Call [`TimeWeighted::record`] whenever the signal changes value; the
+/// accumulator integrates the previous value over the elapsed span.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_t: SimTime,
+    last_v: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Starts integrating at `start` with initial value `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_t: start,
+            last_v: value,
+            integral: 0.0,
+            peak: value,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `t`.
+    ///
+    /// `t` must be monotonically non-decreasing.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        assert!(t >= self.last_t, "TimeWeighted observations must be ordered");
+        self.integral += self.last_v * (t - self.last_t).as_ms();
+        self.last_t = t;
+        self.last_v = value;
+        if value > self.peak {
+            self.peak = value;
+        }
+    }
+
+    /// Time-weighted mean over `[start, end]`, extending the last value to
+    /// `end`.
+    pub fn mean(&self, end: SimTime) -> f64 {
+        let total = (end - self.start).as_ms();
+        if total <= 0.0 {
+            return self.last_v;
+        }
+        let tail = self.last_v * (end - self.last_t).as_ms();
+        (self.integral + tail) / total
+    }
+
+    /// Largest value observed so far.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// The most recently recorded value.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+}
+
+/// Streaming mean/variance via Welford's algorithm; used for benchmark
+/// repetitions and runtime metrics.
+#[derive(Debug, Clone, Default)]
+pub struct WelfordStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl WelfordStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        WelfordStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (NaN-free; `INFINITY` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (`NEG_INFINITY` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_weighted_mean_of_step_signal() {
+        // 0..10ms at 1.0, 10..20ms at 3.0 -> mean 2.0
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.record(SimTime::from_ms(10.0), 3.0);
+        let mean = tw.mean(SimTime::from_ms(20.0));
+        assert!((mean - 2.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 3.0);
+        assert_eq!(tw.current(), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_span() {
+        let tw = TimeWeighted::new(SimTime::from_ms(5.0), 7.0);
+        assert_eq!(tw.mean(SimTime::from_ms(5.0)), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn time_weighted_rejects_backwards() {
+        let mut tw = TimeWeighted::new(SimTime::from_ms(5.0), 0.0);
+        tw.record(SimTime::from_ms(4.0), 1.0);
+    }
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = WelfordStats::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0);
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+        assert_eq!(w.count(), 8);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = WelfordStats::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.stddev(), 0.0);
+    }
+}

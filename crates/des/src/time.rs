@@ -1,0 +1,216 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in **milliseconds**.
+///
+/// `SimTime` wraps an `f64` and provides a total order: constructors reject
+/// NaN, so every value stored in a queue is comparable. All latencies in the
+/// HaX-CoNN paper are reported in milliseconds, so that is the canonical
+/// unit here; helpers convert from seconds and microseconds.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+    /// The far future; useful as an "never fires" sentinel.
+    pub const INFINITY: SimTime = SimTime(f64::INFINITY);
+
+    /// Creates a time from milliseconds. Panics on NaN or negative values.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        assert!(!ms.is_nan(), "SimTime cannot be NaN");
+        assert!(ms >= 0.0, "SimTime cannot be negative (got {ms})");
+        SimTime(ms)
+    }
+
+    /// Creates a time from seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        Self::from_ms(s * 1e3)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        Self::from_ms(us * 1e-3)
+    }
+
+    /// This time in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0
+    }
+
+    /// This time in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// Whether this is the `INFINITY` sentinel.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Saturating subtraction: returns `ZERO` instead of a negative span.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime((self.0 - other.0).max(0.0))
+    }
+
+    /// True when `self` and `other` are within `tol_ms` of each other.
+    #[inline]
+    pub fn approx_eq(self, other: SimTime, tol_ms: f64) -> bool {
+        (self.0 - other.0).abs() <= tol_ms
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Constructors reject NaN, so partial_cmp never fails.
+        self.partial_cmp(other).expect("SimTime is never NaN")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        let d = self.0 - rhs.0;
+        assert!(d >= 0.0, "SimTime subtraction went negative ({d})");
+        SimTime(d)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::from_ms(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime::from_ms(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}ms", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(SimTime::from_secs(1.5).as_ms(), 1500.0);
+        assert_eq!(SimTime::from_us(2500.0).as_ms(), 2.5);
+        assert_eq!(SimTime::from_ms(10.0).as_secs(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_rejected() {
+        let _ = SimTime::from_ms(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = SimTime::from_ms(f64::NAN);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [SimTime::from_ms(3.0),
+            SimTime::ZERO,
+            SimTime::INFINITY,
+            SimTime::from_ms(1.0)];
+        v.sort();
+        assert_eq!(v[0], SimTime::ZERO);
+        assert_eq!(v[1], SimTime::from_ms(1.0));
+        assert_eq!(v[3], SimTime::INFINITY);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ms(5.0);
+        let b = SimTime::from_ms(2.0);
+        assert_eq!((a + b).as_ms(), 7.0);
+        assert_eq!((a - b).as_ms(), 3.0);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!((a * 2.0).as_ms(), 10.0);
+        assert_eq!((a / 2.0).as_ms(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn checked_sub_panics() {
+        let _ = SimTime::from_ms(1.0) - SimTime::from_ms(2.0);
+    }
+
+    #[test]
+    fn min_max_approx() {
+        let a = SimTime::from_ms(1.0);
+        let b = SimTime::from_ms(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(a.approx_eq(SimTime::from_ms(1.0000001), 1e-3));
+        assert!(!a.approx_eq(b, 0.5));
+    }
+}

@@ -1,0 +1,546 @@
+//! The network DAG and its builder.
+
+use crate::layer::{ActKind, Layer, LayerKind, PoolKind};
+use crate::shape::TensorShape;
+use serde::{Deserialize, Serialize};
+
+/// Index of a layer within a [`Network`]. Layers are stored in topological
+/// order, so `LayerId` values always refer backwards.
+pub type LayerId = usize;
+
+/// A DNN inference graph: a topologically-ordered list of layers with
+/// explicit producer edges (branches and skips included).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    /// Model name, e.g. `"GoogleNet"`.
+    pub name: String,
+    /// Shape of the network input (e.g. `3x224x224`).
+    pub input_shape: TensorShape,
+    /// Topologically ordered layers.
+    pub layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total FLOPs of one inference.
+    pub fn total_flops(&self) -> u64 {
+        self.layers.iter().map(Layer::flops).sum()
+    }
+
+    /// Total parameter footprint in bytes.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::weight_bytes).sum()
+    }
+
+    /// Total shared-memory traffic of one standalone inference.
+    pub fn total_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::total_bytes).sum()
+    }
+
+    /// The consumers of each layer (inverse of the `inputs` edges).
+    pub fn consumers(&self) -> Vec<Vec<LayerId>> {
+        let mut out = vec![Vec::new(); self.layers.len()];
+        for l in &self.layers {
+            for &p in &l.inputs {
+                out[p].push(l.id);
+            }
+        }
+        out
+    }
+
+    /// Validates structural invariants: ids match positions, edges point
+    /// backwards (topological order), shapes agree along edges, and exactly
+    /// the first layer consumes the network input.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers.is_empty() {
+            return Err("network has no layers".into());
+        }
+        for (i, l) in self.layers.iter().enumerate() {
+            if l.id != i {
+                return Err(format!("layer {i} has id {}", l.id));
+            }
+            for &p in &l.inputs {
+                if p >= i {
+                    return Err(format!(
+                        "layer {i} ({}) has non-topological edge from {p}",
+                        l.name
+                    ));
+                }
+            }
+            if i == 0 && !l.inputs.is_empty() {
+                return Err("first layer must consume the network input".into());
+            }
+            if i > 0 && l.inputs.is_empty() {
+                return Err(format!("layer {i} ({}) has no producers", l.name));
+            }
+            // Shape agreement (first input only; concat checks spatial).
+            if let Some(&p) = l.inputs.first() {
+                let prod = &self.layers[p];
+                match l.kind {
+                    LayerKind::Concat => {
+                        let total_c: usize = l
+                            .inputs
+                            .iter()
+                            .map(|&q| self.layers[q].output_shape.c)
+                            .sum();
+                        if total_c != l.output_shape.c {
+                            return Err(format!(
+                                "concat {i} channels {} != sum of inputs {total_c}",
+                                l.output_shape.c
+                            ));
+                        }
+                        for &q in &l.inputs {
+                            if !self.layers[q].output_shape.same_spatial(&l.output_shape) {
+                                return Err(format!(
+                                    "concat {i} input {q} spatial mismatch"
+                                ));
+                            }
+                        }
+                    }
+                    LayerKind::EltwiseAdd => {
+                        for &q in &l.inputs {
+                            if self.layers[q].output_shape != l.output_shape {
+                                return Err(format!(
+                                    "eltwise {i} input {q} shape mismatch"
+                                ));
+                            }
+                        }
+                    }
+                    LayerKind::FullyConnected { .. } => {
+                        if prod.output_shape.elems() != l.input_shape.elems() {
+                            return Err(format!("fc {i} input element mismatch"));
+                        }
+                    }
+                    _ => {
+                        if prod.output_shape != l.input_shape {
+                            return Err(format!(
+                                "layer {i} ({}) input {} != producer {p} output {}",
+                                l.name, l.input_shape, prod.output_shape
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incrementally builds a [`Network`], computing output shapes as layers are
+/// chained. Methods return the [`LayerId`] of the layer just added so
+/// branches and residual connections can be expressed naturally.
+pub struct NetworkBuilder {
+    name: String,
+    input_shape: TensorShape,
+    layers: Vec<Layer>,
+}
+
+impl NetworkBuilder {
+    /// Starts a network with the given input shape.
+    pub fn new(name: impl Into<String>, input_shape: TensorShape) -> Self {
+        NetworkBuilder {
+            name: name.into(),
+            input_shape,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Output shape of layer `id` (or the network input when `id` is None).
+    pub fn shape_of(&self, id: Option<LayerId>) -> TensorShape {
+        match id {
+            Some(i) => self.layers[i].output_shape,
+            None => self.input_shape,
+        }
+    }
+
+    fn push(
+        &mut self,
+        name: String,
+        kind: LayerKind,
+        inputs: Vec<LayerId>,
+        input_shape: TensorShape,
+        output_shape: TensorShape,
+    ) -> LayerId {
+        let id = self.layers.len();
+        assert!(
+            (id != 0) || inputs.is_empty(),
+            "first layer must consume the network input"
+        );
+        assert!(
+            id == 0 || !inputs.is_empty(),
+            "layer {name} needs at least one producer"
+        );
+        self.layers.push(Layer {
+            id,
+            name,
+            kind,
+            inputs,
+            input_shape,
+            output_shape,
+        });
+        id
+    }
+
+    /// Adds a dense convolution.
+    pub fn conv(
+        &mut self,
+        from: Option<LayerId>,
+        name: impl Into<String>,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> LayerId {
+        self.grouped_conv(from, name, out_c, kernel, stride, pad, 1)
+    }
+
+    /// Adds a grouped / depthwise convolution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn grouped_conv(
+        &mut self,
+        from: Option<LayerId>,
+        name: impl Into<String>,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> LayerId {
+        let inp = self.shape_of(from);
+        assert!(inp.c.is_multiple_of(groups), "channels not divisible by groups");
+        let out = inp.conv_out(out_c, kernel, stride, pad);
+        self.push(
+            name.into(),
+            LayerKind::Conv {
+                out_c,
+                kernel: (kernel, kernel),
+                stride,
+                pad: (pad, pad),
+                groups,
+            },
+            from.into_iter().collect(),
+            inp,
+            out,
+        )
+    }
+
+    /// Adds a rectangular-kernel convolution (e.g. Inception's 1x7 / 7x1
+    /// factorized pairs). `kernel` and `pad` are `(height, width)`.
+    pub fn conv_rect(
+        &mut self,
+        from: LayerId,
+        name: impl Into<String>,
+        out_c: usize,
+        kernel: (usize, usize),
+        pad: (usize, usize),
+    ) -> LayerId {
+        let inp = self.shape_of(Some(from));
+        let out = inp.conv_out_rect(out_c, kernel, 1, pad);
+        self.push(
+            name.into(),
+            LayerKind::Conv {
+                out_c,
+                kernel,
+                stride: 1,
+                pad,
+                groups: 1,
+            },
+            vec![from],
+            inp,
+            out,
+        )
+    }
+
+    /// Convenience: rectangular conv followed by ReLU; returns the ReLU id.
+    pub fn conv_rect_relu(
+        &mut self,
+        from: LayerId,
+        name: &str,
+        out_c: usize,
+        kernel: (usize, usize),
+        pad: (usize, usize),
+    ) -> LayerId {
+        let c = self.conv_rect(from, name.to_string(), out_c, kernel, pad);
+        self.relu(c, format!("{name}/relu"))
+    }
+
+    /// Adds a pooling layer.
+    pub fn pool(
+        &mut self,
+        from: LayerId,
+        name: impl Into<String>,
+        kind: PoolKind,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> LayerId {
+        let inp = self.shape_of(Some(from));
+        let out = inp.pool_out(kernel, stride, pad);
+        self.push(
+            name.into(),
+            LayerKind::Pool {
+                kind,
+                kernel,
+                stride,
+                pad,
+            },
+            vec![from],
+            inp,
+            out,
+        )
+    }
+
+    /// Adds a global average pool (window = full spatial extent).
+    pub fn global_avg_pool(&mut self, from: LayerId, name: impl Into<String>) -> LayerId {
+        let inp = self.shape_of(Some(from));
+        self.pool(from, name, PoolKind::Avg, inp.h.max(inp.w), 1, 0)
+    }
+
+    /// Adds a fully-connected layer.
+    pub fn fc(&mut self, from: LayerId, name: impl Into<String>, out_features: usize) -> LayerId {
+        let inp = self.shape_of(Some(from));
+        self.push(
+            name.into(),
+            LayerKind::FullyConnected { out_features },
+            vec![from],
+            TensorShape::flat(inp.elems()),
+            TensorShape::flat(out_features),
+        )
+    }
+
+    /// Adds an inference-mode batch normalization.
+    pub fn batch_norm(&mut self, from: LayerId, name: impl Into<String>) -> LayerId {
+        let s = self.shape_of(Some(from));
+        self.push(name.into(), LayerKind::BatchNorm, vec![from], s, s)
+    }
+
+    /// Adds an elementwise activation.
+    pub fn act(&mut self, from: LayerId, name: impl Into<String>, kind: ActKind) -> LayerId {
+        let s = self.shape_of(Some(from));
+        self.push(name.into(), LayerKind::Activation(kind), vec![from], s, s)
+    }
+
+    /// Adds a ReLU (the overwhelmingly common case).
+    pub fn relu(&mut self, from: LayerId, name: impl Into<String>) -> LayerId {
+        self.act(from, name, ActKind::Relu)
+    }
+
+    /// Adds a local response normalization.
+    pub fn lrn(&mut self, from: LayerId, name: impl Into<String>) -> LayerId {
+        let s = self.shape_of(Some(from));
+        self.push(name.into(), LayerKind::Lrn, vec![from], s, s)
+    }
+
+    /// Adds a channel concatenation of `branches`.
+    pub fn concat(&mut self, branches: &[LayerId], name: impl Into<String>) -> LayerId {
+        assert!(branches.len() >= 2, "concat needs at least two branches");
+        let first = self.shape_of(Some(branches[0]));
+        let total_c: usize = branches.iter().map(|&b| self.shape_of(Some(b)).c).sum();
+        let out = TensorShape::chw(total_c, first.h, first.w);
+        self.push(
+            name.into(),
+            LayerKind::Concat,
+            branches.to_vec(),
+            first,
+            out,
+        )
+    }
+
+    /// Adds an elementwise (residual) addition of two layers.
+    pub fn add(&mut self, a: LayerId, b: LayerId, name: impl Into<String>) -> LayerId {
+        let sa = self.shape_of(Some(a));
+        let sb = self.shape_of(Some(b));
+        assert_eq!(sa, sb, "eltwise add operands must agree in shape");
+        self.push(name.into(), LayerKind::EltwiseAdd, vec![a, b], sa, sa)
+    }
+
+    /// Adds a softmax head.
+    pub fn softmax(&mut self, from: LayerId, name: impl Into<String>) -> LayerId {
+        let s = self.shape_of(Some(from));
+        self.push(name.into(), LayerKind::Softmax, vec![from], s, s)
+    }
+
+    /// Adds an integer-factor upsampling layer.
+    pub fn upsample(&mut self, from: LayerId, name: impl Into<String>, factor: usize) -> LayerId {
+        let s = self.shape_of(Some(from));
+        self.push(
+            name.into(),
+            LayerKind::Upsample { factor },
+            vec![from],
+            s,
+            s.upsample(factor),
+        )
+    }
+
+    /// Convenience: conv followed by ReLU; returns the ReLU's id.
+    pub fn conv_relu(
+        &mut self,
+        from: Option<LayerId>,
+        name: &str,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> LayerId {
+        let c = self.conv(from, name.to_string(), out_c, kernel, stride, pad);
+        self.relu(c, format!("{name}/relu"))
+    }
+
+    /// Convenience: conv + BN + ReLU; returns the ReLU's id.
+    pub fn conv_bn_relu(
+        &mut self,
+        from: Option<LayerId>,
+        name: &str,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> LayerId {
+        let c = self.conv(from, name.to_string(), out_c, kernel, stride, pad);
+        let b = self.batch_norm(c, format!("{name}/bn"));
+        self.relu(b, format!("{name}/relu"))
+    }
+
+    /// Convenience: conv + BN (no activation; pre-residual branches).
+    pub fn conv_bn(
+        &mut self,
+        from: Option<LayerId>,
+        name: &str,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> LayerId {
+        let c = self.conv(from, name.to_string(), out_c, kernel, stride, pad);
+        self.batch_norm(c, format!("{name}/bn"))
+    }
+
+    /// Finishes the network, validating invariants.
+    pub fn build(self) -> Network {
+        let net = Network {
+            name: self.name,
+            input_shape: self.input_shape,
+            layers: self.layers,
+        };
+        if let Err(e) = net.validate() {
+            panic!("invalid network {}: {e}", net.name);
+        }
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Network {
+        let mut b = NetworkBuilder::new("tiny", TensorShape::chw(3, 32, 32));
+        let c1 = b.conv_relu(None, "c1", 16, 3, 1, 1);
+        let p1 = b.pool(c1, "p1", PoolKind::Max, 2, 2, 0);
+        let c2a = b.conv_bn_relu(Some(p1), "c2a", 16, 3, 1, 1);
+        let c2b = b.conv_bn(Some(p1), "c2b", 16, 1, 1, 0);
+        let add = b.add(c2a, c2b, "add");
+        let r = b.relu(add, "add/relu");
+        let g = b.global_avg_pool(r, "gap");
+        let f = b.fc(g, "fc", 10);
+        b.softmax(f, "prob");
+        b.build()
+    }
+
+    #[test]
+    fn builder_produces_valid_network() {
+        let net = tiny();
+        assert!(net.validate().is_ok());
+        assert_eq!(net.layers[0].inputs, Vec::<usize>::new());
+        assert!(net.total_flops() > 0);
+        assert!(net.total_weight_bytes() > 0);
+    }
+
+    #[test]
+    fn consumers_invert_edges() {
+        let net = tiny();
+        let cons = net.consumers();
+        // p1 (id 3) feeds both branch convs.
+        let p1 = net
+            .layers
+            .iter()
+            .find(|l| l.name == "p1")
+            .expect("has p1")
+            .id;
+        assert_eq!(cons[p1].len(), 2);
+        // final softmax has no consumers.
+        assert!(cons[net.len() - 1].is_empty());
+    }
+
+    #[test]
+    fn branch_shapes_match() {
+        let net = tiny();
+        let add = net.layers.iter().find(|l| l.name == "add").unwrap();
+        assert_eq!(add.inputs.len(), 2);
+        assert_eq!(add.output_shape, TensorShape::chw(16, 16, 16));
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let mut b = NetworkBuilder::new("cc", TensorShape::chw(8, 14, 14));
+        let a = b.conv(None, "a", 16, 1, 1, 0);
+        let c = b.conv(Some(a), "b", 32, 3, 1, 1);
+        let d = b.conv(Some(a), "c", 16, 1, 1, 0);
+        let cat = b.concat(&[c, d], "cat");
+        let net = b.build();
+        assert_eq!(net.layers[cat].output_shape.c, 48);
+    }
+
+    #[test]
+    fn validate_rejects_forward_edge() {
+        let mut net = tiny();
+        net.layers[1].inputs = vec![5];
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_id_mismatch() {
+        let mut net = tiny();
+        net.layers[2].id = 7;
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_shape_mismatch() {
+        let mut net = tiny();
+        // Corrupt a conv's recorded input shape.
+        let idx = net
+            .layers
+            .iter()
+            .position(|l| matches!(l.kind, LayerKind::Pool { .. }))
+            .unwrap();
+        net.layers[idx].input_shape = TensorShape::chw(1, 1, 1);
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn add_rejects_mismatched_shapes() {
+        let mut b = NetworkBuilder::new("bad", TensorShape::chw(3, 8, 8));
+        let a = b.conv(None, "a", 4, 1, 1, 0);
+        let c = b.conv(Some(a), "c", 8, 1, 1, 0);
+        b.add(a, c, "boom");
+    }
+
+    #[test]
+    fn fc_flattens_input() {
+        let net = tiny();
+        let fc = net.layers.iter().find(|l| l.name == "fc").unwrap();
+        assert_eq!(fc.input_shape, TensorShape::flat(16));
+        assert_eq!(fc.output_shape, TensorShape::flat(10));
+    }
+}

@@ -1,0 +1,373 @@
+//! Layer kinds and the analytic per-layer cost model.
+//!
+//! HaX-CoNN's profiling step (paper Section 3.2) characterizes layers by
+//! type and parameters (input size, kernel size, ...). The simulator needs,
+//! for every layer, three quantities:
+//!
+//! * `flops`     — multiply-accumulate work (2 ops per MAC),
+//! * activation traffic (`input_bytes` / `output_bytes`),
+//! * `weight_bytes` — parameter footprint streamed from shared memory.
+//!
+//! These are standard analytic formulas (the same ones used by Mensa, AxoNN
+//! and the roofline literature the paper builds on).
+
+use crate::shape::TensorShape;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per element at FP16 precision — TensorRT runs DLA-compatible
+/// engines in FP16, and the paper profiles FP16 engines.
+pub const BYTES_FP16: usize = 2;
+
+/// Pooling flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling (also used for global average pooling).
+    Avg,
+}
+
+/// Activation flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Sigmoid (used by some heads).
+    Sigmoid,
+    /// Hard-swish style activation (MobileNet variants).
+    HardSwish,
+}
+
+/// The operator a layer performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution. `groups == in_c` expresses depthwise convolution;
+    /// rectangular kernels (`(1,7)`, `(7,1)`) express Inception-style
+    /// factorized convolutions.
+    Conv {
+        /// Output channels.
+        out_c: usize,
+        /// Kernel size as `(height, width)`.
+        kernel: (usize, usize),
+        /// Stride.
+        stride: usize,
+        /// Zero padding as `(height, width)`.
+        pad: (usize, usize),
+        /// Channel groups (1 = dense, `in_c` = depthwise).
+        groups: usize,
+    },
+    /// 2-D pooling.
+    Pool {
+        /// Max or average.
+        kind: PoolKind,
+        /// Square window.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric padding.
+        pad: usize,
+    },
+    /// Fully-connected (inner-product) layer.
+    FullyConnected {
+        /// Output features.
+        out_features: usize,
+    },
+    /// Batch normalization (inference-mode scale/shift).
+    BatchNorm,
+    /// Elementwise activation.
+    Activation(ActKind),
+    /// Local response normalization (AlexNet-era).
+    Lrn,
+    /// Channel-wise concatenation of all inputs.
+    Concat,
+    /// Elementwise addition of two inputs (residual connections).
+    EltwiseAdd,
+    /// Softmax classifier head.
+    Softmax,
+    /// Nearest/bilinear upsampling by an integer factor (FCN heads).
+    Upsample {
+        /// Spatial scale factor.
+        factor: usize,
+    },
+}
+
+/// One layer (node) of a [`crate::graph::Network`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Layer {
+    /// Index of this layer within its network's topologically-ordered list.
+    pub id: usize,
+    /// Human-readable name (e.g. `"inception_4a/3x3"`).
+    pub name: String,
+    /// Operator.
+    pub kind: LayerKind,
+    /// Producer layers (empty for the layer fed by the network input).
+    pub inputs: Vec<usize>,
+    /// Shape of the (first) input tensor.
+    pub input_shape: TensorShape,
+    /// Shape of the output tensor.
+    pub output_shape: TensorShape,
+}
+
+impl Layer {
+    /// Floating-point operations performed by this layer (2 per MAC).
+    pub fn flops(&self) -> u64 {
+        let out = self.output_shape;
+        let inp = self.input_shape;
+        match self.kind {
+            LayerKind::Conv {
+                kernel: (kh, kw),
+                groups,
+                ..
+            } => {
+                let in_c_per_group = inp.c / groups;
+                2 * out.elems() as u64 * (in_c_per_group * kh * kw) as u64
+            }
+            LayerKind::Pool { kernel, .. } => out.elems() as u64 * (kernel * kernel) as u64,
+            LayerKind::FullyConnected { out_features } => {
+                2 * inp.elems() as u64 * out_features as u64
+            }
+            LayerKind::BatchNorm => 2 * out.elems() as u64,
+            LayerKind::Activation(_) => out.elems() as u64,
+            LayerKind::Lrn => 5 * out.elems() as u64,
+            LayerKind::Concat => 0,
+            LayerKind::EltwiseAdd => out.elems() as u64,
+            LayerKind::Softmax => 5 * out.elems() as u64,
+            LayerKind::Upsample { .. } => out.elems() as u64,
+        }
+    }
+
+    /// Bytes of activations read (sum over all inputs; concat reads every
+    /// branch, eltwise reads both operands).
+    pub fn input_bytes(&self) -> u64 {
+        let single = self.input_shape.bytes(BYTES_FP16) as u64;
+        match self.kind {
+            // Concat: the builder stores the *concatenated* output shape; the
+            // input traffic equals the output traffic (every byte is read
+            // once from some branch).
+            LayerKind::Concat => self.output_shape.bytes(BYTES_FP16) as u64,
+            LayerKind::EltwiseAdd => 2 * single,
+            _ => single,
+        }
+    }
+
+    /// Bytes of activations written.
+    pub fn output_bytes(&self) -> u64 {
+        self.output_shape.bytes(BYTES_FP16) as u64
+    }
+
+    /// Parameter bytes streamed from shared memory (weights + bias /
+    /// BN scale-shift), at FP16.
+    pub fn weight_bytes(&self) -> u64 {
+        let b = BYTES_FP16 as u64;
+        match self.kind {
+            LayerKind::Conv {
+                out_c,
+                kernel: (kh, kw),
+                groups,
+                ..
+            } => {
+                let in_c_per_group = (self.input_shape.c / groups) as u64;
+                (out_c as u64 * in_c_per_group * (kh * kw) as u64 + out_c as u64) * b
+            }
+            LayerKind::FullyConnected { out_features } => {
+                (self.input_shape.elems() as u64 * out_features as u64 + out_features as u64) * b
+            }
+            LayerKind::BatchNorm => 2 * self.output_shape.c as u64 * b,
+            _ => 0,
+        }
+    }
+
+    /// Total shared-memory traffic of one standalone execution: activations
+    /// in and out plus streamed weights.
+    pub fn total_bytes(&self) -> u64 {
+        self.input_bytes() + self.output_bytes() + self.weight_bytes()
+    }
+
+    /// Arithmetic intensity in FLOPs per byte of shared-memory traffic.
+    /// Memory-bound layers (pool, BN, eltwise) land well below 1.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.total_bytes();
+        if bytes == 0 {
+            0.0
+        } else {
+            self.flops() as f64 / bytes as f64
+        }
+    }
+
+    /// Whether this layer carries trainable parameters.
+    pub fn has_weights(&self) -> bool {
+        self.weight_bytes() > 0
+    }
+
+    /// Whether this kind of layer can be fused into a preceding convolution
+    /// by TensorRT-style operator fusion (paper Section 3.1, rule 1).
+    pub fn fusible_into_predecessor(&self) -> bool {
+        matches!(
+            self.kind,
+            LayerKind::BatchNorm | LayerKind::Activation(_) | LayerKind::EltwiseAdd
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_layer(
+        inp: TensorShape,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Layer {
+        Layer {
+            id: 0,
+            name: "conv".into(),
+            kind: LayerKind::Conv {
+                out_c,
+                kernel: (kernel, kernel),
+                stride,
+                pad: (pad, pad),
+                groups: 1,
+            },
+            inputs: vec![],
+            input_shape: inp,
+            output_shape: inp.conv_out(out_c, kernel, stride, pad),
+        }
+    }
+
+    #[test]
+    fn conv_flops_match_formula() {
+        // VGG conv3-64 on 224x224x3: 2*64*224*224*3*3*3
+        let l = conv_layer(TensorShape::chw(3, 224, 224), 64, 3, 1, 1);
+        assert_eq!(l.flops(), 2 * 64 * 224 * 224 * 3 * 3 * 3);
+    }
+
+    #[test]
+    fn depthwise_conv_flops() {
+        let inp = TensorShape::chw(32, 112, 112);
+        let l = Layer {
+            id: 0,
+            name: "dw".into(),
+            kind: LayerKind::Conv {
+                out_c: 32,
+                kernel: (3, 3),
+                stride: 1,
+                pad: (1, 1),
+                groups: 32,
+            },
+            inputs: vec![],
+            input_shape: inp,
+            output_shape: inp.conv_out(32, 3, 1, 1),
+        };
+        // per-output-element work is k*k*1 for depthwise
+        assert_eq!(l.flops(), 2 * 32 * 112 * 112 * 9);
+        // weights: out_c * 1 * k*k + bias
+        assert_eq!(l.weight_bytes(), (32 * 9 + 32) as u64 * BYTES_FP16 as u64);
+    }
+
+    #[test]
+    fn fc_flops_and_weights() {
+        let l = Layer {
+            id: 0,
+            name: "fc".into(),
+            kind: LayerKind::FullyConnected { out_features: 1000 },
+            inputs: vec![],
+            input_shape: TensorShape::flat(2048),
+            output_shape: TensorShape::flat(1000),
+        };
+        assert_eq!(l.flops(), 2 * 2048 * 1000);
+        assert_eq!(l.weight_bytes(), (2048 * 1000 + 1000) as u64 * 2);
+        assert!(l.has_weights());
+    }
+
+    #[test]
+    fn fc_is_memory_bound() {
+        // FC layers stream huge weight matrices: intensity ~= 1 flop/byte.
+        let l = Layer {
+            id: 0,
+            name: "fc".into(),
+            kind: LayerKind::FullyConnected { out_features: 4096 },
+            inputs: vec![],
+            input_shape: TensorShape::flat(25088),
+            output_shape: TensorShape::flat(4096),
+        };
+        assert!(l.arithmetic_intensity() < 2.5);
+    }
+
+    #[test]
+    fn big_conv_is_compute_bound() {
+        let l = conv_layer(TensorShape::chw(64, 224, 224), 64, 3, 1, 1);
+        assert!(l.arithmetic_intensity() > 50.0);
+    }
+
+    #[test]
+    fn concat_moves_output_bytes() {
+        let out = TensorShape::chw(256, 28, 28);
+        let l = Layer {
+            id: 0,
+            name: "concat".into(),
+            kind: LayerKind::Concat,
+            inputs: vec![1, 2, 3],
+            input_shape: TensorShape::chw(64, 28, 28),
+            output_shape: out,
+        };
+        assert_eq!(l.flops(), 0);
+        assert_eq!(l.input_bytes(), out.bytes(BYTES_FP16) as u64);
+        assert_eq!(l.output_bytes(), out.bytes(BYTES_FP16) as u64);
+        assert_eq!(l.weight_bytes(), 0);
+    }
+
+    #[test]
+    fn eltwise_reads_two_operands() {
+        let s = TensorShape::chw(256, 56, 56);
+        let l = Layer {
+            id: 0,
+            name: "add".into(),
+            kind: LayerKind::EltwiseAdd,
+            inputs: vec![1, 2],
+            input_shape: s,
+            output_shape: s,
+        };
+        assert_eq!(l.input_bytes(), 2 * s.bytes(BYTES_FP16) as u64);
+        assert_eq!(l.flops(), s.elems() as u64);
+    }
+
+    #[test]
+    fn fusible_kinds() {
+        let s = TensorShape::chw(8, 8, 8);
+        let mk = |kind| Layer {
+            id: 0,
+            name: "x".into(),
+            kind,
+            inputs: vec![],
+            input_shape: s,
+            output_shape: s,
+        };
+        assert!(mk(LayerKind::BatchNorm).fusible_into_predecessor());
+        assert!(mk(LayerKind::Activation(ActKind::Relu)).fusible_into_predecessor());
+        assert!(mk(LayerKind::EltwiseAdd).fusible_into_predecessor());
+        assert!(!mk(LayerKind::Concat).fusible_into_predecessor());
+        assert!(!mk(LayerKind::Softmax).fusible_into_predecessor());
+    }
+
+    #[test]
+    fn pool_costs() {
+        let inp = TensorShape::chw(64, 112, 112);
+        let l = Layer {
+            id: 0,
+            name: "pool".into(),
+            kind: LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel: 3,
+                stride: 2,
+                pad: 0,
+            },
+            inputs: vec![],
+            input_shape: inp,
+            output_shape: inp.pool_out(3, 2, 0),
+        };
+        assert_eq!(l.flops(), l.output_shape.elems() as u64 * 9);
+        assert!(l.arithmetic_intensity() < 2.0);
+    }
+}

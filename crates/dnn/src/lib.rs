@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! DNN graph intermediate representation and model zoo.
+//!
+//! The HaX-CoNN scheduler operates on *layer-centric* descriptions of DNN
+//! inference workloads: it never needs trained weights, only the structure of
+//! each network and the analytic cost of every layer (FLOPs, bytes moved,
+//! parameter footprint). This crate provides exactly that:
+//!
+//! * [`shape::TensorShape`] — CHW activation shapes,
+//! * [`layer`] — layer kinds and their analytic cost model,
+//! * [`graph`] — the [`graph::Network`] DAG and its builder,
+//! * [`zoo`] — constructors for the twelve networks the paper evaluates
+//!   (AlexNet/CaffeNet, GoogleNet, VGG-16/19, ResNet-18/50/101/152,
+//!   Inception-v4, Inception-ResNet-v2, DenseNet-121, MobileNet,
+//!   FCN-ResNet18).
+//!
+//! In the paper, network structure comes from Caffe prototxt files compiled
+//! by TensorRT; here the zoo builds the same architectures programmatically.
+
+pub mod graph;
+pub mod layer;
+pub mod shape;
+pub mod zoo;
+
+pub use graph::{LayerId, Network, NetworkBuilder};
+pub use layer::{ActKind, Layer, LayerKind, PoolKind, BYTES_FP16};
+pub use shape::TensorShape;
+pub use zoo::{build, Model};

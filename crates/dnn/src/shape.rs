@@ -1,0 +1,160 @@
+//! Activation tensor shapes.
+
+use serde::{Deserialize, Serialize};
+
+/// A CHW activation shape (batch size is always 1, matching the paper's
+/// latency-oriented inference setting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl TensorShape {
+    /// Creates a CHW shape.
+    pub const fn chw(c: usize, h: usize, w: usize) -> Self {
+        TensorShape { c, h, w }
+    }
+
+    /// A flat (fully-connected) shape with `n` features.
+    pub const fn flat(n: usize) -> Self {
+        TensorShape { c: n, h: 1, w: 1 }
+    }
+
+    /// Total number of elements.
+    pub fn elems(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Size in bytes at `bytes_per_elem` precision.
+    pub fn bytes(&self, bytes_per_elem: usize) -> usize {
+        self.elems() * bytes_per_elem
+    }
+
+    /// The output spatial size of a convolution window sweep with the given
+    /// square kernel, stride and symmetric padding (floor semantics, as used
+    /// by Caffe/TensorRT for convolution).
+    pub fn conv_out(&self, out_c: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        self.conv_out_rect(out_c, (kernel, kernel), stride, (pad, pad))
+    }
+
+    /// Rectangular-kernel convolution output shape (e.g. the 1x7 / 7x1
+    /// factorized convolutions of Inception-v4).
+    pub fn conv_out_rect(
+        &self,
+        out_c: usize,
+        kernel: (usize, usize),
+        stride: usize,
+        pad: (usize, usize),
+    ) -> Self {
+        let (kh, kw) = kernel;
+        let (ph, pw) = pad;
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            self.h + 2 * ph >= kh && self.w + 2 * pw >= kw,
+            "kernel {kh}x{kw} larger than padded input {}x{} (pad {ph},{pw})",
+            self.h,
+            self.w
+        );
+        TensorShape {
+            c: out_c,
+            h: (self.h + 2 * ph - kh) / stride + 1,
+            w: (self.w + 2 * pw - kw) / stride + 1,
+        }
+    }
+
+    /// Output shape of a pooling sweep (ceil semantics, as used by Caffe).
+    pub fn pool_out(&self, kernel: usize, stride: usize, pad: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        let out = |x: usize| (x + 2 * pad).saturating_sub(kernel).div_ceil(stride) + 1;
+        TensorShape {
+            c: self.c,
+            h: out(self.h),
+            w: out(self.w),
+        }
+    }
+
+    /// Shape after upsampling spatial dimensions by an integer factor.
+    pub fn upsample(&self, factor: usize) -> Self {
+        TensorShape {
+            c: self.c,
+            h: self.h * factor,
+            w: self.w * factor,
+        }
+    }
+
+    /// Whether two shapes agree spatially (channels may differ), as required
+    /// by concatenation.
+    pub fn same_spatial(&self, other: &TensorShape) -> bool {
+        self.h == other.h && self.w == other.w
+    }
+}
+
+impl std::fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elems_and_bytes() {
+        let s = TensorShape::chw(64, 56, 56);
+        assert_eq!(s.elems(), 64 * 56 * 56);
+        assert_eq!(s.bytes(2), 64 * 56 * 56 * 2);
+    }
+
+    #[test]
+    fn conv_out_standard_cases() {
+        // 224x224, 7x7 s2 p3 -> 112x112 (ResNet stem)
+        let s = TensorShape::chw(3, 224, 224);
+        assert_eq!(s.conv_out(64, 7, 2, 3), TensorShape::chw(64, 112, 112));
+        // 3x3 s1 p1 keeps spatial size (VGG)
+        let s = TensorShape::chw(64, 224, 224);
+        assert_eq!(s.conv_out(64, 3, 1, 1), TensorShape::chw(64, 224, 224));
+        // 1x1 s1 p0 keeps spatial size
+        assert_eq!(s.conv_out(256, 1, 1, 0), TensorShape::chw(256, 224, 224));
+    }
+
+    #[test]
+    fn pool_out_ceil_mode() {
+        // GoogleNet 3x3 s2 pooling over 28x28 -> ceil((28-3)/2)+1 = 14... but
+        // Caffe ceil mode on 57 -> 29, check odd sizes:
+        let s = TensorShape::chw(192, 56, 56);
+        assert_eq!(s.pool_out(3, 2, 0).h, 28); // ceil(53/2)+1 = 27+1
+        let s = TensorShape::chw(64, 55, 55);
+        assert_eq!(s.pool_out(3, 2, 0).h, 27);
+    }
+
+    #[test]
+    fn global_pool_to_1x1() {
+        let s = TensorShape::chw(1024, 7, 7);
+        assert_eq!(s.pool_out(7, 1, 0), TensorShape::chw(1024, 1, 1));
+    }
+
+    #[test]
+    fn upsample_and_spatial_match() {
+        let s = TensorShape::chw(21, 7, 7);
+        assert_eq!(s.upsample(32), TensorShape::chw(21, 224, 224));
+        assert!(s.same_spatial(&TensorShape::chw(512, 7, 7)));
+        assert!(!s.same_spatial(&TensorShape::chw(21, 14, 7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel")]
+    fn oversized_kernel_rejected() {
+        TensorShape::chw(3, 4, 4).conv_out(8, 7, 1, 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TensorShape::chw(3, 224, 224).to_string(), "3x224x224");
+    }
+}

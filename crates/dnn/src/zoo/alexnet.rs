@@ -1,0 +1,102 @@
+//! AlexNet and CaffeNet.
+
+use crate::graph::{Network, NetworkBuilder};
+use crate::layer::PoolKind;
+use crate::shape::TensorShape;
+
+/// AlexNet (227x227 crop, grouped conv2/4/5 as in the original two-GPU
+/// layout).
+pub fn alexnet() -> Network {
+    let mut b = NetworkBuilder::new("AlexNet", TensorShape::chw(3, 227, 227));
+    let c1 = b.conv_relu(None, "conv1", 96, 11, 4, 0);
+    let n1 = b.lrn(c1, "norm1");
+    let p1 = b.pool(n1, "pool1", PoolKind::Max, 3, 2, 0);
+    let c2 = b.grouped_conv(Some(p1), "conv2", 256, 5, 1, 2, 2);
+    let r2 = b.relu(c2, "conv2/relu");
+    let n2 = b.lrn(r2, "norm2");
+    let p2 = b.pool(n2, "pool2", PoolKind::Max, 3, 2, 0);
+    let c3 = b.conv_relu(Some(p2), "conv3", 384, 3, 1, 1);
+    let c4 = b.grouped_conv(Some(c3), "conv4", 384, 3, 1, 1, 2);
+    let r4 = b.relu(c4, "conv4/relu");
+    let c5 = b.grouped_conv(Some(r4), "conv5", 256, 3, 1, 1, 2);
+    let r5 = b.relu(c5, "conv5/relu");
+    let p5 = b.pool(r5, "pool5", PoolKind::Max, 3, 2, 0);
+    let f6 = b.fc(p5, "fc6", 4096);
+    let r6 = b.relu(f6, "fc6/relu");
+    let f7 = b.fc(r6, "fc7", 4096);
+    let r7 = b.relu(f7, "fc7/relu");
+    let f8 = b.fc(r7, "fc8", 1000);
+    b.softmax(f8, "prob");
+    b.build()
+}
+
+/// CaffeNet: the Caffe reference network — AlexNet with pooling before
+/// normalization and no conv grouping.
+pub fn caffenet() -> Network {
+    let mut b = NetworkBuilder::new("CaffeNet", TensorShape::chw(3, 227, 227));
+    let c1 = b.conv_relu(None, "conv1", 96, 11, 4, 0);
+    let p1 = b.pool(c1, "pool1", PoolKind::Max, 3, 2, 0);
+    let n1 = b.lrn(p1, "norm1");
+    let c2 = b.conv_relu(Some(n1), "conv2", 256, 5, 1, 2);
+    let p2 = b.pool(c2, "pool2", PoolKind::Max, 3, 2, 0);
+    let n2 = b.lrn(p2, "norm2");
+    let c3 = b.conv_relu(Some(n2), "conv3", 384, 3, 1, 1);
+    let c4 = b.conv_relu(Some(c3), "conv4", 384, 3, 1, 1);
+    let c5 = b.conv_relu(Some(c4), "conv5", 256, 3, 1, 1);
+    let p5 = b.pool(c5, "pool5", PoolKind::Max, 3, 2, 0);
+    let f6 = b.fc(p5, "fc6", 4096);
+    let r6 = b.relu(f6, "fc6/relu");
+    let f7 = b.fc(r6, "fc7", 4096);
+    let r7 = b.relu(f7, "fc7/relu");
+    let f8 = b.fc(r7, "fc8", 1000);
+    b.softmax(f8, "prob");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn alexnet_structure() {
+        let net = alexnet();
+        let convs = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv { .. }))
+            .count();
+        let fcs = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::FullyConnected { .. }))
+            .count();
+        assert_eq!(convs, 5);
+        assert_eq!(fcs, 3);
+        // conv1 output: (227-11)/4+1 = 55
+        assert_eq!(net.layers[0].output_shape, TensorShape::chw(96, 55, 55));
+        // fc6 dominates weights: 256*6*6*4096 params
+        let fc6 = net.layers.iter().find(|l| l.name == "fc6").unwrap();
+        assert_eq!(fc6.input_shape.elems(), 256 * 6 * 6);
+    }
+
+    #[test]
+    fn caffenet_matches_alexnet_compute_roughly() {
+        let a = alexnet().total_flops() as f64;
+        let c = caffenet().total_flops() as f64;
+        // CaffeNet's ungrouped convs roughly double conv2/4/5 work.
+        assert!(c > a && c < 2.5 * a);
+    }
+
+    #[test]
+    fn fc_layers_dominate_weights() {
+        let net = caffenet();
+        let fc_bytes: u64 = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::FullyConnected { .. }))
+            .map(|l| l.weight_bytes())
+            .sum();
+        assert!(fc_bytes as f64 / net.total_weight_bytes() as f64 > 0.8);
+    }
+}

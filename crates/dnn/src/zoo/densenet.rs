@@ -1,0 +1,102 @@
+//! DenseNet-121 (Huang et al.).
+
+use crate::graph::{LayerId, Network, NetworkBuilder};
+use crate::layer::PoolKind;
+use crate::shape::TensorShape;
+
+const GROWTH: usize = 32;
+
+/// One dense layer: BN-ReLU-1x1(4k) -> BN-ReLU-3x3(k), concatenated with its
+/// input.
+fn dense_layer(b: &mut NetworkBuilder, from: LayerId, name: &str) -> LayerId {
+    let bn1 = b.batch_norm(from, format!("{name}/bn1"));
+    let r1 = b.relu(bn1, format!("{name}/relu1"));
+    let c1 = b.conv(Some(r1), format!("{name}/conv1x1"), 4 * GROWTH, 1, 1, 0);
+    let bn2 = b.batch_norm(c1, format!("{name}/bn2"));
+    let r2 = b.relu(bn2, format!("{name}/relu2"));
+    let c2 = b.conv(Some(r2), format!("{name}/conv3x3"), GROWTH, 3, 1, 1);
+    b.concat(&[from, c2], format!("{name}/concat"))
+}
+
+/// A transition layer: BN-ReLU-1x1 halving channels + 2x2 average pool.
+fn transition(b: &mut NetworkBuilder, from: LayerId, name: &str) -> LayerId {
+    let in_c = b.shape_of(Some(from)).c;
+    let bn = b.batch_norm(from, format!("{name}/bn"));
+    let r = b.relu(bn, format!("{name}/relu"));
+    let c = b.conv(Some(r), format!("{name}/conv"), in_c / 2, 1, 1, 0);
+    b.pool(c, format!("{name}/pool"), PoolKind::Avg, 2, 2, 0)
+}
+
+/// DenseNet-121: blocks of 6, 12, 24, 16 dense layers.
+pub fn densenet121() -> Network {
+    let mut b = NetworkBuilder::new("DenseNet", TensorShape::chw(3, 224, 224));
+    let stem = b.conv_bn_relu(None, "conv1", 64, 7, 2, 3);
+    let mut x = b.pool(stem, "pool1", PoolKind::Max, 3, 2, 0);
+    let blocks = [6usize, 12, 24, 16];
+    for (bi, &n) in blocks.iter().enumerate() {
+        for li in 0..n {
+            x = dense_layer(&mut b, x, &format!("block{}/layer{}", bi + 1, li + 1));
+        }
+        if bi + 1 < blocks.len() {
+            x = transition(&mut b, x, &format!("transition{}", bi + 1));
+        }
+    }
+    let bn = b.batch_norm(x, "final/bn");
+    let r = b.relu(bn, "final/relu");
+    let gap = b.global_avg_pool(r, "pool5");
+    let fc = b.fc(gap, "classifier", 1000);
+    b.softmax(fc, "prob");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_bookkeeping() {
+        let net = densenet121();
+        let chan = |name: &str| {
+            net.layers
+                .iter()
+                .find(|l| l.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .output_shape
+                .c
+        };
+        // Block 1: 64 + 6*32 = 256 -> transition halves to 128.
+        assert_eq!(chan("block1/layer6/concat"), 256);
+        assert_eq!(chan("transition1/pool"), 128);
+        // Block 2: 128 + 12*32 = 512 -> 256.
+        assert_eq!(chan("transition2/pool"), 256);
+        // Block 4 output: 512 + 16*32 = 1024.
+        assert_eq!(chan("block4/layer16/concat"), 1024);
+    }
+
+    #[test]
+    fn spatial_pyramid() {
+        let net = densenet121();
+        let fc = net.layers.iter().find(|l| l.name == "classifier").unwrap();
+        assert_eq!(fc.input_shape.elems(), 1024);
+    }
+
+    #[test]
+    fn flops_near_reference() {
+        // DenseNet-121 is ~5.7 GFLOPs (2 flops/MAC convention).
+        let g = densenet121().total_flops() as f64 / 1e9;
+        assert!(g > 4.0 && g < 8.0, "got {g}");
+    }
+
+    #[test]
+    fn many_concats_make_it_memory_heavy() {
+        // 58 dense layers -> 58 concatenations; DenseNet has notoriously low
+        // arithmetic intensity, which is why its DLA runtimes are poor.
+        let net = densenet121();
+        let concats = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, crate::layer::LayerKind::Concat))
+            .count();
+        assert_eq!(concats, 58);
+    }
+}

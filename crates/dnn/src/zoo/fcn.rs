@@ -1,0 +1,91 @@
+//! FCN-ResNet18: fully-convolutional semantic segmentation with a ResNet-18
+//! backbone (the `FC_ResN18` workload of Table 6, experiment 5).
+
+use crate::graph::{LayerId, Network, NetworkBuilder};
+use crate::layer::PoolKind;
+use crate::shape::TensorShape;
+
+/// Basic residual block (duplicated from the classification backbone so the
+/// segmentation head can be grafted on the 1/32-resolution features).
+fn basic_block(
+    b: &mut NetworkBuilder,
+    from: LayerId,
+    name: &str,
+    width: usize,
+    stride: usize,
+    project: bool,
+) -> LayerId {
+    let c1 = b.conv_bn_relu(Some(from), &format!("{name}/conv1"), width, 3, stride, 1);
+    let c2 = b.conv_bn(Some(c1), &format!("{name}/conv2"), width, 3, 1, 1);
+    let shortcut = if project {
+        b.conv_bn(Some(from), &format!("{name}/proj"), width, 1, stride, 0)
+    } else {
+        from
+    };
+    let add = b.add(c2, shortcut, format!("{name}/add"));
+    b.relu(add, format!("{name}/relu"))
+}
+
+/// FCN-ResNet18 with 21 output classes (PASCAL VOC) at 3x224x224.
+///
+/// Head: 3x3 conv to 512, 1x1 score conv to 21 classes, then x32 bilinear
+/// upsampling back to input resolution — the classic FCN-32s layout.
+pub fn fcn_resnet18() -> Network {
+    let mut b = NetworkBuilder::new("FC_ResN18", TensorShape::chw(3, 224, 224));
+    let stem = b.conv_bn_relu(None, "conv1", 64, 7, 2, 3);
+    let mut x = b.pool(stem, "pool1", PoolKind::Max, 3, 2, 0);
+    for (stage, &n) in [2usize, 2, 2, 2].iter().enumerate() {
+        let width = 64 << stage;
+        for blk in 0..n {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let project = blk == 0 && stage > 0;
+            let name = format!("res{}{}", stage + 2, (b'a' + blk as u8) as char);
+            x = basic_block(&mut b, x, &name, width, stride, project);
+        }
+    }
+    // Segmentation head.
+    let head = b.conv_relu(Some(x), "head/conv", 512, 3, 1, 1);
+    let score = b.conv(Some(head), "head/score", 21, 1, 1, 0);
+    let up = b.upsample(score, "head/upsample32", 32);
+    b.softmax(up, "prob")
+        ;
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_full_resolution() {
+        let net = fcn_resnet18();
+        let up = net
+            .layers
+            .iter()
+            .find(|l| l.name == "head/upsample32")
+            .unwrap();
+        assert_eq!(up.output_shape, TensorShape::chw(21, 224, 224));
+    }
+
+    #[test]
+    fn backbone_matches_resnet18_scale() {
+        let fcn = fcn_resnet18();
+        let rn = crate::zoo::resnet::resnet(18);
+        // Same backbone compute within 2x (head replaces classifier).
+        let ratio = fcn.total_flops() as f64 / rn.total_flops() as f64;
+        assert!(ratio > 0.8 && ratio < 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn upsample_is_memory_heavy_and_weightless() {
+        let net = fcn_resnet18();
+        let up = net
+            .layers
+            .iter()
+            .find(|l| l.name == "head/upsample32")
+            .unwrap();
+        assert_eq!(up.weight_bytes(), 0);
+        assert!(up.output_bytes() > 1_000_000);
+        assert!(up.arithmetic_intensity() < 1.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! GoogleNet (Inception-v1), the paper's running characterization example
+//! (Table 2 profiles its layer groups).
+
+use crate::graph::{LayerId, Network, NetworkBuilder};
+use crate::layer::PoolKind;
+use crate::shape::TensorShape;
+
+/// Branch widths of one inception module:
+/// `(1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj)`.
+type Inception = (usize, usize, usize, usize, usize, usize);
+
+/// Adds one inception module; returns the concat layer id.
+fn inception(b: &mut NetworkBuilder, from: LayerId, name: &str, w: Inception) -> LayerId {
+    let (c1, r3, c3, r5, c5, pp) = w;
+    let b1 = b.conv_relu(Some(from), &format!("{name}/1x1"), c1, 1, 1, 0);
+    let b3r = b.conv_relu(Some(from), &format!("{name}/3x3_reduce"), r3, 1, 1, 0);
+    let b3 = b.conv_relu(Some(b3r), &format!("{name}/3x3"), c3, 3, 1, 1);
+    let b5r = b.conv_relu(Some(from), &format!("{name}/5x5_reduce"), r5, 1, 1, 0);
+    let b5 = b.conv_relu(Some(b5r), &format!("{name}/5x5"), c5, 5, 1, 2);
+    let bp = b.pool(from, format!("{name}/pool"), PoolKind::Max, 3, 1, 1);
+    let bpp = b.conv_relu(Some(bp), &format!("{name}/pool_proj"), pp, 1, 1, 0);
+    b.concat(&[b1, b3, b5, bpp], format!("{name}/output"))
+}
+
+/// GoogleNet at 3x224x224 (no auxiliary classifiers — TensorRT strips them
+/// for inference, and the paper profiles inference engines).
+pub fn googlenet() -> Network {
+    let mut b = NetworkBuilder::new("GoogleNet", TensorShape::chw(3, 224, 224));
+    let c1 = b.conv_relu(None, "conv1/7x7_s2", 64, 7, 2, 3);
+    let p1 = b.pool(c1, "pool1/3x3_s2", PoolKind::Max, 3, 2, 0);
+    let n1 = b.lrn(p1, "pool1/norm1");
+    let c2r = b.conv_relu(Some(n1), "conv2/3x3_reduce", 64, 1, 1, 0);
+    let c2 = b.conv_relu(Some(c2r), "conv2/3x3", 192, 3, 1, 1);
+    let n2 = b.lrn(c2, "conv2/norm2");
+    let p2 = b.pool(n2, "pool2/3x3_s2", PoolKind::Max, 3, 2, 0);
+
+    let i3a = inception(&mut b, p2, "inception_3a", (64, 96, 128, 16, 32, 32));
+    let i3b = inception(&mut b, i3a, "inception_3b", (128, 128, 192, 32, 96, 64));
+    let p3 = b.pool(i3b, "pool3/3x3_s2", PoolKind::Max, 3, 2, 0);
+
+    let i4a = inception(&mut b, p3, "inception_4a", (192, 96, 208, 16, 48, 64));
+    let i4b = inception(&mut b, i4a, "inception_4b", (160, 112, 224, 24, 64, 64));
+    let i4c = inception(&mut b, i4b, "inception_4c", (128, 128, 256, 24, 64, 64));
+    let i4d = inception(&mut b, i4c, "inception_4d", (112, 144, 288, 32, 64, 64));
+    let i4e = inception(&mut b, i4d, "inception_4e", (256, 160, 320, 32, 128, 128));
+    let p4 = b.pool(i4e, "pool4/3x3_s2", PoolKind::Max, 3, 2, 0);
+
+    let i5a = inception(&mut b, p4, "inception_5a", (256, 160, 320, 32, 128, 128));
+    let i5b = inception(&mut b, i5a, "inception_5b", (384, 192, 384, 48, 128, 128));
+
+    let gap = b.global_avg_pool(i5b, "pool5/7x7_s1");
+    let fc = b.fc(gap, "loss3/classifier", 1000);
+    b.softmax(fc, "prob");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn module_output_channels() {
+        let net = googlenet();
+        let chan = |name: &str| {
+            net.layers
+                .iter()
+                .find(|l| l.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .output_shape
+                .c
+        };
+        assert_eq!(chan("inception_3a/output"), 256);
+        assert_eq!(chan("inception_3b/output"), 480);
+        assert_eq!(chan("inception_4e/output"), 832);
+        assert_eq!(chan("inception_5b/output"), 1024);
+    }
+
+    #[test]
+    fn layer_count_near_140() {
+        // Table 2's final GoogleNet group ends at layer index 140.
+        let n = googlenet().len();
+        assert!((125..=165).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn nine_inception_modules() {
+        let net = googlenet();
+        let concats = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Concat))
+            .count();
+        assert_eq!(concats, 9);
+    }
+
+    #[test]
+    fn classifier_sees_1024_features() {
+        let net = googlenet();
+        let fc = net
+            .layers
+            .iter()
+            .find(|l| l.name == "loss3/classifier")
+            .unwrap();
+        assert_eq!(fc.input_shape.elems(), 1024);
+    }
+}

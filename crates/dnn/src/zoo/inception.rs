@@ -1,0 +1,243 @@
+//! Inception-v4 and Inception-ResNet-v2 (Szegedy et al., AAAI'17).
+//!
+//! Both networks share the same stem. Inception-ResNet-v2 is the largest
+//! model in the paper's set (the Z3 schedule for it takes ~10 s because the
+//! TensorRT engine has 985 layers); our builder produces a comparably deep
+//! graph.
+
+use crate::graph::{LayerId, Network, NetworkBuilder};
+use crate::layer::PoolKind;
+use crate::shape::TensorShape;
+
+/// The shared Inception-v4 / Inception-ResNet-v2 stem (299x299 input).
+/// Returns the 384x35x35 feature map.
+fn stem(b: &mut NetworkBuilder) -> LayerId {
+    let c1 = b.conv_relu(None, "stem/conv1_3x3_s2", 32, 3, 2, 0); // 149
+    let c2 = b.conv_relu(Some(c1), "stem/conv2_3x3", 32, 3, 1, 0); // 147
+    let c3 = b.conv_relu(Some(c2), "stem/conv3_3x3", 64, 3, 1, 1); // 147
+    // Mixed 3a: maxpool || conv s2
+    let p1 = b.pool(c3, "stem/pool_3a", PoolKind::Max, 3, 2, 0); // 73
+    let c4 = b.conv_relu(Some(c3), "stem/conv_3a_3x3_s2", 96, 3, 2, 0); // 73
+    let m3a = b.concat(&[p1, c4], "stem/mixed_3a"); // 160x73x73
+    // Mixed 4a: two conv towers
+    let t1a = b.conv_relu(Some(m3a), "stem/4a_b1_1x1", 64, 1, 1, 0);
+    let t1b = b.conv_relu(Some(t1a), "stem/4a_b1_3x3", 96, 3, 1, 0); // 71
+    let t2a = b.conv_relu(Some(m3a), "stem/4a_b2_1x1", 64, 1, 1, 0);
+    let t2b = b.conv_rect_relu(t2a, "stem/4a_b2_1x7", 64, (1, 7), (0, 3));
+    let t2c = b.conv_rect_relu(t2b, "stem/4a_b2_7x1", 64, (7, 1), (3, 0));
+    let t2d = b.conv_relu(Some(t2c), "stem/4a_b2_3x3", 96, 3, 1, 0); // 71
+    let m4a = b.concat(&[t1b, t2d], "stem/mixed_4a"); // 192x71x71
+    // Mixed 5a: conv s2 || maxpool
+    let c5 = b.conv_relu(Some(m4a), "stem/5a_3x3_s2", 192, 3, 2, 0); // 35
+    let p5 = b.pool(m4a, "stem/pool_5a", PoolKind::Max, 3, 2, 0); // 35
+    b.concat(&[c5, p5], "stem/mixed_5a") // 384x35x35
+}
+
+/// Inception-v4 block A (35x35 grid, 384 channels in/out).
+fn v4_block_a(b: &mut NetworkBuilder, from: LayerId, name: &str) -> LayerId {
+    let b1 = b.conv_relu(Some(from), &format!("{name}/b1_1x1"), 96, 1, 1, 0);
+    let b2a = b.conv_relu(Some(from), &format!("{name}/b2_1x1"), 64, 1, 1, 0);
+    let b2b = b.conv_relu(Some(b2a), &format!("{name}/b2_3x3"), 96, 3, 1, 1);
+    let b3a = b.conv_relu(Some(from), &format!("{name}/b3_1x1"), 64, 1, 1, 0);
+    let b3b = b.conv_relu(Some(b3a), &format!("{name}/b3_3x3a"), 96, 3, 1, 1);
+    let b3c = b.conv_relu(Some(b3b), &format!("{name}/b3_3x3b"), 96, 3, 1, 1);
+    let b4a = b.pool(from, format!("{name}/pool"), PoolKind::Avg, 3, 1, 1);
+    let b4b = b.conv_relu(Some(b4a), &format!("{name}/pool_proj"), 96, 1, 1, 0);
+    b.concat(&[b1, b2b, b3c, b4b], format!("{name}/output"))
+}
+
+/// Inception-v4 reduction A: 35x35 -> 17x17.
+fn v4_reduction_a(b: &mut NetworkBuilder, from: LayerId, k: usize, l: usize, m: usize, n: usize) -> LayerId {
+    let b1 = b.conv_relu(Some(from), "red_a/b1_3x3_s2", n, 3, 2, 0);
+    let b2a = b.conv_relu(Some(from), "red_a/b2_1x1", k, 1, 1, 0);
+    let b2b = b.conv_relu(Some(b2a), "red_a/b2_3x3", l, 3, 1, 1);
+    let b2c = b.conv_relu(Some(b2b), "red_a/b2_3x3_s2", m, 3, 2, 0);
+    let b3 = b.pool(from, "red_a/pool", PoolKind::Max, 3, 2, 0);
+    b.concat(&[b1, b2c, b3], "red_a/output")
+}
+
+/// Inception-v4 block B (17x17 grid, 1024 channels).
+fn v4_block_b(b: &mut NetworkBuilder, from: LayerId, name: &str) -> LayerId {
+    let b1 = b.conv_relu(Some(from), &format!("{name}/b1_1x1"), 384, 1, 1, 0);
+    let b2a = b.conv_relu(Some(from), &format!("{name}/b2_1x1"), 192, 1, 1, 0);
+    let b2b = b.conv_rect_relu(b2a, &format!("{name}/b2_1x7"), 224, (1, 7), (0, 3));
+    let b2c = b.conv_rect_relu(b2b, &format!("{name}/b2_7x1"), 256, (7, 1), (3, 0));
+    let b3a = b.conv_relu(Some(from), &format!("{name}/b3_1x1"), 192, 1, 1, 0);
+    let b3b = b.conv_rect_relu(b3a, &format!("{name}/b3_7x1a"), 192, (7, 1), (3, 0));
+    let b3c = b.conv_rect_relu(b3b, &format!("{name}/b3_1x7a"), 224, (1, 7), (0, 3));
+    let b3d = b.conv_rect_relu(b3c, &format!("{name}/b3_7x1b"), 224, (7, 1), (3, 0));
+    let b3e = b.conv_rect_relu(b3d, &format!("{name}/b3_1x7b"), 256, (1, 7), (0, 3));
+    let b4a = b.pool(from, format!("{name}/pool"), PoolKind::Avg, 3, 1, 1);
+    let b4b = b.conv_relu(Some(b4a), &format!("{name}/pool_proj"), 128, 1, 1, 0);
+    b.concat(&[b1, b2c, b3e, b4b], format!("{name}/output"))
+}
+
+/// Inception-v4 reduction B: 17x17 -> 8x8.
+fn v4_reduction_b(b: &mut NetworkBuilder, from: LayerId) -> LayerId {
+    let b1a = b.conv_relu(Some(from), "red_b/b1_1x1", 192, 1, 1, 0);
+    let b1b = b.conv_relu(Some(b1a), "red_b/b1_3x3_s2", 192, 3, 2, 0);
+    let b2a = b.conv_relu(Some(from), "red_b/b2_1x1", 256, 1, 1, 0);
+    let b2b = b.conv_rect_relu(b2a, "red_b/b2_1x7", 256, (1, 7), (0, 3));
+    let b2c = b.conv_rect_relu(b2b, "red_b/b2_7x1", 320, (7, 1), (3, 0));
+    let b2d = b.conv_relu(Some(b2c), "red_b/b2_3x3_s2", 320, 3, 2, 0);
+    let b3 = b.pool(from, "red_b/pool", PoolKind::Max, 3, 2, 0);
+    b.concat(&[b1b, b2d, b3], "red_b/output")
+}
+
+/// Inception-v4 block C (8x8 grid, 1536 channels).
+fn v4_block_c(b: &mut NetworkBuilder, from: LayerId, name: &str) -> LayerId {
+    let b1 = b.conv_relu(Some(from), &format!("{name}/b1_1x1"), 256, 1, 1, 0);
+    let b2a = b.conv_relu(Some(from), &format!("{name}/b2_1x1"), 384, 1, 1, 0);
+    let b2b = b.conv_rect_relu(b2a, &format!("{name}/b2_1x3"), 256, (1, 3), (0, 1));
+    let b2c = b.conv_rect_relu(b2a, &format!("{name}/b2_3x1"), 256, (3, 1), (1, 0));
+    let b3a = b.conv_relu(Some(from), &format!("{name}/b3_1x1"), 384, 1, 1, 0);
+    let b3b = b.conv_rect_relu(b3a, &format!("{name}/b3_1x3"), 448, (1, 3), (0, 1));
+    let b3c = b.conv_rect_relu(b3b, &format!("{name}/b3_3x1"), 512, (3, 1), (1, 0));
+    let b3d = b.conv_rect_relu(b3c, &format!("{name}/b3_1x3b"), 256, (1, 3), (0, 1));
+    let b3e = b.conv_rect_relu(b3c, &format!("{name}/b3_3x1b"), 256, (3, 1), (1, 0));
+    let b4a = b.pool(from, format!("{name}/pool"), PoolKind::Avg, 3, 1, 1);
+    let b4b = b.conv_relu(Some(b4a), &format!("{name}/pool_proj"), 256, 1, 1, 0);
+    b.concat(&[b1, b2b, b2c, b3d, b3e, b4b], format!("{name}/output"))
+}
+
+/// Inception-v4 (4xA, 7xB, 3xC).
+pub fn inception_v4() -> Network {
+    let mut b = NetworkBuilder::new("Inception", TensorShape::chw(3, 299, 299));
+    let mut x = stem(&mut b);
+    for i in 0..4 {
+        x = v4_block_a(&mut b, x, &format!("inception_a{}", i + 1));
+    }
+    x = v4_reduction_a(&mut b, x, 192, 224, 256, 384);
+    for i in 0..7 {
+        x = v4_block_b(&mut b, x, &format!("inception_b{}", i + 1));
+    }
+    x = v4_reduction_b(&mut b, x);
+    for i in 0..3 {
+        x = v4_block_c(&mut b, x, &format!("inception_c{}", i + 1));
+    }
+    let gap = b.global_avg_pool(x, "pool_8x8");
+    let fc = b.fc(gap, "classifier", 1000);
+    b.softmax(fc, "prob");
+    b.build()
+}
+
+/// Inception-ResNet block: residual tower + 1x1 expansion + add + relu.
+/// `tower` builds the branch and returns (last_id, channels).
+fn res_block(
+    b: &mut NetworkBuilder,
+    from: LayerId,
+    name: &str,
+    out_c: usize,
+    tower: impl FnOnce(&mut NetworkBuilder, LayerId) -> LayerId,
+) -> LayerId {
+    let t = tower(b, from);
+    let expand = b.conv(Some(t), format!("{name}/expand_1x1"), out_c, 1, 1, 0);
+    let add = b.add(expand, from, format!("{name}/add"));
+    b.relu(add, format!("{name}/relu"))
+}
+
+/// Inception-ResNet-v2 (10xA, 20xB, 10xC), the 985-layer giant.
+pub fn inception_resnet_v2() -> Network {
+    let mut b = NetworkBuilder::new("Inc-res-v2", TensorShape::chw(3, 299, 299));
+    let s = stem(&mut b);
+    // Align stem output to the 384-channel residual width used by block A.
+    let mut x = b.conv_relu(Some(s), "stem/align_1x1", 384, 1, 1, 0);
+    for i in 0..10 {
+        let name = format!("block35_{}", i + 1);
+        x = res_block(&mut b, x, &name, 384, |b, f| {
+            let b1 = b.conv_relu(Some(f), &format!("{name}/b1_1x1"), 32, 1, 1, 0);
+            let b2a = b.conv_relu(Some(f), &format!("{name}/b2_1x1"), 32, 1, 1, 0);
+            let b2b = b.conv_relu(Some(b2a), &format!("{name}/b2_3x3"), 32, 3, 1, 1);
+            let b3a = b.conv_relu(Some(f), &format!("{name}/b3_1x1"), 32, 1, 1, 0);
+            let b3b = b.conv_relu(Some(b3a), &format!("{name}/b3_3x3a"), 48, 3, 1, 1);
+            let b3c = b.conv_relu(Some(b3b), &format!("{name}/b3_3x3b"), 64, 3, 1, 1);
+            b.concat(&[b1, b2b, b3c], format!("{name}/mixed"))
+        });
+    }
+    // Reduction A to 17x17; output channels 384+384+256 = 1024.
+    let x2 = v4_reduction_a(&mut b, x, 256, 256, 384, 384);
+    let mut x = b.conv_relu(Some(x2), "red_a/align_1x1", 1024, 1, 1, 0);
+    for i in 0..20 {
+        let name = format!("block17_{}", i + 1);
+        x = res_block(&mut b, x, &name, 1024, |b, f| {
+            let b1 = b.conv_relu(Some(f), &format!("{name}/b1_1x1"), 192, 1, 1, 0);
+            let b2a = b.conv_relu(Some(f), &format!("{name}/b2_1x1"), 128, 1, 1, 0);
+            let b2b = b.conv_rect_relu(b2a, &format!("{name}/b2_1x7"), 160, (1, 7), (0, 3));
+            let b2c = b.conv_rect_relu(b2b, &format!("{name}/b2_7x1"), 192, (7, 1), (3, 0));
+            b.concat(&[b1, b2c], format!("{name}/mixed"))
+        });
+    }
+    // Reduction B to 8x8.
+    let x2 = v4_reduction_b(&mut b, x);
+    let mut x = b.conv_relu(Some(x2), "red_b/align_1x1", 2048, 1, 1, 0);
+    for i in 0..10 {
+        let name = format!("block8_{}", i + 1);
+        x = res_block(&mut b, x, &name, 2048, |b, f| {
+            let b1 = b.conv_relu(Some(f), &format!("{name}/b1_1x1"), 192, 1, 1, 0);
+            let b2a = b.conv_relu(Some(f), &format!("{name}/b2_1x1"), 192, 1, 1, 0);
+            let b2b = b.conv_rect_relu(b2a, &format!("{name}/b2_1x3"), 224, (1, 3), (0, 1));
+            let b2c = b.conv_rect_relu(b2b, &format!("{name}/b2_3x1"), 256, (3, 1), (1, 0));
+            b.concat(&[b1, b2c], format!("{name}/mixed"))
+        });
+    }
+    let gap = b.global_avg_pool(x, "pool_8x8");
+    let fc = b.fc(gap, "classifier", 1000);
+    b.softmax(fc, "prob");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v4_grid_sizes() {
+        let net = inception_v4();
+        let shape = |name: &str| {
+            net.layers
+                .iter()
+                .find(|l| l.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .output_shape
+        };
+        assert_eq!(shape("stem/mixed_5a"), TensorShape::chw(384, 35, 35));
+        assert_eq!(shape("red_a/output").h, 17);
+        assert_eq!(shape("red_a/output").c, 1024);
+        assert_eq!(shape("red_b/output").h, 8);
+        assert_eq!(shape("inception_c3/output"), TensorShape::chw(1536, 8, 8));
+    }
+
+    #[test]
+    fn v4_flops_in_range() {
+        // Inception-v4 is ~12.3 GMACs at 299x299 -> ~25 GFLOPs.
+        let g = inception_v4().total_flops() as f64 / 1e9;
+        assert!(g > 18.0 && g < 32.0, "got {g}");
+    }
+
+    #[test]
+    fn inc_res_v2_is_the_deepest() {
+        let n = inception_resnet_v2();
+        assert!(n.len() > 500, "got {}", n.len());
+        assert!(n.len() > inception_v4().len());
+        // ~13.2 GMACs, ~56M params.
+        let g = n.total_flops() as f64 / 1e9;
+        assert!(g > 20.0 && g < 38.0, "got {g}");
+    }
+
+    #[test]
+    fn residual_blocks_preserve_shape() {
+        let net = inception_resnet_v2();
+        let b17_first = net
+            .layers
+            .iter()
+            .find(|l| l.name == "block17_1/relu")
+            .unwrap();
+        let b17_last = net
+            .layers
+            .iter()
+            .find(|l| l.name == "block17_20/relu")
+            .unwrap();
+        assert_eq!(b17_first.output_shape, b17_last.output_shape);
+        assert_eq!(b17_first.output_shape.h, 17);
+    }
+}

@@ -1,0 +1,91 @@
+//! MobileNet v1 (depthwise-separable convolutions).
+
+use crate::graph::{LayerId, Network, NetworkBuilder};
+use crate::shape::TensorShape;
+
+/// One depthwise-separable block: 3x3 depthwise conv + BN + ReLU, then 1x1
+/// pointwise conv + BN + ReLU.
+fn ds_block(
+    b: &mut NetworkBuilder,
+    from: LayerId,
+    name: &str,
+    out_c: usize,
+    stride: usize,
+) -> LayerId {
+    let in_c = b.shape_of(Some(from)).c;
+    let dw = b.grouped_conv(Some(from), format!("{name}/dw"), in_c, 3, stride, 1, in_c);
+    let bn1 = b.batch_norm(dw, format!("{name}/dw_bn"));
+    let r1 = b.relu(bn1, format!("{name}/dw_relu"));
+    let pw = b.conv(Some(r1), format!("{name}/pw"), out_c, 1, 1, 0);
+    let bn2 = b.batch_norm(pw, format!("{name}/pw_bn"));
+    b.relu(bn2, format!("{name}/pw_relu"))
+}
+
+/// MobileNet v1 at width multiplier 1.0.
+pub fn mobilenet_v1() -> Network {
+    let mut b = NetworkBuilder::new("MobileNet", TensorShape::chw(3, 224, 224));
+    let stem = b.conv_bn_relu(None, "conv1", 32, 3, 2, 1);
+    // (out_c, stride) for the 13 separable blocks.
+    let cfg: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    let mut x = stem;
+    for (i, &(c, s)) in cfg.iter().enumerate() {
+        x = ds_block(&mut b, x, &format!("sep{}", i + 1), c, s);
+    }
+    let gap = b.global_avg_pool(x, "pool");
+    let fc = b.fc(gap, "classifier", 1000);
+    b.softmax(fc, "prob");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn depthwise_blocks_present() {
+        let net = mobilenet_v1();
+        let dw = net
+            .layers
+            .iter()
+            .filter(
+                |l| matches!(l.kind, LayerKind::Conv { groups, .. } if groups > 1),
+            )
+            .count();
+        assert_eq!(dw, 13);
+    }
+
+    #[test]
+    fn low_flops_by_design() {
+        // ~1.1 GFLOPs; far lighter than VGG-class networks.
+        let g = mobilenet_v1().total_flops() as f64 / 1e9;
+        assert!(g > 0.6 && g < 1.8, "got {g}");
+    }
+
+    #[test]
+    fn final_features_1024_at_7x7() {
+        let net = mobilenet_v1();
+        let fc = net.layers.iter().find(|l| l.name == "classifier").unwrap();
+        assert_eq!(fc.input_shape.elems(), 1024);
+        let last_relu = net
+            .layers
+            .iter()
+            .find(|l| l.name == "sep13/pw_relu")
+            .unwrap();
+        assert_eq!(last_relu.output_shape, TensorShape::chw(1024, 7, 7));
+    }
+}

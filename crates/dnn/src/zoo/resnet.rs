@@ -1,0 +1,139 @@
+//! ResNet-18/50/101/152 (He et al., the "v1" Caffe layout used by the
+//! paper's prototxt inputs).
+
+use crate::graph::{LayerId, Network, NetworkBuilder};
+use crate::layer::PoolKind;
+use crate::shape::TensorShape;
+
+/// Stage block counts per depth.
+fn stage_blocks(depth: usize) -> [usize; 4] {
+    match depth {
+        18 => [2, 2, 2, 2],
+        34 => [3, 4, 6, 3],
+        50 => [3, 4, 6, 3],
+        101 => [3, 4, 23, 3],
+        152 => [3, 8, 36, 3],
+        _ => panic!("unsupported ResNet depth {depth}"),
+    }
+}
+
+/// A basic residual block (two 3x3 convs), used by ResNet-18/34.
+fn basic_block(
+    b: &mut NetworkBuilder,
+    from: LayerId,
+    name: &str,
+    width: usize,
+    stride: usize,
+    project: bool,
+) -> LayerId {
+    let c1 = b.conv_bn_relu(Some(from), &format!("{name}/conv1"), width, 3, stride, 1);
+    let c2 = b.conv_bn(Some(c1), &format!("{name}/conv2"), width, 3, 1, 1);
+    let shortcut = if project {
+        b.conv_bn(Some(from), &format!("{name}/proj"), width, 1, stride, 0)
+    } else {
+        from
+    };
+    let add = b.add(c2, shortcut, format!("{name}/add"));
+    b.relu(add, format!("{name}/relu"))
+}
+
+/// A bottleneck residual block (1x1 -> 3x3 -> 1x1), used by ResNet-50+.
+fn bottleneck_block(
+    b: &mut NetworkBuilder,
+    from: LayerId,
+    name: &str,
+    width: usize,
+    stride: usize,
+    project: bool,
+) -> LayerId {
+    let out_c = width * 4;
+    let c1 = b.conv_bn_relu(Some(from), &format!("{name}/conv1"), width, 1, 1, 0);
+    let c2 = b.conv_bn_relu(Some(c1), &format!("{name}/conv2"), width, 3, stride, 1);
+    let c3 = b.conv_bn(Some(c2), &format!("{name}/conv3"), out_c, 1, 1, 0);
+    let shortcut = if project {
+        b.conv_bn(Some(from), &format!("{name}/proj"), out_c, 1, stride, 0)
+    } else {
+        from
+    };
+    let add = b.add(c3, shortcut, format!("{name}/add"));
+    b.relu(add, format!("{name}/relu"))
+}
+
+/// Builds a ResNet of the given depth at 3x224x224.
+pub fn resnet(depth: usize) -> Network {
+    let blocks = stage_blocks(depth);
+    let bottleneck = depth >= 50;
+    let mut b = NetworkBuilder::new(format!("ResNet{depth}"), TensorShape::chw(3, 224, 224));
+    let stem = b.conv_bn_relu(None, "conv1", 64, 7, 2, 3);
+    let mut x = b.pool(stem, "pool1", PoolKind::Max, 3, 2, 0);
+    for (stage, &n) in blocks.iter().enumerate() {
+        let width = 64 << stage;
+        for blk in 0..n {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            // First block of each stage changes shape and needs a projection
+            // shortcut — except stage 2 of the basic variant, where pool1
+            // already produces 64 channels at stride 1.
+            let project = blk == 0 && (stage > 0 || bottleneck);
+            let name = format!("res{}{}", stage + 2, (b'a' + blk.min(25) as u8) as char);
+            x = if bottleneck {
+                bottleneck_block(&mut b, x, &name, width, stride, project)
+            } else {
+                basic_block(&mut b, x, &name, width, stride, project)
+            };
+        }
+    }
+    let gap = b.global_avg_pool(x, "pool5");
+    let fc = b.fc(gap, "fc1000", 1000);
+    b.softmax(fc, "prob");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    fn conv_count(net: &Network) -> usize {
+        net.layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv { .. }))
+            .count()
+    }
+
+    #[test]
+    fn weighted_layer_counts_match_depth() {
+        // depth counts convs + fc (the standard naming convention).
+        // ResNet-50: 1 stem + 3*(3+4+6+3) bottleneck convs + 4 projections + 1 fc
+        assert_eq!(conv_count(&resnet(18)), 1 + 2 * 8 + 3); // 20 convs (+1 fc = 18 weighted by convention w/o projections)
+        assert_eq!(conv_count(&resnet(50)), 1 + 3 * 16 + 4);
+        assert_eq!(conv_count(&resnet(101)), 1 + 3 * 33 + 4);
+        assert_eq!(conv_count(&resnet(152)), 1 + 3 * 50 + 4);
+    }
+
+    #[test]
+    fn final_feature_map_is_7x7() {
+        for d in [18, 50, 101, 152] {
+            let net = resnet(d);
+            let fc = net.layers.iter().find(|l| l.name == "fc1000").unwrap();
+            let expect = if d >= 50 { 2048 } else { 512 };
+            assert_eq!(fc.input_shape.elems(), expect, "depth {d}");
+        }
+    }
+
+    #[test]
+    fn residual_adds_present() {
+        let net = resnet(101);
+        let adds = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::EltwiseAdd))
+            .count();
+        assert_eq!(adds, 3 + 4 + 23 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn bad_depth_panics() {
+        resnet(42);
+    }
+}

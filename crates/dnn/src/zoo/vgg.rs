@@ -1,0 +1,80 @@
+//! VGG-16 and VGG-19.
+
+use crate::graph::{LayerId, Network, NetworkBuilder};
+use crate::layer::PoolKind;
+use crate::shape::TensorShape;
+
+/// Builds a VGG network from a per-stage conv count, e.g. `[2,2,3,3,3]` for
+/// VGG-16 and `[2,2,4,4,4]` for VGG-19.
+fn vgg(name: &str, stage_convs: [usize; 5]) -> Network {
+    let widths = [64usize, 128, 256, 512, 512];
+    let mut b = NetworkBuilder::new(name, TensorShape::chw(3, 224, 224));
+    let mut prev: Option<LayerId> = None;
+    for (stage, (&n, &w)) in stage_convs.iter().zip(widths.iter()).enumerate() {
+        for i in 0..n {
+            let nm = format!("conv{}_{}", stage + 1, i + 1);
+            prev = Some(b.conv_relu(prev, &nm, w, 3, 1, 1));
+        }
+        prev = Some(b.pool(
+            prev.expect("stage has convs"),
+            format!("pool{}", stage + 1),
+            PoolKind::Max,
+            2,
+            2,
+            0,
+        ));
+    }
+    let p5 = prev.unwrap();
+    let f6 = b.fc(p5, "fc6", 4096);
+    let r6 = b.relu(f6, "fc6/relu");
+    let f7 = b.fc(r6, "fc7", 4096);
+    let r7 = b.relu(f7, "fc7/relu");
+    let f8 = b.fc(r7, "fc8", 1000);
+    b.softmax(f8, "prob");
+    b.build()
+}
+
+/// VGG-16 (13 convolutions + 3 FC).
+pub fn vgg16() -> Network {
+    vgg("VGG16", [2, 2, 3, 3, 3])
+}
+
+/// VGG-19 (16 convolutions + 3 FC).
+pub fn vgg19() -> Network {
+    vgg("VGG19", [2, 2, 4, 4, 4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn conv_counts() {
+        let count = |net: &Network| {
+            net.layers
+                .iter()
+                .filter(|l| matches!(l.kind, LayerKind::Conv { .. }))
+                .count()
+        };
+        assert_eq!(count(&vgg16()), 13);
+        assert_eq!(count(&vgg19()), 16);
+    }
+
+    #[test]
+    fn spatial_pyramid() {
+        let net = vgg19();
+        let pool5 = net.layers.iter().find(|l| l.name == "pool5").unwrap();
+        assert_eq!(pool5.output_shape, TensorShape::chw(512, 7, 7));
+    }
+
+    #[test]
+    fn vgg19_early_convs_are_huge() {
+        // The paper notes VGG19's initial groups are the DLA-unfriendly,
+        // memory-heaviest part: conv1_2 works on 64x224x224.
+        let net = vgg19();
+        let c12 = net.layers.iter().find(|l| l.name == "conv1_2").unwrap();
+        assert!(c12.flops() > 3_000_000_000);
+        assert!(c12.output_bytes() > 6_000_000);
+    }
+}

@@ -1,0 +1,218 @@
+//! On-disk profile store.
+//!
+//! The paper's artifact ships its profiling logs so that schedules can be
+//! regenerated without re-profiling ("we performed profiling only once and
+//! it is offline"). This store persists [`NetworkProfile`]s under a
+//! directory, one JSON file per (platform, model, groups) key, with a
+//! human-readable index.
+
+use crate::profile::NetworkProfile;
+use haxconn_dnn::Model;
+use haxconn_soc::Platform;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A directory of serialized profiles.
+pub struct ProfileStore {
+    root: PathBuf,
+}
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Malformed stored profile.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "profile store I/O error: {e}"),
+            StoreError::Corrupt(p) => write!(f, "corrupt profile file: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Filesystem-safe slug for a platform name.
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl ProfileStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ProfileStore { root })
+    }
+
+    /// The file a given key maps to.
+    pub fn path_for(&self, platform: &str, model: Model, groups: usize) -> PathBuf {
+        self.root
+            .join(format!("{}__{}__g{}.json", slug(platform), slug(model.name()), groups))
+    }
+
+    /// Persists a profile.
+    pub fn save(&self, profile: &NetworkProfile, groups: usize) -> Result<PathBuf, StoreError> {
+        let path = self.path_for(&profile.platform_name, profile.grouped.model, groups);
+        let json = serde_json::to_string(profile)
+            .map_err(|e| StoreError::Corrupt(format!("serialize: {e}")))?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Loads a profile, if present.
+    pub fn load(
+        &self,
+        platform: &str,
+        model: Model,
+        groups: usize,
+    ) -> Result<Option<NetworkProfile>, StoreError> {
+        let path = self.path_for(platform, model, groups);
+        match fs::read_to_string(&path) {
+            Ok(json) => {
+                let p: NetworkProfile = serde_json::from_str(&json)
+                    .map_err(|_| StoreError::Corrupt(path.display().to_string()))?;
+                Ok(Some(p))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Loads the profile if cached, otherwise profiles and persists it —
+    /// the "profile once, offline" flow.
+    pub fn load_or_profile(
+        &self,
+        platform: &Platform,
+        model: Model,
+        groups: usize,
+    ) -> Result<NetworkProfile, StoreError> {
+        if let Some(p) = self.load(&platform.name, model, groups)? {
+            return Ok(p);
+        }
+        let p = NetworkProfile::profile(platform, model, groups);
+        self.save(&p, groups)?;
+        Ok(p)
+    }
+
+    /// Lists stored profile files.
+    pub fn list(&self) -> Result<Vec<PathBuf>, StoreError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haxconn_soc::orin_agx;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "haxconn-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let store = ProfileStore::open(&dir).unwrap();
+        let platform = orin_agx();
+        let prof = NetworkProfile::profile(&platform, Model::ResNet18, 6);
+        let path = store.save(&prof, 6).unwrap();
+        assert!(path.exists());
+        let back = store
+            .load(&platform.name, Model::ResNet18, 6)
+            .unwrap()
+            .expect("present");
+        assert_eq!(back.len(), prof.len());
+        assert_eq!(back.grouped.model, Model::ResNet18);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_is_none() {
+        let dir = tmpdir("missing");
+        let store = ProfileStore::open(&dir).unwrap();
+        assert!(store
+            .load("NVIDIA AGX Orin", Model::Vgg19, 10)
+            .unwrap()
+            .is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_or_profile_caches() {
+        let dir = tmpdir("cache");
+        let store = ProfileStore::open(&dir).unwrap();
+        let platform = orin_agx();
+        let p1 = store
+            .load_or_profile(&platform, Model::AlexNet, 6)
+            .unwrap();
+        assert_eq!(store.list().unwrap().len(), 1);
+        let p2 = store
+            .load_or_profile(&platform, Model::AlexNet, 6)
+            .unwrap();
+        assert_eq!(p1.len(), p2.len());
+        assert_eq!(store.list().unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_reported() {
+        let dir = tmpdir("corrupt");
+        let store = ProfileStore::open(&dir).unwrap();
+        let path = store.path_for("NVIDIA AGX Orin", Model::AlexNet, 6);
+        fs::write(&path, "{not json").unwrap();
+        let err = store.load("NVIDIA AGX Orin", Model::AlexNet, 6).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn distinct_keys_distinct_files() {
+        let dir = tmpdir("keys");
+        let store = ProfileStore::open(&dir).unwrap();
+        let a = store.path_for("NVIDIA AGX Orin", Model::Vgg19, 10);
+        let b = store.path_for("NVIDIA AGX Orin", Model::Vgg19, 8);
+        let c = store.path_for("NVIDIA Xavier AGX", Model::Vgg19, 10);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

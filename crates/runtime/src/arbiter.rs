@@ -1,0 +1,408 @@
+//! The virtual-time arbiter: per-PU mutual exclusion, cross-task
+//! dependencies, and quiescence-driven clock advance.
+
+use haxconn_soc::{LayerCost, Platform};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// An item currently executing on a PU.
+struct ActiveItem {
+    token: u64,
+    pu: usize,
+    cost: LayerCost,
+    /// Remaining work in standalone-equivalent ms.
+    remaining: f64,
+    start_ms: f64,
+}
+
+/// Completion record for one executed item.
+#[derive(Debug, Clone, Copy)]
+pub struct ItemRecord {
+    /// Token assigned at start.
+    pub token: u64,
+    /// PU the item ran on.
+    pub pu: usize,
+    /// Virtual start time, ms.
+    pub start_ms: f64,
+    /// Virtual end time, ms.
+    pub end_ms: f64,
+}
+
+struct State {
+    now_ms: f64,
+    active: Vec<ActiveItem>,
+    /// Which token owns each PU (None = free).
+    pu_owner: Vec<Option<u64>>,
+    /// FIFO ticket queues per PU.
+    tickets: Vec<VecDeque<u64>>,
+    /// Tokens whose execution completed (awaiting pickup by their thread).
+    completed: Vec<u64>,
+    /// Completion records in completion order.
+    records: Vec<ItemRecord>,
+    /// Per-task completion flags (for streaming dependencies).
+    task_done: Vec<bool>,
+    /// Per-task completed-frame counters (for per-frame streaming
+    /// dependencies in continuous-loop execution).
+    frames_done: Vec<usize>,
+    /// Number of threads still participating.
+    live: usize,
+    /// Number of threads currently blocked inside `wait_until`.
+    blocked: usize,
+    /// Per-PU accumulated busy time, ms.
+    pu_busy_ms: Vec<f64>,
+    /// Integral of EMC traffic (GB/s * ms) for mean computation.
+    emc_integral: f64,
+    next_token: u64,
+    /// Bumped on every state mutation; blocked threads must re-check their
+    /// predicates against the current version before time may advance.
+    version: u64,
+    /// Number of currently blocked threads whose last predicate check was
+    /// at the current `version`.
+    fresh: usize,
+}
+
+impl State {
+    /// Records a state mutation: all sleeping threads become stale.
+    fn bump(&mut self) {
+        self.version += 1;
+        self.fresh = 0;
+    }
+}
+
+/// The shared coordinator used by all worker threads.
+pub struct Arbiter {
+    platform: Platform,
+    state: Mutex<State>,
+    cvar: Condvar,
+}
+
+impl Arbiter {
+    /// Creates an arbiter for `num_tasks` worker threads on `platform`.
+    pub fn new(platform: Platform, num_tasks: usize) -> Self {
+        let n_pus = platform.pus.len();
+        Arbiter {
+            platform,
+            state: Mutex::new(State {
+                now_ms: 0.0,
+                active: Vec::new(),
+                pu_owner: vec![None; n_pus],
+                tickets: vec![VecDeque::new(); n_pus],
+                completed: Vec::new(),
+                records: Vec::new(),
+                task_done: vec![false; num_tasks],
+                frames_done: vec![0; num_tasks],
+                live: num_tasks,
+                blocked: 0,
+                pu_busy_ms: vec![0.0; n_pus],
+                emc_integral: 0.0,
+                next_token: 0,
+                version: 0,
+                fresh: 0,
+            }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Advances virtual time to the next completion; called with the state
+    /// lock held, only when every live thread is blocked.
+    fn advance(&self, st: &mut State) {
+        assert!(
+            !st.active.is_empty(),
+            "virtual-time deadlock: all threads blocked with no active work \
+             (circular dependency?)"
+        );
+        let demands: Vec<f64> = st.active.iter().map(|a| a.cost.demand_gbps).collect();
+        let grants = self.platform.emc.grant(&demands);
+        let mut dt = f64::INFINITY;
+        let mut slowdowns = Vec::with_capacity(st.active.len());
+        for (a, &g) in st.active.iter().zip(grants.iter()) {
+            let s = a.cost.slowdown_under_grant(g).max(1.0);
+            slowdowns.push(s);
+            dt = dt.min(a.remaining * s);
+        }
+        st.emc_integral += grants.iter().sum::<f64>() * dt;
+        st.now_ms += dt;
+        let now = st.now_ms;
+        for (a, &s) in st.active.iter_mut().zip(slowdowns.iter()) {
+            a.remaining = (a.remaining - dt / s).max(0.0);
+        }
+        let mut i = 0;
+        while i < st.active.len() {
+            if st.active[i].remaining <= 1e-12 {
+                let done = st.active.remove(i);
+                st.pu_owner[done.pu] = None;
+                st.pu_busy_ms[done.pu] += now - done.start_ms;
+                st.completed.push(done.token);
+                st.records.push(ItemRecord {
+                    token: done.token,
+                    pu: done.pu,
+                    start_ms: done.start_ms,
+                    end_ms: now,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        st.bump();
+    }
+
+    /// Blocks the calling thread until `pred` holds.
+    ///
+    /// Virtual time advances only at true quiescence: every live thread is
+    /// blocked *and* has re-evaluated its predicate since the last state
+    /// mutation (`State::version`). This rules out the race where a
+    /// sleeping thread's predicate became true (its PU was freed, its
+    /// dependency completed) but it has not woken yet — advancing then
+    /// would be premature.
+    fn wait_until(&self, mut pred: impl FnMut(&mut State) -> bool) {
+        let mut st = self.state.lock();
+        loop {
+            if pred(&mut st) {
+                // Successful predicates mutate state (claim a PU, pick up a
+                // completion): force everyone to re-check.
+                st.bump();
+                self.cvar.notify_all();
+                return;
+            }
+            st.blocked += 1;
+            let seen = st.version;
+            st.fresh += 1;
+            if st.blocked == st.live && st.fresh == st.live {
+                // True quiescence: nobody can make progress — advance.
+                self.advance(&mut st); // bumps the version
+                st.blocked -= 1;
+                self.cvar.notify_all();
+                continue;
+            }
+            self.cvar.wait(&mut st);
+            st.blocked -= 1;
+            if st.version == seen {
+                // Woken without any state change (stale notify): our
+                // freshness contribution still counts, undo it before
+                // re-checking.
+                st.fresh -= 1;
+            }
+        }
+    }
+
+    /// Current virtual time (ms).
+    pub fn now_ms(&self) -> f64 {
+        self.state.lock().now_ms
+    }
+
+    /// Blocks until all of `upstream` tasks have finished.
+    pub fn wait_for_tasks(&self, upstream: &[usize]) {
+        if upstream.is_empty() {
+            return;
+        }
+        self.wait_until(|st| upstream.iter().all(|&t| st.task_done[t]));
+    }
+
+    /// Blocks until every `upstream` task has completed at least
+    /// `frame + 1` frames — the per-frame streaming dependency of a
+    /// continuous pipeline (frame k of a consumer waits for frame k of its
+    /// producer, not for the producer to finish its whole loop).
+    pub fn wait_for_frame(&self, upstream: &[usize], frame: usize) {
+        if upstream.is_empty() {
+            return;
+        }
+        self.wait_until(|st| upstream.iter().all(|&t| st.frames_done[t] > frame));
+    }
+
+    /// Marks one frame of `task` complete.
+    pub fn frame_finished(&self, task: usize) {
+        let mut st = self.state.lock();
+        st.frames_done[task] += 1;
+        st.bump();
+        drop(st);
+        self.cvar.notify_all();
+    }
+
+    /// Acquires `pu` (FIFO), starts `cost` on it, and returns the item
+    /// token and its virtual start time.
+    pub fn start_item(&self, pu: usize, cost: LayerCost) -> (u64, f64) {
+        let token = {
+            let mut st = self.state.lock();
+            let token = st.next_token;
+            st.next_token += 1;
+            st.tickets[pu].push_back(token);
+            st.bump();
+            self.cvar.notify_all();
+            token
+        };
+        let mut start = 0.0;
+        self.wait_until(|st| {
+            if st.pu_owner[pu].is_none() && st.tickets[pu].front() == Some(&token) {
+                st.tickets[pu].pop_front();
+                st.pu_owner[pu] = Some(token);
+                st.active.push(ActiveItem {
+                    token,
+                    pu,
+                    cost,
+                    remaining: cost.time_ms,
+                    start_ms: st.now_ms,
+                });
+                start = st.now_ms;
+                true
+            } else {
+                false
+            }
+        });
+        // New work changes the contention picture for everyone; wake
+        // blocked threads so preds re-evaluate (advance happens lazily).
+        self.cvar.notify_all();
+        (token, start)
+    }
+
+    /// Blocks until item `token` completes; returns its virtual end time.
+    pub fn finish_item(&self, token: u64) -> f64 {
+        let mut end = 0.0;
+        self.wait_until(|st| {
+            if let Some(pos) = st.completed.iter().position(|&t| t == token) {
+                st.completed.swap_remove(pos);
+                end = st.now_ms;
+                true
+            } else {
+                false
+            }
+        });
+        end
+    }
+
+    /// Marks `task` complete and removes this thread from the live set.
+    pub fn task_finished(&self, task: usize) {
+        let mut st = self.state.lock();
+        st.task_done[task] = true;
+        st.live -= 1;
+        st.bump();
+        drop(st);
+        self.cvar.notify_all();
+    }
+
+    /// Final metrics: `(makespan_ms, pu_busy_ms, emc_mean_gbps, records)`.
+    /// Call after all worker threads have joined.
+    pub fn into_report(self) -> (f64, Vec<f64>, f64, Vec<ItemRecord>) {
+        let st = self.state.into_inner();
+        assert!(st.active.is_empty(), "items still active at teardown");
+        let mean = if st.now_ms > 0.0 {
+            st.emc_integral / st.now_ms
+        } else {
+            0.0
+        };
+        (st.now_ms, st.pu_busy_ms, mean, st.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haxconn_soc::orin_agx;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn cost(time_ms: f64, demand: f64) -> LayerCost {
+        LayerCost {
+            time_ms,
+            compute_ms: time_ms * 0.5,
+            mem_ms: time_ms,
+            bytes: demand * time_ms * 1e6,
+            demand_gbps: demand,
+            mem_bound_ms: time_ms,
+            hidden_compute_ms: 0.0,
+            hidden_mem_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_at_standalone_speed() {
+        let arb = Arbiter::new(orin_agx(), 1);
+        let (tok, s) = arb.start_item(0, cost(2.0, 40.0));
+        assert_eq!(s, 0.0);
+        let e = arb.finish_item(tok);
+        assert!((e - 2.0).abs() < 1e-9);
+        arb.task_finished(0);
+        let (makespan, busy, _, records) = arb.into_report();
+        assert!((makespan - 2.0).abs() < 1e-9);
+        assert!((busy[0] - 2.0).abs() < 1e-9);
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn two_threads_same_pu_serialize() {
+        let arb = Arc::new(Arbiter::new(orin_agx(), 2));
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let arb = Arc::clone(&arb);
+            handles.push(thread::spawn(move || {
+                let (tok, s) = arb.start_item(0, cost(1.0, 10.0));
+                let e = arb.finish_item(tok);
+                arb.task_finished(t);
+                (s, e)
+            }));
+        }
+        let times: Vec<(f64, f64)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let arb = Arc::try_unwrap(arb).ok().expect("threads joined");
+        let (makespan, ..) = arb.into_report();
+        assert!((makespan - 2.0).abs() < 1e-9, "{makespan}");
+        // One ran [0,1], the other [1,2] (order is a tie; both valid).
+        let mut starts: Vec<f64> = times.iter().map(|t| t.0).collect();
+        starts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((starts[0] - 0.0).abs() < 1e-9);
+        assert!((starts[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_pu_contention_stretches_both() {
+        let p = orin_agx();
+        let arb = Arc::new(Arbiter::new(p, 2));
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let arb = Arc::clone(&arb);
+            handles.push(thread::spawn(move || {
+                // Heavy memory demand on both PUs simultaneously.
+                let demand = if t == 0 { 160.0 } else { 84.0 };
+                let (tok, _) = arb.start_item(t, cost(4.0, demand));
+                let e = arb.finish_item(tok);
+                arb.task_finished(t);
+                e
+            }));
+        }
+        let ends: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // 160 + 84 > capacity(180.2): both stretch beyond 4ms.
+        assert!(ends.iter().all(|&e| e > 4.2), "{ends:?}");
+    }
+
+    #[test]
+    fn task_dependencies_block() {
+        let arb = Arc::new(Arbiter::new(orin_agx(), 2));
+        let a2 = Arc::clone(&arb);
+        let consumer = thread::spawn(move || {
+            a2.wait_for_tasks(&[0]);
+            let (tok, s) = a2.start_item(1, cost(1.0, 10.0));
+            let e = a2.finish_item(tok);
+            a2.task_finished(1);
+            (s, e)
+        });
+        let a1 = Arc::clone(&arb);
+        let producer = thread::spawn(move || {
+            let (tok, _) = a1.start_item(0, cost(3.0, 10.0));
+            let e = a1.finish_item(tok);
+            a1.task_finished(0);
+            e
+        });
+        let prod_end = producer.join().unwrap();
+        let (cons_start, cons_end) = consumer.join().unwrap();
+        assert!((prod_end - 3.0).abs() < 1e-9);
+        assert!(cons_start >= prod_end - 1e-9);
+        assert!((cons_end - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn circular_wait_panics() {
+        // A single live thread waiting on a task that never finishes.
+        let arb = Arbiter::new(orin_agx(), 1);
+        arb.wait_for_tasks(&[0]);
+    }
+}

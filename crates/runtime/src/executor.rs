@@ -1,0 +1,314 @@
+//! Thread-per-DNN schedule execution on top of the [`crate::Arbiter`].
+
+use crate::arbiter::{Arbiter, ItemRecord};
+use haxconn_core::measure::to_jobs;
+use haxconn_core::problem::Workload;
+use haxconn_soc::{Platform, PuId};
+use std::sync::Arc;
+use std::thread;
+
+/// Timings observed by the concurrent executor.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Completion time of each task, ms (virtual).
+    pub task_latency_ms: Vec<f64>,
+    /// Completion of the whole workload, ms.
+    pub makespan_ms: f64,
+    /// Aggregate FPS (`sum of 1000/latency`), as reported in the paper's
+    /// tables.
+    pub fps: f64,
+    /// Busy time per PU, ms.
+    pub pu_busy_ms: Vec<f64>,
+    /// Mean EMC traffic over the run, GB/s.
+    pub emc_mean_gbps: f64,
+    /// Number of work items executed (layer groups + transition steps).
+    pub items_executed: usize,
+    /// Per-item completion records in completion order (token, PU,
+    /// start/end) — raw material for Gantt charts and traces of the
+    /// threaded run.
+    pub records: Vec<ItemRecord>,
+}
+
+/// Executes `assignment` on `platform` with one real thread per DNN task,
+/// coordinated in virtual time.
+///
+/// The worker threads perform the same flush/reformat transition steps the
+/// paper implements with TensorRT `MarkOutput`/`addInput`, and synchronize
+/// streaming dependencies through the arbiter's shared-memory primitives
+/// (the role of the paper's custom TensorRT plugin).
+pub fn execute(
+    platform: &Platform,
+    workload: &Workload,
+    assignment: &[Vec<PuId>],
+) -> ExecutionReport {
+    let (jobs, _) = to_jobs(workload, assignment);
+    let upstream: Vec<Vec<usize>> = (0..workload.tasks.len())
+        .map(|t| workload.upstream(t))
+        .collect();
+    let arbiter = Arc::new(Arbiter::new(platform.clone(), jobs.len()));
+
+    let mut handles = Vec::with_capacity(jobs.len());
+    for (t, job) in jobs.into_iter().enumerate() {
+        let arbiter = Arc::clone(&arbiter);
+        let ups = upstream[t].clone();
+        handles.push(thread::spawn(move || {
+            arbiter.wait_for_tasks(&ups);
+            let mut executed = 0usize;
+            let mut end = 0.0f64;
+            for item in &job.items {
+                let (token, _start) = arbiter.start_item(item.pu, item.cost);
+                end = arbiter.finish_item(token);
+                executed += 1;
+            }
+            arbiter.task_finished(t);
+            (end, executed)
+        }));
+    }
+
+    let mut task_latency_ms = Vec::with_capacity(handles.len());
+    let mut items_executed = 0usize;
+    for h in handles {
+        let (end, n) = h.join().expect("worker thread panicked");
+        task_latency_ms.push(end);
+        items_executed += n;
+    }
+    let arbiter = Arc::try_unwrap(arbiter)
+        .ok()
+        .expect("all workers joined");
+    let (makespan_ms, pu_busy_ms, emc_mean_gbps, records) = arbiter.into_report();
+    let fps = task_latency_ms.iter().map(|&t| 1000.0 / t).sum();
+    ExecutionReport {
+        task_latency_ms,
+        makespan_ms,
+        fps,
+        pu_busy_ms,
+        emc_mean_gbps,
+        items_executed,
+        records,
+    }
+}
+
+/// Executes `assignment` continuously for `iterations` frames per task —
+/// the autonomous-loop setting of the paper ("workloads running
+/// concurrently and *continuously*"). Each worker thread re-runs its DNN
+/// chain back-to-back; steady-state throughput emerges from the PU queues.
+pub fn execute_loop(
+    platform: &Platform,
+    workload: &Workload,
+    assignment: &[Vec<PuId>],
+    iterations: usize,
+) -> ExecutionReport {
+    assert!(iterations >= 1);
+    let (jobs, _) = to_jobs(workload, assignment);
+    let upstream: Vec<Vec<usize>> = (0..workload.tasks.len())
+        .map(|t| workload.upstream(t))
+        .collect();
+    let arbiter = Arc::new(Arbiter::new(platform.clone(), jobs.len()));
+
+    let mut handles = Vec::with_capacity(jobs.len());
+    for (t, job) in jobs.into_iter().enumerate() {
+        let arbiter = Arc::clone(&arbiter);
+        let ups = upstream[t].clone();
+        handles.push(thread::spawn(move || {
+            let mut executed = 0usize;
+            let mut end = 0.0f64;
+            for frame in 0..iterations {
+                // Frame k waits for its producers' frame k, then free-runs.
+                arbiter.wait_for_frame(&ups, frame);
+                for item in &job.items {
+                    let (token, _start) = arbiter.start_item(item.pu, item.cost);
+                    end = arbiter.finish_item(token);
+                    executed += 1;
+                }
+                arbiter.frame_finished(t);
+            }
+            arbiter.task_finished(t);
+            (end, executed)
+        }));
+    }
+
+    let mut task_latency_ms = Vec::with_capacity(handles.len());
+    let mut items_executed = 0usize;
+    for h in handles {
+        let (end, n) = h.join().expect("worker thread panicked");
+        task_latency_ms.push(end);
+        items_executed += n;
+    }
+    let arbiter = Arc::try_unwrap(arbiter)
+        .ok()
+        .expect("all workers joined");
+    let (makespan_ms, pu_busy_ms, emc_mean_gbps, records) = arbiter.into_report();
+    // Steady-state FPS: frames completed per second of wall (virtual) time.
+    let fps = 1000.0 * (iterations * task_latency_ms.len()) as f64 / makespan_ms;
+    ExecutionReport {
+        task_latency_ms,
+        makespan_ms,
+        fps,
+        pu_busy_ms,
+        emc_mean_gbps,
+        items_executed,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haxconn_contention::ContentionModel;
+    use haxconn_core::baselines::{Baseline, BaselineKind};
+    use haxconn_core::measure::measure;
+    use haxconn_core::problem::{DnnTask, SchedulerConfig, Workload};
+    use haxconn_core::scheduler::HaxConn;
+    use haxconn_dnn::Model;
+    use haxconn_profiler::NetworkProfile;
+    use haxconn_soc::orin_agx;
+
+    fn setup(models: &[Model]) -> (Platform, Workload) {
+        let p = orin_agx();
+        let tasks = models
+            .iter()
+            .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 8)))
+            .collect();
+        (p, Workload::concurrent(tasks))
+    }
+
+    #[test]
+    fn single_task_matches_simulator_exactly() {
+        let (p, w) = setup(&[Model::ResNet50]);
+        let a = Baseline::assignment(BaselineKind::GpuOnly, &p, &w);
+        let sim = measure(&p, &w, &a);
+        let run = execute(&p, &w, &a);
+        assert!(
+            (run.makespan_ms - sim.latency_ms).abs() < 1e-6,
+            "threaded {} vs simulated {}",
+            run.makespan_ms,
+            sim.latency_ms
+        );
+    }
+
+    #[test]
+    fn split_schedule_agrees_with_simulator() {
+        let (p, w) = setup(&[Model::GoogleNet, Model::ResNet101]);
+        let a = Baseline::assignment(BaselineKind::NaiveSplit, &p, &w);
+        let sim = measure(&p, &w, &a);
+        let run = execute(&p, &w, &a);
+        // The naive split pins LRN stem groups of both DNNs to the GPU, so
+        // equal-virtual-time ties at t=0 can resolve in either order; allow
+        // the resulting spread.
+        let rel = (run.makespan_ms - sim.latency_ms).abs() / sim.latency_ms;
+        assert!(
+            rel < 0.20,
+            "threaded {} vs simulated {} (rel {rel})",
+            run.makespan_ms,
+            sim.latency_ms
+        );
+        assert_eq!(run.pu_busy_ms.len(), p.pus.len());
+        assert!(run.pu_busy_ms[p.dsa()] > 0.0);
+    }
+
+    #[test]
+    fn haxconn_schedule_executes_with_transitions() {
+        let (p, w) = setup(&[Model::GoogleNet, Model::ResNet101]);
+        let cm = ContentionModel::calibrate(&p);
+        let s = HaxConn::schedule(&p, &w, &cm, SchedulerConfig::default());
+        let run = execute(&p, &w, &s.assignment);
+        let groups: usize = w.tasks.iter().map(|t| t.num_groups()).sum();
+        // Transition items executed in addition to layer groups.
+        assert!(run.items_executed >= groups);
+        let sim = measure(&p, &w, &s.assignment);
+        let rel = (run.makespan_ms - sim.latency_ms).abs() / sim.latency_ms;
+        assert!(rel < 0.10, "threaded {} vs simulated {} (rel {rel})", run.makespan_ms, sim.latency_ms);
+    }
+
+    #[test]
+    fn pipeline_workload_executes_in_order() {
+        let p = orin_agx();
+        let tasks = vec![
+            DnnTask::new("det", NetworkProfile::profile(&p, Model::ResNet18, 6)),
+            DnnTask::new("trk", NetworkProfile::profile(&p, Model::GoogleNet, 6)),
+        ];
+        let w = Workload::pipeline(tasks);
+        let a = Baseline::assignment(BaselineKind::GpuOnly, &p, &w);
+        let run = execute(&p, &w, &a);
+        let t0 = w.tasks[0].profile.standalone_ms(p.gpu()).unwrap();
+        assert!(run.task_latency_ms[1] >= run.task_latency_ms[0] - 1e-9);
+        assert!(run.task_latency_ms[0] >= t0 - 1e-6);
+    }
+
+    #[test]
+    fn repeated_runs_consistent_makespan() {
+        // OS scheduling may reorder equal-time ties, but the makespan of a
+        // HaX-CoNN schedule (no deliberate same-PU queuing) is stable.
+        let (p, w) = setup(&[Model::GoogleNet, Model::ResNet101]);
+        let cm = ContentionModel::calibrate(&p);
+        let s = HaxConn::schedule(&p, &w, &cm, SchedulerConfig::default());
+        let runs: Vec<f64> = (0..4)
+            .map(|_| execute(&p, &w, &s.assignment).makespan_ms)
+            .collect();
+        let min = runs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = runs.iter().cloned().fold(0.0f64, f64::max);
+        assert!((max - min) / min < 0.05, "{runs:?}");
+    }
+
+    #[test]
+    fn loop_execution_pipelines_across_frames() {
+        // A two-stage pipeline split across PUs: a single frame serializes
+        // the stages, but the continuous loop overlaps frame k's stage 2
+        // with frame k+1's stage 1.
+        let p = orin_agx();
+        let tasks = vec![
+            DnnTask::new("det", NetworkProfile::profile(&p, Model::GoogleNet, 8)),
+            DnnTask::new("trk", NetworkProfile::profile(&p, Model::ResNet50, 8)),
+        ];
+        let w = Workload::pipeline(tasks);
+        let a = Baseline::assignment(BaselineKind::NaiveSplit, &p, &w);
+        let one = execute_loop(&p, &w, &a, 1);
+        let many = execute_loop(&p, &w, &a, 6);
+        assert!(
+            many.makespan_ms < 6.0 * one.makespan_ms * 0.95,
+            "no cross-frame overlap: {} vs 6x{}",
+            many.makespan_ms,
+            one.makespan_ms
+        );
+        assert!(many.makespan_ms >= one.makespan_ms);
+        assert_eq!(many.items_executed, 6 * one.items_executed);
+        // Steady-state throughput beats the single-shot throughput.
+        assert!(many.fps > one.fps, "{} vs {}", many.fps, one.fps);
+    }
+
+    #[test]
+    fn loop_execution_single_iteration_matches_execute() {
+        let (p, w) = setup(&[Model::GoogleNet, Model::ResNet101]);
+        let a = Baseline::assignment(BaselineKind::NaiveSplit, &p, &w);
+        let once = execute_loop(&p, &w, &a, 1);
+        let plain = execute(&p, &w, &a);
+        let rel = (once.makespan_ms - plain.makespan_ms).abs() / plain.makespan_ms;
+        assert!(rel < 0.15, "{} vs {}", once.makespan_ms, plain.makespan_ms);
+    }
+
+    #[test]
+    fn records_cover_every_item() {
+        let (p, w) = setup(&[Model::GoogleNet, Model::ResNet18]);
+        let a = Baseline::assignment(BaselineKind::NaiveSplit, &p, &w);
+        let run = execute(&p, &w, &a);
+        assert_eq!(run.records.len(), run.items_executed);
+        // Records are in completion order with sane intervals.
+        let mut prev = 0.0;
+        for r in &run.records {
+            assert!(r.end_ms >= r.start_ms);
+            assert!(r.end_ms >= prev - 1e-9);
+            prev = r.end_ms;
+            assert!(r.pu < p.pus.len());
+        }
+    }
+
+    #[test]
+    fn three_concurrent_tasks() {
+        let (p, w) = setup(&[Model::ResNet18, Model::GoogleNet, Model::AlexNet]);
+        let a = Baseline::assignment(BaselineKind::HeraldLike, &p, &w);
+        let run = execute(&p, &w, &a);
+        assert_eq!(run.task_latency_ms.len(), 3);
+        assert!(run.fps > 0.0);
+        assert!(run.emc_mean_gbps > 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Camera-stream admission analysis on the discrete-event engine.
+//!
+//! Autonomous perception loops consume a fixed-rate sensor stream (a 30 FPS
+//! camera). Whether a schedule *keeps up* is not just a throughput number:
+//! if per-frame service time exceeds the frame period, a bounded input
+//! queue builds up and frames must be dropped. This module simulates that
+//! admission behaviour with the `haxconn-des` engine: periodic frame
+//! arrivals feed a bounded queue drained by a server whose service time is
+//! the schedule's measured steady-state per-frame latency.
+
+use haxconn_des::{Engine, EventQueue, SimModel, SimTime};
+
+/// Configuration of a stream run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Frame arrival period, ms (33.3 for a 30 FPS camera).
+    pub period_ms: f64,
+    /// Per-frame service time of the pipeline, ms (e.g. from
+    /// [`crate::execute_loop`]'s steady state: `1000 / fps * tasks`).
+    pub service_ms: f64,
+    /// Input queue capacity in frames; arrivals beyond this are dropped
+    /// (real camera drivers hold only a few buffers).
+    pub queue_capacity: usize,
+    /// Number of frames to simulate.
+    pub frames: usize,
+}
+
+/// Outcome of a stream simulation.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Frames fully processed.
+    pub processed: usize,
+    /// Frames dropped at the full queue.
+    pub dropped: usize,
+    /// Worst observed end-to-end latency (arrival → completion), ms.
+    pub worst_latency_ms: f64,
+    /// Mean end-to-end latency of processed frames, ms.
+    pub mean_latency_ms: f64,
+    /// Total simulated time, ms.
+    pub horizon_ms: f64,
+}
+
+impl StreamReport {
+    /// Fraction of frames dropped.
+    pub fn drop_rate(&self) -> f64 {
+        let total = self.processed + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+}
+
+enum Ev {
+    Arrival(usize),
+    Departure,
+}
+
+struct Model {
+    cfg: StreamConfig,
+    queue: Vec<(usize, SimTime)>, // (frame id, arrival time)
+    busy: bool,
+    processed: usize,
+    dropped: usize,
+    latency_sum: f64,
+    worst: f64,
+}
+
+impl SimModel for Model {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+        match event {
+            Ev::Arrival(id) => {
+                if id + 1 < self.cfg.frames {
+                    queue.schedule(
+                        now + SimTime::from_ms(self.cfg.period_ms),
+                        Ev::Arrival(id + 1),
+                    );
+                }
+                if self.queue.len() >= self.cfg.queue_capacity {
+                    self.dropped += 1;
+                    return;
+                }
+                self.queue.push((id, now));
+                if !self.busy {
+                    self.busy = true;
+                    queue.schedule(
+                        now + SimTime::from_ms(self.cfg.service_ms),
+                        Ev::Departure,
+                    );
+                }
+            }
+            Ev::Departure => {
+                let (_, arrived) = self.queue.remove(0);
+                let latency = (now - arrived).as_ms();
+                self.latency_sum += latency;
+                self.worst = self.worst.max(latency);
+                self.processed += 1;
+                if self.queue.is_empty() {
+                    self.busy = false;
+                } else {
+                    queue.schedule(
+                        now + SimTime::from_ms(self.cfg.service_ms),
+                        Ev::Departure,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Simulates the admission behaviour of a pipeline under a periodic frame
+/// stream.
+pub fn simulate_stream(cfg: StreamConfig) -> StreamReport {
+    assert!(cfg.frames > 0 && cfg.period_ms > 0.0 && cfg.service_ms > 0.0);
+    assert!(cfg.queue_capacity >= 1, "need at least one frame buffer");
+    let mut engine = Engine::new(Model {
+        cfg,
+        queue: Vec::new(),
+        busy: false,
+        processed: 0,
+        dropped: 0,
+        latency_sum: 0.0,
+        worst: 0.0,
+    });
+    engine.schedule(SimTime::ZERO, Ev::Arrival(0));
+    let end = engine.run();
+    let m = engine.into_model();
+    StreamReport {
+        processed: m.processed,
+        dropped: m.dropped,
+        worst_latency_ms: m.worst,
+        mean_latency_ms: if m.processed > 0 {
+            m.latency_sum / m.processed as f64
+        } else {
+            0.0
+        },
+        horizon_ms: end.as_ms(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn underloaded_stream_drops_nothing() {
+        let r = simulate_stream(StreamConfig {
+            period_ms: 33.3,
+            service_ms: 10.0,
+            queue_capacity: 3,
+            frames: 100,
+        });
+        assert_eq!(r.processed, 100);
+        assert_eq!(r.dropped, 0);
+        // No queueing: latency equals the service time.
+        assert!((r.mean_latency_ms - 10.0).abs() < 1e-9);
+        assert!((r.worst_latency_ms - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overloaded_stream_drops_the_excess() {
+        // Service 50 ms vs 33.3 ms period: only ~2/3 of frames fit.
+        let r = simulate_stream(StreamConfig {
+            period_ms: 33.3,
+            service_ms: 50.0,
+            queue_capacity: 2,
+            frames: 300,
+        });
+        let rate = r.drop_rate();
+        assert!(
+            (0.25..0.42).contains(&rate),
+            "expected ~1/3 drops, got {rate} ({} dropped)",
+            r.dropped
+        );
+        // Queue is bounded, so worst latency is bounded too.
+        assert!(r.worst_latency_ms <= 2.0 * 50.0 + 50.0);
+    }
+
+    #[test]
+    fn critically_loaded_stream_keeps_up_with_queueing() {
+        // Service just below the period: everything processed, minor jitter
+        // absorbed by the queue.
+        let r = simulate_stream(StreamConfig {
+            period_ms: 33.3,
+            service_ms: 33.0,
+            queue_capacity: 4,
+            frames: 200,
+        });
+        assert_eq!(r.dropped, 0);
+        assert!(r.mean_latency_ms < 40.0);
+    }
+
+    #[test]
+    fn conservation() {
+        for service in [5.0, 20.0, 33.3, 47.0, 90.0] {
+            let frames = 123;
+            let r = simulate_stream(StreamConfig {
+                period_ms: 33.3,
+                service_ms: service,
+                queue_capacity: 3,
+                frames,
+            });
+            assert_eq!(r.processed + r.dropped, frames, "service {service}");
+            assert!(r.horizon_ms >= (frames - 1) as f64 * 33.3 - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame buffer")]
+    fn zero_capacity_rejected() {
+        simulate_stream(StreamConfig {
+            period_ms: 33.3,
+            service_ms: 10.0,
+            queue_capacity: 0,
+            frames: 10,
+        });
+    }
+}

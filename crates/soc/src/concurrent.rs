@@ -1,0 +1,437 @@
+//! Ground-truth concurrent execution on the simulated SoC.
+//!
+//! A *job* is a sequential chain of work items (layer groups already mapped
+//! to PUs); several jobs run concurrently, possibly with extra cross-job
+//! precedence edges (the streaming dependencies of the paper's Scenarios 3
+//! and 4). The simulator enforces:
+//!
+//! * per-PU FIFO serialization (one item at a time per accelerator),
+//! * precedence (within a chain and across chains),
+//! * EMC bandwidth arbitration: at every instant the active items' memory
+//!   demands are granted by [`crate::emc::EmcSpec::grant`], and each item
+//!   progresses at `1 / slowdown(grant)`.
+//!
+//! The loop advances from completion to completion, re-arbitrating whenever
+//! the active set changes — a piecewise-constant-rate fluid simulation,
+//! which is exact for this model. Determinism: ties are broken by
+//! `(job, item)` order everywhere.
+
+use crate::cost::LayerCost;
+use crate::platform::Platform;
+use crate::pu::PuId;
+use haxconn_des::{SimTime, TimeWeighted};
+use std::collections::VecDeque;
+
+/// One unit of mapped work (a layer group on a specific PU).
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    /// The PU this item executes on.
+    pub pu: PuId,
+    /// Standalone cost profile.
+    pub cost: LayerCost,
+}
+
+/// A sequential chain of work items (one DNN inference, already scheduled).
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Display name (e.g. the DNN name).
+    pub name: String,
+    /// Items in execution order.
+    pub items: Vec<WorkItem>,
+}
+
+/// Cross-job precedence: item `to` may start only after item `from`
+/// completes. Both are `(job index, item index)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Dep {
+    /// Producer.
+    pub from: (usize, usize),
+    /// Consumer.
+    pub to: (usize, usize),
+}
+
+/// Timing of one executed item.
+#[derive(Debug, Clone, Copy)]
+pub struct ItemTiming {
+    /// Start of execution (after queueing), ms.
+    pub start_ms: f64,
+    /// Completion, ms.
+    pub end_ms: f64,
+    /// Realized slowdown vs. standalone (`>= 1`).
+    pub slowdown: f64,
+}
+
+/// Result of a concurrent run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-job, per-item timings.
+    pub items: Vec<Vec<ItemTiming>>,
+    /// Completion time of each job, ms.
+    pub job_end_ms: Vec<f64>,
+    /// Completion of the last job, ms.
+    pub makespan_ms: f64,
+    /// Time-weighted mean EMC traffic over the run, GB/s.
+    pub emc_mean_gbps: f64,
+    /// Peak EMC traffic, GB/s.
+    pub emc_peak_gbps: f64,
+    /// Busy time per PU, ms.
+    pub pu_busy_ms: Vec<f64>,
+}
+
+impl RunResult {
+    /// Mean EMC utilization as a fraction of the platform's peak bandwidth.
+    pub fn emc_utilization(&self, platform: &Platform) -> f64 {
+        self.emc_mean_gbps / platform.emc.bandwidth_gbps
+    }
+}
+
+#[derive(Debug)]
+struct Active {
+    job: usize,
+    idx: usize,
+    cost: LayerCost,
+    /// Remaining work in standalone-equivalent ms.
+    remaining: f64,
+    start_ms: f64,
+}
+
+/// Simulates `jobs` under `deps` on `platform`. Panics on dependency cycles.
+pub fn simulate(platform: &Platform, jobs: &[Job], deps: &[Dep]) -> RunResult {
+    let n_pus = platform.pus.len();
+    let n_jobs = jobs.len();
+
+    // Pending-dependency counters: chain edge + explicit deps.
+    let mut waiting: Vec<Vec<usize>> = jobs
+        .iter()
+        .map(|j| {
+            j.items
+                .iter()
+                .enumerate()
+                .map(|(i, _)| usize::from(i > 0))
+                .collect()
+        })
+        .collect();
+    let mut dependents: Vec<Vec<Vec<(usize, usize)>>> = jobs
+        .iter()
+        .map(|j| vec![Vec::new(); j.items.len()])
+        .collect();
+    for d in deps {
+        let (fj, fi) = d.from;
+        let (tj, ti) = d.to;
+        assert!(fj < n_jobs && fi < jobs[fj].items.len(), "bad dep source");
+        assert!(tj < n_jobs && ti < jobs[tj].items.len(), "bad dep target");
+        waiting[tj][ti] += 1;
+        dependents[fj][fi].push((tj, ti));
+    }
+
+    let mut queues: Vec<VecDeque<(usize, usize)>> = vec![VecDeque::new(); n_pus];
+    let mut active: Vec<Option<Active>> = (0..n_pus).map(|_| None).collect();
+    let mut timings: Vec<Vec<ItemTiming>> = jobs
+        .iter()
+        .map(|j| {
+            vec![
+                ItemTiming {
+                    start_ms: f64::NAN,
+                    end_ms: f64::NAN,
+                    slowdown: 1.0
+                };
+                j.items.len()
+            ]
+        })
+        .collect();
+    let mut job_end = vec![0.0f64; n_jobs];
+    let mut remaining_items: usize = jobs.iter().map(|j| j.items.len()).sum();
+    let mut pu_busy = vec![0.0f64; n_pus];
+    let mut emc = TimeWeighted::new(SimTime::ZERO, 0.0);
+    let mut now = 0.0f64;
+
+    // Seed: every zero-wait item enters its PU queue in (job, idx) order.
+    for (j, job) in jobs.iter().enumerate() {
+        for (i, item) in job.items.iter().enumerate() {
+            assert!(item.pu < n_pus, "work item references unknown PU");
+            if waiting[j][i] == 0 {
+                queues[item.pu].push_back((j, i));
+            }
+        }
+    }
+
+    // Start items on idle PUs.
+    let start_ready = |queues: &mut Vec<VecDeque<(usize, usize)>>,
+                       active: &mut Vec<Option<Active>>,
+                       timings: &mut Vec<Vec<ItemTiming>>,
+                       now: f64| {
+        for pu in 0..queues.len() {
+            if active[pu].is_none() {
+                if let Some((j, i)) = queues[pu].pop_front() {
+                    let cost = jobs[j].items[i].cost;
+                    timings[j][i].start_ms = now;
+                    active[pu] = Some(Active {
+                        job: j,
+                        idx: i,
+                        cost,
+                        remaining: cost.time_ms,
+                        start_ms: now,
+                    });
+                }
+            }
+        }
+    };
+    start_ready(&mut queues, &mut active, &mut timings, now);
+
+    while remaining_items > 0 {
+        // Gather active demands in PU order.
+        let live: Vec<usize> = (0..n_pus).filter(|&p| active[p].is_some()).collect();
+        assert!(
+            !live.is_empty(),
+            "deadlock: {remaining_items} items pending but no PU active (dependency cycle?)"
+        );
+        let demands: Vec<f64> = live
+            .iter()
+            .map(|&p| active[p].as_ref().unwrap().cost.demand_gbps)
+            .collect();
+        let grants = platform.emc.grant(&demands);
+        emc.record(SimTime::from_ms(now), grants.iter().sum());
+
+        // Instantaneous slowdown per live PU and time-to-finish.
+        let mut dt = f64::INFINITY;
+        let mut rates: Vec<f64> = Vec::with_capacity(live.len());
+        for (k, &p) in live.iter().enumerate() {
+            let a = active[p].as_ref().unwrap();
+            let s = a.cost.slowdown_under_grant(grants[k]).max(1.0);
+            rates.push(1.0 / s);
+            let finish = a.remaining * s;
+            if finish < dt {
+                dt = finish;
+            }
+        }
+        debug_assert!(dt.is_finite() && dt >= 0.0);
+
+        // Advance time; progress and busy-time accounting.
+        now += dt;
+        for (k, &p) in live.iter().enumerate() {
+            let a = active[p].as_mut().unwrap();
+            a.remaining = (a.remaining - dt * rates[k]).max(0.0);
+            pu_busy[p] += dt;
+        }
+
+        // Complete every item that reached zero (PU order = deterministic).
+        for &p in &live {
+            let done = active[p]
+                .as_ref()
+                .map(|a| a.remaining <= 1e-12)
+                .unwrap_or(false);
+            if !done {
+                continue;
+            }
+            let a = active[p].take().unwrap();
+            let t = &mut timings[a.job][a.idx];
+            t.end_ms = now;
+            t.slowdown = (now - a.start_ms) / a.cost.time_ms;
+            job_end[a.job] = job_end[a.job].max(now);
+            remaining_items -= 1;
+            // Release dependents: the chain successor first, then explicit
+            // deps in registration order.
+            let job_len = jobs[a.job].items.len();
+            if a.idx + 1 < job_len {
+                waiting[a.job][a.idx + 1] -= 1;
+                if waiting[a.job][a.idx + 1] == 0 {
+                    let pu = jobs[a.job].items[a.idx + 1].pu;
+                    queues[pu].push_back((a.job, a.idx + 1));
+                }
+            }
+            for &(tj, ti) in &dependents[a.job][a.idx] {
+                waiting[tj][ti] -= 1;
+                if waiting[tj][ti] == 0 {
+                    let pu = jobs[tj].items[ti].pu;
+                    queues[pu].push_back((tj, ti));
+                }
+            }
+        }
+        start_ready(&mut queues, &mut active, &mut timings, now);
+    }
+
+    emc.record(SimTime::from_ms(now), 0.0);
+    let makespan = now;
+    RunResult {
+        items: timings,
+        job_end_ms: job_end,
+        makespan_ms: makespan,
+        emc_mean_gbps: emc.mean(SimTime::from_ms(makespan)),
+        emc_peak_gbps: emc.peak(),
+        pu_busy_ms: pu_busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::orin_agx;
+
+    fn item(pu: PuId, time_ms: f64, demand: f64, compute_frac: f64) -> WorkItem {
+        let compute_ms = time_ms * compute_frac;
+        let bytes = demand * time_ms * 1e6;
+        // compute_frac close to 1 models a compute-bound item whose memory
+        // phase hides beneath the compute phase.
+        let (mem_bound_ms, hidden_compute_ms, hidden_mem_ms) = if compute_frac < 0.9 {
+            (time_ms, 0.0, 0.0)
+        } else {
+            (0.0, compute_ms, time_ms * 0.3)
+        };
+        WorkItem {
+            pu,
+            cost: LayerCost {
+                time_ms,
+                compute_ms,
+                mem_ms: time_ms,
+                bytes,
+                demand_gbps: demand,
+                mem_bound_ms,
+                hidden_compute_ms,
+                hidden_mem_ms,
+            },
+        }
+    }
+
+    fn job(name: &str, items: Vec<WorkItem>) -> Job {
+        Job {
+            name: name.into(),
+            items,
+        }
+    }
+
+    #[test]
+    fn single_job_runs_at_standalone_speed() {
+        let p = orin_agx();
+        let j = job("a", vec![item(0, 2.0, 50.0, 0.5), item(0, 3.0, 40.0, 0.5)]);
+        let r = simulate(&p, &[j], &[]);
+        assert!((r.makespan_ms - 5.0).abs() < 1e-9, "{}", r.makespan_ms);
+        assert!((r.items[0][0].slowdown - 1.0).abs() < 1e-9);
+        assert_eq!(r.pu_busy_ms[0], 5.0);
+        assert_eq!(r.pu_busy_ms[1], 0.0);
+    }
+
+    #[test]
+    fn same_pu_jobs_serialize() {
+        let p = orin_agx();
+        let a = job("a", vec![item(0, 2.0, 10.0, 0.9)]);
+        let b = job("b", vec![item(0, 2.0, 10.0, 0.9)]);
+        let r = simulate(&p, &[a, b], &[]);
+        assert!((r.makespan_ms - 4.0).abs() < 1e-9);
+        assert!((r.items[1][0].start_ms - 2.0).abs() < 1e-9);
+        // No contention recorded: only one item at a time.
+        assert!((r.items[0][0].slowdown - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_pu_contention_slows_both() {
+        let p = orin_agx();
+        // Two memory-hungry items saturating the EMC together
+        // (165 + 85 > 180 capacity).
+        let a = job("a", vec![item(0, 4.0, 160.0, 0.1)]);
+        let b = job("b", vec![item(1, 4.0, 84.0, 0.1)]);
+        let r = simulate(&p, std::slice::from_ref(&a), &[]);
+        assert!((r.makespan_ms - 4.0).abs() < 1e-9);
+        let r2 = simulate(&p, &[a, b], &[]);
+        assert!(r2.makespan_ms > 4.5, "contended run {}", r2.makespan_ms);
+        assert!(r2.items[0][0].slowdown > 1.05);
+        assert!(r2.items[1][0].slowdown > 1.05);
+        assert!(r2.emc_peak_gbps <= p.emc.capacity() + 1e-6);
+    }
+
+    #[test]
+    fn compute_bound_item_shrugs_off_contention() {
+        let p = orin_agx();
+        // Memory-bound victim vs compute-bound aggressor.
+        let victim = job("v", vec![item(0, 4.0, 150.0, 0.05)]);
+        let aggressor_mem = job("m", vec![item(1, 4.0, 85.0, 0.05)]);
+        let slow_mem = simulate(&p, &[victim.clone(), aggressor_mem], &[]).items[0][0].slowdown;
+        // Same aggressor demand, but victim is compute bound.
+        let victim_c = job("v", vec![item(0, 4.0, 30.0, 0.97)]);
+        let aggressor2 = job("m", vec![item(1, 4.0, 85.0, 0.05)]);
+        let slow_c = simulate(&p, &[victim_c, aggressor2], &[]).items[0][0].slowdown;
+        assert!(slow_mem > slow_c, "{slow_mem} vs {slow_c}");
+    }
+
+    #[test]
+    fn explicit_dependency_respected() {
+        let p = orin_agx();
+        let a = job("a", vec![item(0, 2.0, 10.0, 0.9)]);
+        let b = job("b", vec![item(1, 1.0, 10.0, 0.9)]);
+        let dep = Dep {
+            from: (0, 0),
+            to: (1, 0),
+        };
+        let r = simulate(&p, &[a, b], &[dep]);
+        assert!(r.items[1][0].start_ms >= r.items[0][0].end_ms - 1e-9);
+        assert!((r.makespan_ms - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_chains_overlap() {
+        let p = orin_agx();
+        // Job a: GPU then DLA; job b: DLA then GPU. They interleave so the
+        // makespan is below fully-serial execution.
+        let a = job("a", vec![item(0, 2.0, 20.0, 0.9), item(1, 2.0, 20.0, 0.9)]);
+        let b = job("b", vec![item(1, 2.0, 20.0, 0.9), item(0, 2.0, 20.0, 0.9)]);
+        let r = simulate(&p, &[a, b], &[]);
+        assert!(r.makespan_ms < 8.0 - 1e-9);
+        assert!(r.makespan_ms >= 4.0 - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn cyclic_deps_panic() {
+        let p = orin_agx();
+        let a = job("a", vec![item(0, 1.0, 10.0, 0.5)]);
+        let b = job("b", vec![item(1, 1.0, 10.0, 0.5)]);
+        let deps = [
+            Dep {
+                from: (0, 0),
+                to: (1, 0),
+            },
+            Dep {
+                from: (1, 0),
+                to: (0, 0),
+            },
+        ];
+        simulate(&p, &[a, b], &deps);
+    }
+
+    #[test]
+    fn determinism() {
+        let p = orin_agx();
+        let mk = || {
+            vec![
+                job("a", vec![item(0, 2.0, 90.0, 0.3), item(1, 1.5, 60.0, 0.4)]),
+                job("b", vec![item(1, 1.0, 70.0, 0.2), item(0, 2.5, 80.0, 0.6)]),
+                job("c", vec![item(0, 0.7, 40.0, 0.5)]),
+            ]
+        };
+        let r1 = simulate(&p, &mk(), &[]);
+        let r2 = simulate(&p, &mk(), &[]);
+        assert_eq!(r1.makespan_ms, r2.makespan_ms);
+        for (ja, jb) in r1.items.iter().zip(r2.items.iter()) {
+            for (ia, ib) in ja.iter().zip(jb.iter()) {
+                assert_eq!(ia.start_ms, ib.start_ms);
+                assert_eq!(ia.end_ms, ib.end_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn work_conservation() {
+        let p = orin_agx();
+        let jobs = vec![
+            job("a", vec![item(0, 3.0, 120.0, 0.2), item(1, 2.0, 60.0, 0.5)]),
+            job("b", vec![item(1, 2.5, 70.0, 0.3)]),
+        ];
+        let r = simulate(&p, &jobs, &[]);
+        // Busy time per PU never exceeds the makespan, and is at least the
+        // standalone time of the work mapped there.
+        for p_busy in &r.pu_busy_ms {
+            assert!(*p_busy <= r.makespan_ms + 1e-9);
+        }
+        assert!(r.pu_busy_ms[0] >= 3.0 - 1e-9);
+        assert!(r.pu_busy_ms[1] >= 4.5 - 1e-9);
+    }
+}

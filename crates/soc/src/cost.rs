@@ -1,0 +1,364 @@
+//! The standalone (contention-free) per-layer cost model.
+//!
+//! A layer's execution on a PU is modeled as a roofline: the compute phase
+//! (`flops / (peak * efficiency)`) overlaps with the memory phase
+//! (`amplified bytes / PU-local bandwidth`), and a fixed dispatch overhead
+//! is added. The *requested memory throughput* — the quantity the paper's
+//! decoupled contention characterization is built on (Section 3.3) — falls
+//! out as `bytes / time`.
+//!
+//! To predict behaviour under bandwidth contention, each cost keeps its
+//! roofline decomposition: the **memory-bound portion** stretches linearly
+//! with the bandwidth slowdown, while the **compute-hidden portion** only
+//! starts stretching once the stretched memory phase emerges from under the
+//! compute phase. This decomposition is exact for single layers and a tight
+//! approximation for aggregated layer groups.
+
+use crate::pu::PuSpec;
+use haxconn_dnn::Layer;
+use serde::{Deserialize, Serialize};
+
+/// Standalone execution profile of one layer (or aggregated layer group) on
+/// one PU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Standalone wall time in milliseconds (roofline + dispatch).
+    pub time_ms: f64,
+    /// Total compute-phase time in milliseconds.
+    pub compute_ms: f64,
+    /// Total memory-phase time in milliseconds.
+    pub mem_ms: f64,
+    /// Amplified shared-memory traffic in bytes.
+    pub bytes: f64,
+    /// Requested memory throughput in GB/s when running standalone.
+    pub demand_gbps: f64,
+    /// Time attributable to memory-bound layers (stretches linearly under
+    /// contention).
+    pub mem_bound_ms: f64,
+    /// Compute time of compute-bound layers (incompressible floor).
+    pub hidden_compute_ms: f64,
+    /// Memory time hidden beneath `hidden_compute_ms`; it surfaces only
+    /// under severe bandwidth loss.
+    pub hidden_mem_ms: f64,
+}
+
+impl LayerCost {
+    /// Cost of `layer` on `pu`, running alone on the SoC.
+    pub fn of(layer: &Layer, pu: &PuSpec) -> LayerCost {
+        assert!(
+            pu.supports(layer),
+            "{} does not support {}",
+            pu.name,
+            layer.name
+        );
+        let eff = pu.efficiency(layer).max(1e-3);
+        let compute_ms = layer.flops() as f64 / (pu.peak_gflops * eff) / 1e6;
+        let bytes = layer.total_bytes() as f64 * pu.mem_amplification(layer);
+        let mem_ms = bytes / pu.max_bw_gbps / 1e6;
+        let launch_ms = pu.launch_us / 1e3;
+        let time_ms = compute_ms.max(mem_ms) + launch_ms;
+        let demand_gbps = bytes / time_ms / 1e6;
+        let (mem_bound_ms, hidden_compute_ms, hidden_mem_ms) = if mem_ms >= compute_ms {
+            (mem_ms, 0.0, 0.0)
+        } else {
+            (0.0, compute_ms, mem_ms)
+        };
+        LayerCost {
+            time_ms,
+            compute_ms,
+            mem_ms,
+            bytes,
+            demand_gbps,
+            mem_bound_ms,
+            hidden_compute_ms,
+            hidden_mem_ms,
+        }
+    }
+
+    /// A pure memory-transfer item (cache flush / tensor reformat at a
+    /// transition point).
+    pub fn pure_memory(time_ms: f64, bytes: f64) -> LayerCost {
+        let demand_gbps = if time_ms > 0.0 {
+            bytes / time_ms / 1e6
+        } else {
+            0.0
+        };
+        LayerCost {
+            time_ms,
+            compute_ms: 0.0,
+            mem_ms: time_ms,
+            bytes,
+            demand_gbps,
+            mem_bound_ms: time_ms,
+            hidden_compute_ms: 0.0,
+            hidden_mem_ms: 0.0,
+        }
+    }
+
+    /// Aggregates the costs of consecutive layers executed back-to-back on
+    /// the same PU (a *layer group* in the paper's terminology). Times and
+    /// traffic add; the group's demand is traffic-weighted.
+    pub fn aggregate(costs: &[LayerCost]) -> LayerCost {
+        assert!(!costs.is_empty(), "cannot aggregate zero layers");
+        let mut g = LayerCost {
+            time_ms: 0.0,
+            compute_ms: 0.0,
+            mem_ms: 0.0,
+            bytes: 0.0,
+            demand_gbps: 0.0,
+            mem_bound_ms: 0.0,
+            hidden_compute_ms: 0.0,
+            hidden_mem_ms: 0.0,
+        };
+        for c in costs {
+            g.time_ms += c.time_ms;
+            g.compute_ms += c.compute_ms;
+            g.mem_ms += c.mem_ms;
+            g.bytes += c.bytes;
+            g.mem_bound_ms += c.mem_bound_ms;
+            g.hidden_compute_ms += c.hidden_compute_ms;
+            g.hidden_mem_ms += c.hidden_mem_ms;
+        }
+        g.demand_gbps = g.bytes / g.time_ms / 1e6;
+        g
+    }
+
+    /// The time this item takes when the EMC grants it `grant_gbps` instead
+    /// of its full demand.
+    ///
+    /// The memory-bound portion stretches by the bandwidth slowdown
+    /// `demand/grant`; the compute-bound portion stays put until its hidden
+    /// memory phase, stretched, outgrows it. Continuous at
+    /// `grant == demand` and monotone decreasing in the grant.
+    pub fn time_under_grant(&self, grant_gbps: f64) -> f64 {
+        if self.demand_gbps <= 0.0 || grant_gbps >= self.demand_gbps {
+            return self.time_ms;
+        }
+        assert!(
+            grant_gbps > 0.0,
+            "grant must be positive for a demanding item"
+        );
+        let s_bw = self.demand_gbps / grant_gbps;
+        // Launch overheads and aggregation slack: everything not explained
+        // by the two roofline portions.
+        let overhead = self.time_ms - self.mem_bound_ms - self.hidden_compute_ms;
+        overhead
+            + self.mem_bound_ms * s_bw
+            + self.hidden_compute_ms.max(self.hidden_mem_ms * s_bw)
+    }
+
+    /// Slowdown factor relative to standalone execution under `grant_gbps`.
+    pub fn slowdown_under_grant(&self, grant_gbps: f64) -> f64 {
+        self.time_under_grant(grant_gbps) / self.time_ms
+    }
+
+    /// Fraction of this item's standalone time that is memory-bound.
+    pub fn mem_bound_fraction(&self) -> f64 {
+        if self.time_ms <= 0.0 {
+            0.0
+        } else {
+            self.mem_bound_ms / self.time_ms
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pu::PuKind;
+    use haxconn_dnn::{LayerKind, TensorShape};
+
+    fn gpu() -> PuSpec {
+        PuSpec {
+            kind: PuKind::Gpu,
+            name: "gpu".into(),
+            peak_gflops: 10_000.0,
+            max_bw_gbps: 100.0,
+            onchip_kib: 4096.0,
+            launch_us: 4.0,
+            reformat_gbps: 40.0,
+        }
+    }
+
+    fn conv(c: usize, hw: usize, out_c: usize, k: usize) -> Layer {
+        let inp = TensorShape::chw(c, hw, hw);
+        Layer {
+            id: 0,
+            name: "conv".into(),
+            kind: LayerKind::Conv {
+                out_c,
+                kernel: (k, k),
+                stride: 1,
+                pad: (k / 2, k / 2),
+                groups: 1,
+            },
+            inputs: vec![],
+            input_shape: inp,
+            output_shape: inp.conv_out(out_c, k, 1, k / 2),
+        }
+    }
+
+    fn pool(c: usize, hw: usize) -> Layer {
+        let inp = TensorShape::chw(c, hw, hw);
+        Layer {
+            id: 0,
+            name: "pool".into(),
+            kind: LayerKind::Pool {
+                kind: haxconn_dnn::PoolKind::Max,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            inputs: vec![],
+            input_shape: inp,
+            output_shape: inp.pool_out(2, 2, 0),
+        }
+    }
+
+    #[test]
+    fn compute_bound_conv() {
+        let c = LayerCost::of(&conv(256, 56, 256, 3), &gpu());
+        assert!(c.compute_ms > c.mem_ms, "large conv should be compute bound");
+        assert!(c.time_ms >= c.compute_ms);
+        assert!(c.demand_gbps < 100.0 + 1e-9);
+        assert_eq!(c.mem_bound_ms, 0.0);
+        assert!(c.hidden_compute_ms > 0.0);
+        assert_eq!(c.mem_bound_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pool_is_memory_bound() {
+        let c = LayerCost::of(&pool(512, 56), &gpu());
+        assert!(c.mem_ms > c.compute_ms);
+        assert!(c.demand_gbps > 60.0);
+        assert!(c.mem_bound_fraction() > 0.9);
+    }
+
+    #[test]
+    fn grant_equal_to_demand_is_free() {
+        let c = LayerCost::of(&pool(512, 56), &gpu());
+        assert!((c.time_under_grant(c.demand_gbps) - c.time_ms).abs() < 1e-9);
+        assert_eq!(c.slowdown_under_grant(c.demand_gbps * 2.0), 1.0);
+    }
+
+    #[test]
+    fn time_under_grant_is_continuous_at_demand() {
+        let a = LayerCost::of(&conv(64, 56, 64, 3), &gpu());
+        let b = LayerCost::of(&pool(64, 56), &gpu());
+        let g = LayerCost::aggregate(&[a, b]);
+        let just_below = g.time_under_grant(g.demand_gbps * 0.999);
+        assert!(
+            (just_below - g.time_ms) / g.time_ms < 0.01,
+            "discontinuity: {} vs {}",
+            just_below,
+            g.time_ms
+        );
+    }
+
+    #[test]
+    fn halved_grant_roughly_doubles_memory_phase() {
+        let c = LayerCost::of(&pool(512, 56), &gpu());
+        let s = c.slowdown_under_grant(c.demand_gbps / 2.0);
+        assert!(s > 1.6 && s < 2.1, "slowdown {s}");
+    }
+
+    #[test]
+    fn compute_bound_layer_resists_contention() {
+        let c = LayerCost::of(&conv(256, 56, 256, 3), &gpu());
+        let s = c.slowdown_under_grant(c.demand_gbps / 2.0);
+        let mem_bound = LayerCost::of(&pool(512, 56), &gpu());
+        let s_mem = mem_bound.slowdown_under_grant(mem_bound.demand_gbps / 2.0);
+        assert!(s < s_mem, "compute-bound {s} should suffer less than {s_mem}");
+    }
+
+    #[test]
+    fn severe_contention_surfaces_hidden_memory() {
+        // Even a compute-bound layer eventually stretches when bandwidth
+        // collapses far enough.
+        let c = LayerCost::of(&conv(256, 56, 256, 3), &gpu());
+        let s = c.slowdown_under_grant(c.demand_gbps / 20.0);
+        assert!(s > 1.3, "starved compute-bound layer must stretch: {s}");
+    }
+
+    #[test]
+    fn monotone_in_grant() {
+        let a = LayerCost::of(&conv(64, 56, 64, 3), &gpu());
+        let b = LayerCost::of(&pool(256, 56), &gpu());
+        let g = LayerCost::aggregate(&[a, b]);
+        // Shrinking the grant must never shorten the item.
+        let mut prev = 0.0;
+        let mut grant = g.demand_gbps * 1.2;
+        while grant > 1.0 {
+            let t = g.time_under_grant(grant);
+            assert!(t >= prev - 1e-12, "not monotone at grant {grant}");
+            prev = t;
+            grant *= 0.7;
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_and_reweights() {
+        let a = LayerCost::of(&conv(64, 56, 64, 3), &gpu());
+        let b = LayerCost::of(&pool(64, 56), &gpu());
+        let g = LayerCost::aggregate(&[a, b]);
+        assert!((g.time_ms - (a.time_ms + b.time_ms)).abs() < 1e-12);
+        assert!((g.bytes - (a.bytes + b.bytes)).abs() < 1e-6);
+        assert!(g.demand_gbps > a.demand_gbps.min(b.demand_gbps));
+        assert!(g.demand_gbps < a.demand_gbps.max(b.demand_gbps));
+        assert!(
+            (g.mem_bound_ms + g.hidden_compute_ms) <= g.time_ms + 1e-12,
+            "roofline portions fit inside total time"
+        );
+    }
+
+    #[test]
+    fn mild_contention_on_aggregate_is_mild() {
+        // A group mixing compute- and memory-bound layers must not blow up
+        // under a 10% bandwidth haircut (the bug this decomposition fixes).
+        let costs: Vec<LayerCost> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    LayerCost::of(&conv(128, 28, 128, 3), &gpu())
+                } else {
+                    LayerCost::of(&pool(128, 28), &gpu())
+                }
+            })
+            .collect();
+        let g = LayerCost::aggregate(&costs);
+        let s = g.slowdown_under_grant(g.demand_gbps * 0.9);
+        assert!(s < 1.12, "10% bandwidth loss caused {s}x slowdown");
+    }
+
+    #[test]
+    fn pure_memory_item() {
+        let c = LayerCost::pure_memory(0.5, 10e6);
+        assert_eq!(c.compute_ms, 0.0);
+        assert!((c.demand_gbps - 20.0).abs() < 1e-9);
+        assert!((c.slowdown_under_grant(10.0) - 2.0).abs() < 1e-9);
+        let z = LayerCost::pure_memory(0.0, 0.0);
+        assert_eq!(z.demand_gbps, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn unsupported_layer_panics() {
+        let lrn = Layer {
+            id: 0,
+            name: "lrn".into(),
+            kind: LayerKind::Lrn,
+            inputs: vec![],
+            input_shape: TensorShape::chw(8, 8, 8),
+            output_shape: TensorShape::chw(8, 8, 8),
+        };
+        let dla = PuSpec {
+            kind: PuKind::Dla,
+            name: "dla".into(),
+            peak_gflops: 4000.0,
+            max_bw_gbps: 80.0,
+            onchip_kib: 512.0,
+            launch_us: 8.0,
+            reformat_gbps: 25.0,
+        };
+        LayerCost::of(&lrn, &dla);
+    }
+}

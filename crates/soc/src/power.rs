@@ -1,0 +1,182 @@
+//! Per-PU power and energy models.
+//!
+//! The paper optimizes latency/throughput; its closest prior work, AxoNN
+//! (DAC'22, same group), schedules layers under an *energy* budget. This
+//! module adds the energy dimension so the scheduler can reproduce that
+//! extension: each PU has a static (idle leakage while powered) and dynamic
+//! (per-FLOP and per-byte) power profile, calibrated to the magnitude of
+//! published Jetson board measurements.
+//!
+//! Energy of a schedule = Σ over PUs of static power × makespan + Σ over
+//! executed items of dynamic energy. DSAs exist because their pJ/FLOP is a
+//! fraction of a GPU's — which is exactly the trade-off an energy-aware
+//! objective exploits.
+
+use crate::platform::Platform;
+use crate::pu::PuKind;
+use serde::{Deserialize, Serialize};
+
+/// Power profile of one PU.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PowerSpec {
+    /// Static/idle power while the unit is powered, in watts.
+    pub static_w: f64,
+    /// Dynamic compute energy, picojoules per FLOP.
+    pub pj_per_flop: f64,
+    /// Dynamic memory energy, picojoules per byte moved over the EMC.
+    pub pj_per_byte: f64,
+}
+
+impl PowerSpec {
+    /// A representative profile for a PU class (magnitudes follow published
+    /// Jetson AGX measurements: GPU rails draw tens of watts, the DLA a few
+    /// watts at a third of the GPU's pJ/FLOP).
+    pub fn for_kind(kind: PuKind) -> PowerSpec {
+        match kind {
+            PuKind::Gpu => PowerSpec {
+                static_w: 4.5,
+                pj_per_flop: 1.6,
+                pj_per_byte: 45.0,
+            },
+            PuKind::Dla => PowerSpec {
+                static_w: 0.9,
+                pj_per_flop: 0.55,
+                pj_per_byte: 38.0,
+            },
+            PuKind::Dsp => PowerSpec {
+                static_w: 0.7,
+                pj_per_flop: 0.7,
+                pj_per_byte: 40.0,
+            },
+            PuKind::Cpu => PowerSpec {
+                static_w: 2.0,
+                pj_per_flop: 6.0,
+                pj_per_byte: 60.0,
+            },
+        }
+    }
+}
+
+/// The platform's power model: one [`PowerSpec`] per PU plus the DRAM
+/// rail's per-byte cost.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Per-PU profiles, indexed like `Platform::pus`.
+    pub pus: Vec<PowerSpec>,
+    /// DRAM/EMC rail energy per byte, picojoules (LPDDR5 ~ 4-8 pJ/bit).
+    pub dram_pj_per_byte: f64,
+}
+
+impl PowerModel {
+    /// Default model for a platform.
+    pub fn of(platform: &Platform) -> PowerModel {
+        PowerModel {
+            pus: platform
+                .pus
+                .iter()
+                .map(|p| PowerSpec::for_kind(p.kind))
+                .collect(),
+            dram_pj_per_byte: 40.0,
+        }
+    }
+
+    /// Dynamic energy of executing `flops` and moving `bytes` on PU `pu`,
+    /// in millijoules.
+    pub fn dynamic_mj(&self, pu: usize, flops: f64, bytes: f64) -> f64 {
+        let spec = &self.pus[pu];
+        (flops * spec.pj_per_flop + bytes * (spec.pj_per_byte + self.dram_pj_per_byte))
+            / 1e9
+    }
+
+    /// Static energy of keeping all PUs powered for `duration_ms`, in mJ.
+    pub fn static_mj(&self, duration_ms: f64) -> f64 {
+        self.pus.iter().map(|p| p.static_w).sum::<f64>() * duration_ms / 1e3
+    }
+}
+
+/// Energy accounting of one measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyReport {
+    /// Dynamic energy, mJ.
+    pub dynamic_mj: f64,
+    /// Static energy over the makespan, mJ.
+    pub static_mj: f64,
+    /// Average power over the run, W.
+    pub mean_power_w: f64,
+}
+
+impl EnergyReport {
+    /// Total energy, mJ.
+    pub fn total_mj(&self) -> f64 {
+        self.dynamic_mj + self.static_mj
+    }
+}
+
+impl EnergyReport {
+    /// Builds a report from already-accumulated dynamic energy and the
+    /// run's makespan.
+    pub fn from_parts(model: &PowerModel, dynamic_mj: f64, makespan_ms: f64) -> EnergyReport {
+        let static_mj = model.static_mj(makespan_ms);
+        let total = dynamic_mj + static_mj;
+        EnergyReport {
+            dynamic_mj,
+            static_mj,
+            mean_power_w: if makespan_ms > 0.0 {
+                total / makespan_ms // mJ / ms = W
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::orin_agx;
+
+    #[test]
+    fn dla_is_more_efficient_per_flop() {
+        let gpu = PowerSpec::for_kind(PuKind::Gpu);
+        let dla = PowerSpec::for_kind(PuKind::Dla);
+        assert!(dla.pj_per_flop < gpu.pj_per_flop / 2.0);
+        assert!(dla.static_w < gpu.static_w);
+    }
+
+    #[test]
+    fn dynamic_energy_scales_linearly() {
+        let p = orin_agx();
+        let m = PowerModel::of(&p);
+        let e1 = m.dynamic_mj(0, 1e9, 1e6);
+        let e2 = m.dynamic_mj(0, 2e9, 2e6);
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+        assert!(e1 > 0.0);
+    }
+
+    #[test]
+    fn gpu_flop_costs_more_than_dla_flop() {
+        let p = orin_agx();
+        let m = PowerModel::of(&p);
+        let gpu = m.dynamic_mj(p.gpu(), 1e9, 0.0);
+        let dla = m.dynamic_mj(p.dsa(), 1e9, 0.0);
+        assert!(gpu > 2.0 * dla);
+    }
+
+    #[test]
+    fn static_energy_proportional_to_time() {
+        let p = orin_agx();
+        let m = PowerModel::of(&p);
+        assert!((m.static_mj(10.0) - 10.0 * m.static_mj(1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plausible_magnitudes() {
+        // One GoogleNet-class inference: ~3.2 GFLOPs + ~60 MB traffic on
+        // the GPU should land in the single-digit-millijoule range
+        // (papers report ~5-30 mJ/inference on Jetson-class GPUs).
+        let p = orin_agx();
+        let m = PowerModel::of(&p);
+        let e = m.dynamic_mj(p.gpu(), 3.2e9, 60e6);
+        assert!(e > 1.0 && e < 60.0, "got {e} mJ");
+    }
+}

@@ -1,0 +1,311 @@
+//! Processing-unit models.
+//!
+//! Each PU is described by a handful of architectural parameters; per-layer
+//! execution behaviour is derived analytically in [`crate::cost`], using the
+//! efficiency and memory-amplification hooks defined here.
+
+use haxconn_dnn::{Layer, LayerKind};
+use serde::{Deserialize, Serialize};
+
+/// The class of a processing unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PuKind {
+    /// A general-purpose GPU (CUDA or Adreno class).
+    Gpu,
+    /// NVIDIA's deep learning accelerator (fixed-function conv pipeline).
+    Dla,
+    /// Qualcomm Hexagon-style DSP with tensor extensions.
+    Dsp,
+    /// Host CPU cores (runs the solver; not used for DNN layers here).
+    Cpu,
+}
+
+impl PuKind {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PuKind::Gpu => "GPU",
+            PuKind::Dla => "DLA",
+            PuKind::Dsp => "DSP",
+            PuKind::Cpu => "CPU",
+        }
+    }
+}
+
+impl std::fmt::Display for PuKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Index of a PU within its [`crate::platform::Platform`].
+pub type PuId = usize;
+
+/// Architectural description of one processing unit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PuSpec {
+    /// Class of the unit.
+    pub kind: PuKind,
+    /// Display name, e.g. `"Ampere iGPU"`.
+    pub name: String,
+    /// Peak dense FP16 throughput in GFLOP/s (tensor-core class for GPUs).
+    pub peak_gflops: f64,
+    /// Largest shared-memory bandwidth this PU can pull when running alone,
+    /// in GB/s (always below the EMC's total capacity).
+    pub max_bw_gbps: f64,
+    /// On-chip SRAM working-set buffer in KiB (weight/tile locality;
+    /// dominates DLA behaviour).
+    pub onchip_kib: f64,
+    /// Fixed per-layer dispatch overhead in microseconds.
+    pub launch_us: f64,
+    /// Bandwidth of cache-flush / tensor-reformat operations performed at
+    /// inter-PU transition points, in GB/s.
+    pub reformat_gbps: f64,
+}
+
+impl PuSpec {
+    /// Fraction of `peak_gflops` this PU achieves on `layer`.
+    ///
+    /// The shapes encoded here reproduce the paper's Section 3.2
+    /// observations:
+    /// * GPUs need large matrix operations to saturate — efficiency rises
+    ///   with layer FLOPs and with kernel size;
+    /// * DLAs saturate on small work but pay for kernels above 3x3 and for
+    ///   weight sets that spill their on-chip buffer;
+    /// * DLAs are ineffective on fully-connected layers (paper, Scenario 4:
+    ///   "DLA is generally less effective in running fully-connected
+    ///   layers").
+    pub fn efficiency(&self, layer: &Layer) -> f64 {
+        let mflops = layer.flops() as f64 / 1e6;
+        match (&self.kind, &layer.kind) {
+            (PuKind::Gpu, LayerKind::Conv { kernel, groups, .. }) => {
+                // Saturation half-point of ~8 MFLOP; mild bonus for larger
+                // kernels (more data reuse per output).
+                let sat = mflops / (mflops + 8.0);
+                let kernel_bonus = 1.0 + 0.05 * ((kernel.0 * kernel.1) as f64).sqrt().min(5.0);
+                // Depthwise convolutions utilize GPUs poorly.
+                let group_penalty = if *groups > 1 { 0.35 } else { 1.0 };
+                (0.55 * sat * kernel_bonus * group_penalty).min(0.85)
+            }
+            (PuKind::Gpu, LayerKind::FullyConnected { .. }) => 0.35,
+            (PuKind::Dla, LayerKind::Conv { kernel, groups, .. }) => {
+                // DLA saturates quickly (hard-wired pipeline)...
+                let sat = mflops / (mflops + 0.25);
+                // ...but its MAC array is tuned for <=3x3 kernels
+                // (paper Table 2: groups with small kernels have the lowest
+                // DLA/GPU ratios).
+                let k = kernel.0.max(kernel.1);
+                let kernel_penalty = match k {
+                    0..=3 => 1.0,
+                    4..=5 => 0.62,
+                    6..=7 => 0.45,
+                    _ => 0.30,
+                };
+                // Weights that spill the conv buffer stall the pipeline.
+                let wb_kib = layer.weight_bytes() as f64 / 1024.0;
+                let spill = if wb_kib > self.onchip_kib {
+                    (self.onchip_kib / wb_kib).sqrt().max(0.33)
+                } else {
+                    1.0
+                };
+                let group_penalty = if *groups > 1 { 0.5 } else { 1.0 };
+                0.62 * sat * kernel_penalty * spill * group_penalty
+            }
+            (PuKind::Dla, LayerKind::FullyConnected { .. }) => 0.04,
+            (PuKind::Dsp, LayerKind::Conv { kernel, groups, .. }) => {
+                let sat = mflops / (mflops + 3.0);
+                let k = kernel.0.max(kernel.1);
+                let kernel_penalty = if k > 3 { 0.7 } else { 1.0 };
+                let group_penalty = if *groups > 1 { 0.6 } else { 1.0 };
+                0.5 * sat * kernel_penalty * group_penalty
+            }
+            (PuKind::Dsp, LayerKind::FullyConnected { .. }) => 0.12,
+            (PuKind::Cpu, _) => 0.08,
+            // Memory-bound elementwise/pool/norm layers: compute efficiency
+            // barely matters (memory term dominates), keep a small constant.
+            (_, _) => 0.10,
+        }
+    }
+
+    /// Multiplier on a layer's shared-memory traffic on this PU.
+    ///
+    /// DLAs re-fetch tiles when the working set exceeds their buffer; GPUs
+    /// hide most of this in their cache hierarchy.
+    pub fn mem_amplification(&self, layer: &Layer) -> f64 {
+        match self.kind {
+            PuKind::Dla | PuKind::Dsp => {
+                let ws_kib =
+                    (layer.weight_bytes() + layer.input_bytes()) as f64 / 1024.0;
+                if ws_kib > self.onchip_kib {
+                    1.0 + 0.5 * (1.0 - self.onchip_kib / ws_kib)
+                } else {
+                    1.0
+                }
+            }
+            PuKind::Gpu => 1.0,
+            PuKind::Cpu => 1.25,
+        }
+    }
+
+    /// Whether this PU can execute `layer` at all.
+    ///
+    /// Mirrors real DLA/TensorRT restrictions (paper Section 3.1, rule 3):
+    /// the DLA has no LRN, softmax, or resize engines, so those layers pin
+    /// their group to the GPU.
+    pub fn supports(&self, layer: &Layer) -> bool {
+        match self.kind {
+            PuKind::Gpu => true,
+            PuKind::Dla => !matches!(
+                layer.kind,
+                LayerKind::Lrn | LayerKind::Softmax | LayerKind::Upsample { .. }
+            ),
+            PuKind::Dsp => !matches!(layer.kind, LayerKind::Upsample { .. }),
+            PuKind::Cpu => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haxconn_dnn::{ActKind, TensorShape};
+
+    fn gpu() -> PuSpec {
+        PuSpec {
+            kind: PuKind::Gpu,
+            name: "test-gpu".into(),
+            peak_gflops: 10_000.0,
+            max_bw_gbps: 150.0,
+            onchip_kib: 4096.0,
+            launch_us: 4.0,
+            reformat_gbps: 40.0,
+        }
+    }
+
+    fn dla() -> PuSpec {
+        PuSpec {
+            kind: PuKind::Dla,
+            name: "test-dla".into(),
+            peak_gflops: 4_000.0,
+            max_bw_gbps: 80.0,
+            onchip_kib: 512.0,
+            launch_us: 8.0,
+            reformat_gbps: 25.0,
+        }
+    }
+
+    fn conv(
+        c: usize,
+        hw: usize,
+        out_c: usize,
+        kernel: usize,
+    ) -> Layer {
+        let inp = TensorShape::chw(c, hw, hw);
+        Layer {
+            id: 0,
+            name: "conv".into(),
+            kind: LayerKind::Conv {
+                out_c,
+                kernel: (kernel, kernel),
+                stride: 1,
+                pad: (kernel / 2, kernel / 2),
+                groups: 1,
+            },
+            inputs: vec![],
+            input_shape: inp,
+            output_shape: inp.conv_out(out_c, kernel, 1, kernel / 2),
+        }
+    }
+
+    #[test]
+    fn gpu_efficiency_rises_with_layer_size() {
+        let small = conv(16, 14, 16, 3);
+        let big = conv(256, 56, 256, 3);
+        assert!(gpu().efficiency(&big) > gpu().efficiency(&small) * 1.5);
+    }
+
+    #[test]
+    fn dla_saturates_early() {
+        let small = conv(16, 14, 16, 3);
+        let big = conv(64, 56, 64, 3);
+        let d = dla();
+        let ratio = d.efficiency(&big) / d.efficiency(&small);
+        assert!(ratio < 1.4, "DLA should saturate quickly, ratio {ratio}");
+    }
+
+    #[test]
+    fn dla_penalizes_large_kernels() {
+        let k3 = conv(64, 28, 64, 3);
+        let k5 = conv(64, 28, 64, 5);
+        let d = dla();
+        assert!(d.efficiency(&k5) < d.efficiency(&k3) * 0.75);
+        // GPU is mildly *better* on larger kernels.
+        let g = gpu();
+        assert!(g.efficiency(&k5) >= g.efficiency(&k3) * 0.95);
+    }
+
+    #[test]
+    fn dla_spills_on_huge_weight_sets() {
+        let small_w = conv(64, 28, 64, 3); // 64*64*9*2B = 73 KiB
+        let big_w = conv(512, 14, 512, 3); // 512*512*9*2B = 4.6 MiB
+        let d = dla();
+        let amp_small = d.mem_amplification(&small_w);
+        let amp_big = d.mem_amplification(&big_w);
+        assert_eq!(amp_small, 1.0);
+        assert!(amp_big > 1.1 && amp_big < 1.55);
+    }
+
+    #[test]
+    fn fc_layers_avoid_dla() {
+        let fc = Layer {
+            id: 0,
+            name: "fc".into(),
+            kind: LayerKind::FullyConnected { out_features: 4096 },
+            inputs: vec![],
+            input_shape: TensorShape::flat(25088),
+            output_shape: TensorShape::flat(4096),
+        };
+        assert!(dla().efficiency(&fc) < gpu().efficiency(&fc) / 4.0);
+    }
+
+    #[test]
+    fn dla_rejects_unsupported_ops() {
+        let mk = |kind| Layer {
+            id: 0,
+            name: "x".into(),
+            kind,
+            inputs: vec![],
+            input_shape: TensorShape::chw(8, 8, 8),
+            output_shape: TensorShape::chw(8, 8, 8),
+        };
+        let d = dla();
+        assert!(!d.supports(&mk(LayerKind::Lrn)));
+        assert!(!d.supports(&mk(LayerKind::Softmax)));
+        assert!(!d.supports(&mk(LayerKind::Upsample { factor: 2 })));
+        assert!(d.supports(&mk(LayerKind::BatchNorm)));
+        assert!(d.supports(&mk(LayerKind::Activation(ActKind::Relu))));
+        assert!(gpu().supports(&mk(LayerKind::Lrn)));
+    }
+
+    #[test]
+    fn depthwise_conv_hurts_gpu_more_than_dsp() {
+        let inp = TensorShape::chw(256, 14, 14);
+        let dw = Layer {
+            id: 0,
+            name: "dw".into(),
+            kind: LayerKind::Conv {
+                out_c: 256,
+                kernel: (3, 3),
+                stride: 1,
+                pad: (1, 1),
+                groups: 256,
+            },
+            inputs: vec![],
+            input_shape: inp,
+            output_shape: inp,
+        };
+        let dense = conv(256, 14, 256, 3);
+        let g = gpu();
+        assert!(g.efficiency(&dw) < g.efficiency(&dense) * 0.5);
+    }
+}

@@ -1,0 +1,322 @@
+//! Parallel branch & bound: root splitting with a shared incumbent.
+//!
+//! The search tree is split at the first decision variable: each of its
+//! values becomes an independent subtree explored by its own worker thread.
+//! Workers share one incumbent bound behind a mutex, so a good solution
+//! found in one subtree immediately tightens pruning in all others.
+//!
+//! The *optimal cost* is identical to the sequential solver's; the returned
+//! assignment is made deterministic by resolving equal-cost ties toward the
+//! lexicographically smallest assignment, independent of thread timing.
+
+use crate::bb::{solve, BudgetState, SolveOptions, SolveStats, Solution};
+use crate::model::{Assignment, CostModel, PartialAssignment};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shared incumbent state.
+struct Incumbent {
+    best: Option<(Assignment, f64)>,
+}
+
+impl Incumbent {
+    /// Offers a candidate; keeps it if strictly better, or if equal-cost and
+    /// lexicographically smaller (deterministic tie-breaking).
+    fn offer(&mut self, a: &Assignment, c: f64) -> bool {
+        let better = match &self.best {
+            None => true,
+            Some((cur_a, cur_c)) => {
+                c < cur_c - 1e-12 || ((c - cur_c).abs() <= 1e-12 && a < cur_a)
+            }
+        };
+        if better {
+            self.best = Some((a.clone(), c));
+        }
+        better
+    }
+}
+
+/// A [`CostModel`] view of one root subtree: the first variable is fixed.
+struct Subtree<'a, M: CostModel> {
+    model: &'a M,
+    fixed: u32,
+    shared: &'a Mutex<Incumbent>,
+}
+
+impl<M: CostModel> Subtree<'_, M> {
+    fn widen(&self, partial: &PartialAssignment) -> Vec<Option<u32>> {
+        let mut full = Vec::with_capacity(partial.len() + 1);
+        full.push(Some(self.fixed));
+        full.extend_from_slice(partial);
+        full
+    }
+}
+
+impl<M: CostModel> CostModel for Subtree<'_, M> {
+    fn num_vars(&self) -> usize {
+        self.model.num_vars() - 1
+    }
+    fn domain(&self, var: usize) -> &[u32] {
+        self.model.domain(var + 1)
+    }
+    fn cost(&self, assignment: &Assignment) -> Option<f64> {
+        let mut full = Vec::with_capacity(assignment.len() + 1);
+        full.push(self.fixed);
+        full.extend_from_slice(assignment);
+        self.model.cost(&full)
+    }
+    fn bound(&self, partial: &PartialAssignment) -> f64 {
+        self.model.bound(&self.widen(partial))
+    }
+    fn prune(&self, partial: &PartialAssignment) -> bool {
+        if self.model.prune(&self.widen(partial)) {
+            return true;
+        }
+        // Cross-subtree pruning: the shared incumbent bounds this subtree.
+        let bound = self.model.bound(&self.widen(partial));
+        let shared = self.shared.lock().expect("incumbent lock");
+        match &shared.best {
+            Some((_, c)) => bound >= *c - 1e-12,
+            None => false,
+        }
+    }
+}
+
+/// Minimizes `model` with one worker thread per value of the first
+/// variable. Budgets in `opts` apply *per subtree*; incumbent callbacks are
+/// not supported here (use the sequential [`solve`] for anytime use).
+pub fn solve_parallel<M: CostModel + Sync>(model: &M, opts: &SolveOptions<'_>) -> Solution {
+    assert!(
+        opts.on_incumbent.is_none(),
+        "anytime callbacks are only supported by the sequential solver"
+    );
+    let n = model.num_vars();
+    if n == 0 {
+        return solve(model, SolveOptions::default());
+    }
+    let started = Instant::now();
+    let shared = Mutex::new(Incumbent {
+        best: opts
+            .initial_upper_bound
+            .map(|ub| (Vec::new(), ub)),
+    });
+    let root_domain: Vec<u32> = model.domain(0).to_vec();
+
+    let stats = Mutex::new(SolveStats {
+        nodes: 0,
+        leaves: 0,
+        pruned: 0,
+        elapsed: Duration::ZERO,
+        outcome: BudgetState::Exhausted,
+    });
+
+    std::thread::scope(|scope| {
+        for &v in &root_domain {
+            let shared = &shared;
+            let stats = &stats;
+            let node_budget = opts.node_budget;
+            let time_budget = opts.time_budget;
+            let bound_guided = opts.bound_guided_values;
+            scope.spawn(move || {
+                let sub = Subtree {
+                    model,
+                    fixed: v,
+                    shared,
+                };
+                let sol = solve(
+                    &sub,
+                    SolveOptions {
+                        node_budget,
+                        time_budget,
+                        bound_guided_values: bound_guided,
+                        // Subtrees observe the shared incumbent via prune();
+                        // a local callback publishes improvements.
+                        on_incumbent: Some(Box::new(|a: &Assignment, c: f64, _at| {
+                            let mut full = Vec::with_capacity(a.len() + 1);
+                            full.push(v);
+                            full.extend_from_slice(a);
+                            shared.lock().expect("incumbent lock").offer(&full, c);
+                        })),
+                        initial_upper_bound: None,
+                    },
+                );
+                // Publish the subtree's best too (callback already did, but
+                // the final offer also covers the initial_upper_bound path).
+                if let Some((a, c)) = sol.best {
+                    let mut full = Vec::with_capacity(a.len() + 1);
+                    full.push(v);
+                    full.extend_from_slice(&a);
+                    shared.lock().expect("incumbent lock").offer(&full, c);
+                }
+                let mut st = stats.lock().expect("stats lock");
+                st.nodes += sol.stats.nodes;
+                st.leaves += sol.stats.leaves;
+                st.pruned += sol.stats.pruned;
+                if sol.stats.outcome != BudgetState::Exhausted {
+                    st.outcome = sol.stats.outcome;
+                }
+            });
+        }
+    });
+
+    let best = shared
+        .into_inner()
+        .expect("incumbent lock")
+        .best
+        .filter(|(a, _)| !a.is_empty()); // drop a bare initial upper bound
+    let mut stats = stats.into_inner().expect("stats lock");
+    stats.elapsed = started.elapsed();
+    Solution { best, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::brute_force;
+
+    struct Wap {
+        weights: Vec<Vec<f64>>,
+        diffs: Vec<(usize, usize)>,
+    }
+
+    impl CostModel for Wap {
+        fn num_vars(&self) -> usize {
+            self.weights.len()
+        }
+        fn domain(&self, _var: usize) -> &[u32] {
+            &[0, 1, 2]
+        }
+        fn cost(&self, a: &Assignment) -> Option<f64> {
+            for &(i, j) in &self.diffs {
+                if a[i] == a[j] {
+                    return None;
+                }
+            }
+            Some(
+                a.iter()
+                    .enumerate()
+                    .map(|(i, &v)| self.weights[i][v as usize])
+                    .sum(),
+            )
+        }
+        fn bound(&self, partial: &PartialAssignment) -> f64 {
+            partial
+                .iter()
+                .enumerate()
+                .map(|(i, v)| match v {
+                    Some(v) => self.weights[i][*v as usize],
+                    None => self.weights[i]
+                        .iter()
+                        .cloned()
+                        .fold(f64::INFINITY, f64::min),
+                })
+                .sum()
+        }
+    }
+
+    fn instance(seed: u64, n: usize) -> Wap {
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 1000) as f64 / 100.0
+        };
+        Wap {
+            weights: (0..n).map(|_| (0..3).map(|_| next()).collect()).collect(),
+            diffs: (0..n - 1).map(|i| (i, i + 1)).collect(),
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_brute_force() {
+        for seed in 0..10 {
+            let m = instance(seed, 8);
+            let seq = solve(&m, SolveOptions::default());
+            let par = solve_parallel(&m, &SolveOptions::default());
+            let bf = brute_force(&m);
+            let c_seq = seq.best.as_ref().map(|b| b.1);
+            let c_par = par.best.as_ref().map(|b| b.1);
+            let c_bf = bf.as_ref().map(|b| b.1);
+            match (c_seq, c_par, c_bf) {
+                (Some(a), Some(b), Some(c)) => {
+                    assert!((a - b).abs() < 1e-9, "seed {seed}");
+                    assert!((a - c).abs() < 1e-9, "seed {seed}");
+                }
+                (None, None, None) => {}
+                other => panic!("seed {seed}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_result_is_deterministic() {
+        let m = instance(77, 9);
+        let a = solve_parallel(&m, &SolveOptions::default());
+        let b = solve_parallel(&m, &SolveOptions::default());
+        assert_eq!(a.best.as_ref().unwrap().0, b.best.as_ref().unwrap().0);
+        assert_eq!(a.best.as_ref().unwrap().1, b.best.as_ref().unwrap().1);
+    }
+
+    #[test]
+    fn infeasible_instance() {
+        let m = Wap {
+            weights: vec![vec![1.0; 3], vec![1.0; 3]],
+            diffs: vec![(0, 1), (1, 0)],
+        };
+        // Make it truly infeasible: same-value constraint both ways plus a
+        // domain of one shared value.
+        struct OneValue(Wap);
+        impl CostModel for OneValue {
+            fn num_vars(&self) -> usize {
+                self.0.num_vars()
+            }
+            fn domain(&self, _v: usize) -> &[u32] {
+                &[1]
+            }
+            fn cost(&self, a: &Assignment) -> Option<f64> {
+                self.0.cost(a)
+            }
+        }
+        let m = OneValue(m);
+        let par = solve_parallel(&m, &SolveOptions::default());
+        assert!(par.best.is_none());
+    }
+
+    #[test]
+    fn warm_upper_bound_respected() {
+        let m = instance(5, 7);
+        let opt = solve(&m, SolveOptions::default()).best.unwrap().1;
+        // A warm bound below the optimum prunes everything away.
+        let par = solve_parallel(
+            &m,
+            &SolveOptions {
+                initial_upper_bound: Some(opt - 1.0),
+                ..Default::default()
+            },
+        );
+        assert!(par.best.is_none());
+        // At the optimum + epsilon, it finds the optimum.
+        let par = solve_parallel(
+            &m,
+            &SolveOptions {
+                initial_upper_bound: Some(opt + 1e-6),
+                ..Default::default()
+            },
+        );
+        assert!((par.best.unwrap().1 - opt).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "anytime callbacks")]
+    fn rejects_callbacks() {
+        let m = instance(1, 4);
+        solve_parallel(
+            &m,
+            &SolveOptions {
+                on_incumbent: Some(Box::new(|_, _, _| {})),
+                ..Default::default()
+            },
+        );
+    }
+}

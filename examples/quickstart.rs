@@ -1,0 +1,69 @@
+//! Quickstart: schedule two concurrent DNNs on a simulated NVIDIA AGX Orin
+//! and compare HaX-CoNN against every baseline from the paper.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use haxconn::prelude::*;
+
+fn main() {
+    // 1. The target SoC and its calibrated contention model.
+    let platform = orin_agx();
+    let contention = ContentionModel::calibrate(&platform);
+    println!("platform: {}", platform.name);
+
+    // 2. Offline profiling (paper Sections 3.1-3.3): layer grouping,
+    //    per-group timing, transition and memory-throughput
+    //    characterization.
+    let workload = Workload::concurrent(vec![
+        DnnTask::new(
+            "GoogleNet",
+            NetworkProfile::profile(&platform, Model::GoogleNet, 10),
+        ),
+        DnnTask::new(
+            "ResNet101",
+            NetworkProfile::profile(&platform, Model::ResNet101, 10),
+        ),
+    ]);
+    for task in &workload.tasks {
+        println!(
+            "  {:10} {:4} layers -> {:2} groups",
+            task.name,
+            task.profile.grouped.network.len(),
+            task.num_groups()
+        );
+    }
+
+    // 3. Baselines, measured on the simulated SoC.
+    println!("\n{:<10} {:>10} {:>8}", "scheduler", "lat (ms)", "fps");
+    for &kind in BaselineKind::all() {
+        let a = Baseline::assignment(kind, &platform, &workload);
+        let m = measure(&platform, &workload, &a);
+        println!("{:<10} {:>10.2} {:>8.1}", kind.name(), m.latency_ms, m.fps);
+    }
+
+    // 4. HaX-CoNN's optimal contention-aware schedule.
+    let schedule = HaxConn::schedule(
+        &platform,
+        &workload,
+        &contention,
+        SchedulerConfig::default(),
+    );
+    let m = measure(&platform, &workload, &schedule.assignment);
+    println!("{:<10} {:>10.2} {:>8.1}", "HaX-CoNN", m.latency_ms, m.fps);
+    println!("\nschedule: {}", schedule.describe(&platform, &workload));
+    for tr in schedule.transitions(&workload) {
+        println!(
+            "  {}: transition after layer {} ({})",
+            workload.tasks[tr.task].name,
+            tr.after_layer,
+            Schedule::direction_label(&platform, &tr)
+        );
+    }
+
+    // 5. Execute the schedule with the concurrent (thread-per-DNN) runtime.
+    let run = execute(&platform, &workload, &schedule.assignment);
+    println!(
+        "\nthreaded execution: {:.2} ms makespan, EMC mean {:.1} GB/s, {} items",
+        run.makespan_ms, run.emc_mean_gbps, run.items_executed
+    );
+}

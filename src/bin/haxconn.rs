@@ -1,0 +1,17 @@
+//! The `haxconn` CLI binary (see `haxconn::cli` for the implementation).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match haxconn::cli::parse(&args).and_then(haxconn::cli::run) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", haxconn::cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

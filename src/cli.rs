@@ -1,0 +1,705 @@
+//! The `haxconn` command-line interface.
+//!
+//! A thin, dependency-free front end over the library: list platforms and
+//! models, profile networks, generate and compare schedules, run the
+//! energy-aware variant, and export execution traces. The parsing lives
+//! here (not in the binary) so it is unit-testable.
+
+use crate::prelude::*;
+use haxconn_core::{chrome_trace_json, energy_of, schedule_min_energy};
+use haxconn_soc::PowerModel;
+use std::fmt::Write as _;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `haxconn platforms`
+    Platforms,
+    /// `haxconn models`
+    Models,
+    /// `haxconn profile --platform P --model M [--groups N]`
+    Profile {
+        /// Target platform.
+        platform: PlatformId,
+        /// Model to profile.
+        model: Model,
+        /// Layer-group budget.
+        groups: usize,
+    },
+    /// `haxconn schedule --platform P --models A,B[,C] [--objective O]
+    /// [--pipeline] [--trace FILE]`
+    Schedule {
+        /// Target platform.
+        platform: PlatformId,
+        /// Concurrent models.
+        models: Vec<Model>,
+        /// Optimization objective.
+        objective: Objective,
+        /// Chain the models as a streaming pipeline.
+        pipeline: bool,
+        /// Optional Chrome-trace output path.
+        trace: Option<String>,
+        /// Render an ASCII Gantt chart of the measured run.
+        gantt: bool,
+    },
+    /// `haxconn energy --platform P --models A,B --budget-ms X`
+    Energy {
+        /// Target platform.
+        platform: PlatformId,
+        /// Concurrent models.
+        models: Vec<Model>,
+        /// Latency budget in milliseconds.
+        budget_ms: f64,
+    },
+    /// `haxconn inspect --model M [--layers]`
+    Inspect {
+        /// Model to describe.
+        model: Model,
+        /// Print the full per-layer table.
+        layers: bool,
+    },
+    /// `haxconn stream --platform P --models A,B --fps F [--buffers N]`
+    Stream {
+        /// Target platform.
+        platform: PlatformId,
+        /// Concurrent models.
+        models: Vec<Model>,
+        /// Camera rate in frames per second.
+        fps: f64,
+        /// Input queue capacity in frames.
+        buffers: usize,
+    },
+    /// `haxconn help`
+    Help,
+}
+
+/// A CLI error with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn parse_platform(s: &str) -> Result<PlatformId, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "orin" | "orin-agx" | "agx-orin" => Ok(PlatformId::OrinAgx),
+        "xavier" | "xavier-agx" | "agx-xavier" => Ok(PlatformId::XavierAgx),
+        "sd865" | "snapdragon" | "snapdragon865" | "qualcomm" => {
+            Ok(PlatformId::Snapdragon865)
+        }
+        other => Err(CliError(format!(
+            "unknown platform '{other}' (expected orin | xavier | sd865)"
+        ))),
+    }
+}
+
+fn parse_model(s: &str) -> Result<Model, CliError> {
+    Model::from_name(s)
+        .ok_or_else(|| CliError(format!("unknown model '{s}' (see `haxconn models`)")))
+}
+
+fn parse_models(s: &str) -> Result<Vec<Model>, CliError> {
+    let models: Result<Vec<Model>, CliError> = s.split(',').map(parse_model).collect();
+    let models = models?;
+    if models.is_empty() {
+        return Err(CliError("at least one model required".into()));
+    }
+    Ok(models)
+}
+
+/// Extracts `--flag value` pairs and standalone `--switch`es.
+struct Args<'a> {
+    rest: Vec<&'a str>,
+}
+
+impl<'a> Args<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Args {
+            rest: args.iter().map(String::as_str).collect(),
+        }
+    }
+
+    fn take_value(&mut self, flag: &str) -> Result<Option<&'a str>, CliError> {
+        if let Some(pos) = self.rest.iter().position(|a| *a == flag) {
+            if pos + 1 >= self.rest.len() {
+                return Err(CliError(format!("{flag} needs a value")));
+            }
+            let v = self.rest[pos + 1];
+            self.rest.drain(pos..=pos + 1);
+            Ok(Some(v))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn take_switch(&mut self, flag: &str) -> bool {
+        if let Some(pos) = self.rest.iter().position(|a| *a == flag) {
+            self.rest.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn finish(self) -> Result<(), CliError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(CliError(format!("unexpected arguments: {:?}", self.rest)))
+        }
+    }
+}
+
+/// Parses a full argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let mut a = Args::new(&args[1..]);
+    let parsed = match cmd.as_str() {
+        "platforms" => Command::Platforms,
+        "models" => Command::Models,
+        "profile" => {
+            let platform = parse_platform(
+                a.take_value("--platform")?
+                    .ok_or(CliError("--platform required".into()))?,
+            )?;
+            let model = parse_model(
+                a.take_value("--model")?
+                    .ok_or(CliError("--model required".into()))?,
+            )?;
+            let groups = match a.take_value("--groups")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --groups '{v}'")))?,
+                None => 10,
+            };
+            Command::Profile {
+                platform,
+                model,
+                groups,
+            }
+        }
+        "schedule" => {
+            let platform = parse_platform(
+                a.take_value("--platform")?
+                    .ok_or(CliError("--platform required".into()))?,
+            )?;
+            let models = parse_models(
+                a.take_value("--models")?
+                    .ok_or(CliError("--models required".into()))?,
+            )?;
+            let objective = match a.take_value("--objective")? {
+                None | Some("latency") => Objective::MinMaxLatency,
+                Some("throughput") | Some("fps") => Objective::MaxThroughput,
+                Some(other) => {
+                    return Err(CliError(format!(
+                        "unknown objective '{other}' (latency | throughput)"
+                    )))
+                }
+            };
+            let pipeline = a.take_switch("--pipeline");
+            let trace = a.take_value("--trace")?.map(str::to_string);
+            let gantt = a.take_switch("--gantt");
+            Command::Schedule {
+                platform,
+                models,
+                objective,
+                pipeline,
+                trace,
+                gantt,
+            }
+        }
+        "energy" => {
+            let platform = parse_platform(
+                a.take_value("--platform")?
+                    .ok_or(CliError("--platform required".into()))?,
+            )?;
+            let models = parse_models(
+                a.take_value("--models")?
+                    .ok_or(CliError("--models required".into()))?,
+            )?;
+            let budget_ms = a
+                .take_value("--budget-ms")?
+                .ok_or(CliError("--budget-ms required".into()))?
+                .parse()
+                .map_err(|_| CliError("bad --budget-ms".into()))?;
+            Command::Energy {
+                platform,
+                models,
+                budget_ms,
+            }
+        }
+        "inspect" => {
+            let model = parse_model(
+                a.take_value("--model")?
+                    .ok_or(CliError("--model required".into()))?,
+            )?;
+            let layers = a.take_switch("--layers");
+            Command::Inspect { model, layers }
+        }
+        "stream" => {
+            let platform = parse_platform(
+                a.take_value("--platform")?
+                    .ok_or(CliError("--platform required".into()))?,
+            )?;
+            let models = parse_models(
+                a.take_value("--models")?
+                    .ok_or(CliError("--models required".into()))?,
+            )?;
+            let fps = a
+                .take_value("--fps")?
+                .ok_or(CliError("--fps required".into()))?
+                .parse()
+                .map_err(|_| CliError("bad --fps".into()))?;
+            let buffers = match a.take_value("--buffers")? {
+                Some(v) => v.parse().map_err(|_| CliError("bad --buffers".into()))?,
+                None => 3,
+            };
+            Command::Stream {
+                platform,
+                models,
+                fps,
+                buffers,
+            }
+        }
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(CliError(format!("unknown command '{other}'"))),
+    };
+    a.finish()?;
+    Ok(parsed)
+}
+
+/// Usage text.
+pub const USAGE: &str = "haxconn — contention-aware concurrent DNN scheduling (PPoPP'24 reproduction)
+
+USAGE:
+  haxconn platforms
+  haxconn models
+  haxconn profile  --platform <orin|xavier|sd865> --model <NAME> [--groups N]
+  haxconn schedule --platform <P> --models <A,B[,C]> [--objective latency|throughput]
+                   [--pipeline] [--trace FILE.json] [--gantt]
+  haxconn energy   --platform <P> --models <A,B> --budget-ms <X>
+  haxconn inspect  --model <NAME> [--layers]
+  haxconn stream   --platform <P> --models <A,B> --fps <F> [--buffers N]
+";
+
+/// Executes a parsed command, returning the text to print.
+pub fn run(command: Command) -> Result<String, CliError> {
+    let mut out = String::new();
+    match command {
+        Command::Help => out.push_str(USAGE),
+        Command::Platforms => {
+            for id in PlatformId::all() {
+                let p = id.platform();
+                writeln!(out, "{} ({:?})", p.name, id).unwrap();
+                for pu in &p.pus {
+                    writeln!(
+                        out,
+                        "  {:3} {:<14} {:>8.0} GFLOP/s  {:>5.0} GB/s  {:>5.0} KiB buffer",
+                        pu.kind.label(),
+                        pu.name,
+                        pu.peak_gflops,
+                        pu.max_bw_gbps,
+                        pu.onchip_kib
+                    )
+                    .unwrap();
+                }
+                writeln!(
+                    out,
+                    "  EMC {:.1} GB/s (capacity {:.1})",
+                    p.emc.bandwidth_gbps,
+                    p.emc.capacity()
+                )
+                .unwrap();
+            }
+        }
+        Command::Models => {
+            writeln!(out, "{:<12} {:>7} {:>10} {:>10}", "model", "layers", "GFLOPs", "params(MB)")
+                .unwrap();
+            for &m in Model::all() {
+                let n = m.network();
+                writeln!(
+                    out,
+                    "{:<12} {:>7} {:>10.2} {:>10.1}",
+                    m.name(),
+                    n.len(),
+                    n.total_flops() as f64 / 1e9,
+                    n.total_weight_bytes() as f64 / 1e6
+                )
+                .unwrap();
+            }
+        }
+        Command::Profile {
+            platform,
+            model,
+            groups,
+        } => {
+            let p = platform.platform();
+            let prof = NetworkProfile::profile(&p, model, groups);
+            out.push_str(&serde_json::to_string_pretty(&prof).expect("serializable"));
+        }
+        Command::Schedule {
+            platform,
+            models,
+            objective,
+            pipeline,
+            trace,
+            gantt,
+        } => {
+            let p = platform.platform();
+            let contention = ContentionModel::calibrate(&p);
+            let tasks: Vec<DnnTask> = models
+                .iter()
+                .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 10)))
+                .collect();
+            let workload = if pipeline {
+                Workload::pipeline(tasks)
+            } else {
+                Workload::concurrent(tasks)
+            };
+            writeln!(out, "{:<10} {:>10} {:>9}", "scheduler", "lat (ms)", "fps").unwrap();
+            for &kind in BaselineKind::all() {
+                let a = Baseline::assignment(kind, &p, &workload);
+                let m = measure(&p, &workload, &a);
+                writeln!(out, "{:<10} {:>10.2} {:>9.1}", kind.name(), m.latency_ms, m.fps)
+                    .unwrap();
+            }
+            let s = HaxConn::schedule_validated(
+                &p,
+                &workload,
+                &contention,
+                SchedulerConfig::with_objective(objective),
+            );
+            let m = measure(&p, &workload, &s.assignment);
+            writeln!(out, "{:<10} {:>10.2} {:>9.1}", "HaX-CoNN", m.latency_ms, m.fps).unwrap();
+            writeln!(out, "\nschedule: {}", s.describe(&p, &workload)).unwrap();
+            if gantt {
+                writeln!(out, "\n{}", haxconn_core::render_gantt(&p, &workload, &s.assignment, &m, 72)).unwrap();
+            }
+            if let Some(path) = trace {
+                let json = chrome_trace_json(&p, &workload, &s.assignment, &m);
+                std::fs::write(&path, json)
+                    .map_err(|e| CliError(format!("writing {path}: {e}")))?;
+                writeln!(out, "trace written to {path} (open in Perfetto)").unwrap();
+            }
+        }
+            Command::Inspect { model, layers } => {
+            let net = model.network();
+            writeln!(
+                out,
+                "{}: {} layers, {:.2} GFLOPs, {:.1} MB parameters, input {}",
+                model.name(),
+                net.len(),
+                net.total_flops() as f64 / 1e9,
+                net.total_weight_bytes() as f64 / 1e6,
+                net.input_shape
+            )
+            .unwrap();
+            let kinds = net.layers.iter().fold(
+                std::collections::BTreeMap::<String, usize>::new(),
+                |mut acc, l| {
+                    let k = format!("{:?}", l.kind)
+                        .split([' ', '{', '('])
+                        .next()
+                        .unwrap_or("?")
+                        .to_string();
+                    *acc.entry(k).or_default() += 1;
+                    acc
+                },
+            );
+            writeln!(out, "layer kinds:").unwrap();
+            for (k, n) in kinds {
+                writeln!(out, "  {k:<16} {n}").unwrap();
+            }
+            if layers {
+                writeln!(
+                    out,
+                    "
+{:>5} {:<28} {:>14} {:>10} {:>10}",
+                    "id", "name", "out shape", "MFLOPs", "KB out"
+                )
+                .unwrap();
+                for l in &net.layers {
+                    writeln!(
+                        out,
+                        "{:>5} {:<28} {:>14} {:>10.2} {:>10.1}",
+                        l.id,
+                        if l.name.len() > 28 { &l.name[..28] } else { &l.name },
+                        l.output_shape.to_string(),
+                        l.flops() as f64 / 1e6,
+                        l.output_bytes() as f64 / 1e3
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        Command::Stream {
+            platform,
+            models,
+            fps,
+            buffers,
+        } => {
+            let p = platform.platform();
+            let contention = ContentionModel::calibrate(&p);
+            let workload = Workload::concurrent(
+                models
+                    .iter()
+                    .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 10)))
+                    .collect(),
+            );
+            let s = HaxConn::schedule_validated(
+                &p,
+                &workload,
+                &contention,
+                SchedulerConfig::default(),
+            );
+            // Steady-state per-frame service time from the concurrent loop
+            // executor.
+            let frames = 8;
+            let run = haxconn_runtime::execute_loop(&p, &workload, &s.assignment, frames);
+            let service_ms = run.makespan_ms / frames as f64;
+            let report = haxconn_runtime::simulate_stream(haxconn_runtime::StreamConfig {
+                period_ms: 1000.0 / fps,
+                service_ms,
+                queue_capacity: buffers,
+                frames: 1000,
+            });
+            writeln!(
+                out,
+                "schedule: {}
+per-frame service {:.2} ms vs period {:.2} ms",
+                s.describe(&p, &workload),
+                service_ms,
+                1000.0 / fps
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "1000-frame stream: processed {}, dropped {} ({:.1}%), mean latency {:.2} ms, worst {:.2} ms",
+                report.processed,
+                report.dropped,
+                100.0 * report.drop_rate(),
+                report.mean_latency_ms,
+                report.worst_latency_ms
+            )
+            .unwrap();
+        }
+        Command::Energy {
+            platform,
+            models,
+            budget_ms,
+        } => {
+            let p = platform.platform();
+            let contention = ContentionModel::calibrate(&p);
+            let power = PowerModel::of(&p);
+            let workload = Workload::concurrent(
+                models
+                    .iter()
+                    .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 10)))
+                    .collect(),
+            );
+            let fast = HaxConn::schedule(
+                &p,
+                &workload,
+                &contention,
+                SchedulerConfig::default(),
+            );
+            let fast_m = measure(&p, &workload, &fast.assignment);
+            let fast_e = energy_of(&workload, &fast.assignment, &power, fast_m.latency_ms);
+            writeln!(
+                out,
+                "latency-optimal : {:>7.2} ms  {:>7.2} mJ  ({:.1} W)",
+                fast_m.latency_ms,
+                fast_e.total_mj(),
+                fast_e.mean_power_w
+            )
+            .unwrap();
+            match schedule_min_energy(
+                &p,
+                &workload,
+                &contention,
+                &power,
+                budget_ms,
+                SchedulerConfig::default(),
+            ) {
+                Some(s) => {
+                    let m = measure(&p, &workload, &s.assignment);
+                    let e = energy_of(&workload, &s.assignment, &power, m.latency_ms);
+                    writeln!(
+                        out,
+                        "energy-optimal  : {:>7.2} ms  {:>7.2} mJ  ({:.1} W)  [budget {budget_ms} ms]",
+                        m.latency_ms,
+                        e.total_mj(),
+                        e.mean_power_w
+                    )
+                    .unwrap();
+                    writeln!(out, "\nschedule: {}", s.describe(&p, &workload)).unwrap();
+                }
+                None => {
+                    writeln!(out, "no schedule meets the {budget_ms} ms budget").unwrap()
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_platforms_and_models() {
+        assert_eq!(parse(&args("platforms")).unwrap(), Command::Platforms);
+        assert_eq!(parse(&args("models")).unwrap(), Command::Models);
+        assert_eq!(parse(&args("")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_profile() {
+        let c = parse(&args("profile --platform orin --model GoogleNet --groups 8")).unwrap();
+        assert_eq!(
+            c,
+            Command::Profile {
+                platform: PlatformId::OrinAgx,
+                model: Model::GoogleNet,
+                groups: 8
+            }
+        );
+        // Default group budget.
+        let c = parse(&args("profile --model vgg19 --platform xavier")).unwrap();
+        assert!(matches!(c, Command::Profile { groups: 10, .. }));
+    }
+
+    #[test]
+    fn parses_schedule_with_options() {
+        let c = parse(&args(
+            "schedule --platform sd865 --models GoogleNet,ResNet101 --objective throughput --pipeline --trace /tmp/t.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Schedule {
+                platform: PlatformId::Snapdragon865,
+                models: vec![Model::GoogleNet, Model::ResNet101],
+                objective: Objective::MaxThroughput,
+                pipeline: true,
+                trace: Some("/tmp/t.json".into()),
+                gantt: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!(parse(&args("schedule --platform mars --models GoogleNet"))
+            .unwrap_err()
+            .0
+            .contains("unknown platform"));
+        assert!(parse(&args("schedule --platform orin --models NopeNet"))
+            .unwrap_err()
+            .0
+            .contains("unknown model"));
+        assert!(parse(&args("schedule --platform orin"))
+            .unwrap_err()
+            .0
+            .contains("--models required"));
+        assert!(parse(&args("frobnicate")).unwrap_err().0.contains("unknown command"));
+        assert!(parse(&args("models --bogus"))
+            .unwrap_err()
+            .0
+            .contains("unexpected arguments"));
+    }
+
+    #[test]
+    fn parses_energy() {
+        let c = parse(&args(
+            "energy --platform orin --models GoogleNet,ResNet50 --budget-ms 12.5",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Energy {
+                platform: PlatformId::OrinAgx,
+                models: vec![Model::GoogleNet, Model::ResNet50],
+                budget_ms: 12.5
+            }
+        );
+    }
+
+    #[test]
+    fn run_listing_commands() {
+        let p = run(Command::Platforms).unwrap();
+        assert!(p.contains("Orin") && p.contains("EMC"));
+        let m = run(Command::Models).unwrap();
+        assert!(m.contains("GoogleNet") && m.contains("VGG19"));
+        assert!(run(Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn parses_inspect_and_stream() {
+        let c = parse(&args("inspect --model DenseNet --layers")).unwrap();
+        assert_eq!(
+            c,
+            Command::Inspect {
+                model: Model::DenseNet121,
+                layers: true
+            }
+        );
+        let c = parse(&args(
+            "stream --platform orin --models GoogleNet,ResNet18 --fps 30",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Stream {
+                platform: PlatformId::OrinAgx,
+                models: vec![Model::GoogleNet, Model::ResNet18],
+                fps: 30.0,
+                buffers: 3
+            }
+        );
+    }
+
+    #[test]
+    fn run_inspect_command() {
+        let out = run(Command::Inspect {
+            model: Model::GoogleNet,
+            layers: false,
+        })
+        .unwrap();
+        assert!(out.contains("141 layers"));
+        assert!(out.contains("Concat"));
+        let with_layers = run(Command::Inspect {
+            model: Model::AlexNet,
+            layers: true,
+        })
+        .unwrap();
+        assert!(with_layers.contains("conv1"));
+        assert!(with_layers.contains("fc8"));
+    }
+
+    #[test]
+    fn run_schedule_command_end_to_end() {
+        let out = run(Command::Schedule {
+            platform: PlatformId::OrinAgx,
+            models: vec![Model::GoogleNet, Model::ResNet18],
+            objective: Objective::MinMaxLatency,
+            pipeline: false,
+            trace: None,
+            gantt: true,
+        })
+        .unwrap();
+        assert!(out.contains("HaX-CoNN"));
+        assert!(out.contains("schedule:"));
+    }
+}

@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! # HaX-CoNN: shared-memory-contention-aware concurrent DNN execution
+//!
+//! A full Rust reproduction of *"Shared Memory-contention-aware Concurrent
+//! DNN Execution for Diversely Heterogeneous System-on-Chips"* (PPoPP
+//! 2024). This facade crate re-exports the whole stack; see `DESIGN.md` for
+//! the crate-by-crate inventory and `EXPERIMENTS.md` for the reproduced
+//! tables and figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use haxconn::prelude::*;
+//!
+//! // Target platform (simulated NVIDIA AGX Orin) and contention model.
+//! let platform = orin_agx();
+//! let contention = ContentionModel::calibrate(&platform);
+//!
+//! // Profile two DNNs offline (layer grouping + characterization).
+//! let workload = Workload::concurrent(vec![
+//!     DnnTask::new("GoogleNet", NetworkProfile::profile(&platform, Model::GoogleNet, 8)),
+//!     DnnTask::new("ResNet101", NetworkProfile::profile(&platform, Model::ResNet101, 8)),
+//! ]);
+//!
+//! // Find the optimal contention-aware schedule...
+//! let schedule = HaxConn::schedule(
+//!     &platform,
+//!     &workload,
+//!     &contention,
+//!     SchedulerConfig::default(),
+//! );
+//!
+//! // ...and measure it on the simulated SoC.
+//! let measured = measure(&platform, &workload, &schedule.assignment);
+//! assert!(measured.latency_ms > 0.0);
+//! println!("{}: {:.2} ms", schedule.describe(&platform, &workload), measured.latency_ms);
+//! ```
+
+pub mod cli;
+
+pub use haxconn_contention as contention;
+pub use haxconn_core as core;
+pub use haxconn_des as des;
+pub use haxconn_dnn as dnn;
+pub use haxconn_profiler as profiler;
+pub use haxconn_runtime as runtime;
+pub use haxconn_soc as soc;
+pub use haxconn_solver as solver;
+
+/// The most common imports, in one place.
+pub mod prelude {
+    pub use haxconn_contention::ContentionModel;
+    pub use haxconn_core::{
+        baselines::{Baseline, BaselineKind},
+        dynamic::DHaxConn,
+        measure::{measure, Measurement},
+        problem::{DnnTask, Objective, SchedulerConfig, Workload},
+        scheduler::{HaxConn, Schedule, ScheduleOrigin, Transition},
+        timeline::TimelineEvaluator,
+    };
+    pub use haxconn_dnn::{Model, Network, TensorShape};
+    pub use haxconn_profiler::NetworkProfile;
+    pub use haxconn_runtime::{execute, ExecutionReport};
+    pub use haxconn_soc::{
+        orin_agx, snapdragon_865, xavier_agx, Platform, PlatformId, PuId, PuKind,
+    };
+}

@@ -1,0 +1,173 @@
+//! Property-based tests on cross-crate invariants.
+
+use haxconn::prelude::*;
+use haxconn::soc::{simulate, Job, LayerCost, WorkItem};
+use proptest::prelude::*;
+
+/// Arbitrary synthetic work item on a 2-PU platform.
+fn arb_item() -> impl Strategy<Value = (usize, f64, f64, bool)> {
+    (
+        0usize..2,
+        0.05f64..5.0,   // standalone ms
+        1.0f64..140.0,  // demand GB/s
+        any::<bool>(),  // memory bound?
+    )
+}
+
+fn make_item(platform: &Platform, (pu, time, demand, mem_bound): (usize, f64, f64, bool)) -> WorkItem {
+    let demand = demand.min(platform.pu(pu).max_bw_gbps);
+    let bytes = demand * time * 1e6;
+    let cost = if mem_bound {
+        LayerCost::pure_memory(time, bytes)
+    } else {
+        LayerCost {
+            time_ms: time,
+            compute_ms: time * 0.95,
+            mem_ms: time * 0.4,
+            bytes,
+            demand_gbps: demand,
+            mem_bound_ms: 0.0,
+            hidden_compute_ms: time * 0.95,
+            hidden_mem_ms: time * 0.4,
+        }
+    };
+    WorkItem { pu, cost }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Simulator sanity for arbitrary job sets: makespan bounds, work
+    /// conservation, non-negative slowdowns, EMC within capacity.
+    #[test]
+    fn simulator_invariants(jobs_spec in prop::collection::vec(
+        prop::collection::vec(arb_item(), 1..5), 1..4)) {
+        let platform = orin_agx();
+        let jobs: Vec<Job> = jobs_spec
+            .iter()
+            .enumerate()
+            .map(|(i, items)| Job {
+                name: format!("j{i}"),
+                items: items.iter().map(|&s| make_item(&platform, s)).collect(),
+            })
+            .collect();
+        let total_standalone: f64 = jobs
+            .iter()
+            .flat_map(|j| j.items.iter())
+            .map(|i| i.cost.time_ms)
+            .sum();
+        let longest_chain: f64 = jobs
+            .iter()
+            .map(|j| j.items.iter().map(|i| i.cost.time_ms).sum::<f64>())
+            .fold(0.0, f64::max);
+
+        let r = simulate(&platform, &jobs, &[]);
+
+        // Makespan at least the longest chain, at most everything
+        // serialized with the worst-case contention stretch.
+        prop_assert!(r.makespan_ms >= longest_chain - 1e-9);
+        prop_assert!(r.makespan_ms <= total_standalone * 10.0 + 1e-9);
+        // Slowdowns never below 1 (within float noise).
+        for job in &r.items {
+            for t in job {
+                prop_assert!(t.slowdown >= 1.0 - 1e-6, "slowdown {}", t.slowdown);
+                prop_assert!(t.end_ms >= t.start_ms);
+            }
+        }
+        // EMC peak bounded by achievable capacity.
+        prop_assert!(r.emc_peak_gbps <= platform.emc.capacity() + 1e-6);
+        // Busy time per PU never exceeds the makespan.
+        for b in &r.pu_busy_ms {
+            prop_assert!(*b <= r.makespan_ms + 1e-9);
+        }
+    }
+
+    /// The EMC grant function: grants never exceed demands, never exceed
+    /// capacity in aggregate, and shrink (weakly) as external traffic grows.
+    #[test]
+    fn emc_grant_invariants(own in 0.5f64..160.0, ext in 0.0f64..250.0) {
+        let platform = orin_agx();
+        let g = platform.emc.grant(&[own, ext]);
+        prop_assert!(g[0] <= own + 1e-9);
+        prop_assert!(g[1] <= ext + 1e-9);
+        prop_assert!(g[0] + g[1] <= platform.emc.capacity() + 1e-9);
+        // Monotonicity in external traffic.
+        let g2 = platform.emc.grant(&[own, ext + 20.0]);
+        prop_assert!(g2[0] <= g[0] + 1e-9);
+    }
+
+    /// PCCS prediction brackets the ground truth within a bounded relative
+    /// error over its calibrated range.
+    #[test]
+    fn contention_model_error_bounded(own in 1.0f64..148.0, ext in 0.0f64..200.0) {
+        let platform = orin_agx();
+        let cm = ContentionModel::calibrate(&platform);
+        let truth = {
+            let g = platform.emc.grant_pair(own, ext);
+            if g <= 0.0 { 1.0 } else { (own / g).max(1.0) }
+        };
+        let pred = cm.bw_slowdown(0, own, ext);
+        let rel = (pred - truth).abs() / truth;
+        prop_assert!(rel < 0.15, "own {own} ext {ext}: pred {pred} truth {truth}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For random small workloads, the validated scheduler never loses to
+    /// any baseline (measured), and its assignment respects PU support.
+    #[test]
+    fn scheduler_never_worse_on_random_pairs(
+        a_idx in 0usize..6,
+        b_idx in 0usize..6,
+        objective in prop::bool::ANY,
+    ) {
+        let models = [
+            Model::AlexNet,
+            Model::GoogleNet,
+            Model::ResNet18,
+            Model::ResNet50,
+            Model::MobileNetV1,
+            Model::DenseNet121,
+        ];
+        let platform = orin_agx();
+        let contention = ContentionModel::calibrate(&platform);
+        let w = Workload::concurrent(vec![
+            DnnTask::new("a", NetworkProfile::profile(&platform, models[a_idx], 6)),
+            DnnTask::new("b", NetworkProfile::profile(&platform, models[b_idx], 6)),
+        ]);
+        let obj = if objective {
+            Objective::MinMaxLatency
+        } else {
+            Objective::MaxThroughput
+        };
+        let s = HaxConn::schedule_validated(
+            &platform,
+            &w,
+            &contention,
+            SchedulerConfig::with_objective(obj),
+        );
+        // Assignment validity.
+        for (t, row) in s.assignment.iter().enumerate() {
+            for (g, &pu) in row.iter().enumerate() {
+                prop_assert!(w.tasks[t].profile.groups[g].cost[pu].is_some());
+            }
+        }
+        let score = |assignment: &Vec<Vec<usize>>| {
+            let m = measure(&platform, &w, assignment);
+            match obj {
+                Objective::MinMaxLatency => m.latency_ms,
+                Objective::MaxThroughput => -m.fps,
+            }
+        };
+        let hax = score(&s.assignment);
+        for &kind in BaselineKind::all() {
+            let base = score(&Baseline::assignment(kind, &platform, &w));
+            prop_assert!(
+                hax <= base + 1e-9,
+                "{kind}: hax {hax} vs base {base}"
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based validation of the constraint solver against brute force,
+//! and of the layer-grouping invariants on arbitrary partition budgets.
+
+use haxconn::dnn::Model;
+use haxconn::profiler::grouping::{partition, valid_cuts};
+use haxconn::solver::{brute_force, solve, Assignment, CostModel, SolveOptions};
+use proptest::prelude::*;
+
+/// A random weighted-assignment instance with pairwise difference
+/// constraints (structurally the same shape as the scheduling encoding:
+/// per-variable costs + pair constraints).
+#[derive(Debug, Clone)]
+struct Instance {
+    weights: Vec<Vec<f64>>,
+    diffs: Vec<(usize, usize)>,
+}
+
+impl CostModel for Instance {
+    fn num_vars(&self) -> usize {
+        self.weights.len()
+    }
+    fn domain(&self, _var: usize) -> &[u32] {
+        &[0, 1, 2]
+    }
+    fn cost(&self, a: &Assignment) -> Option<f64> {
+        for &(i, j) in &self.diffs {
+            if a[i] == a[j] {
+                return None;
+            }
+        }
+        Some(
+            a.iter()
+                .enumerate()
+                .map(|(i, &v)| self.weights[i][v as usize])
+                .sum(),
+        )
+    }
+    fn bound(&self, partial: &[Option<u32>]) -> f64 {
+        partial
+            .iter()
+            .enumerate()
+            .map(|(i, v)| match v {
+                Some(v) => self.weights[i][*v as usize],
+                None => self.weights[i]
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min),
+            })
+            .sum()
+    }
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (2usize..7).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::collection::vec(0.0f64..10.0, 3), n),
+            prop::collection::vec((0..n, 0..n), 0..4),
+        )
+            .prop_map(|(weights, raw_diffs)| Instance {
+                weights,
+                diffs: raw_diffs
+                    .into_iter()
+                    .filter(|(i, j)| i != j)
+                    .collect(),
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Branch & bound finds exactly the brute-force optimum (or proves
+    /// infeasibility) on random instances.
+    #[test]
+    fn bb_matches_brute_force(inst in arb_instance()) {
+        let bb = solve(&inst, SolveOptions::default());
+        prop_assert!(bb.proven_optimal());
+        let bf = brute_force(&inst);
+        match (bf, bb.best) {
+            (Some((_, c_bf)), Some((a, c_bb))) => {
+                prop_assert!((c_bf - c_bb).abs() < 1e-9, "{c_bf} vs {c_bb}");
+                // The returned assignment really has that cost.
+                prop_assert!((inst.cost(&a).unwrap() - c_bb).abs() < 1e-9);
+            }
+            (None, None) => {}
+            (bf, bb) => prop_assert!(false, "disagree: {bf:?} vs {:?}", bb.map(|b| b.1)),
+        }
+    }
+
+    /// A node budget never yields a *better* cost than the full solve, and
+    /// any incumbent it returns is feasible.
+    #[test]
+    fn budgeted_solve_is_sound(inst in arb_instance(), budget in 1u64..200) {
+        let full = solve(&inst, SolveOptions::default());
+        let part = solve(
+            &inst,
+            SolveOptions { node_budget: Some(budget), ..Default::default() },
+        );
+        if let Some((a, c)) = part.best {
+            prop_assert!(inst.cost(&a).is_some());
+            let best = full.best.as_ref().expect("full solve found it too").1;
+            prop_assert!(c >= best - 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Layer grouping invariants hold for every model at every budget:
+    /// exhaustive, contiguous, within budget, and cutting only at valid
+    /// single-live-tensor points.
+    #[test]
+    fn grouping_invariants(model_idx in 0usize..14, budget in 1usize..16) {
+        let model = Model::all()[model_idx];
+        let net = model.network();
+        let groups = partition(&net, budget);
+        prop_assert!(groups.len() <= budget);
+        prop_assert_eq!(groups[0].start, 0);
+        prop_assert_eq!(groups.last().unwrap().end, net.len() - 1);
+        for w in groups.windows(2) {
+            prop_assert_eq!(w[1].start, w[0].end + 1);
+        }
+        let cuts = valid_cuts(&net);
+        for g in &groups[..groups.len() - 1] {
+            prop_assert!(
+                cuts.contains(&g.end),
+                "{model}: boundary {} is not a valid cut",
+                g.end
+            );
+        }
+    }
+}

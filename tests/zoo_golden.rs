@@ -1,0 +1,90 @@
+//! Golden structural tests for the model zoo: exact layer counts and key
+//! shape checkpoints, pinned so that builder refactors cannot silently
+//! change the networks the experiments run on.
+
+use haxconn::dnn::{LayerKind, Model, TensorShape};
+
+/// Pinned (layers, conv count, GFLOPs to 2 decimals) per model.
+const GOLDEN: &[(Model, usize, usize, f64)] = &[
+    (Model::AlexNet, 21, 5, 1.45),
+    (Model::CaffeNet, 21, 5, 2.27),
+    (Model::GoogleNet, 141, 57, 3.19),
+    (Model::Vgg16, 37, 13, 30.96),
+    (Model::Vgg19, 43, 16, 39.29),
+    (Model::ResNet18, 69, 20, 3.64),
+    (Model::ResNet50, 175, 53, 8.22),
+    (Model::ResNet101, 345, 104, 15.66),
+    (Model::ResNet152, 515, 155, 23.11),
+    (Model::InceptionV4, 338, 149, 24.57),
+    (Model::InceptionResNetV2, 580, 244, 28.45),
+    (Model::DenseNet121, 427, 120, 5.72),
+    (Model::MobileNetV1, 84, 27, 1.15),
+    (Model::FcnResNet18, 71, 22, 3.88),
+];
+
+#[test]
+fn layer_and_conv_counts_are_pinned() {
+    for &(model, layers, convs, gflops) in GOLDEN {
+        let net = model.network();
+        assert_eq!(net.len(), layers, "{model}: layer count");
+        let conv_count = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv { .. }))
+            .count();
+        assert_eq!(conv_count, convs, "{model}: conv count");
+        let g = net.total_flops() as f64 / 1e9;
+        assert!(
+            (g - gflops).abs() < 0.01,
+            "{model}: {g:.2} GFLOPs vs pinned {gflops:.2}"
+        );
+    }
+}
+
+#[test]
+fn classifier_feature_widths() {
+    let expect = [
+        (Model::GoogleNet, 1024),
+        (Model::ResNet18, 512),
+        (Model::ResNet50, 2048),
+        (Model::ResNet101, 2048),
+        (Model::ResNet152, 2048),
+        (Model::InceptionV4, 1536),
+        (Model::InceptionResNetV2, 2048),
+        (Model::DenseNet121, 1024),
+        (Model::MobileNetV1, 1024),
+    ];
+    for (model, width) in expect {
+        let net = model.network();
+        let fc = net
+            .layers
+            .iter()
+            .find(|l| matches!(l.kind, LayerKind::FullyConnected { .. }))
+            .unwrap_or_else(|| panic!("{model} has a classifier"));
+        assert_eq!(fc.input_shape.elems(), width, "{model}");
+    }
+}
+
+#[test]
+fn input_shapes() {
+    for &(model, ..) in GOLDEN {
+        let net = model.network();
+        let expect = match model {
+            Model::AlexNet | Model::CaffeNet => TensorShape::chw(3, 227, 227),
+            Model::InceptionV4 | Model::InceptionResNetV2 => TensorShape::chw(3, 299, 299),
+            _ => TensorShape::chw(3, 224, 224),
+        };
+        assert_eq!(net.input_shape, expect, "{model}");
+    }
+}
+
+#[test]
+fn every_network_ends_in_softmax() {
+    for &(model, ..) in GOLDEN {
+        let net = model.network();
+        assert!(
+            matches!(net.layers.last().unwrap().kind, LayerKind::Softmax),
+            "{model} must end with a softmax head"
+        );
+    }
+}
