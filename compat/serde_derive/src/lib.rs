@@ -1,0 +1,327 @@
+//! Syn-free `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-workspace serde shim (`compat/serde`).
+//!
+//! The container shares are restricted to what this workspace actually
+//! derives on:
+//!
+//! * structs with named fields (optionally with lifetime-only generics),
+//! * enums whose variants are unit, tuple, or struct-like.
+//!
+//! Field types never matter to the generated code — member serialization
+//! dispatches through the `serde::Serialize` / `serde::Deserialize` traits
+//! and lets inference pick the impl — so no type parsing (and no `syn`
+//! dependency, which an offline build could not fetch) is needed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Container {
+    name: String,
+    /// Verbatim generics, e.g. `<'a>` (empty when non-generic).
+    generics: String,
+    body: Body,
+}
+
+enum Body {
+    /// Named fields.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this arity.
+    Tuple(usize),
+    /// Struct variant with these field names.
+    Struct(Vec<String>),
+}
+
+/// Skips `#[...]` attribute pairs starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips `pub` / `pub(crate)`-style visibility starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a field/variant list on top-level commas (commas inside groups
+/// are invisible — groups are single tokens — so only `<`/`>` depth needs
+/// tracking, for types like `HashMap<K, V>`).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts the field name from one `vis name: Type` field chunk.
+fn field_name(chunk: &[TokenTree]) -> String {
+    let mut i = skip_attrs(chunk, 0);
+    i = skip_vis(chunk, i);
+    match &chunk[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected field name, found {other}"),
+    }
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let mut i = skip_attrs(chunk, 0);
+    i = skip_vis(chunk, i);
+    let name = match &chunk[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected variant name, found {other}"),
+    };
+    let kind = match chunk.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let elems: Vec<TokenTree> = g.stream().into_iter().collect();
+            VariantKind::Tuple(split_top_level(&elems).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            VariantKind::Struct(
+                split_top_level(&inner)
+                    .iter()
+                    .map(|f| field_name(f))
+                    .collect(),
+            )
+        }
+        _ => VariantKind::Unit,
+    };
+    Variant { name, kind }
+}
+
+fn parse(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let is_enum = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => false,
+        TokenTree::Ident(id) if id.to_string() == "enum" => true,
+        other => panic!("derive supports only structs and enums, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    // Verbatim generics (lifetimes only in this workspace).
+    let mut generics = String::new();
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        loop {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            generics.push_str(&tokens[i].to_string());
+            i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    let body_group = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g,
+            _ => i += 1, // skip `where` clauses etc. (unused here)
+        }
+    };
+    let inner: Vec<TokenTree> = body_group.stream().into_iter().collect();
+    let body = if is_enum {
+        Body::Enum(
+            split_top_level(&inner)
+                .iter()
+                .map(|v| parse_variant(v))
+                .collect(),
+        )
+    } else {
+        Body::Struct(
+            split_top_level(&inner)
+                .iter()
+                .map(|f| field_name(f))
+                .collect(),
+        )
+    };
+    Container {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse(input);
+    let mut out = String::new();
+    let (name, g) = (&c.name, &c.generics);
+    out.push_str(&format!(
+        "impl{g} ::serde::Serialize for {name}{g} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n"
+    ));
+    match &c.body {
+        Body::Struct(fields) => {
+            out.push_str("let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                out.push_str(&format!(
+                    "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            out.push_str("::serde::Value::Object(obj)\n");
+        }
+        Body::Enum(variants) => {
+            out.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pats = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {pats} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("}\n}\n");
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse(input);
+    let mut out = String::new();
+    let (name, g) = (&c.name, &c.generics);
+    out.push_str(&format!(
+        "impl{g} ::serde::Deserialize for {name}{g} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+    ));
+    match &c.body {
+        Body::Struct(fields) => {
+            out.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                out.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(v.field(\"{f}\"))?,\n"
+                ));
+            }
+            out.push_str("})\n");
+        }
+        Body::Enum(variants) => {
+            out.push_str("let (tag, payload) = v.variant()?;\nmatch tag {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!("::serde::Deserialize::from_value(payload.index({k}))?")
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({})),\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(payload.field(\"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::Error::msg(format!(\"unknown variant {{other}} of {name}\"))),\n}}\n"
+            ));
+        }
+    }
+    out.push_str("}\n}\n");
+    out.parse().expect("generated Deserialize impl parses")
+}

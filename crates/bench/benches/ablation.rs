@@ -8,11 +8,11 @@
 //! * transition-cost modeling on/off,
 //! * contention-model calibration grid resolution.
 //!
-//! Criterion measures the scheduling time per configuration; the schedule
+//! The runner measures the scheduling time per configuration; the schedule
 //! quality for each configuration is printed once at startup so the
 //! ablation table lands in the bench output.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use haxconn_bench::microbench::Runner;
 use haxconn_contention::ContentionModel;
 use haxconn_core::measure::measure;
 use haxconn_core::problem::{DnnTask, SchedulerConfig, Workload};
@@ -24,10 +24,7 @@ use std::hint::black_box;
 
 fn workload(platform: &haxconn_soc::Platform) -> Workload {
     Workload::concurrent(vec![
-        DnnTask::new(
-            "VGG19",
-            NetworkProfile::profile(platform, Model::Vgg19, 10),
-        ),
+        DnnTask::new("VGG19", NetworkProfile::profile(platform, Model::Vgg19, 10)),
         DnnTask::new(
             "ResNet152",
             NetworkProfile::profile(platform, Model::ResNet152, 10),
@@ -35,7 +32,8 @@ fn workload(platform: &haxconn_soc::Platform) -> Workload {
     ])
 }
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_args();
     let platform = xavier_agx();
     let contention = ContentionModel::calibrate(&platform);
     let w = workload(&platform);
@@ -55,8 +53,10 @@ fn bench_ablation(c: &mut Criterion) {
         &contention,
     );
     println!("  contention-aware objective : {aware:.2} ms");
-    println!("  contention-blind objective : {blind:.2} ms ({:+.1}%)",
-        100.0 * (blind - aware) / aware);
+    println!(
+        "  contention-blind objective : {blind:.2} ms ({:+.1}%)",
+        100.0 * (blind - aware) / aware
+    );
     for eps in [Some(0.05), Some(0.35), Some(1.0), None] {
         let q = quality(
             SchedulerConfig {
@@ -65,68 +65,64 @@ fn bench_ablation(c: &mut Criterion) {
             },
             &contention,
         );
-        println!("  epsilon = {:>8}        : {q:.2} ms", match eps {
-            Some(e) => format!("{e} ms"),
-            None => "relaxed".into(),
-        });
+        println!(
+            "  epsilon = {:>8}        : {q:.2} ms",
+            match eps {
+                Some(e) => format!("{e} ms"),
+                None => "relaxed".into(),
+            }
+        );
     }
-    for (nx, ny, label) in [(3, 3, "coarse 3x3"), (7, 9, "default 7x9"), (17, 21, "fine 17x21")] {
+    for (nx, ny, label) in [
+        (3, 3, "coarse 3x3"),
+        (7, 9, "default 7x9"),
+        (17, 21, "fine 17x21"),
+    ] {
         let cm = ContentionModel::calibrate_with_grid(&platform, nx, ny);
         let q = quality(SchedulerConfig::default(), &cm);
         println!("  calibration grid {label:>10}: {q:.2} ms");
     }
 
     // --- solver-time benches per configuration ---
-    c.bench_function("solve_contention_aware", |b| {
-        b.iter(|| {
-            black_box(HaxConn::schedule(
-                &platform,
-                &w,
-                &contention,
-                SchedulerConfig::default(),
-            ))
-        })
+    runner.bench("solve_contention_aware", || {
+        black_box(HaxConn::schedule(
+            &platform,
+            &w,
+            &contention,
+            SchedulerConfig::default(),
+        ))
     });
-    c.bench_function("solve_contention_blind", |b| {
-        b.iter(|| {
-            black_box(HaxConn::schedule(
-                &platform,
-                &w,
-                &contention,
-                SchedulerConfig {
-                    contention_aware: false,
-                    ..Default::default()
-                },
-            ))
-        })
+    runner.bench("solve_contention_blind", || {
+        black_box(HaxConn::schedule(
+            &platform,
+            &w,
+            &contention,
+            SchedulerConfig {
+                contention_aware: false,
+                ..Default::default()
+            },
+        ))
     });
-    c.bench_function("solve_relaxed_epsilon", |b| {
-        b.iter(|| {
-            black_box(HaxConn::schedule(
-                &platform,
-                &w,
-                &contention,
-                SchedulerConfig {
-                    epsilon_ms: None,
-                    ..Default::default()
-                },
-            ))
-        })
+    runner.bench("solve_relaxed_epsilon", || {
+        black_box(HaxConn::schedule(
+            &platform,
+            &w,
+            &contention,
+            SchedulerConfig {
+                epsilon_ms: None,
+                ..Default::default()
+            },
+        ))
     });
-    c.bench_function("solve_transition_budget_3", |b| {
-        b.iter(|| {
-            black_box(HaxConn::schedule(
-                &platform,
-                &w,
-                &contention,
-                SchedulerConfig {
-                    max_transitions_per_task: 3,
-                    ..Default::default()
-                },
-            ))
-        })
+    runner.bench("solve_transition_budget_3", || {
+        black_box(HaxConn::schedule(
+            &platform,
+            &w,
+            &contention,
+            SchedulerConfig {
+                max_transitions_per_task: 3,
+                ..Default::default()
+            },
+        ))
     });
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -1,43 +1,37 @@
-//! Criterion bench: PCCS-style contention model — calibration cost and
-//! prediction throughput (the model is queried once per contention segment
-//! per fixed-point iteration inside the evaluator).
+//! Bench: PCCS-style contention model — calibration cost and prediction
+//! throughput (the model is queried once per contention segment per
+//! fixed-point iteration inside the evaluator).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use haxconn_bench::microbench::Runner;
 use haxconn_contention::ContentionModel;
 use haxconn_soc::{orin_agx, LayerCost};
 use std::hint::black_box;
 
-fn bench_contention(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_args();
     let platform = orin_agx();
 
-    c.bench_function("calibrate_default_grid", |b| {
-        b.iter(|| black_box(ContentionModel::calibrate(&platform)))
+    runner.bench("calibrate_default_grid", || {
+        black_box(ContentionModel::calibrate(&platform))
     });
 
-    c.bench_function("calibrate_fine_grid", |b| {
-        b.iter(|| black_box(ContentionModel::calibrate_with_grid(&platform, 17, 21)))
+    runner.bench("calibrate_fine_grid", || {
+        black_box(ContentionModel::calibrate_with_grid(&platform, 17, 21))
     });
 
     let model = ContentionModel::calibrate(&platform);
-    c.bench_function("bw_slowdown_eval", |b| {
-        let mut x = 0.0f64;
-        b.iter(|| {
-            x += 1.0;
-            let own = 5.0 + (x % 30.0) * 4.0;
-            let ext = (x * 1.7) % 180.0;
-            black_box(model.bw_slowdown(0, own, ext))
-        })
+    let mut x = 0.0f64;
+    runner.bench("bw_slowdown_eval", || {
+        x += 1.0;
+        let own = 5.0 + (x % 30.0) * 4.0;
+        let ext = (x * 1.7) % 180.0;
+        black_box(model.bw_slowdown(0, own, ext))
     });
 
     let cost = LayerCost::pure_memory(0.5, 40e6);
-    c.bench_function("layer_slowdown_eval", |b| {
-        let mut x = 0.0f64;
-        b.iter(|| {
-            x += 1.0;
-            black_box(model.slowdown(0, &cost, (x * 3.1) % 180.0))
-        })
+    let mut y = 0.0f64;
+    runner.bench("layer_slowdown_eval", || {
+        y += 1.0;
+        black_box(model.slowdown(0, &cost, (y * 3.1) % 180.0))
     });
 }
-
-criterion_group!(benches, bench_contention);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion bench: HaX-CoNN end-to-end schedule generation time.
+//! Bench: HaX-CoNN end-to-end schedule generation time.
 //!
 //! The paper reports "Z3 takes under three seconds... for
 //! Inception-ResNet-v2 around ten seconds"; this bench tracks our solver's
 //! equivalent cost as a function of group count and workload size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haxconn_bench::microbench::Runner;
 use haxconn_contention::ContentionModel;
 use haxconn_core::problem::{DnnTask, SchedulerConfig, Workload};
 use haxconn_core::scheduler::HaxConn;
@@ -13,11 +13,11 @@ use haxconn_profiler::NetworkProfile;
 use haxconn_soc::orin_agx;
 use std::hint::black_box;
 
-fn bench_schedule(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_args();
     let platform = orin_agx();
     let contention = ContentionModel::calibrate(&platform);
 
-    let mut group = c.benchmark_group("schedule_pair");
     for groups in [4usize, 6, 8, 10] {
         let workload = Workload::concurrent(vec![
             DnnTask::new(
@@ -29,26 +29,17 @@ fn bench_schedule(c: &mut Criterion) {
                 NetworkProfile::profile(&platform, Model::ResNet101, groups),
             ),
         ]);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(groups),
-            &workload,
-            |b, w| {
-                b.iter(|| {
-                    black_box(HaxConn::schedule(
-                        &platform,
-                        w,
-                        &contention,
-                        SchedulerConfig::default(),
-                    ))
-                })
-            },
-        );
+        runner.bench(&format!("schedule_pair/{groups}"), || {
+            black_box(HaxConn::schedule(
+                &platform,
+                &workload,
+                &contention,
+                SchedulerConfig::default(),
+            ))
+        });
     }
-    group.finish();
 
     // The paper's hardest instance: the 580-node Inception-ResNet-v2.
-    let mut group = c.benchmark_group("schedule_giant");
-    group.sample_size(10);
     let workload = Workload::concurrent(vec![
         DnnTask::new(
             "Inc-res-v2",
@@ -59,18 +50,12 @@ fn bench_schedule(c: &mut Criterion) {
             NetworkProfile::profile(&platform, Model::ResNet152, 10),
         ),
     ]);
-    group.bench_function("inc_res_v2_pair", |b| {
-        b.iter(|| {
-            black_box(HaxConn::schedule(
-                &platform,
-                &workload,
-                &contention,
-                SchedulerConfig::default(),
-            ))
-        })
+    runner.bench("schedule_giant/inc_res_v2_pair", || {
+        black_box(HaxConn::schedule(
+            &platform,
+            &workload,
+            &contention,
+            SchedulerConfig::default(),
+        ))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_schedule);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion bench: ground-truth SoC simulator throughput — full-workload
+//! Bench: ground-truth SoC simulator throughput — full-workload
 //! measurement cost (one `measure` call = what every Table 6/8 data point
 //! costs) and raw event rate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haxconn_bench::microbench::Runner;
 use haxconn_core::baselines::{Baseline, BaselineKind};
 use haxconn_core::measure::measure;
 use haxconn_core::problem::{DnnTask, Workload};
@@ -11,7 +11,8 @@ use haxconn_profiler::NetworkProfile;
 use haxconn_soc::{orin_agx, simulate, Job, LayerCost, WorkItem};
 use std::hint::black_box;
 
-fn bench_simulator(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_args();
     let platform = orin_agx();
 
     // Full measurement path of a realistic pair.
@@ -26,12 +27,11 @@ fn bench_simulator(c: &mut Criterion) {
         ),
     ]);
     let assignment = Baseline::assignment(BaselineKind::NaiveSplit, &platform, &workload);
-    c.bench_function("measure_pair", |b| {
-        b.iter(|| black_box(measure(&platform, &workload, &assignment)))
+    runner.bench("measure_pair", || {
+        black_box(measure(&platform, &workload, &assignment))
     });
 
     // Raw event rate on synthetic jobs.
-    let mut group = c.benchmark_group("simulate_items");
     for &n in &[32usize, 128, 512] {
         let jobs: Vec<Job> = (0..4)
             .map(|j| Job {
@@ -47,12 +47,8 @@ fn bench_simulator(c: &mut Criterion) {
                     .collect(),
             })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
-            b.iter(|| black_box(simulate(&platform, jobs, &[])))
+        runner.bench(&format!("simulate_items/{n}"), || {
+            black_box(simulate(&platform, &jobs, &[]))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
-//! Criterion bench: throughput of the contention-interval timeline
-//! evaluator — the inner loop of the branch & bound solver, evaluated at
-//! every leaf.
+//! Bench: throughput of the contention-interval timeline evaluator — the
+//! inner loop of the branch & bound solver, evaluated at every leaf.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haxconn_bench::microbench::Runner;
 use haxconn_contention::ContentionModel;
 use haxconn_core::problem::{DnnTask, Workload};
 use haxconn_core::timeline::TimelineEvaluator;
@@ -11,11 +10,11 @@ use haxconn_profiler::NetworkProfile;
 use haxconn_soc::orin_agx;
 use std::hint::black_box;
 
-fn bench_timeline(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_args();
     let platform = orin_agx();
     let contention = ContentionModel::calibrate(&platform);
 
-    let mut group = c.benchmark_group("timeline_evaluate");
     for &n_tasks in &[2usize, 3, 4] {
         let models = [
             Model::GoogleNet,
@@ -26,9 +25,7 @@ fn bench_timeline(c: &mut Criterion) {
         let workload = Workload::concurrent(
             models[..n_tasks]
                 .iter()
-                .map(|&m| {
-                    DnnTask::new(m.name(), NetworkProfile::profile(&platform, m, 10))
-                })
+                .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&platform, m, 10)))
                 .collect(),
         );
         // A collaborative assignment: alternate tasks between PUs where
@@ -57,14 +54,8 @@ fn bench_timeline(c: &mut Criterion) {
             })
             .collect();
         let evaluator = TimelineEvaluator::new(&workload, &contention);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n_tasks),
-            &assignment,
-            |b, a| b.iter(|| black_box(evaluator.evaluate(a))),
-        );
+        runner.bench(&format!("timeline_evaluate/{n_tasks}"), || {
+            black_box(evaluator.evaluate(&assignment))
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_timeline);
-criterion_main!(benches);

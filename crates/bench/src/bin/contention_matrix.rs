@@ -4,20 +4,19 @@
 //! Generalizes Fig. 6 from one victim (GoogleNet) to all of the Table-8
 //! model set: cell (row, col) is the execution slowdown the ROW model
 //! (pinned to the GPU) suffers while the COLUMN model runs on the DLA,
-//! under naive co-location. The sweep is rayon-parallel.
+//! under naive co-location. The sweep fans out over all CPUs.
 //!
 //! Expected shapes: memory-heavy co-runners (VGG19, Inception) are the
 //! worst aggressors; compute-dense ones (CaffeNet) the mildest; the matrix
 //! is *not* symmetric — victimhood depends on the victim's own
 //! memory-boundedness.
 
-use haxconn_bench::profile;
+use haxconn_bench::{par_map, profile};
 use haxconn_core::measure::measure;
 use haxconn_core::problem::{DnnTask, Workload};
 use haxconn_dnn::Model;
 use haxconn_profiler::NetworkProfile;
 use haxconn_soc::xavier_agx;
-use rayon::prelude::*;
 
 fn main() {
     let platform = xavier_agx();
@@ -30,39 +29,35 @@ fn main() {
         Model::InceptionV4,
         Model::Vgg19,
     ];
-    let profiles: Vec<NetworkProfile> =
-        models.iter().map(|&m| profile(&platform, m)).collect();
+    let profiles: Vec<NetworkProfile> = models.iter().map(|&m| profile(&platform, m)).collect();
 
     let pairs: Vec<(usize, usize)> = (0..models.len())
         .flat_map(|v| (0..models.len()).map(move |a| (v, a)))
         .collect();
-    let cells: Vec<((usize, usize), f64)> = pairs
-        .par_iter()
-        .map(|&(victim, aggressor)| {
-            let w = Workload::concurrent(vec![
-                DnnTask::new("victim", profiles[victim].clone()),
-                DnnTask::new("aggressor", profiles[aggressor].clone()),
-            ]);
-            // Victim pinned to GPU; aggressor to DLA with GPU fallback.
-            let assignment = vec![
-                vec![platform.gpu(); w.tasks[0].num_groups()],
-                w.tasks[1]
-                    .profile
-                    .groups
-                    .iter()
-                    .map(|g| {
-                        if g.cost[platform.dsa()].is_some() {
-                            platform.dsa()
-                        } else {
-                            platform.gpu()
-                        }
-                    })
-                    .collect(),
-            ];
-            let m = measure(&platform, &w, &assignment);
-            ((victim, aggressor), m.task_slowdown[0])
-        })
-        .collect();
+    let cells: Vec<((usize, usize), f64)> = par_map(&pairs, |&(victim, aggressor)| {
+        let w = Workload::concurrent(vec![
+            DnnTask::new("victim", profiles[victim].clone()),
+            DnnTask::new("aggressor", profiles[aggressor].clone()),
+        ]);
+        // Victim pinned to GPU; aggressor to DLA with GPU fallback.
+        let assignment = vec![
+            vec![platform.gpu(); w.tasks[0].num_groups()],
+            w.tasks[1]
+                .profile
+                .groups
+                .iter()
+                .map(|g| {
+                    if g.cost[platform.dsa()].is_some() {
+                        platform.dsa()
+                    } else {
+                        platform.gpu()
+                    }
+                })
+                .collect(),
+        ];
+        let m = measure(&platform, &w, &assignment);
+        ((victim, aggressor), m.task_slowdown[0])
+    });
 
     println!(
         "Contention matrix on {} — victim (rows, on GPU) execution slowdown\nunder aggressor (cols, on DLA), naive co-location:\n",

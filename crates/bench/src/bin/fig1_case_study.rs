@@ -27,17 +27,26 @@ fn main() {
         DnnTask::new("ResNet101", profile(&platform, Model::ResNet101)),
     ]);
 
-    println!("Fig. 1 case study: VGG-19 + ResNet-101 on {}\n", platform.name);
+    println!(
+        "Fig. 1 case study: VGG-19 + ResNet-101 on {}\n",
+        platform.name
+    );
 
     // Case 1: serial on GPU.
     let case1 = Baseline::assignment(BaselineKind::GpuOnly, &platform, &workload);
     let m1 = measure(&platform, &workload, &case1);
-    println!("Case 1  serial GPU-only          : {:>6.2} ms", m1.latency_ms);
+    println!(
+        "Case 1  serial GPU-only          : {:>6.2} ms",
+        m1.latency_ms
+    );
 
     // Case 2: naive concurrent (whole-DNN split).
     let case2 = Baseline::assignment(BaselineKind::NaiveSplit, &platform, &workload);
     let m2 = measure(&platform, &workload, &case2);
-    println!("Case 2  naive concurrent (G+D)   : {:>6.2} ms", m2.latency_ms);
+    println!(
+        "Case 2  naive concurrent (G+D)   : {:>6.2} ms",
+        m2.latency_ms
+    );
 
     // Case 3: HaX-CoNN layer-level mapping.
     let schedule = HaxConn::schedule_validated(
@@ -47,7 +56,10 @@ fn main() {
         SchedulerConfig::with_objective(Objective::MinMaxLatency),
     );
     let m3 = measure(&platform, &workload, &schedule.assignment);
-    println!("Case 3  HaX-CoNN layer-level     : {:>6.2} ms", m3.latency_ms);
+    println!(
+        "Case 3  HaX-CoNN layer-level     : {:>6.2} ms",
+        m3.latency_ms
+    );
     println!(
         "\ntransitions: {}",
         transition_summary(&platform, &workload, &schedule)

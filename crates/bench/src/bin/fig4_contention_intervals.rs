@@ -71,9 +71,7 @@ fn main() {
             .map(|p| {
                 let co: Vec<&str> = all
                     .iter()
-                    .filter(|(n, q, o)| {
-                        n != name && q != pu && o.contains(0.5 * (p.start + p.end))
-                    })
+                    .filter(|(n, q, o)| n != name && q != pu && o.contains(0.5 * (p.start + p.end)))
                     .map(|(n, _, _)| n.as_str())
                     .collect();
                 format!(
@@ -109,6 +107,8 @@ fn main() {
             );
         }
     }
-    println!("\nmakespan {:.2} ms, EMC mean {:.1} GB/s (peak {:.1})",
-        result.makespan_ms, result.emc_mean_gbps, result.emc_peak_gbps);
+    println!(
+        "\nmakespan {:.2} ms, EMC mean {:.1} GB/s (peak {:.1})",
+        result.makespan_ms, result.emc_mean_gbps, result.emc_peak_gbps
+    );
 }

@@ -54,11 +54,7 @@ fn main() {
             println!("  t={ck:>5} ms   latency {lat:>8.2} ms{marker}");
         }
         let best = measure(&platform, &workload, &d.best().assignment).latency_ms;
-        let first_opt = d
-            .trace
-            .last()
-            .map(|i| i.at.as_secs_f64())
-            .unwrap_or(0.0);
+        let first_opt = d.trace.last().map(|i| i.at.as_secs_f64()).unwrap_or(0.0);
         println!(
             "  converged {best:.2} ms vs oracle {oracle_ms:.2} ms ({} incumbents, last at {:.3} s, optimal proven: {})\n",
             d.trace.len(),

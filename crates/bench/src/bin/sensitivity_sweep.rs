@@ -34,12 +34,8 @@ fn gain_on(platform: &Platform) -> (f64, f64) {
         let a = Baseline::assignment(kind, platform, &workload);
         best = best.min(measure(platform, &workload, &a).latency_ms);
     }
-    let s = HaxConn::schedule_validated(
-        platform,
-        &workload,
-        &contention,
-        SchedulerConfig::default(),
-    );
+    let s =
+        HaxConn::schedule_validated(platform, &workload, &contention, SchedulerConfig::default());
     let hax = measure(platform, &workload, &s.assignment).latency_ms;
     (hax, 100.0 * (best - hax) / best)
 }

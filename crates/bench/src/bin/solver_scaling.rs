@@ -1,0 +1,312 @@
+//! Solver scaling bench: the work-stealing frontier-split solver vs the
+//! root-splitting solver it replaced.
+//!
+//! The predecessor split the tree at the first variable only (one thread
+//! per root value — here 3), took a mutex on **every** node to read the
+//! shared incumbent, re-derived the bound twice per node, and allocated a
+//! widened partial-assignment `Vec` per bound/prune call. That design is
+//! reimplemented below, verbatim in structure, as the baseline.
+//!
+//! Output is JSON: wall time, nodes/sec, and time-to-optimal (solve
+//! clock at which the final incumbent appeared) for both solvers, plus
+//! the speedup ratios. Exits non-zero if the two solvers disagree on the
+//! optimum or the speedup target (≥2×) is missed, so the claim stays
+//! machine-checked.
+//!
+//! Usage: `solver_scaling [num_vars] [threads]` (defaults: 13 vars, all
+//! CPUs).
+
+use haxconn_solver::{
+    solve, solve_parallel_with, Assignment, CostModel, ParallelOptions, PartialAssignment,
+    Solution, SolveOptions,
+};
+use serde::Serialize;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Weighted assignment with difference constraints — the same shape as
+/// the scheduling encoding (per-variable costs + pair constraints), sized
+/// to make the search tree deep enough to be worth parallelizing.
+struct Wap {
+    weights: Vec<Vec<f64>>,
+    diffs: Vec<(usize, usize)>,
+}
+
+impl CostModel for Wap {
+    fn num_vars(&self) -> usize {
+        self.weights.len()
+    }
+    fn domain(&self, _var: usize) -> &[u32] {
+        &[0, 1, 2]
+    }
+    fn cost(&self, a: &Assignment) -> Option<f64> {
+        for &(i, j) in &self.diffs {
+            if a[i] == a[j] {
+                return None;
+            }
+        }
+        Some(
+            a.iter()
+                .enumerate()
+                .map(|(i, &v)| self.weights[i][v as usize])
+                .sum(),
+        )
+    }
+    fn bound(&self, partial: &PartialAssignment) -> f64 {
+        partial
+            .iter()
+            .enumerate()
+            .map(|(i, v)| match v {
+                Some(v) => self.weights[i][*v as usize],
+                None => self.weights[i]
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min),
+            })
+            .sum()
+    }
+}
+
+fn instance(seed: u64, n: usize) -> Wap {
+    let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % 1000) as f64 / 100.0
+    };
+    Wap {
+        weights: (0..n).map(|_| (0..3).map(|_| next()).collect()).collect(),
+        diffs: (0..n - 1).map(|i| (i, i + 1)).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The seed root-splitting solver, reproduced as the baseline.
+// ---------------------------------------------------------------------
+
+struct SeedIncumbent {
+    best: Option<(Assignment, f64)>,
+    last_improvement: Duration,
+    started: Instant,
+}
+
+impl SeedIncumbent {
+    fn offer(&mut self, a: &Assignment, c: f64) {
+        let better = match &self.best {
+            None => true,
+            Some((cur_a, cur_c)) => c < cur_c - 1e-12 || ((c - cur_c).abs() <= 1e-12 && a < cur_a),
+        };
+        if better {
+            self.best = Some((a.clone(), c));
+            self.last_improvement = self.started.elapsed();
+        }
+    }
+}
+
+/// One root subtree: first variable fixed. Bound/prune widen the partial
+/// into a fresh `Vec` per call and read the incumbent under a mutex per
+/// node — exactly the costs the new solver was built to remove.
+struct Subtree<'a, M: CostModel> {
+    model: &'a M,
+    fixed: u32,
+    shared: &'a Mutex<SeedIncumbent>,
+}
+
+impl<M: CostModel> Subtree<'_, M> {
+    fn widen(&self, partial: &PartialAssignment) -> Vec<Option<u32>> {
+        let mut full = Vec::with_capacity(partial.len() + 1);
+        full.push(Some(self.fixed));
+        full.extend_from_slice(partial);
+        full
+    }
+}
+
+impl<M: CostModel> CostModel for Subtree<'_, M> {
+    fn num_vars(&self) -> usize {
+        self.model.num_vars() - 1
+    }
+    fn domain(&self, var: usize) -> &[u32] {
+        self.model.domain(var + 1)
+    }
+    fn cost(&self, assignment: &Assignment) -> Option<f64> {
+        let mut full = Vec::with_capacity(assignment.len() + 1);
+        full.push(self.fixed);
+        full.extend_from_slice(assignment);
+        self.model.cost(&full)
+    }
+    fn bound(&self, partial: &PartialAssignment) -> f64 {
+        self.model.bound(&self.widen(partial))
+    }
+    fn prune(&self, partial: &PartialAssignment) -> bool {
+        if self.model.prune(&self.widen(partial)) {
+            return true;
+        }
+        let bound = self.model.bound(&self.widen(partial));
+        let shared = self.shared.lock().expect("incumbent lock");
+        match &shared.best {
+            Some((_, c)) => bound >= *c - 1e-12,
+            None => false,
+        }
+    }
+}
+
+struct SeedRun {
+    best: Option<(Assignment, f64)>,
+    nodes: u64,
+    wall: Duration,
+    time_to_optimal: Duration,
+}
+
+fn solve_root_split<M: CostModel + Sync>(model: &M) -> SeedRun {
+    let started = Instant::now();
+    let shared = Mutex::new(SeedIncumbent {
+        best: None,
+        last_improvement: Duration::ZERO,
+        started,
+    });
+    let nodes = Mutex::new(0u64);
+    let root_domain: Vec<u32> = model.domain(0).to_vec();
+    std::thread::scope(|scope| {
+        for &v in &root_domain {
+            let shared = &shared;
+            let nodes = &nodes;
+            scope.spawn(move || {
+                let sub = Subtree {
+                    model,
+                    fixed: v,
+                    shared,
+                };
+                let sol = solve(
+                    &sub,
+                    SolveOptions {
+                        on_incumbent: Some(Box::new(|a: &Assignment, c, _at| {
+                            let mut full = Vec::with_capacity(a.len() + 1);
+                            full.push(v);
+                            full.extend_from_slice(a);
+                            shared.lock().expect("incumbent lock").offer(&full, c);
+                        })),
+                        ..Default::default()
+                    },
+                );
+                *nodes.lock().expect("nodes lock") += sol.stats.nodes;
+            });
+        }
+    });
+    let wall = started.elapsed();
+    let inc = shared.into_inner().expect("incumbent lock");
+    SeedRun {
+        best: inc.best,
+        nodes: nodes.into_inner().expect("nodes lock"),
+        wall,
+        time_to_optimal: inc.last_improvement,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct SolverReport {
+    wall_ms: f64,
+    nodes: u64,
+    nodes_per_sec: f64,
+    time_to_optimal_ms: f64,
+    cost: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    num_vars: usize,
+    domain_size: usize,
+    threads: usize,
+    split_items: String,
+    seed_root_split: SolverReport,
+    work_stealing: SolverReport,
+    speedup_wall: f64,
+    speedup_nodes_per_sec: f64,
+    optima_bit_identical: bool,
+}
+
+fn report(
+    best: &Option<(Assignment, f64)>,
+    nodes: u64,
+    wall: Duration,
+    tto: Duration,
+) -> SolverReport {
+    SolverReport {
+        wall_ms: wall.as_secs_f64() * 1e3,
+        nodes,
+        nodes_per_sec: nodes as f64 / wall.as_secs_f64(),
+        time_to_optimal_ms: tto.as_secs_f64() * 1e3,
+        cost: best.as_ref().map(|b| b.1).unwrap_or(f64::NAN),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("num_vars"))
+        .unwrap_or(13);
+    let threads: usize = args
+        .next()
+        .map(|a| a.parse().expect("threads"))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        });
+    let m = instance(4242, n);
+
+    // Warm both paths once so first-touch effects don't skew either side.
+    let _ = solve(&instance(1, 8), SolveOptions::default());
+
+    let old = solve_root_split(&m);
+
+    let started = Instant::now();
+    let mut tto = Duration::ZERO;
+    let new: Solution = solve_parallel_with(
+        &m,
+        SolveOptions {
+            on_incumbent: Some(Box::new(|_, _, at| tto = at)),
+            ..Default::default()
+        },
+        &ParallelOptions {
+            threads,
+            split_depth: None,
+        },
+    );
+    let new_wall = started.elapsed();
+
+    let old_bits = old.best.as_ref().map(|b| b.1.to_bits());
+    let new_bits = new.best.as_ref().map(|b| b.1.to_bits());
+    let identical = old_bits == new_bits;
+
+    let seed_report = report(&old.best, old.nodes, old.wall, old.time_to_optimal);
+    let new_report = report(&new.best, new.stats.nodes, new_wall, tto);
+    let speedup_wall = seed_report.wall_ms / new_report.wall_ms;
+    let speedup_rate = new_report.nodes_per_sec / seed_report.nodes_per_sec;
+    let out = Report {
+        num_vars: n,
+        domain_size: 3,
+        threads,
+        split_items: format!("auto (≥{} per worker)", 8),
+        seed_root_split: seed_report,
+        work_stealing: new_report,
+        speedup_wall,
+        speedup_nodes_per_sec: speedup_rate,
+        optima_bit_identical: identical,
+    };
+    println!("{}", serde_json::to_string_pretty(&out).expect("serialize"));
+
+    if !identical {
+        eprintln!("FAIL: solvers disagree on the optimum");
+        std::process::exit(1);
+    }
+    if speedup_wall < 2.0 {
+        eprintln!("FAIL: wall-clock speedup {speedup_wall:.2}x < 2x target");
+        std::process::exit(1);
+    }
+}

@@ -57,11 +57,7 @@ fn main() {
             gp.emc_util_pct[gpu],
         );
     }
-    let ratios: Vec<f64> = prof
-        .dsa_gpu_ratio(gpu, dla)
-        .into_iter()
-        .flatten()
-        .collect();
+    let ratios: Vec<f64> = prof.dsa_gpu_ratio(gpu, dla).into_iter().flatten().collect();
     let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = ratios.iter().cloned().fold(0.0f64, f64::max);
     println!(

@@ -44,16 +44,66 @@ fn experiments() -> Vec<Experiment> {
     use Objective::*;
     use Scenario::*;
     vec![
-        Experiment { id: 1, goal: MinMaxLatency, platform: xavier_agx(), scenario: Parallel(vec![Vgg19, ResNet152]) },
-        Experiment { id: 2, goal: MinMaxLatency, platform: xavier_agx(), scenario: Parallel(vec![ResNet152, InceptionV4]) },
-        Experiment { id: 3, goal: MaxThroughput, platform: xavier_agx(), scenario: Pipeline(AlexNet, ResNet101) },
-        Experiment { id: 4, goal: MaxThroughput, platform: xavier_agx(), scenario: Pipeline(ResNet101, GoogleNet) },
-        Experiment { id: 5, goal: MinMaxLatency, platform: xavier_agx(), scenario: Hybrid(GoogleNet, ResNet152, FcnResNet18) },
-        Experiment { id: 6, goal: MinMaxLatency, platform: orin_agx(), scenario: Parallel(vec![Vgg19, ResNet152]) },
-        Experiment { id: 7, goal: MaxThroughput, platform: orin_agx(), scenario: Pipeline(GoogleNet, ResNet101) },
-        Experiment { id: 8, goal: MinMaxLatency, platform: orin_agx(), scenario: Hybrid(ResNet101, GoogleNet, InceptionV4) },
-        Experiment { id: 9, goal: MaxThroughput, platform: snapdragon_865(), scenario: Pipeline(GoogleNet, ResNet101) },
-        Experiment { id: 10, goal: MinMaxLatency, platform: snapdragon_865(), scenario: Parallel(vec![InceptionV4, ResNet152]) },
+        Experiment {
+            id: 1,
+            goal: MinMaxLatency,
+            platform: xavier_agx(),
+            scenario: Parallel(vec![Vgg19, ResNet152]),
+        },
+        Experiment {
+            id: 2,
+            goal: MinMaxLatency,
+            platform: xavier_agx(),
+            scenario: Parallel(vec![ResNet152, InceptionV4]),
+        },
+        Experiment {
+            id: 3,
+            goal: MaxThroughput,
+            platform: xavier_agx(),
+            scenario: Pipeline(AlexNet, ResNet101),
+        },
+        Experiment {
+            id: 4,
+            goal: MaxThroughput,
+            platform: xavier_agx(),
+            scenario: Pipeline(ResNet101, GoogleNet),
+        },
+        Experiment {
+            id: 5,
+            goal: MinMaxLatency,
+            platform: xavier_agx(),
+            scenario: Hybrid(GoogleNet, ResNet152, FcnResNet18),
+        },
+        Experiment {
+            id: 6,
+            goal: MinMaxLatency,
+            platform: orin_agx(),
+            scenario: Parallel(vec![Vgg19, ResNet152]),
+        },
+        Experiment {
+            id: 7,
+            goal: MaxThroughput,
+            platform: orin_agx(),
+            scenario: Pipeline(GoogleNet, ResNet101),
+        },
+        Experiment {
+            id: 8,
+            goal: MinMaxLatency,
+            platform: orin_agx(),
+            scenario: Hybrid(ResNet101, GoogleNet, InceptionV4),
+        },
+        Experiment {
+            id: 9,
+            goal: MaxThroughput,
+            platform: snapdragon_865(),
+            scenario: Pipeline(GoogleNet, ResNet101),
+        },
+        Experiment {
+            id: 10,
+            goal: MinMaxLatency,
+            platform: snapdragon_865(),
+            scenario: Parallel(vec![InceptionV4, ResNet152]),
+        },
     ]
 }
 
@@ -67,7 +117,11 @@ fn build_workload(platform: &Platform, scenario: &Scenario) -> (Workload, usize,
                     .map(|&m| DnnTask::new(m.name(), profile(platform, m)))
                     .collect(),
             );
-            let desc = models.iter().map(|m| m.name()).collect::<Vec<_>>().join(" || ");
+            let desc = models
+                .iter()
+                .map(|m| m.name())
+                .collect::<Vec<_>>()
+                .join(" || ");
             (w, 1, desc)
         }
         Scenario::Pipeline(a, b) => {
@@ -92,7 +146,11 @@ fn build_workload(platform: &Platform, scenario: &Scenario) -> (Workload, usize,
                 DnnTask::new(c.name(), profile(platform, *c)),
             ])
             .with_dep(0, 1);
-            (w, 1, format!("{} -> {} || {}", a.name(), b.name(), c.name()))
+            (
+                w,
+                1,
+                format!("{} -> {} || {}", a.name(), b.name(), c.name()),
+            )
         }
     }
 }

@@ -36,7 +36,10 @@ fn main() {
         "Table 7 — solver-on-CPU overhead while AlexNet runs on the DLA and a\npartner DNN runs on the GPU ({}):\n",
         platform.name
     );
-    println!("{:<12} {:>10} {:>12} {:>9}", "partner", "base (ms)", "+solver (ms)", "overhead");
+    println!(
+        "{:<12} {:>10} {:>12} {:>9}",
+        "partner", "base (ms)", "+solver (ms)", "overhead"
+    );
     for m in partners {
         let workload = Workload::concurrent(vec![
             DnnTask::new("AlexNet", alexnet.clone()),

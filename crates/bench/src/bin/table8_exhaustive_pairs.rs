@@ -11,13 +11,13 @@
 //! over the makespan.
 //!
 //! The 55 pair-scheduling problems are independent, so the sweep fans out
-//! with rayon.
+//! across all CPUs.
 //!
 //! Shapes to reproduce: pairs involving GoogleNet improve; several VGG19
 //! pairs fall back (`x`, DLA-hostile); the large majority of pairs improve
 //! by modest factors (paper: 1.04x–1.32x, 35 of 45 pairs).
 
-use haxconn_bench::profile;
+use haxconn_bench::{par_map, profile};
 use haxconn_contention::ContentionModel;
 use haxconn_core::baselines::{Baseline, BaselineKind};
 use haxconn_core::measure::measure;
@@ -26,7 +26,6 @@ use haxconn_core::scheduler::HaxConn;
 use haxconn_dnn::Model;
 use haxconn_profiler::NetworkProfile;
 use haxconn_soc::orin_agx;
-use rayon::prelude::*;
 
 struct Cell {
     i: usize,
@@ -58,58 +57,53 @@ fn main() {
     let models = Model::table8_set();
 
     // Profile each model once, reuse across pairs.
-    let profiles: Vec<NetworkProfile> =
-        models.iter().map(|&m| profile(&platform, m)).collect();
+    let profiles: Vec<NetworkProfile> = models.iter().map(|&m| profile(&platform, m)).collect();
 
     let pairs: Vec<(usize, usize)> = (0..models.len())
         .flat_map(|i| (0..=i).map(move |j| (i, j)))
         .collect();
 
-    let cells: Vec<Cell> = pairs
-        .par_iter()
-        .map(|&(i, j)| {
-            // Balance iterations by standalone GPU time (cap at 4 to keep
-            // the workload realistic for the multi-sensor use cases the
-            // paper cites).
-            let ti = profiles[i].standalone_ms(platform.gpu()).unwrap();
-            let tj = profiles[j].standalone_ms(platform.gpu()).unwrap();
-            let (si, sj) = if ti >= tj { (i, j) } else { (j, i) };
-            let iters = ((ti.max(tj) / ti.min(tj)).round() as usize).clamp(1, 4);
-            let workload = balanced_workload(
-                (models[si].name(), &profiles[si]),
-                (models[sj].name(), &profiles[sj]),
-                iters,
-            );
-            let frames = (1 + iters) as f64;
-            let throughput = |latency_ms: f64| 1000.0 * frames / latency_ms;
+    let cells: Vec<Cell> = par_map(&pairs, |&(i, j)| {
+        // Balance iterations by standalone GPU time (cap at 4 to keep
+        // the workload realistic for the multi-sensor use cases the
+        // paper cites).
+        let ti = profiles[i].standalone_ms(platform.gpu()).unwrap();
+        let tj = profiles[j].standalone_ms(platform.gpu()).unwrap();
+        let (si, sj) = if ti >= tj { (i, j) } else { (j, i) };
+        let iters = ((ti.max(tj) / ti.min(tj)).round() as usize).clamp(1, 4);
+        let workload = balanced_workload(
+            (models[si].name(), &profiles[si]),
+            (models[sj].name(), &profiles[sj]),
+            iters,
+        );
+        let frames = (1 + iters) as f64;
+        let throughput = |latency_ms: f64| 1000.0 * frames / latency_ms;
 
-            let mut best_name = String::new();
-            let mut best_tp = 0.0f64;
-            for &kind in BaselineKind::all() {
-                let a = Baseline::assignment(kind, &platform, &workload);
-                let tp = throughput(measure(&platform, &workload, &a).latency_ms);
-                if tp > best_tp {
-                    best_tp = tp;
-                    best_name = kind.name().into();
-                }
+        let mut best_name = String::new();
+        let mut best_tp = 0.0f64;
+        for &kind in BaselineKind::all() {
+            let a = Baseline::assignment(kind, &platform, &workload);
+            let tp = throughput(measure(&platform, &workload, &a).latency_ms);
+            if tp > best_tp {
+                best_tp = tp;
+                best_name = kind.name().into();
             }
-            let schedule = HaxConn::schedule_validated(
-                &platform,
-                &workload,
-                &contention,
-                SchedulerConfig::with_objective(Objective::MinMaxLatency),
-            );
-            let hax_tp =
-                throughput(measure(&platform, &workload, &schedule.assignment).latency_ms);
-            let f = hax_tp / best_tp;
-            Cell {
-                i,
-                j,
-                best_name,
-                factor: if f > 1.005 { Some(f) } else { None },
-            }
-        })
-        .collect();
+        }
+        let schedule = HaxConn::schedule_validated(
+            &platform,
+            &workload,
+            &contention,
+            SchedulerConfig::with_objective(Objective::MinMaxLatency),
+        );
+        let hax_tp = throughput(measure(&platform, &workload, &schedule.assignment).latency_ms);
+        let f = hax_tp / best_tp;
+        Cell {
+            i,
+            j,
+            best_name,
+            factor: if f > 1.005 { Some(f) } else { None },
+        }
+    });
 
     // Render the lower-triangular matrix.
     println!(
@@ -118,7 +112,10 @@ fn main() {
     );
     print!("{:<14}", "");
     for (j, m) in models.iter().enumerate() {
-        print!("{:>10}", format!("{}-{}", j + 1, &m.name()[..m.name().len().min(6)]));
+        print!(
+            "{:>10}",
+            format!("{}-{}", j + 1, &m.name()[..m.name().len().min(6)])
+        );
     }
     println!();
     for (i, m) in models.iter().enumerate() {
@@ -138,6 +135,7 @@ fn main() {
     }
     let wins = cells.iter().filter(|c| c.factor.is_some()).count();
     println!(
-        "\nHaX-CoNN improves {wins}/{} pairs; the rest fall back to the best baseline (x)."
-    , cells.len());
+        "\nHaX-CoNN improves {wins}/{} pairs; the rest fall back to the best baseline (x).",
+        cells.len()
+    );
 }

@@ -21,6 +21,8 @@
 //! | `sensitivity_sweep` | extension — gain vs DSA speed / bandwidth / interference |
 //! | `contention_matrix` | extension — pairwise who-hurts-whom slowdowns |
 
+pub mod microbench;
+
 use haxconn_contention::ContentionModel;
 use haxconn_core::baselines::{Baseline, BaselineKind};
 use haxconn_core::measure::{measure, Measurement};
@@ -33,6 +35,37 @@ use haxconn_soc::Platform;
 /// Default layer-group budget used across the experiments (Table 2 uses 10
 /// groups for GoogleNet).
 pub const GROUPS: usize = 10;
+
+/// Maps `f` over `items` on all available CPUs, preserving order.
+///
+/// Stand-in for rayon's `par_iter().map().collect()` (the offline build
+/// cannot fetch rayon — README § Offline builds): scoped worker threads
+/// pull indices from a shared atomic cursor, so long-running items load-
+/// balance just like a work-stealing pool on these embarrassingly
+/// parallel sweeps.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let out: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *out[i].lock().expect("slot lock") = Some(f(&items[i]));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.into_inner().expect("slot lock").expect("slot filled"))
+        .collect()
+}
 
 /// Profiles `model` on `platform` with the standard group budget.
 pub fn profile(platform: &Platform, model: Model) -> NetworkProfile {
@@ -119,11 +152,7 @@ pub fn improvement_pct(old: f64, new: f64) -> f64 {
 
 /// Renders the paper's "TR / Dir." schedule summary (transition layer ids
 /// and directions per task).
-pub fn transition_summary(
-    platform: &Platform,
-    workload: &Workload,
-    schedule: &Schedule,
-) -> String {
+pub fn transition_summary(platform: &Platform, workload: &Workload, schedule: &Schedule) -> String {
     let trs = schedule.transitions(workload);
     if trs.is_empty() {
         return "0 (single-PU)".to_string();

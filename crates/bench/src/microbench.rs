@@ -1,0 +1,110 @@
+//! Minimal micro-benchmark harness for the `benches/` targets.
+//!
+//! The offline build environment cannot fetch Criterion (README
+//! § Offline builds), so the bench targets use this self-contained
+//! runner instead. It keeps Criterion's two execution modes:
+//!
+//! * `cargo bench` passes `--bench` → full mode: warm up, sample until a
+//!   time/iteration cap, report min / median / mean per benchmark;
+//! * `cargo test` runs the target with no arguments → smoke mode: each
+//!   closure executes once so the bench code stays compile- and
+//!   run-checked, without burning CI time on timing loops.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark sampling caps in full mode.
+const MAX_SAMPLES: usize = 30;
+const MAX_SAMPLING_TIME: Duration = Duration::from_secs(2);
+const WARMUP_ITERS: usize = 2;
+
+/// A bench runner; construct with [`Runner::from_args`] in `main`.
+pub struct Runner {
+    full: bool,
+}
+
+impl Runner {
+    /// Detects the execution mode from the command line (`cargo bench`
+    /// passes `--bench`; `cargo test` does not).
+    pub fn from_args() -> Self {
+        Runner {
+            full: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+
+    /// Runs one benchmark. The closure's result is black-boxed so the
+    /// optimizer cannot delete the measured work.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        if !self.full {
+            black_box(f());
+            println!("{name}: ok (smoke mode; run `cargo bench` for timings)");
+            return;
+        }
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(MAX_SAMPLES);
+        let sampling_started = Instant::now();
+        while samples.len() < MAX_SAMPLES
+            && (samples.is_empty() || sampling_started.elapsed() < MAX_SAMPLING_TIME)
+        {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed().as_secs_f64());
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{name}: min {} | median {} | mean {} ({} samples)",
+            fmt_secs(min),
+            fmt_secs(median),
+            fmt_secs(mean),
+            samples.len()
+        );
+    }
+}
+
+/// Human-scale duration formatting (ns/µs/ms/s).
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_closure_once() {
+        let runner = Runner { full: false };
+        let mut calls = 0;
+        runner.bench("counter", || calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn full_mode_samples_and_reports() {
+        let runner = Runner { full: true };
+        let mut calls = 0;
+        runner.bench("counter", || calls += 1);
+        assert!(calls > WARMUP_ITERS);
+        assert!(calls <= WARMUP_ITERS + MAX_SAMPLES);
+    }
+
+    #[test]
+    fn durations_format_at_every_scale() {
+        assert!(fmt_secs(5e-9).ends_with("ns"));
+        assert!(fmt_secs(5e-6).ends_with("µs"));
+        assert!(fmt_secs(5e-3).ends_with("ms"));
+        assert!(fmt_secs(5.0).ends_with("s"));
+    }
+}

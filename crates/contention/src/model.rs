@@ -105,7 +105,11 @@ impl ContentionModel {
                     let ext = platform.emc.bandwidth_gbps * j as f64 / probes as f64;
                     let truth = {
                         let g = platform.emc.grant_pair(own, ext);
-                        if g <= 0.0 { 1.0 } else { (own / g).max(1.0) }
+                        if g <= 0.0 {
+                            1.0
+                        } else {
+                            (own / g).max(1.0)
+                        }
                     };
                     let pred = self.bw_slowdown(pu_id, own, ext);
                     let rel = (pred - truth).abs() / truth;
@@ -258,9 +262,6 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let m2: ContentionModel = serde_json::from_str(&json).unwrap();
         assert_eq!(m2.num_pus(), m.num_pus());
-        assert_eq!(
-            m.bw_slowdown(0, 77.0, 66.0),
-            m2.bw_slowdown(0, 77.0, 66.0)
-        );
+        assert_eq!(m.bw_slowdown(0, 77.0, 66.0), m2.bw_slowdown(0, 77.0, 66.0));
     }
 }

@@ -67,11 +67,9 @@ mod tests {
     use super::*;
 
     fn plane() -> PiecewiseSurface {
-        PiecewiseSurface::fit(
-            vec![0.0, 10.0, 20.0],
-            vec![0.0, 5.0, 10.0],
-            |x, y| 2.0 * x + 3.0 * y + 1.0,
-        )
+        PiecewiseSurface::fit(vec![0.0, 10.0, 20.0], vec![0.0, 5.0, 10.0], |x, y| {
+            2.0 * x + 3.0 * y + 1.0
+        })
     }
 
     #[test]

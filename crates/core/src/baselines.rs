@@ -154,9 +154,7 @@ impl Baseline {
                                 let score = |pu: PuId| {
                                     let t = profile.groups[g].cost[pu].unwrap().time_ms;
                                     let tr = match prev {
-                                        Some(p) if p != pu => {
-                                            profile.transition_ms(g - 1, p, pu)
-                                        }
+                                        Some(p) if p != pu => profile.transition_ms(g - 1, p, pu),
                                         _ => 0.0,
                                     };
                                     t + tr
@@ -178,13 +176,8 @@ impl Baseline {
     /// Herald-/H2H-like: interleave all tasks' groups (round-robin) and
     /// assign each to the PU minimizing accumulated finish time; H2H adds
     /// the transition cost to the score.
-    fn herald(
-        platform: &Platform,
-        workload: &Workload,
-        transition_aware: bool,
-    ) -> Vec<Vec<PuId>> {
-        let mut result: Vec<Vec<PuId>> =
-            workload.tasks.iter().map(|_| Vec::new()).collect();
+    fn herald(platform: &Platform, workload: &Workload, transition_aware: bool) -> Vec<Vec<PuId>> {
+        let mut result: Vec<Vec<PuId>> = workload.tasks.iter().map(|_| Vec::new()).collect();
         let mut load = vec![0.0f64; platform.pus.len()];
         let mut cursors = vec![0usize; workload.tasks.len()];
         let total: usize = workload.num_vars();
@@ -205,9 +198,7 @@ impl Baseline {
                             let t_exec = profile.groups[g].cost[pu].unwrap().time_ms;
                             let tr = if transition_aware {
                                 match prev {
-                                    Some(p) if p != pu => {
-                                        profile.transition_ms(g - 1, p, pu)
-                                    }
+                                    Some(p) if p != pu => profile.transition_ms(g - 1, p, pu),
                                     _ => 0.0,
                                 }
                             } else {
@@ -295,11 +286,7 @@ mod tests {
     fn herald_balances_load_across_pus() {
         let (p, w) = setup(&[Model::ResNet101, Model::ResNet101]);
         let a = Baseline::assignment(BaselineKind::HeraldLike, &p, &w);
-        let dsa_groups: usize = a
-            .iter()
-            .flatten()
-            .filter(|&&pu| pu == p.dsa())
-            .count();
+        let dsa_groups: usize = a.iter().flatten().filter(|&&pu| pu == p.dsa()).count();
         assert!(dsa_groups > 0, "Herald must use the DSA");
         let gpu_groups: usize = a.iter().flatten().filter(|&&pu| pu == p.gpu()).count();
         assert!(gpu_groups > 0);

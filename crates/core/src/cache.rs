@@ -73,7 +73,8 @@ impl ScheduleCache {
     /// Stores `schedule` for `workload`'s signature, replacing any previous
     /// entry.
     pub fn insert(&mut self, workload: &Workload, schedule: Schedule) {
-        self.entries.insert(WorkloadSignature::of(workload), schedule);
+        self.entries
+            .insert(WorkloadSignature::of(workload), schedule);
     }
 
     /// Fetches the schedule for `workload`, computing and caching it with

@@ -21,7 +21,7 @@ use crate::scheduler::{objective_cost, Schedule, ScheduleOrigin};
 use crate::timeline::TimelineEvaluator;
 use haxconn_contention::ContentionModel;
 use haxconn_soc::{Platform, PuId};
-use haxconn_solver::{solve, SolveOptions};
+use haxconn_solver::{solve_parallel, SolveOptions};
 use std::time::Duration;
 
 /// One recorded incumbent improvement.
@@ -74,7 +74,10 @@ impl DHaxConn {
             .expect("baselines nonempty");
 
         // 2. Background solve with anytime incumbents, warm-started from
-        // the naive cost so only genuine improvements surface.
+        // the naive cost so only genuine improvements surface. The
+        // parallel solver delivers callbacks on this thread, serialized
+        // through a channel: costs strictly decrease and timestamps are
+        // monotone, exactly like the sequential solver's trace.
         let relaxed = SchedulerConfig {
             epsilon_ms: None,
             ..config
@@ -84,7 +87,7 @@ impl DHaxConn {
         let sol = {
             let trace_ref = &mut trace;
             let enc_ref = &enc;
-            solve(
+            solve_parallel(
                 &enc,
                 SolveOptions {
                     node_budget: config.node_budget,

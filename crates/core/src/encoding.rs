@@ -41,8 +41,7 @@ impl<'a> ScheduleEncoding<'a> {
         evaluator.contention_aware = config.contention_aware;
         let mut domains = Vec::with_capacity(workload.num_vars());
         let mut min_time = Vec::with_capacity(workload.num_vars());
-        let mut task_spans: Vec<(usize, usize)> =
-            Vec::with_capacity(workload.tasks.len());
+        let mut task_spans: Vec<(usize, usize)> = Vec::with_capacity(workload.tasks.len());
         for (t, task) in workload.tasks.iter().enumerate() {
             if let Some(rep) = workload.ties[t] {
                 // Tied task: reuse the representative's variable span
@@ -93,9 +92,11 @@ impl<'a> ScheduleEncoding<'a> {
         for g in 0..len {
             let var = start + g;
             sum += match partial[var] {
-                Some(pu) => self.workload.tasks[task].profile.groups[g].cost[pu as usize]
-                    .expect("domain-checked")
-                    .time_ms,
+                Some(pu) => {
+                    self.workload.tasks[task].profile.groups[g].cost[pu as usize]
+                        .expect("domain-checked")
+                        .time_ms
+                }
                 None => self.min_time[var],
             };
         }
@@ -188,11 +189,7 @@ impl CostModel for ScheduleEncoding<'_> {
             }
         }
         Some(match self.config.objective {
-            Objective::MinMaxLatency => tl
-                .task_latency_ms
-                .iter()
-                .cloned()
-                .fold(0.0, f64::max),
+            Objective::MinMaxLatency => tl.task_latency_ms.iter().cloned().fold(0.0, f64::max),
             Objective::MaxThroughput => {
                 -tl.task_latency_ms.iter().map(|&t| 1000.0 / t).sum::<f64>()
             }
@@ -238,9 +235,7 @@ mod tests {
         // the fully-unassigned partial.
         let empty: Vec<Option<u32>> = vec![None; enc.num_vars()];
         let root_bound = enc.bound(&empty);
-        let mut a: Vec<u32> = (0..enc.num_vars())
-            .map(|v| enc.domain(v)[0])
-            .collect();
+        let mut a: Vec<u32> = (0..enc.num_vars()).map(|v| enc.domain(v)[0]).collect();
         for flip in 0..enc.num_vars() {
             let d = enc.domain(flip);
             a[flip] = d[d.len() - 1];

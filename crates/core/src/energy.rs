@@ -17,11 +17,7 @@ use haxconn_solver::{solve, Assignment, CostModel, PartialAssignment, SolveOptio
 
 /// Dynamic energy of executing `assignment`, in millijoules (transition
 /// flush/reformat traffic included).
-pub fn dynamic_energy_mj(
-    workload: &Workload,
-    assignment: &[Vec<PuId>],
-    power: &PowerModel,
-) -> f64 {
+pub fn dynamic_energy_mj(workload: &Workload, assignment: &[Vec<PuId>], power: &PowerModel) -> f64 {
     let mut total = 0.0;
     for (t, task) in workload.tasks.iter().enumerate() {
         let profile = &task.profile;
@@ -222,9 +218,8 @@ mod tests {
             "loose budget must not need more energy: {e_loose} vs {e_tight}"
         );
         // The loose schedule uses the DLA more than the tight one.
-        let dla_groups = |a: &Vec<Vec<PuId>>| {
-            a.iter().flatten().filter(|&&pu| pu == p.dsa()).count()
-        };
+        let dla_groups =
+            |a: &Vec<Vec<PuId>>| a.iter().flatten().filter(|&&pu| pu == p.dsa()).count();
         assert!(dla_groups(&loose.assignment) >= dla_groups(&tight.assignment));
         // And its measured latency stays within its (generous) budget.
         let loose_ms = measure(&p, &w, &loose.assignment).latency_ms;

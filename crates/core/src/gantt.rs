@@ -41,7 +41,11 @@ pub fn render_gantt(
             tracks[item.pu].push(Bar {
                 start_ms: timing.start_ms,
                 end_ms: timing.end_ms,
-                label: if item.cost.compute_ms == 0.0 { '-' } else { label },
+                label: if item.cost.compute_ms == 0.0 {
+                    '-'
+                } else {
+                    label
+                },
             });
         }
     }

@@ -108,7 +108,10 @@ mod tests {
         assert_eq!(overlap(i, j), 0.0);
         assert_eq!(overlap(j, i), 0.0);
         // Touching intervals share no time.
-        assert_eq!(overlap(Interval::new(0.0, 5.0), Interval::new(5.0, 9.0)), 0.0);
+        assert_eq!(
+            overlap(Interval::new(0.0, 5.0), Interval::new(5.0, 9.0)),
+            0.0
+        );
     }
 
     #[test]
@@ -133,7 +136,10 @@ mod tests {
         let others = [Interval::new(2.0, 6.0), Interval::new(4.0, 12.0)];
         let pieces = contention_intervals(target, &others);
         let bounds: Vec<(f64, f64)> = pieces.iter().map(|p| (p.start, p.end)).collect();
-        assert_eq!(bounds, vec![(0.0, 2.0), (2.0, 4.0), (4.0, 6.0), (6.0, 10.0)]);
+        assert_eq!(
+            bounds,
+            vec![(0.0, 2.0), (2.0, 4.0), (4.0, 6.0), (6.0, 10.0)]
+        );
         // Pieces tile the target exactly.
         let total: f64 = pieces.iter().map(Interval::len).sum();
         assert!((total - target.len()).abs() < 1e-12);

@@ -35,8 +35,8 @@
 pub mod baselines;
 pub mod cache;
 pub mod dynamic;
-pub mod energy;
 pub mod encoding;
+pub mod energy;
 pub mod gantt;
 pub mod interval;
 pub mod measure;

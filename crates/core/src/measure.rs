@@ -54,8 +54,7 @@ pub fn to_jobs(workload: &Workload, assignment: &[Vec<PuId>]) -> (Vec<Job>, Vec<
         let mut items: Vec<WorkItem> = Vec::new();
         for g in 0..profile.len() {
             let pu = assignment[t][g];
-            let cost = profile.groups[g].cost[pu]
-                .expect("assignment respects supported PUs");
+            let cost = profile.groups[g].cost[pu].expect("assignment respects supported PUs");
             if g > 0 && assignment[t][g - 1] != pu {
                 let bytes = profile.grouped.groups[g - 1].boundary_bytes as f64;
                 // Flush out of the previous PU...
@@ -197,18 +196,10 @@ mod tests {
         let split_m = measure(&p, &w, &split);
         // Both orders of magnitude sane; contention shows up in slowdowns.
         assert!(split_m.latency_ms > 0.0 && gpu_only.latency_ms > 0.0);
-        let worst = split_m
-            .task_slowdown
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let worst = split_m.task_slowdown.iter().cloned().fold(0.0f64, f64::max);
         assert!(worst >= 1.0);
         // FPS consistent with latencies.
-        let fps: f64 = split_m
-            .task_latency_ms
-            .iter()
-            .map(|&t| 1000.0 / t)
-            .sum();
+        let fps: f64 = split_m.task_latency_ms.iter().map(|&t| 1000.0 / t).sum();
         assert!((split_m.fps - fps).abs() < 1e-9);
     }
 

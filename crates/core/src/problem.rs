@@ -166,14 +166,18 @@ pub struct SchedulerConfig {
     /// search space the "relatively small parameter search space" the paper
     /// relies on. Optimal schedules in Table 6 use at most 2.
     pub max_transitions_per_task: usize,
-    /// Solver node budget (None = run to proven optimality).
+    /// Solver node budget (None = run to proven optimality). The budget
+    /// is global: with the parallel solver, all workers draw from one
+    /// shared atomic counter, so `Some(n)` means at most `n` search nodes
+    /// in total — never `n` per subtree or per thread.
     pub node_budget: Option<u64>,
     /// Whether contention enters the cost function (disabled only by the
     /// contention-blind ablation).
     pub contention_aware: bool,
-    /// Solve with root-split parallel branch & bound (one thread per PU
-    /// choice of the first group). Same optimum, deterministic result;
-    /// mostly useful for the large Inception-ResNet-v2-class encodings.
+    /// Solve with the work-stealing parallel branch & bound (the search
+    /// frontier is split into many prefix subtrees that idle workers
+    /// claim). Same optimum, deterministic result; mostly useful for the
+    /// large Inception-ResNet-v2-class encodings.
     pub parallel_solve: bool,
 }
 
@@ -208,10 +212,7 @@ mod tests {
 
     fn task(model: Model) -> DnnTask {
         let p = orin_agx();
-        DnnTask::new(
-            model.name(),
-            NetworkProfile::profile(&p, model, 6),
-        )
+        DnnTask::new(model.name(), NetworkProfile::profile(&p, model, 6))
     }
 
     #[test]
@@ -223,7 +224,10 @@ mod tests {
                 assert_eq!(w.var_to_task_group(v), (t, g));
             }
         }
-        assert_eq!(w.num_vars(), w.tasks[0].num_groups() + w.tasks[1].num_groups());
+        assert_eq!(
+            w.num_vars(),
+            w.tasks[0].num_groups() + w.tasks[1].num_groups()
+        );
     }
 
     #[test]

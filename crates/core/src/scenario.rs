@@ -108,14 +108,8 @@ impl Scenario {
                 let pb = profile(*second);
                 let mut tasks = Vec::with_capacity(frames * 2);
                 for f in 0..*frames {
-                    tasks.push(DnnTask::new(
-                        format!("{}#f{f}", first.name()),
-                        pa.clone(),
-                    ));
-                    tasks.push(DnnTask::new(
-                        format!("{}#f{f}", second.name()),
-                        pb.clone(),
-                    ));
+                    tasks.push(DnnTask::new(format!("{}#f{f}", first.name()), pa.clone()));
+                    tasks.push(DnnTask::new(format!("{}#f{f}", second.name()), pb.clone()));
                 }
                 let mut w = Workload::concurrent(tasks);
                 for f in 0..*frames {

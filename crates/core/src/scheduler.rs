@@ -6,7 +6,7 @@ use crate::problem::{Objective, SchedulerConfig, Workload};
 use crate::timeline::{PredictedTimeline, TimelineEvaluator};
 use haxconn_contention::ContentionModel;
 use haxconn_soc::{Platform, PuId, PuKind};
-use haxconn_solver::{solve, solve_parallel, SolveOptions, Solution};
+use haxconn_solver::{solve, solve_parallel, Solution, SolveOptions};
 
 /// An inter-accelerator transition in a schedule (the "TR / Dir." columns of
 /// Table 6).
@@ -130,7 +130,7 @@ impl HaxConn {
                 ..Default::default()
             };
             if config.parallel_solve {
-                solve_parallel(enc, &opts)
+                solve_parallel(enc, opts)
             } else {
                 solve(enc, opts)
             }
@@ -164,8 +164,8 @@ impl HaxConn {
             (cost, tl)
         };
 
-        let mut winner: Option<(Vec<Vec<PuId>>, f64, PredictedTimeline, ScheduleOrigin)> =
-            best.map(|a| {
+        let mut winner: Option<(Vec<Vec<PuId>>, f64, PredictedTimeline, ScheduleOrigin)> = best
+            .map(|a| {
                 let (c, tl) = scorer(&a);
                 (a, c, tl, ScheduleOrigin::Optimal)
             });
@@ -242,9 +242,7 @@ impl HaxConn {
 pub fn objective_cost(objective: Objective, tl: &PredictedTimeline) -> f64 {
     match objective {
         Objective::MinMaxLatency => tl.task_latency_ms.iter().cloned().fold(0.0, f64::max),
-        Objective::MaxThroughput => {
-            -tl.task_latency_ms.iter().map(|&t| 1000.0 / t).sum::<f64>()
-        }
+        Objective::MaxThroughput => -tl.task_latency_ms.iter().map(|&t| 1000.0 / t).sum::<f64>(),
     }
 }
 
@@ -276,10 +274,7 @@ mod tests {
         for &kind in BaselineKind::all() {
             let a = Baseline::assignment(kind, &p, &w);
             let base = measure(&p, &w, &a).latency_ms;
-            assert!(
-                hax <= base * 1.02,
-                "{kind}: HaX-CoNN {hax:.3} vs {base:.3}"
-            );
+            assert!(hax <= base * 1.02, "{kind}: HaX-CoNN {hax:.3} vs {base:.3}");
         }
     }
 
@@ -347,7 +342,12 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!((seq.cost - par.cost).abs() < 1e-9, "{} vs {}", seq.cost, par.cost);
+        assert!(
+            (seq.cost - par.cost).abs() < 1e-9,
+            "{} vs {}",
+            seq.cost,
+            par.cost
+        );
         let m_seq = measure(&p, &w, &seq.assignment).latency_ms;
         let m_par = measure(&p, &w, &par.assignment).latency_ms;
         assert!((m_seq - m_par).abs() / m_seq < 0.02);

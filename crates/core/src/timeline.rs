@@ -247,8 +247,7 @@ impl<'a> TimelineEvaluator<'a> {
                     let better = match pick {
                         None => true,
                         Some((_, r, s)) => {
-                            start < s - 1e-12
-                                || (start < s + 1e-12 && ready < r - 1e-12)
+                            start < s - 1e-12 || (start < s + 1e-12 && ready < r - 1e-12)
                         }
                     };
                     if better {
@@ -278,8 +277,7 @@ impl<'a> TimelineEvaluator<'a> {
                 total_transition += tau_in + tau_out;
 
                 let exec_start = start + tau_in;
-                let (exec_end, slowdown) =
-                    self.integrate(t, pu, &cost, exec_start, &footprints);
+                let (exec_end, slowdown) = self.integrate(t, pu, &cost, exec_start, &footprints);
                 let end = exec_end + tau_out;
 
                 timings[t][g] = GroupTiming {
@@ -350,10 +348,7 @@ mod tests {
     }
 
     fn all_on(w: &Workload, pu: PuId) -> Vec<Vec<PuId>> {
-        w.tasks
-            .iter()
-            .map(|t| vec![pu; t.num_groups()])
-            .collect()
+        w.tasks.iter().map(|t| vec![pu; t.num_groups()]).collect()
     }
 
     #[test]
@@ -393,7 +388,9 @@ mod tests {
         let tl = ev.evaluate(&assignment);
         // Both make progress concurrently; makespan below serialized sum.
         let sum = w.tasks[0].profile.standalone_ms(p.gpu()).unwrap()
-            + w.tasks[1].profile.standalone_with_fallback_ms(p.dsa(), p.gpu());
+            + w.tasks[1]
+                .profile
+                .standalone_with_fallback_ms(p.dsa(), p.gpu());
         assert!(tl.makespan_ms < sum);
         // Contention shows up as slowdown > 1 somewhere.
         let worst = tl

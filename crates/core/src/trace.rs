@@ -187,10 +187,7 @@ mod tests {
                 .as_array()
                 .unwrap()
                 .iter()
-                .filter(|e| {
-                    e["ph"] == "X"
-                        && e["name"].as_str().unwrap_or("").starts_with(task)
-                })
+                .filter(|e| e["ph"] == "X" && e["name"].as_str().unwrap_or("").starts_with(task))
                 .map(|e| e["ts"].as_f64().unwrap())
                 .collect();
             assert!(ts.windows(2).all(|w| w[1] >= w[0] - 1e-6), "{task}: {ts:?}");

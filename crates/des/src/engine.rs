@@ -154,7 +154,7 @@ mod tests {
         eng.schedule(SimTime::ZERO, Ev::Tick(10));
         eng.run_until(SimTime::from_ms(2.0));
         assert_eq!(eng.model().fired.len(), 3); // t=0,1,2
-        // Remaining events still pending.
+                                                // Remaining events still pending.
         assert!(eng.step());
     }
 

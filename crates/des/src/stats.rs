@@ -32,7 +32,10 @@ impl TimeWeighted {
     ///
     /// `t` must be monotonically non-decreasing.
     pub fn record(&mut self, t: SimTime, value: f64) {
-        assert!(t >= self.last_t, "TimeWeighted observations must be ordered");
+        assert!(
+            t >= self.last_t,
+            "TimeWeighted observations must be ordered"
+        );
         self.integral += self.last_v * (t - self.last_t).as_ms();
         self.last_t = t;
         self.last_v = value;
@@ -171,8 +174,7 @@ mod tests {
             w.push(x);
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0);
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0);
         assert!((w.mean() - mean).abs() < 1e-12);
         assert!((w.variance() - var).abs() < 1e-12);
         assert_eq!(w.min(), 2.0);

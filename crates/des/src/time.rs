@@ -177,10 +177,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [SimTime::from_ms(3.0),
+        let mut v = [
+            SimTime::from_ms(3.0),
             SimTime::ZERO,
             SimTime::INFINITY,
-            SimTime::from_ms(1.0)];
+            SimTime::from_ms(1.0),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[1], SimTime::from_ms(1.0));

@@ -100,18 +100,14 @@ impl Network {
                         }
                         for &q in &l.inputs {
                             if !self.layers[q].output_shape.same_spatial(&l.output_shape) {
-                                return Err(format!(
-                                    "concat {i} input {q} spatial mismatch"
-                                ));
+                                return Err(format!("concat {i} input {q} spatial mismatch"));
                             }
                         }
                     }
                     LayerKind::EltwiseAdd => {
                         for &q in &l.inputs {
                             if self.layers[q].output_shape != l.output_shape {
-                                return Err(format!(
-                                    "eltwise {i} input {q} shape mismatch"
-                                ));
+                                return Err(format!("eltwise {i} input {q} shape mismatch"));
                             }
                         }
                     }
@@ -216,7 +212,10 @@ impl NetworkBuilder {
         groups: usize,
     ) -> LayerId {
         let inp = self.shape_of(from);
-        assert!(inp.c.is_multiple_of(groups), "channels not divisible by groups");
+        assert!(
+            inp.c.is_multiple_of(groups),
+            "channels not divisible by groups"
+        );
         let out = inp.conv_out(out_c, kernel, stride, pad);
         self.push(
             name.into(),

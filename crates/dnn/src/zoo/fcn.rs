@@ -47,8 +47,7 @@ pub fn fcn_resnet18() -> Network {
     let head = b.conv_relu(Some(x), "head/conv", 512, 3, 1, 1);
     let score = b.conv(Some(head), "head/score", 21, 1, 1, 0);
     let up = b.upsample(score, "head/upsample32", 32);
-    b.softmax(up, "prob")
-        ;
+    b.softmax(up, "prob");
     b.build()
 }
 

@@ -15,11 +15,11 @@ fn stem(b: &mut NetworkBuilder) -> LayerId {
     let c1 = b.conv_relu(None, "stem/conv1_3x3_s2", 32, 3, 2, 0); // 149
     let c2 = b.conv_relu(Some(c1), "stem/conv2_3x3", 32, 3, 1, 0); // 147
     let c3 = b.conv_relu(Some(c2), "stem/conv3_3x3", 64, 3, 1, 1); // 147
-    // Mixed 3a: maxpool || conv s2
+                                                                   // Mixed 3a: maxpool || conv s2
     let p1 = b.pool(c3, "stem/pool_3a", PoolKind::Max, 3, 2, 0); // 73
     let c4 = b.conv_relu(Some(c3), "stem/conv_3a_3x3_s2", 96, 3, 2, 0); // 73
     let m3a = b.concat(&[p1, c4], "stem/mixed_3a"); // 160x73x73
-    // Mixed 4a: two conv towers
+                                                    // Mixed 4a: two conv towers
     let t1a = b.conv_relu(Some(m3a), "stem/4a_b1_1x1", 64, 1, 1, 0);
     let t1b = b.conv_relu(Some(t1a), "stem/4a_b1_3x3", 96, 3, 1, 0); // 71
     let t2a = b.conv_relu(Some(m3a), "stem/4a_b2_1x1", 64, 1, 1, 0);
@@ -27,7 +27,7 @@ fn stem(b: &mut NetworkBuilder) -> LayerId {
     let t2c = b.conv_rect_relu(t2b, "stem/4a_b2_7x1", 64, (7, 1), (3, 0));
     let t2d = b.conv_relu(Some(t2c), "stem/4a_b2_3x3", 96, 3, 1, 0); // 71
     let m4a = b.concat(&[t1b, t2d], "stem/mixed_4a"); // 192x71x71
-    // Mixed 5a: conv s2 || maxpool
+                                                      // Mixed 5a: conv s2 || maxpool
     let c5 = b.conv_relu(Some(m4a), "stem/5a_3x3_s2", 192, 3, 2, 0); // 35
     let p5 = b.pool(m4a, "stem/pool_5a", PoolKind::Max, 3, 2, 0); // 35
     b.concat(&[c5, p5], "stem/mixed_5a") // 384x35x35
@@ -47,7 +47,14 @@ fn v4_block_a(b: &mut NetworkBuilder, from: LayerId, name: &str) -> LayerId {
 }
 
 /// Inception-v4 reduction A: 35x35 -> 17x17.
-fn v4_reduction_a(b: &mut NetworkBuilder, from: LayerId, k: usize, l: usize, m: usize, n: usize) -> LayerId {
+fn v4_reduction_a(
+    b: &mut NetworkBuilder,
+    from: LayerId,
+    k: usize,
+    l: usize,
+    m: usize,
+    n: usize,
+) -> LayerId {
     let b1 = b.conv_relu(Some(from), "red_a/b1_3x3_s2", n, 3, 2, 0);
     let b2a = b.conv_relu(Some(from), "red_a/b2_1x1", k, 1, 1, 0);
     let b2b = b.conv_relu(Some(b2a), "red_a/b2_3x3", l, 3, 1, 1);

@@ -62,9 +62,7 @@ mod tests {
         let dw = net
             .layers
             .iter()
-            .filter(
-                |l| matches!(l.kind, LayerKind::Conv { groups, .. } if groups > 1),
-            )
+            .filter(|l| matches!(l.kind, LayerKind::Conv { groups, .. } if groups > 1))
             .count();
         assert_eq!(dw, 13);
     }

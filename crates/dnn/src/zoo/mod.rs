@@ -112,9 +112,10 @@ impl Model {
 
     /// Parses a display name back to a model.
     pub fn from_name(name: &str) -> Option<Model> {
-        Model::all().iter().copied().find(|m| {
-            m.name().eq_ignore_ascii_case(name)
-        })
+        Model::all()
+            .iter()
+            .copied()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
     }
 
     /// Builds the network graph for this model.

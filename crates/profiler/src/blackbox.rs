@@ -54,11 +54,7 @@ impl BlackBoxEstimator {
     /// Steps 2–3 of the paper's method: read the (quantized) EMC counter for
     /// both standalone runs, then scale the GPU's directly-measured
     /// throughput by the utilization ratio.
-    pub fn estimate_demand_gbps(
-        &self,
-        dsa_cost: &LayerCost,
-        gpu_cost: Option<&LayerCost>,
-    ) -> f64 {
+    pub fn estimate_demand_gbps(&self, dsa_cost: &LayerCost, gpu_cost: Option<&LayerCost>) -> f64 {
         let Some(gpu) = gpu_cost else {
             // No GPU reference (shouldn't happen: GPUs support everything);
             // fall back to the counter reading alone.
@@ -110,7 +106,10 @@ mod tests {
         let e = BlackBoxEstimator::new(&orin_agx());
         // 41.97% of 204.8 GB/s = 85.95 GB/s.
         let pct = e.read_emc_counter_pct(85.95);
-        assert_eq!(pct, (pct / EMC_COUNTER_STEP_PCT).round() * EMC_COUNTER_STEP_PCT);
+        assert_eq!(
+            pct,
+            (pct / EMC_COUNTER_STEP_PCT).round() * EMC_COUNTER_STEP_PCT
+        );
         assert!((pct - 41.97).abs() < EMC_COUNTER_STEP_PCT);
     }
 

@@ -166,9 +166,7 @@ pub fn partition(network: &Network, max_groups: usize) -> Vec<LayerGroup> {
             // Prefer the smallest boundary tensor within the window.
             let better = match best {
                 None => true,
-                Some(b) => {
-                    network.layers[c].output_bytes() < network.layers[b].output_bytes()
-                }
+                Some(b) => network.layers[c].output_bytes() < network.layers[b].output_bytes(),
             };
             if better {
                 best = Some(c);
@@ -249,17 +247,20 @@ mod tests {
     fn cuts_never_cross_live_branches() {
         // At a valid cut, exactly one tensor is live: every producer before
         // the cut has all consumers at or before it.
-        for &m in [Model::GoogleNet, Model::InceptionResNetV2, Model::DenseNet121].iter() {
+        for &m in [
+            Model::GoogleNet,
+            Model::InceptionResNetV2,
+            Model::DenseNet121,
+        ]
+        .iter()
+        {
             let net = m.network();
             let consumers = net.consumers();
             for c in valid_cuts(&net) {
                 #[allow(clippy::needless_range_loop)]
                 for p in 0..c {
                     for &q in &consumers[p] {
-                        assert!(
-                            q <= c,
-                            "{m}: cut after {c} crosses live edge {p}->{q}"
-                        );
+                        assert!(q <= c, "{m}: cut after {c} crosses live edge {p}->{q}");
                     }
                 }
             }
@@ -332,10 +333,7 @@ mod tests {
     fn boundary_bytes_match_cut_layer_output() {
         let g = GroupedNetwork::new(Model::GoogleNet, 10);
         for grp in &g.groups {
-            assert_eq!(
-                grp.boundary_bytes,
-                g.network.layers[grp.end].output_bytes()
-            );
+            assert_eq!(grp.boundary_bytes, g.network.layers[grp.end].output_bytes());
             assert!(!grp.is_empty());
         }
     }

@@ -67,8 +67,12 @@ impl ProfileStore {
 
     /// The file a given key maps to.
     pub fn path_for(&self, platform: &str, model: Model, groups: usize) -> PathBuf {
-        self.root
-            .join(format!("{}__{}__g{}.json", slug(platform), slug(model.name()), groups))
+        self.root.join(format!(
+            "{}__{}__g{}.json",
+            slug(platform),
+            slug(model.name()),
+            groups
+        ))
     }
 
     /// Persists a profile.
@@ -140,10 +144,8 @@ mod tests {
     use haxconn_soc::orin_agx;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "haxconn-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let d =
+            std::env::temp_dir().join(format!("haxconn-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         d
     }
@@ -181,13 +183,9 @@ mod tests {
         let dir = tmpdir("cache");
         let store = ProfileStore::open(&dir).unwrap();
         let platform = orin_agx();
-        let p1 = store
-            .load_or_profile(&platform, Model::AlexNet, 6)
-            .unwrap();
+        let p1 = store.load_or_profile(&platform, Model::AlexNet, 6).unwrap();
         assert_eq!(store.list().unwrap().len(), 1);
-        let p2 = store
-            .load_or_profile(&platform, Model::AlexNet, 6)
-            .unwrap();
+        let p2 = store.load_or_profile(&platform, Model::AlexNet, 6).unwrap();
         assert_eq!(p1.len(), p2.len());
         assert_eq!(store.list().unwrap().len(), 1);
         fs::remove_dir_all(&dir).unwrap();
@@ -199,7 +197,9 @@ mod tests {
         let store = ProfileStore::open(&dir).unwrap();
         let path = store.path_for("NVIDIA AGX Orin", Model::AlexNet, 6);
         fs::write(&path, "{not json").unwrap();
-        let err = store.load("NVIDIA AGX Orin", Model::AlexNet, 6).unwrap_err();
+        let err = store
+            .load("NVIDIA AGX Orin", Model::AlexNet, 6)
+            .unwrap_err();
         assert!(matches!(err, StoreError::Corrupt(_)));
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -340,8 +340,7 @@ mod tests {
                 (s, e)
             }));
         }
-        let times: Vec<(f64, f64)> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let times: Vec<(f64, f64)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         let arb = Arc::try_unwrap(arb).ok().expect("threads joined");
         let (makespan, ..) = arb.into_report();
         assert!((makespan - 2.0).abs() < 1e-9, "{makespan}");

@@ -72,9 +72,7 @@ pub fn execute(
         task_latency_ms.push(end);
         items_executed += n;
     }
-    let arbiter = Arc::try_unwrap(arbiter)
-        .ok()
-        .expect("all workers joined");
+    let arbiter = Arc::try_unwrap(arbiter).ok().expect("all workers joined");
     let (makespan_ms, pu_busy_ms, emc_mean_gbps, records) = arbiter.into_report();
     let fps = task_latency_ms.iter().map(|&t| 1000.0 / t).sum();
     ExecutionReport {
@@ -134,9 +132,7 @@ pub fn execute_loop(
         task_latency_ms.push(end);
         items_executed += n;
     }
-    let arbiter = Arc::try_unwrap(arbiter)
-        .ok()
-        .expect("all workers joined");
+    let arbiter = Arc::try_unwrap(arbiter).ok().expect("all workers joined");
     let (makespan_ms, pu_busy_ms, emc_mean_gbps, records) = arbiter.into_report();
     // Steady-state FPS: frames completed per second of wall (virtual) time.
     let fps = 1000.0 * (iterations * task_latency_ms.len()) as f64 / makespan_ms;
@@ -217,7 +213,12 @@ mod tests {
         assert!(run.items_executed >= groups);
         let sim = measure(&p, &w, &s.assignment);
         let rel = (run.makespan_ms - sim.latency_ms).abs() / sim.latency_ms;
-        assert!(rel < 0.10, "threaded {} vs simulated {} (rel {rel})", run.makespan_ms, sim.latency_ms);
+        assert!(
+            rel < 0.10,
+            "threaded {} vs simulated {} (rel {rel})",
+            run.makespan_ms,
+            sim.latency_ms
+        );
     }
 
     #[test]

@@ -86,10 +86,7 @@ impl SimModel for Model {
                 self.queue.push((id, now));
                 if !self.busy {
                     self.busy = true;
-                    queue.schedule(
-                        now + SimTime::from_ms(self.cfg.service_ms),
-                        Ev::Departure,
-                    );
+                    queue.schedule(now + SimTime::from_ms(self.cfg.service_ms), Ev::Departure);
                 }
             }
             Ev::Departure => {
@@ -101,10 +98,7 @@ impl SimModel for Model {
                 if self.queue.is_empty() {
                     self.busy = false;
                 } else {
-                    queue.schedule(
-                        now + SimTime::from_ms(self.cfg.service_ms),
-                        Ev::Departure,
-                    );
+                    queue.schedule(now + SimTime::from_ms(self.cfg.service_ms), Ev::Departure);
                 }
             }
         }

@@ -142,9 +142,7 @@ impl LayerCost {
         // Launch overheads and aggregation slack: everything not explained
         // by the two roofline portions.
         let overhead = self.time_ms - self.mem_bound_ms - self.hidden_compute_ms;
-        overhead
-            + self.mem_bound_ms * s_bw
-            + self.hidden_compute_ms.max(self.hidden_mem_ms * s_bw)
+        overhead + self.mem_bound_ms * s_bw + self.hidden_compute_ms.max(self.hidden_mem_ms * s_bw)
     }
 
     /// Slowdown factor relative to standalone execution under `grant_gbps`.
@@ -218,7 +216,10 @@ mod tests {
     #[test]
     fn compute_bound_conv() {
         let c = LayerCost::of(&conv(256, 56, 256, 3), &gpu());
-        assert!(c.compute_ms > c.mem_ms, "large conv should be compute bound");
+        assert!(
+            c.compute_ms > c.mem_ms,
+            "large conv should be compute bound"
+        );
         assert!(c.time_ms >= c.compute_ms);
         assert!(c.demand_gbps < 100.0 + 1e-9);
         assert_eq!(c.mem_bound_ms, 0.0);
@@ -268,7 +269,10 @@ mod tests {
         let s = c.slowdown_under_grant(c.demand_gbps / 2.0);
         let mem_bound = LayerCost::of(&pool(512, 56), &gpu());
         let s_mem = mem_bound.slowdown_under_grant(mem_bound.demand_gbps / 2.0);
-        assert!(s < s_mem, "compute-bound {s} should suffer less than {s_mem}");
+        assert!(
+            s < s_mem,
+            "compute-bound {s} should suffer less than {s_mem}"
+        );
     }
 
     #[test]

@@ -302,9 +302,7 @@ mod tests {
         // GoogleNet's (1.86): its big mid-network convs spill the DLA
         // buffer.
         let p = xavier_agx();
-        let ratio = |m: Model| {
-            standalone_ms(&p, p.dsa(), m) / standalone_ms(&p, p.gpu(), m)
-        };
+        let ratio = |m: Model| standalone_ms(&p, p.dsa(), m) / standalone_ms(&p, p.gpu(), m);
         assert!(ratio(Model::Vgg19) > ratio(Model::GoogleNet));
     }
 

@@ -84,8 +84,7 @@ impl PowerModel {
     /// in millijoules.
     pub fn dynamic_mj(&self, pu: usize, flops: f64, bytes: f64) -> f64 {
         let spec = &self.pus[pu];
-        (flops * spec.pj_per_flop + bytes * (spec.pj_per_byte + self.dram_pj_per_byte))
-            / 1e9
+        (flops * spec.pj_per_flop + bytes * (spec.pj_per_byte + self.dram_pj_per_byte)) / 1e9
     }
 
     /// Static energy of keeping all PUs powered for `duration_ms`, in mJ.

@@ -134,8 +134,7 @@ impl PuSpec {
     pub fn mem_amplification(&self, layer: &Layer) -> f64 {
         match self.kind {
             PuKind::Dla | PuKind::Dsp => {
-                let ws_kib =
-                    (layer.weight_bytes() + layer.input_bytes()) as f64 / 1024.0;
+                let ws_kib = (layer.weight_bytes() + layer.input_bytes()) as f64 / 1024.0;
                 if ws_kib > self.onchip_kib {
                     1.0 + 0.5 * (1.0 - self.onchip_kib / ws_kib)
                 } else {
@@ -194,12 +193,7 @@ mod tests {
         }
     }
 
-    fn conv(
-        c: usize,
-        hw: usize,
-        out_c: usize,
-        kernel: usize,
-    ) -> Layer {
+    fn conv(c: usize, hw: usize, out_c: usize, kernel: usize) -> Layer {
         let inp = TensorShape::chw(c, hw, hw);
         Layer {
             id: 0,

@@ -1,17 +1,53 @@
 //! Depth-first branch & bound with anytime incumbents and budgets.
+//!
+//! The module hosts the [`Engine`] — the DFS hot loop shared by the
+//! sequential [`solve`] and the work-stealing parallel solver
+//! (`crate::parallel`). The hot path is allocation-free after warm-up:
+//!
+//! * the partial-assignment buffer and the complete-assignment buffer are
+//!   reused across the whole search (and across work items in the
+//!   parallel solver),
+//! * bound-guided value ordering sorts into per-depth scratch buffers
+//!   with an in-place insertion sort (domains are #PU-sized) instead of
+//!   allocating a keyed `Vec` per node,
+//! * the bound computed for a child during value ordering is passed down
+//!   as a memo, so descending into that child does not recompute the
+//!   model's (timeline-evaluating, hence expensive) lower bound.
+//!
+//! Budgets are enforced through a [`SharedState`]: a single atomic node
+//! counter claimed in batches and one deadline, shared by every worker of
+//! a parallel solve — budgets are therefore *global*, never per subtree.
 
 use crate::model::{Assignment, CostModel};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Tolerance for cross-thread incumbent comparisons (matches the
+/// deterministic tie-breaking contract of the parallel solver).
+pub(crate) const EPS: f64 = 1e-12;
+
+/// How many nodes a worker claims from the global budget at once. Large
+/// enough to keep the shared counter off the hot path, small enough that
+/// a global budget is respected within ~1% on realistic solves.
+const NODE_CHUNK: u64 = 256;
+
+/// How often (in nodes) a worker polls the clock and the stop flag.
+const POLL_MASK: u64 = 63;
 
 /// Options controlling a solve.
 #[derive(Default)]
 pub struct SolveOptions<'a> {
     /// Stop after exploring this many search nodes (leaves + internal).
+    /// Applies to the *whole* solve: the parallel solver shares one
+    /// atomic counter across all workers.
     pub node_budget: Option<u64>,
-    /// Stop after this much wall time.
+    /// Stop after this much wall time (also global).
     pub time_budget: Option<Duration>,
     /// Invoked on every strictly improving incumbent with
-    /// `(assignment, cost, elapsed)`.
+    /// `(assignment, cost, elapsed)`. Supported by both the sequential
+    /// and the parallel solver; the parallel solver serializes callbacks
+    /// through a channel so costs strictly decrease and timestamps are
+    /// monotone.
     #[allow(clippy::type_complexity)]
     pub on_incumbent: Option<Box<dyn FnMut(&Assignment, f64, Duration) + 'a>>,
     /// Start from a known incumbent (upper bound): candidates at or above
@@ -19,11 +55,11 @@ pub struct SolveOptions<'a> {
     pub initial_upper_bound: Option<f64>,
     /// Order each variable's values by the lower bound they induce
     /// (best-first) instead of domain order. Finds good incumbents earlier
-    /// — which prunes more — at the cost of one `bound()` call per value.
+    /// — which prunes more — at the cost of one `bound()` call per value
+    /// (the child then reuses that bound instead of recomputing it).
     /// Determinism is preserved: ties keep domain order (stable sort).
     pub bound_guided_values: bool,
 }
-
 
 /// Why the solver stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,123 +102,304 @@ impl Solution {
     }
 }
 
-struct Search<'a, M: CostModel> {
-    model: &'a M,
-    partial: Vec<Option<u32>>,
-    complete: Assignment,
-    best: Option<(Assignment, f64)>,
-    stats: SolveStats,
-    started: Instant,
-    opts: SolveOptions<'a>,
+/// State shared by every worker of one solve: the global budgets and the
+/// lock-free incumbent cost.
+pub(crate) struct SharedState {
+    /// Nodes handed out so far (claimed in [`NODE_CHUNK`] batches).
+    claimed: AtomicU64,
+    /// Total node budget (`u64::MAX` = unlimited).
+    node_budget: u64,
+    /// Wall-clock cutoff.
+    deadline: Option<Instant>,
+    /// Cooperative abort flag: set once any budget trips.
+    stop: AtomicBool,
+    nodes_out: AtomicBool,
+    time_out: AtomicBool,
+    /// Best globally-known incumbent cost as f64 bits (`+inf` when none).
+    /// Written only while the parallel solver's incumbent mutex is held;
+    /// read lock-free on every bound check.
+    best_cost_bits: AtomicU64,
 }
 
-impl<'a, M: CostModel> Search<'a, M> {
-    fn budget_hit(&mut self) -> bool {
-        if let Some(nb) = self.opts.node_budget {
-            if self.stats.nodes >= nb {
-                self.stats.outcome = BudgetState::NodesExhausted;
-                return true;
-            }
-        }
-        if let Some(tb) = self.opts.time_budget {
-            // Check the clock periodically to keep leaf throughput high.
-            if self.stats.nodes.is_multiple_of(64) && self.started.elapsed() >= tb {
-                self.stats.outcome = BudgetState::TimeExhausted;
-                return true;
-            }
-        }
-        false
-    }
-
-    fn upper_bound(&self) -> f64 {
-        match (&self.best, self.opts.initial_upper_bound) {
-            (Some((_, c)), Some(ub)) => c.min(ub),
-            (Some((_, c)), None) => *c,
-            (None, Some(ub)) => ub,
-            (None, None) => f64::INFINITY,
+impl SharedState {
+    pub(crate) fn new(
+        node_budget: Option<u64>,
+        time_budget: Option<Duration>,
+        initial_upper_bound: Option<f64>,
+    ) -> Self {
+        SharedState {
+            claimed: AtomicU64::new(0),
+            node_budget: node_budget.unwrap_or(u64::MAX),
+            deadline: time_budget.map(|tb| Instant::now() + tb),
+            stop: AtomicBool::new(false),
+            nodes_out: AtomicBool::new(false),
+            time_out: AtomicBool::new(false),
+            best_cost_bits: AtomicU64::new(initial_upper_bound.unwrap_or(f64::INFINITY).to_bits()),
         }
     }
 
-    /// Returns `true` if the search should abort (budget).
-    fn dfs(&mut self, var: usize) -> bool {
-        self.stats.nodes += 1;
-        if self.budget_hit() {
-            return true;
+    /// Claims up to `want` nodes from the global budget; 0 means the
+    /// budget is exhausted.
+    fn claim(&self, want: u64) -> u64 {
+        if self.node_budget == u64::MAX {
+            return want;
+        }
+        let prev = self.claimed.fetch_add(want, Ordering::Relaxed);
+        if prev >= self.node_budget {
+            0
+        } else {
+            (self.node_budget - prev).min(want)
+        }
+    }
+
+    /// Current globally-best incumbent cost (`+inf` when none).
+    #[inline]
+    pub(crate) fn best_cost(&self) -> f64 {
+        f64::from_bits(self.best_cost_bits.load(Ordering::Acquire))
+    }
+
+    /// Publishes a new globally-best cost. Callers must serialize (the
+    /// parallel solver holds its incumbent mutex), keeping the sequence
+    /// monotone non-increasing.
+    pub(crate) fn publish_cost(&self, cost: f64) {
+        self.best_cost_bits.store(cost.to_bits(), Ordering::Release);
+    }
+
+    /// Whether some worker tripped a budget.
+    pub(crate) fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    fn flag_nodes_out(&self) {
+        self.nodes_out.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    fn flag_time_out(&self) {
+        self.time_out.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Outcome implied by the flags.
+    pub(crate) fn outcome(&self) -> BudgetState {
+        if self.nodes_out.load(Ordering::Relaxed) {
+            BudgetState::NodesExhausted
+        } else if self.time_out.load(Ordering::Relaxed) {
+            BudgetState::TimeExhausted
+        } else {
+            BudgetState::Exhausted
+        }
+    }
+}
+
+/// The DFS engine: one per worker thread (or one total, sequentially).
+///
+/// All buffers are owned and reused — running another subtree from the
+/// same engine allocates nothing new (beyond incumbent clones, which only
+/// happen on strict improvement).
+pub(crate) struct Engine<'a, M: CostModel, F: FnMut(&Assignment, f64)> {
+    model: &'a M,
+    shared: &'a SharedState,
+    /// Reused partial-assignment buffer (`None` = unassigned).
+    pub(crate) partial: Vec<Option<u32>>,
+    /// Reused complete-assignment buffer for leaf evaluation.
+    complete: Assignment,
+    /// Per-depth scratch for bound-guided value ordering.
+    scratch: Vec<Vec<(f64, u32)>>,
+    /// Incumbent local to the current work item (reset per subtree in the
+    /// parallel solver so results do not depend on work distribution).
+    pub(crate) local_best: Option<(Assignment, f64)>,
+    /// Acceptance ceiling from a warm start.
+    init_ub: f64,
+    bound_guided: bool,
+    /// Locally claimed, not-yet-consumed node quota.
+    quota: u64,
+    pub(crate) nodes: u64,
+    pub(crate) leaves: u64,
+    pub(crate) pruned: u64,
+    /// Called on every *local* improvement with the completed assignment
+    /// and its cost. The sequential solver forwards to the user callback;
+    /// parallel workers offer to the shared incumbent.
+    sink: F,
+}
+
+impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
+    pub(crate) fn new(
+        model: &'a M,
+        shared: &'a SharedState,
+        initial_upper_bound: Option<f64>,
+        bound_guided: bool,
+        sink: F,
+    ) -> Self {
+        let n = model.num_vars();
+        Engine {
+            model,
+            shared,
+            partial: vec![None; n],
+            complete: vec![0; n],
+            scratch: vec![Vec::new(); n],
+            local_best: None,
+            init_ub: initial_upper_bound.unwrap_or(f64::INFINITY),
+            bound_guided,
+            quota: 0,
+            nodes: 0,
+            leaves: 0,
+            pruned: 0,
+            sink,
+        }
+    }
+
+    /// Local acceptance threshold: the warm-start bound until something
+    /// better is found locally.
+    #[inline]
+    fn local_ub(&self) -> f64 {
+        match &self.local_best {
+            Some((_, c)) => *c,
+            None => self.init_ub,
+        }
+    }
+
+    /// Runs the subtree rooted at the current `partial` prefix, branching
+    /// variables `var..`. Returns `true` when the search must abort
+    /// (budget exhausted or another worker stopped the solve).
+    ///
+    /// `bound_memo` carries the prefix bound when the caller already
+    /// computed it (bound-guided ordering computes every child's bound to
+    /// sort, so the child must not pay for it twice); `NAN` means unknown.
+    pub(crate) fn dfs(&mut self, var: usize, bound_memo: f64) -> bool {
+        if self.quota == 0 {
+            let got = self.shared.claim(NODE_CHUNK);
+            if got == 0 {
+                self.shared.flag_nodes_out();
+                return true;
+            }
+            self.quota = got;
+        }
+        self.quota -= 1;
+        self.nodes += 1;
+        if self.nodes & POLL_MASK == 0 {
+            if self.shared.stopped() {
+                return true;
+            }
+            if let Some(deadline) = self.shared.deadline {
+                if Instant::now() >= deadline {
+                    self.shared.flag_time_out();
+                    return true;
+                }
+            }
         }
         if self.model.prune(&self.partial) {
-            self.stats.pruned += 1;
+            self.pruned += 1;
             return false;
         }
-        if self.model.bound(&self.partial) >= self.upper_bound() {
-            self.stats.pruned += 1;
+        let bound = if bound_memo.is_nan() {
+            self.model.bound(&self.partial)
+        } else {
+            bound_memo
+        };
+        if bound >= self.local_ub() {
+            self.pruned += 1;
             return false;
         }
-        if var == self.model.num_vars() {
-            self.stats.leaves += 1;
+        // Cross-worker pruning against the lock-free shared incumbent.
+        // The margin is *conservative* (strictly-worse only): subtrees
+        // whose bound ties the incumbent are still explored, so every
+        // optimal leaf is offered no matter how work was distributed —
+        // that is what makes equal-cost tie-breaking deterministic.
+        if bound > self.shared.best_cost() + EPS {
+            self.pruned += 1;
+            return false;
+        }
+        let n = self.model.num_vars();
+        if var == n {
+            self.leaves += 1;
             for (dst, src) in self.complete.iter_mut().zip(self.partial.iter()) {
                 *dst = src.expect("complete assignment");
             }
             if let Some(c) = self.model.cost(&self.complete) {
-                if c < self.upper_bound() {
-                    self.best = Some((self.complete.clone(), c));
-                    if let Some(cb) = self.opts.on_incumbent.as_mut() {
-                        cb(&self.complete, c, self.started.elapsed());
-                    }
+                if c < self.local_ub() {
+                    self.local_best = Some((self.complete.clone(), c));
+                    (self.sink)(&self.complete, c);
                 }
             }
             return false;
         }
-        // Domains are small (#PUs); copying avoids aliasing `self`.
-        let mut domain: Vec<u32> = self.model.domain(var).to_vec();
-        if self.opts.bound_guided_values && domain.len() > 1 {
-            let mut keyed: Vec<(f64, u32)> = domain
-                .iter()
-                .map(|&v| {
-                    self.partial[var] = Some(v);
-                    (self.model.bound(&self.partial), v)
-                })
-                .collect();
-            self.partial[var] = None;
-            keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bounds are not NaN"));
-            domain = keyed.into_iter().map(|(_, v)| v).collect();
-        }
-        for v in domain {
-            self.partial[var] = Some(v);
-            if self.dfs(var + 1) {
-                return true;
+        let dlen = self.model.domain(var).len();
+        if self.bound_guided && dlen > 1 {
+            // Key children by their bound in the per-depth scratch buffer
+            // (taken out to satisfy the borrow checker; no allocation
+            // after the first visit of this depth).
+            let mut keyed = std::mem::take(&mut self.scratch[var]);
+            keyed.clear();
+            for i in 0..dlen {
+                let v = self.model.domain(var)[i];
+                self.partial[var] = Some(v);
+                keyed.push((self.model.bound(&self.partial), v));
             }
+            // Stable insertion sort: ties keep domain order, and domains
+            // are #PU-sized, so this beats an allocating merge sort.
+            for i in 1..keyed.len() {
+                let mut j = i;
+                while j > 0 && keyed[j - 1].0 > keyed[j].0 {
+                    keyed.swap(j - 1, j);
+                    j -= 1;
+                }
+            }
+            for i in 0..keyed.len() {
+                let (child_bound, v) = keyed[i];
+                self.partial[var] = Some(v);
+                if self.dfs(var + 1, child_bound) {
+                    self.scratch[var] = keyed;
+                    return true;
+                }
+            }
+            self.partial[var] = None;
+            self.scratch[var] = keyed;
+        } else {
+            for i in 0..dlen {
+                let v = self.model.domain(var)[i];
+                self.partial[var] = Some(v);
+                if self.dfs(var + 1, f64::NAN) {
+                    return true;
+                }
+            }
+            self.partial[var] = None;
         }
-        self.partial[var] = None;
         false
     }
 }
 
 /// Minimizes `model` by exhaustive branch & bound (subject to budgets).
-pub fn solve<M: CostModel>(model: &M, opts: SolveOptions<'_>) -> Solution {
+pub fn solve<M: CostModel>(model: &M, mut opts: SolveOptions<'_>) -> Solution {
     let n = model.num_vars();
     for v in 0..n {
         assert!(!model.domain(v).is_empty(), "variable {v} has empty domain");
     }
-    let mut search = Search {
+    let started = Instant::now();
+    let shared = SharedState::new(opts.node_budget, opts.time_budget, None);
+    let mut callback = opts.on_incumbent.take();
+    let mut engine = Engine::new(
         model,
-        partial: vec![None; n],
-        complete: vec![0; n],
-        best: None,
-        stats: SolveStats {
-            nodes: 0,
-            leaves: 0,
-            pruned: 0,
-            elapsed: Duration::ZERO,
-            outcome: BudgetState::Exhausted,
+        &shared,
+        opts.initial_upper_bound,
+        opts.bound_guided_values,
+        |a: &Assignment, c: f64| {
+            if let Some(cb) = callback.as_mut() {
+                cb(a, c, started.elapsed());
+            }
         },
-        started: Instant::now(),
-        opts,
+    );
+    engine.dfs(0, f64::NAN);
+    let stats = SolveStats {
+        nodes: engine.nodes,
+        leaves: engine.leaves,
+        pruned: engine.pruned,
+        elapsed: started.elapsed(),
+        outcome: shared.outcome(),
     };
-    search.dfs(0);
-    search.stats.elapsed = search.started.elapsed();
     Solution {
-        best: search.best,
-        stats: search.stats,
+        best: engine.local_best,
+        stats,
     }
 }
 
@@ -235,9 +452,9 @@ mod tests {
                 .sum()
         }
         fn prune(&self, partial: &PartialAssignment) -> bool {
-            self.diffs.iter().any(|&(i, j)| {
-                matches!((partial[i], partial[j]), (Some(a), Some(b)) if a == b)
-            })
+            self.diffs
+                .iter()
+                .any(|&(i, j)| matches!((partial[i], partial[j]), (Some(a), Some(b)) if a == b))
         }
     }
 
@@ -250,9 +467,7 @@ mod tests {
             s ^= s << 17;
             (s % 1000) as f64 / 100.0
         };
-        let weights = (0..n)
-            .map(|_| (0..k).map(|_| next()).collect())
-            .collect();
+        let weights = (0..n).map(|_| (0..k).map(|_| next()).collect()).collect();
         let domains = (0..n).map(|_| (0..k as u32).collect()).collect();
         let diffs = (0..n - 1).map(|i| (i, i + 1)).collect();
         Wap {
@@ -300,6 +515,8 @@ mod tests {
         );
         assert_eq!(sol.stats.outcome, BudgetState::NodesExhausted);
         assert!(!sol.proven_optimal());
+        // The budget is respected exactly (not overshot by a batch).
+        assert!(sol.stats.nodes <= 200);
         // DFS reaches leaves quickly, so an incumbent should exist.
         assert!(sol.best.is_some());
     }
@@ -378,10 +595,7 @@ mod tests {
             },
         );
         // Same optimum...
-        assert!(
-            (plain.best.as_ref().unwrap().1 - guided.best.as_ref().unwrap().1).abs()
-                < 1e-9
-        );
+        assert!((plain.best.as_ref().unwrap().1 - guided.best.as_ref().unwrap().1).abs() < 1e-9);
         // ...with no more leaves evaluated (typically far fewer).
         assert!(
             guided.stats.leaves <= plain.stats.leaves,
@@ -399,5 +613,29 @@ mod tests {
         assert_eq!(a.best.as_ref().unwrap().0, b.best.as_ref().unwrap().0);
         assert_eq!(a.stats.leaves, b.stats.leaves);
         assert_eq!(a.stats.nodes, b.stats.nodes);
+    }
+
+    /// The memoized child bound must behave exactly like recomputing it:
+    /// guided and plain solves agree on the optimum everywhere.
+    #[test]
+    fn bound_memo_is_equivalent_to_recomputation() {
+        for seed in 0..20 {
+            let m = instance(seed, 9, 3);
+            let plain = solve(&m, SolveOptions::default());
+            let guided = solve(
+                &m,
+                SolveOptions {
+                    bound_guided_values: true,
+                    ..Default::default()
+                },
+            );
+            match (&plain.best, &guided.best) {
+                (Some((_, a)), Some((_, b))) => {
+                    assert!((a - b).abs() < 1e-12, "seed {seed}")
+                }
+                (None, None) => {}
+                other => panic!("seed {seed}: {other:?}"),
+            }
+        }
     }
 }

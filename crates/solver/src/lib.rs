@@ -28,6 +28,6 @@ pub mod bb;
 pub mod model;
 pub mod parallel;
 
-pub use bb::{solve, BudgetState, SolveOptions, SolveStats, Solution};
-pub use parallel::solve_parallel;
+pub use bb::{solve, BudgetState, Solution, SolveOptions, SolveStats};
 pub use model::{brute_force, Assignment, CostModel, PartialAssignment};
+pub use parallel::{solve_parallel, solve_parallel_with, ParallelOptions};

@@ -1,178 +1,269 @@
-//! Parallel branch & bound: root splitting with a shared incumbent.
+//! Parallel branch & bound: frontier splitting with work stealing and a
+//! lock-free shared incumbent.
 //!
-//! The search tree is split at the first decision variable: each of its
-//! values becomes an independent subtree explored by its own worker thread.
-//! Workers share one incumbent bound behind a mutex, so a good solution
-//! found in one subtree immediately tightens pruning in all others.
+//! The search tree is cut at a configurable depth `d`: every assignment
+//! of the first `d` variables becomes one *work item* (there are
+//! `∏ |domain(0..d)|` of them — far more items than workers, unlike root
+//! splitting, so no thread idles because its one subtree happened to be
+//! small). Items live in an implicit lock-free injector — a shared atomic
+//! cursor over the mixed-radix prefix space — from which workers claim
+//! the next prefix whenever they finish one, i.e. work-stealing
+//! degenerated to its cheapest form: stealing from a single shared deque
+//! whose items never need to be materialized.
 //!
-//! The *optimal cost* is identical to the sequential solver's; the returned
-//! assignment is made deterministic by resolving equal-cost ties toward the
-//! lexicographically smallest assignment, independent of thread timing.
+//! The incumbent *cost* lives in an `AtomicU64` (bit-cast `f64`) read
+//! with `Acquire` on every bound check — the prune hot path takes no
+//! lock. The full assignment sits behind a mutex that is only taken when
+//! a worker's candidate might actually improve the incumbent (checked
+//! against the atomic first), which is rare.
+//!
+//! Budgets are **global**: one atomic node counter and one deadline are
+//! shared by all workers (see [`SolveOptions`]), so `node_budget: 1000`
+//! means one thousand nodes total, never per subtree.
+//!
+//! # Determinism
+//!
+//! The returned optimum cost is identical to the sequential solver's and
+//! the returned assignment does not depend on thread count or timing:
+//!
+//! * workers accept incumbents *locally* per work item (against the work
+//!   item's own running best, seeded from `initial_upper_bound`), so the
+//!   set of candidates offered to the shared incumbent depends only on
+//!   the model, never on which worker ran which item or when;
+//! * cross-worker pruning against the atomic cost uses a *conservative*
+//!   margin (`bound > best + 1e-12`): subtrees whose bound ties the
+//!   incumbent are still explored, so an optimal leaf can never be
+//!   timing-pruned;
+//! * the shared incumbent resolves equal-cost ties toward the
+//!   lexicographically smallest assignment — an order-independent
+//!   reduction, so any arrival order yields the same winner.
+//!
+//! With ascending domains and default (domain-order) branching this is
+//! exactly the assignment the sequential solver returns. Under
+//! `bound_guided_values` only the *cost* is guaranteed to match.
+//!
+//! # Anytime callbacks
+//!
+//! Unlike the root-splitting predecessor, `on_incumbent` is supported:
+//! workers send strict global improvements through a channel (from inside
+//! the incumbent lock, so costs strictly decrease and timestamps are
+//! monotone) and the caller's thread delivers them while the workers run.
 
-use crate::bb::{solve, BudgetState, SolveOptions, SolveStats, Solution};
-use crate::model::{Assignment, CostModel, PartialAssignment};
-use std::sync::Mutex;
+use crate::bb::{solve, Engine, SharedState, Solution, SolveOptions, SolveStats, EPS};
+use crate::model::{Assignment, CostModel};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Shared incumbent state.
-struct Incumbent {
-    best: Option<(Assignment, f64)>,
+/// Hard cap on frontier size when auto-choosing the split depth.
+const MAX_AUTO_ITEMS: usize = 65_536;
+
+/// Work items per worker the auto split depth aims for; >1 so fast
+/// workers keep stealing instead of idling behind a slow subtree.
+const ITEMS_PER_WORKER: usize = 8;
+
+/// Knobs specific to the parallel solver.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelOptions {
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// Split the tree at this depth (number of leading variables fixed
+    /// per work item). `None` picks the smallest depth yielding at least
+    /// [`ITEMS_PER_WORKER`]× the worker count. Any depth produces the
+    /// same result — this only shapes load balance.
+    pub split_depth: Option<usize>,
 }
 
-impl Incumbent {
-    /// Offers a candidate; keeps it if strictly better, or if equal-cost and
-    /// lexicographically smaller (deterministic tie-breaking).
-    fn offer(&mut self, a: &Assignment, c: f64) -> bool {
-        let better = match &self.best {
-            None => true,
+/// The shared incumbent: lock-free cost in [`SharedState`], full
+/// assignment under this mutex (taken only on candidate improvements).
+struct SharedIncumbent<'a> {
+    slot: Mutex<Option<(Assignment, f64)>>,
+    state: &'a SharedState,
+    started: Instant,
+}
+
+impl SharedIncumbent<'_> {
+    /// Offers a locally-accepted candidate. Keeps it if strictly better,
+    /// or if equal-cost (±1e-12) and lexicographically smaller. Strict
+    /// improvements are forwarded to the callback channel from inside the
+    /// lock, so the channel sees a strictly-decreasing cost sequence with
+    /// monotone timestamps.
+    fn offer(&self, a: &Assignment, c: f64, tx: &mpsc::Sender<(Assignment, f64, Duration)>) {
+        // Lock-free fast reject: strictly worse candidates never touch
+        // the mutex. Ties (within EPS) fall through for lex comparison.
+        if c > self.state.best_cost() + EPS {
+            return;
+        }
+        let mut slot = self.slot.lock().expect("incumbent lock");
+        let (better, strict) = match &*slot {
+            None => (true, true),
             Some((cur_a, cur_c)) => {
-                c < cur_c - 1e-12 || ((c - cur_c).abs() <= 1e-12 && a < cur_a)
+                let strict = c < cur_c - EPS;
+                (strict || ((c - cur_c).abs() <= EPS && a < cur_a), strict)
             }
         };
         if better {
-            self.best = Some((a.clone(), c));
-        }
-        better
-    }
-}
-
-/// A [`CostModel`] view of one root subtree: the first variable is fixed.
-struct Subtree<'a, M: CostModel> {
-    model: &'a M,
-    fixed: u32,
-    shared: &'a Mutex<Incumbent>,
-}
-
-impl<M: CostModel> Subtree<'_, M> {
-    fn widen(&self, partial: &PartialAssignment) -> Vec<Option<u32>> {
-        let mut full = Vec::with_capacity(partial.len() + 1);
-        full.push(Some(self.fixed));
-        full.extend_from_slice(partial);
-        full
-    }
-}
-
-impl<M: CostModel> CostModel for Subtree<'_, M> {
-    fn num_vars(&self) -> usize {
-        self.model.num_vars() - 1
-    }
-    fn domain(&self, var: usize) -> &[u32] {
-        self.model.domain(var + 1)
-    }
-    fn cost(&self, assignment: &Assignment) -> Option<f64> {
-        let mut full = Vec::with_capacity(assignment.len() + 1);
-        full.push(self.fixed);
-        full.extend_from_slice(assignment);
-        self.model.cost(&full)
-    }
-    fn bound(&self, partial: &PartialAssignment) -> f64 {
-        self.model.bound(&self.widen(partial))
-    }
-    fn prune(&self, partial: &PartialAssignment) -> bool {
-        if self.model.prune(&self.widen(partial)) {
-            return true;
-        }
-        // Cross-subtree pruning: the shared incumbent bounds this subtree.
-        let bound = self.model.bound(&self.widen(partial));
-        let shared = self.shared.lock().expect("incumbent lock");
-        match &shared.best {
-            Some((_, c)) => bound >= *c - 1e-12,
-            None => false,
+            *slot = Some((a.clone(), c));
+            self.state.publish_cost(c);
+            if strict {
+                // Receiver may have been dropped (no callback): ignore.
+                let _ = tx.send((a.clone(), c, self.started.elapsed()));
+            }
         }
     }
 }
 
-/// Minimizes `model` with one worker thread per value of the first
-/// variable. Budgets in `opts` apply *per subtree*; incumbent callbacks are
-/// not supported here (use the sequential [`solve`] for anytime use).
-pub fn solve_parallel<M: CostModel + Sync>(model: &M, opts: &SolveOptions<'_>) -> Solution {
-    assert!(
-        opts.on_incumbent.is_none(),
-        "anytime callbacks are only supported by the sequential solver"
-    );
+/// Smallest depth whose prefix count reaches `target` (capped).
+fn choose_depth<M: CostModel>(model: &M, threads: usize, requested: Option<usize>) -> usize {
     let n = model.num_vars();
-    if n == 0 {
-        return solve(model, SolveOptions::default());
+    if let Some(d) = requested {
+        return d.min(n);
     }
-    let started = Instant::now();
-    let shared = Mutex::new(Incumbent {
-        best: opts
-            .initial_upper_bound
-            .map(|ub| (Vec::new(), ub)),
-    });
-    let root_domain: Vec<u32> = model.domain(0).to_vec();
+    let target = threads.saturating_mul(ITEMS_PER_WORKER).max(2);
+    let mut depth = 0;
+    let mut items = 1usize;
+    while depth < n && items < target {
+        items = items.saturating_mul(model.domain(depth).len());
+        depth += 1;
+        if items >= MAX_AUTO_ITEMS {
+            break;
+        }
+    }
+    depth
+}
 
-    let stats = Mutex::new(SolveStats {
-        nodes: 0,
-        leaves: 0,
-        pruned: 0,
-        elapsed: Duration::ZERO,
-        outcome: BudgetState::Exhausted,
-    });
+/// Number of work items at `depth` (saturating).
+fn frontier_size<M: CostModel>(model: &M, depth: usize) -> usize {
+    (0..depth).fold(1usize, |acc, v| acc.saturating_mul(model.domain(v).len()))
+}
+
+/// Decodes work item `k` into the first `depth` slots of `partial`
+/// (mixed radix, variable 0 most significant — so item order is the
+/// sequential solver's DFS order over prefixes).
+fn decode_prefix<M: CostModel>(model: &M, depth: usize, mut k: usize, partial: &mut [Option<u32>]) {
+    for var in (0..depth).rev() {
+        let dom = model.domain(var);
+        partial[var] = Some(dom[k % dom.len()]);
+        k /= dom.len();
+    }
+}
+
+/// Minimizes `model` on all available CPUs. See [`solve_parallel_with`].
+pub fn solve_parallel<M: CostModel + Sync>(model: &M, opts: SolveOptions<'_>) -> Solution {
+    solve_parallel_with(model, opts, &ParallelOptions::default())
+}
+
+/// Minimizes `model` with a work-stealing worker pool over a depth-`d`
+/// frontier (see the module docs for the execution and determinism
+/// model). Budgets in `opts` are global across all workers, and
+/// `on_incumbent` is delivered on the calling thread while workers run.
+pub fn solve_parallel_with<M: CostModel + Sync>(
+    model: &M,
+    mut opts: SolveOptions<'_>,
+    par: &ParallelOptions,
+) -> Solution {
+    let n = model.num_vars();
+    for v in 0..n {
+        assert!(!model.domain(v).is_empty(), "variable {v} has empty domain");
+    }
+    if n == 0 {
+        return solve(model, opts);
+    }
+    let threads = if par.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        par.threads
+    };
+    let depth = choose_depth(model, threads, par.split_depth);
+    let total_items = frontier_size(model, depth);
+
+    let started = Instant::now();
+    let state = SharedState::new(opts.node_budget, opts.time_budget, opts.initial_upper_bound);
+    let incumbent = SharedIncumbent {
+        slot: Mutex::new(None),
+        state: &state,
+        started,
+    };
+    let injector = AtomicUsize::new(0);
+    let stats = Mutex::new((0u64, 0u64, 0u64)); // nodes, leaves, pruned
+    let (tx, rx) = mpsc::channel::<(Assignment, f64, Duration)>();
 
     std::thread::scope(|scope| {
-        for &v in &root_domain {
-            let shared = &shared;
+        for _ in 0..threads.min(total_items) {
+            let tx = tx.clone();
+            let state = &state;
+            let incumbent = &incumbent;
+            let injector = &injector;
             let stats = &stats;
-            let node_budget = opts.node_budget;
-            let time_budget = opts.time_budget;
+            let initial_ub = opts.initial_upper_bound;
             let bound_guided = opts.bound_guided_values;
             scope.spawn(move || {
-                let sub = Subtree {
+                let mut engine = Engine::new(
                     model,
-                    fixed: v,
-                    shared,
-                };
-                let sol = solve(
-                    &sub,
-                    SolveOptions {
-                        node_budget,
-                        time_budget,
-                        bound_guided_values: bound_guided,
-                        // Subtrees observe the shared incumbent via prune();
-                        // a local callback publishes improvements.
-                        on_incumbent: Some(Box::new(|a: &Assignment, c: f64, _at| {
-                            let mut full = Vec::with_capacity(a.len() + 1);
-                            full.push(v);
-                            full.extend_from_slice(a);
-                            shared.lock().expect("incumbent lock").offer(&full, c);
-                        })),
-                        initial_upper_bound: None,
-                    },
+                    state,
+                    initial_ub,
+                    bound_guided,
+                    |a: &Assignment, c: f64| incumbent.offer(a, c, &tx),
                 );
-                // Publish the subtree's best too (callback already did, but
-                // the final offer also covers the initial_upper_bound path).
-                if let Some((a, c)) = sol.best {
-                    let mut full = Vec::with_capacity(a.len() + 1);
-                    full.push(v);
-                    full.extend_from_slice(&a);
-                    shared.lock().expect("incumbent lock").offer(&full, c);
+                loop {
+                    if state.stopped() {
+                        break;
+                    }
+                    let k = injector.fetch_add(1, Ordering::Relaxed);
+                    if k >= total_items {
+                        break;
+                    }
+                    decode_prefix(model, depth, k, &mut engine.partial);
+                    // Local incumbents are per work item so results never
+                    // depend on which worker ran which items (see module
+                    // docs); cross-item pruning flows through the shared
+                    // atomic cost instead.
+                    engine.local_best = None;
+                    if engine.dfs(depth, f64::NAN) {
+                        break; // budget exhausted or solve stopped
+                    }
                 }
                 let mut st = stats.lock().expect("stats lock");
-                st.nodes += sol.stats.nodes;
-                st.leaves += sol.stats.leaves;
-                st.pruned += sol.stats.pruned;
-                if sol.stats.outcome != BudgetState::Exhausted {
-                    st.outcome = sol.stats.outcome;
-                }
+                st.0 += engine.nodes;
+                st.1 += engine.leaves;
+                st.2 += engine.pruned;
             });
+        }
+        // The workers hold the only remaining senders: once they finish,
+        // the channel disconnects and this drain loop ends. Meanwhile it
+        // delivers strict improvements to the caller as they happen.
+        drop(tx);
+        match opts.on_incumbent.take() {
+            Some(mut cb) => {
+                for (a, c, at) in rx {
+                    cb(&a, c, at);
+                }
+            }
+            None => drop(rx),
         }
     });
 
-    let best = shared
-        .into_inner()
-        .expect("incumbent lock")
-        .best
-        .filter(|(a, _)| !a.is_empty()); // drop a bare initial upper bound
-    let mut stats = stats.into_inner().expect("stats lock");
-    stats.elapsed = started.elapsed();
-    Solution { best, stats }
+    let (nodes, leaves, pruned) = *stats.lock().expect("stats lock");
+    let best = incumbent.slot.into_inner().expect("incumbent lock");
+    Solution {
+        best,
+        stats: SolveStats {
+            nodes,
+            leaves,
+            pruned,
+            elapsed: started.elapsed(),
+            outcome: state.outcome(),
+        },
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::brute_force;
+    use crate::bb::BudgetState;
+    use crate::model::{brute_force, PartialAssignment};
 
     struct Wap {
         weights: Vec<Vec<f64>>,
@@ -228,20 +319,26 @@ mod tests {
         }
     }
 
+    fn with_threads(t: usize) -> ParallelOptions {
+        ParallelOptions {
+            threads: t,
+            split_depth: None,
+        }
+    }
+
     #[test]
     fn parallel_matches_sequential_and_brute_force() {
         for seed in 0..10 {
             let m = instance(seed, 8);
             let seq = solve(&m, SolveOptions::default());
-            let par = solve_parallel(&m, &SolveOptions::default());
+            let par = solve_parallel(&m, SolveOptions::default());
             let bf = brute_force(&m);
-            let c_seq = seq.best.as_ref().map(|b| b.1);
-            let c_par = par.best.as_ref().map(|b| b.1);
-            let c_bf = bf.as_ref().map(|b| b.1);
-            match (c_seq, c_par, c_bf) {
-                (Some(a), Some(b), Some(c)) => {
-                    assert!((a - b).abs() < 1e-9, "seed {seed}");
-                    assert!((a - c).abs() < 1e-9, "seed {seed}");
+            match (&seq.best, &par.best, &bf) {
+                (Some((a_seq, c_seq)), Some((a_par, c_par)), Some((_, c_bf))) => {
+                    // Bit-identical cost and identical assignment.
+                    assert_eq!(c_seq.to_bits(), c_par.to_bits(), "seed {seed}");
+                    assert_eq!(a_seq, a_par, "seed {seed}");
+                    assert!((c_seq - c_bf).abs() < 1e-9, "seed {seed}");
                 }
                 (None, None, None) => {}
                 other => panic!("seed {seed}: {other:?}"),
@@ -250,12 +347,68 @@ mod tests {
     }
 
     #[test]
-    fn parallel_result_is_deterministic() {
+    fn deterministic_across_thread_counts_and_depths() {
         let m = instance(77, 9);
-        let a = solve_parallel(&m, &SolveOptions::default());
-        let b = solve_parallel(&m, &SolveOptions::default());
-        assert_eq!(a.best.as_ref().unwrap().0, b.best.as_ref().unwrap().0);
-        assert_eq!(a.best.as_ref().unwrap().1, b.best.as_ref().unwrap().1);
+        let reference = solve_parallel_with(&m, SolveOptions::default(), &with_threads(1));
+        let (ref_a, ref_c) = reference.best.unwrap();
+        for threads in [2, 4, 8] {
+            for depth in [0, 1, 2, 4] {
+                let sol = solve_parallel_with(
+                    &m,
+                    SolveOptions::default(),
+                    &ParallelOptions {
+                        threads,
+                        split_depth: Some(depth),
+                    },
+                );
+                let (a, c) = sol.best.unwrap();
+                assert_eq!(a, ref_a, "threads {threads} depth {depth}");
+                assert_eq!(
+                    c.to_bits(),
+                    ref_c.to_bits(),
+                    "threads {threads} depth {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_budget_is_global_not_per_subtree() {
+        let m = instance(7, 12);
+        let sol = solve_parallel_with(
+            &m,
+            SolveOptions {
+                node_budget: Some(500),
+                ..Default::default()
+            },
+            &with_threads(4),
+        );
+        assert_eq!(sol.stats.outcome, BudgetState::NodesExhausted);
+        // The whole pool together never exceeds the budget (the old
+        // root-splitting solver spent budget × num_subtrees).
+        assert!(sol.stats.nodes <= 500, "spent {}", sol.stats.nodes);
+    }
+
+    #[test]
+    fn callbacks_are_monotone_and_reach_the_optimum() {
+        let m = instance(3, 9);
+        let mut seen: Vec<(f64, Duration)> = Vec::new();
+        let sol = solve_parallel_with(
+            &m,
+            SolveOptions {
+                on_incumbent: Some(Box::new(|_, c, at| seen.push((c, at)))),
+                ..Default::default()
+            },
+            &with_threads(4),
+        );
+        assert!(sol.proven_optimal());
+        let best = sol.best.unwrap().1;
+        assert!(!seen.is_empty());
+        for w in seen.windows(2) {
+            assert!(w[1].0 < w[0].0 - 1e-12, "costs must strictly decrease");
+            assert!(w[1].1 >= w[0].1, "timestamps must be monotone");
+        }
+        assert_eq!(seen.last().unwrap().0.to_bits(), best.to_bits());
     }
 
     #[test]
@@ -279,8 +432,9 @@ mod tests {
             }
         }
         let m = OneValue(m);
-        let par = solve_parallel(&m, &SolveOptions::default());
+        let par = solve_parallel(&m, SolveOptions::default());
         assert!(par.best.is_none());
+        assert!(par.proven_optimal());
     }
 
     #[test]
@@ -290,7 +444,7 @@ mod tests {
         // A warm bound below the optimum prunes everything away.
         let par = solve_parallel(
             &m,
-            &SolveOptions {
+            SolveOptions {
                 initial_upper_bound: Some(opt - 1.0),
                 ..Default::default()
             },
@@ -299,7 +453,7 @@ mod tests {
         // At the optimum + epsilon, it finds the optimum.
         let par = solve_parallel(
             &m,
-            &SolveOptions {
+            SolveOptions {
                 initial_upper_bound: Some(opt + 1e-6),
                 ..Default::default()
             },
@@ -308,15 +462,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "anytime callbacks")]
-    fn rejects_callbacks() {
-        let m = instance(1, 4);
-        solve_parallel(
+    fn bound_guided_mode_matches_cost() {
+        let m = instance(21, 9);
+        let seq = solve(&m, SolveOptions::default()).best.unwrap().1;
+        let par = solve_parallel_with(
             &m,
-            &SolveOptions {
-                on_incumbent: Some(Box::new(|_, _, _| {})),
+            SolveOptions {
+                bound_guided_values: true,
                 ..Default::default()
             },
+            &with_threads(4),
         );
+        assert!((par.best.unwrap().1 - seq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_deeper_than_tree_is_fine() {
+        let m = instance(2, 3);
+        let sol = solve_parallel_with(
+            &m,
+            SolveOptions::default(),
+            &ParallelOptions {
+                threads: 4,
+                split_depth: Some(10), // clamped to num_vars: items are leaves
+            },
+        );
+        let bf = brute_force(&m).unwrap().1;
+        assert!(sol.proven_optimal());
+        assert!((sol.best.unwrap().1 - bf).abs() < 1e-9);
     }
 }

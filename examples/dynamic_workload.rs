@@ -41,7 +41,10 @@ fn main() {
         let d = DHaxConn::run(&platform, workload, &contention, config);
 
         let naive = measure(&platform, workload, &d.initial.assignment);
-        println!("  t=0ms       naive start        {:>8.2} ms", naive.latency_ms);
+        println!(
+            "  t=0ms       naive start        {:>8.2} ms",
+            naive.latency_ms
+        );
         let mut last_cost = f64::INFINITY;
         for &ck in &checkpoints {
             let inc = d.schedule_at(Duration::from_millis(ck));
@@ -50,7 +53,10 @@ fn main() {
             }
             last_cost = inc.cost;
             let m = measure(&platform, workload, &inc.assignment);
-            println!("  t={ck:>4}ms    schedule update    {:>8.2} ms", m.latency_ms);
+            println!(
+                "  t={ck:>4}ms    schedule update    {:>8.2} ms",
+                m.latency_ms
+            );
         }
         let oracle = HaxConn::schedule(&platform, workload, &contention, config);
         let om = measure(&platform, workload, &oracle.assignment);

@@ -27,7 +27,10 @@ fn main() {
         .map(|&m| NetworkProfile::profile(&platform, m, 8))
         .collect();
 
-    println!("{:>10} x {:<10} {:>9} {:>9} {:>7}  best baseline", "DNN-1", "DNN-2", "base ms", "hax ms", "gain");
+    println!(
+        "{:>10} x {:<10} {:>9} {:>9} {:>7}  best baseline",
+        "DNN-1", "DNN-2", "base ms", "hax ms", "gain"
+    );
     for i in 0..models.len() {
         for j in 0..=i {
             let workload = Workload::concurrent(vec![

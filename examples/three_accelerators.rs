@@ -14,11 +14,7 @@ use haxconn::soc::orin_agx_triple;
 fn main() {
     let platform = orin_agx_triple();
     let contention = ContentionModel::calibrate(&platform);
-    println!(
-        "platform: {} ({} PUs)\n",
-        platform.name,
-        platform.pus.len()
-    );
+    println!("platform: {} ({} PUs)\n", platform.name, platform.pus.len());
 
     let workload = Workload::concurrent(vec![
         DnnTask::new(

@@ -6,7 +6,7 @@
 //! here (not in the binary) so it is unit-testable.
 
 use crate::prelude::*;
-use haxconn_core::{chrome_trace_json, energy_of, schedule_min_energy};
+use haxconn_core::{chrome_trace_json, energy_of, schedule_min_energy, DHaxConn, ScheduleCache};
 use haxconn_soc::PowerModel;
 use std::fmt::Write as _;
 
@@ -58,6 +58,19 @@ pub enum Command {
         /// Print the full per-layer table.
         layers: bool,
     },
+    /// `haxconn dynamic --platform P --phases A,B[;C,D...] [--rounds N]
+    /// [--budget N]`
+    Dynamic {
+        /// Target platform.
+        platform: PlatformId,
+        /// CFG phases, each a set of concurrent models; the autonomous
+        /// loop toggles through them `rounds` times.
+        phases: Vec<Vec<Model>>,
+        /// How many times to cycle through the phases.
+        rounds: usize,
+        /// Global solver node budget per phase (None = optimal).
+        budget: Option<u64>,
+    },
     /// `haxconn stream --platform P --models A,B --fps F [--buffers N]`
     Stream {
         /// Target platform.
@@ -87,9 +100,7 @@ fn parse_platform(s: &str) -> Result<PlatformId, CliError> {
     match s.to_ascii_lowercase().as_str() {
         "orin" | "orin-agx" | "agx-orin" => Ok(PlatformId::OrinAgx),
         "xavier" | "xavier-agx" | "agx-xavier" => Ok(PlatformId::XavierAgx),
-        "sd865" | "snapdragon" | "snapdragon865" | "qualcomm" => {
-            Ok(PlatformId::Snapdragon865)
-        }
+        "sd865" | "snapdragon" | "snapdragon865" | "qualcomm" => Ok(PlatformId::Snapdragon865),
         other => Err(CliError(format!(
             "unknown platform '{other}' (expected orin | xavier | sd865)"
         ))),
@@ -233,6 +244,32 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 budget_ms,
             }
         }
+        "dynamic" => {
+            let platform = parse_platform(
+                a.take_value("--platform")?
+                    .ok_or(CliError("--platform required".into()))?,
+            )?;
+            let phases = a
+                .take_value("--phases")?
+                .ok_or(CliError("--phases required".into()))?
+                .split(';')
+                .map(parse_models)
+                .collect::<Result<Vec<_>, _>>()?;
+            let rounds = match a.take_value("--rounds")? {
+                Some(v) => v.parse().map_err(|_| CliError("bad --rounds".into()))?,
+                None => 2,
+            };
+            let budget = match a.take_value("--budget")? {
+                Some(v) => Some(v.parse().map_err(|_| CliError("bad --budget".into()))?),
+                None => None,
+            };
+            Command::Dynamic {
+                platform,
+                phases,
+                rounds,
+                budget,
+            }
+        }
         "inspect" => {
             let model = parse_model(
                 a.take_value("--model")?
@@ -274,7 +311,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
 }
 
 /// Usage text.
-pub const USAGE: &str = "haxconn — contention-aware concurrent DNN scheduling (PPoPP'24 reproduction)
+pub const USAGE: &str =
+    "haxconn — contention-aware concurrent DNN scheduling (PPoPP'24 reproduction)
 
 USAGE:
   haxconn platforms
@@ -283,6 +321,7 @@ USAGE:
   haxconn schedule --platform <P> --models <A,B[,C]> [--objective latency|throughput]
                    [--pipeline] [--trace FILE.json] [--gantt]
   haxconn energy   --platform <P> --models <A,B> --budget-ms <X>
+  haxconn dynamic  --platform <P> --phases <A,B[;C,D...]> [--rounds N] [--budget N]
   haxconn inspect  --model <NAME> [--layers]
   haxconn stream   --platform <P> --models <A,B> --fps <F> [--buffers N]
 ";
@@ -318,8 +357,12 @@ pub fn run(command: Command) -> Result<String, CliError> {
             }
         }
         Command::Models => {
-            writeln!(out, "{:<12} {:>7} {:>10} {:>10}", "model", "layers", "GFLOPs", "params(MB)")
-                .unwrap();
+            writeln!(
+                out,
+                "{:<12} {:>7} {:>10} {:>10}",
+                "model", "layers", "GFLOPs", "params(MB)"
+            )
+            .unwrap();
             for &m in Model::all() {
                 let n = m.network();
                 writeln!(
@@ -365,8 +408,14 @@ pub fn run(command: Command) -> Result<String, CliError> {
             for &kind in BaselineKind::all() {
                 let a = Baseline::assignment(kind, &p, &workload);
                 let m = measure(&p, &workload, &a);
-                writeln!(out, "{:<10} {:>10.2} {:>9.1}", kind.name(), m.latency_ms, m.fps)
-                    .unwrap();
+                writeln!(
+                    out,
+                    "{:<10} {:>10.2} {:>9.1}",
+                    kind.name(),
+                    m.latency_ms,
+                    m.fps
+                )
+                .unwrap();
             }
             let s = HaxConn::schedule_validated(
                 &p,
@@ -375,10 +424,20 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 SchedulerConfig::with_objective(objective),
             );
             let m = measure(&p, &workload, &s.assignment);
-            writeln!(out, "{:<10} {:>10.2} {:>9.1}", "HaX-CoNN", m.latency_ms, m.fps).unwrap();
+            writeln!(
+                out,
+                "{:<10} {:>10.2} {:>9.1}",
+                "HaX-CoNN", m.latency_ms, m.fps
+            )
+            .unwrap();
             writeln!(out, "\nschedule: {}", s.describe(&p, &workload)).unwrap();
             if gantt {
-                writeln!(out, "\n{}", haxconn_core::render_gantt(&p, &workload, &s.assignment, &m, 72)).unwrap();
+                writeln!(
+                    out,
+                    "\n{}",
+                    haxconn_core::render_gantt(&p, &workload, &s.assignment, &m, 72)
+                )
+                .unwrap();
             }
             if let Some(path) = trace {
                 let json = chrome_trace_json(&p, &workload, &s.assignment, &m);
@@ -387,7 +446,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 writeln!(out, "trace written to {path} (open in Perfetto)").unwrap();
             }
         }
-            Command::Inspect { model, layers } => {
+        Command::Inspect { model, layers } => {
             let net = model.network();
             writeln!(
                 out,
@@ -428,7 +487,11 @@ pub fn run(command: Command) -> Result<String, CliError> {
                         out,
                         "{:>5} {:<28} {:>14} {:>10.2} {:>10.1}",
                         l.id,
-                        if l.name.len() > 28 { &l.name[..28] } else { &l.name },
+                        if l.name.len() > 28 {
+                            &l.name[..28]
+                        } else {
+                            &l.name
+                        },
                         l.output_shape.to_string(),
                         l.flops() as f64 / 1e6,
                         l.output_bytes() as f64 / 1e3
@@ -436,6 +499,79 @@ pub fn run(command: Command) -> Result<String, CliError> {
                     .unwrap();
                 }
             }
+        }
+        Command::Dynamic {
+            platform,
+            phases,
+            rounds,
+            budget,
+        } => {
+            // The D-HaX-CoNN loop (paper Fig. 7 + Section 3.5 CFG
+            // toggling): each phase starts from the best naive schedule,
+            // improves it anytime via the parallel solver, and lands in
+            // the schedule cache so returning to a phase is instant.
+            let p = platform.platform();
+            let contention = ContentionModel::calibrate(&p);
+            let cfg = SchedulerConfig {
+                node_budget: budget,
+                ..Default::default()
+            };
+            let workloads: Vec<Workload> = phases
+                .iter()
+                .map(|models| {
+                    Workload::concurrent(
+                        models
+                            .iter()
+                            .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 6)))
+                            .collect(),
+                    )
+                })
+                .collect();
+            let mut cache = ScheduleCache::new();
+            for round in 0..rounds {
+                for (i, w) in workloads.iter().enumerate() {
+                    let mut solved = None;
+                    let s = cache.get_or_insert_with(w, || {
+                        let d = DHaxConn::run(&p, w, &contention, cfg);
+                        solved = Some((
+                            d.initial.cost,
+                            d.trace.len(),
+                            d.trace.last().map(|inc| inc.at),
+                        ));
+                        d.into_schedule(w, &contention, cfg)
+                    });
+                    let names: Vec<&str> = phases[i].iter().map(|m| m.name()).collect();
+                    match solved {
+                        Some((naive, improvements, settled)) => writeln!(
+                            out,
+                            "round {round} phase {i} [{}]: solved — naive {naive:.2} -> best {:.2} \
+                             ({improvements} improvements{}){}",
+                            names.join("+"),
+                            s.cost,
+                            match settled {
+                                Some(at) => format!(", settled after {:.1} ms", at.as_secs_f64() * 1e3),
+                                None => String::new(),
+                            },
+                            if s.proven_optimal { ", optimal" } else { ", budget-bounded" },
+                        )
+                        .unwrap(),
+                        None => writeln!(
+                            out,
+                            "round {round} phase {i} [{}]: cache hit — best {:.2}",
+                            names.join("+"),
+                            s.cost
+                        )
+                        .unwrap(),
+                    }
+                }
+            }
+            let (hits, misses) = cache.stats();
+            writeln!(
+                out,
+                "\nschedule cache: {hits} hits, {misses} misses, {} phases cached",
+                cache.len()
+            )
+            .unwrap();
         }
         Command::Stream {
             platform,
@@ -451,12 +587,8 @@ pub fn run(command: Command) -> Result<String, CliError> {
                     .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 10)))
                     .collect(),
             );
-            let s = HaxConn::schedule_validated(
-                &p,
-                &workload,
-                &contention,
-                SchedulerConfig::default(),
-            );
+            let s =
+                HaxConn::schedule_validated(&p, &workload, &contention, SchedulerConfig::default());
             // Steady-state per-frame service time from the concurrent loop
             // executor.
             let frames = 8;
@@ -502,12 +634,7 @@ per-frame service {:.2} ms vs period {:.2} ms",
                     .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 10)))
                     .collect(),
             );
-            let fast = HaxConn::schedule(
-                &p,
-                &workload,
-                &contention,
-                SchedulerConfig::default(),
-            );
+            let fast = HaxConn::schedule(&p, &workload, &contention, SchedulerConfig::default());
             let fast_m = measure(&p, &workload, &fast.assignment);
             let fast_e = energy_of(&workload, &fast.assignment, &power, fast_m.latency_ms);
             writeln!(
@@ -539,9 +666,7 @@ per-frame service {:.2} ms vs period {:.2} ms",
                     .unwrap();
                     writeln!(out, "\nschedule: {}", s.describe(&p, &workload)).unwrap();
                 }
-                None => {
-                    writeln!(out, "no schedule meets the {budget_ms} ms budget").unwrap()
-                }
+                None => writeln!(out, "no schedule meets the {budget_ms} ms budget").unwrap(),
             }
         }
     }
@@ -566,7 +691,10 @@ mod tests {
 
     #[test]
     fn parses_profile() {
-        let c = parse(&args("profile --platform orin --model GoogleNet --groups 8")).unwrap();
+        let c = parse(&args(
+            "profile --platform orin --model GoogleNet --groups 8",
+        ))
+        .unwrap();
         assert_eq!(
             c,
             Command::Profile {
@@ -613,7 +741,10 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--models required"));
-        assert!(parse(&args("frobnicate")).unwrap_err().0.contains("unknown command"));
+        assert!(parse(&args("frobnicate"))
+            .unwrap_err()
+            .0
+            .contains("unknown command"));
         assert!(parse(&args("models --bogus"))
             .unwrap_err()
             .0
@@ -668,6 +799,58 @@ mod tests {
                 buffers: 3
             }
         );
+    }
+
+    #[test]
+    fn parses_dynamic() {
+        let c = parse(&args(
+            "dynamic --platform orin --phases GoogleNet,ResNet18;GoogleNet,ResNet50 --rounds 3 --budget 500",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Dynamic {
+                platform: PlatformId::OrinAgx,
+                phases: vec![
+                    vec![Model::GoogleNet, Model::ResNet18],
+                    vec![Model::GoogleNet, Model::ResNet50],
+                ],
+                rounds: 3,
+                budget: Some(500),
+            }
+        );
+        // Defaults: two rounds, unbounded solve.
+        let c = parse(&args("dynamic --platform orin --phases GoogleNet,ResNet18")).unwrap();
+        assert!(matches!(
+            c,
+            Command::Dynamic {
+                rounds: 2,
+                budget: None,
+                ..
+            }
+        ));
+        assert!(parse(&args("dynamic --platform orin"))
+            .unwrap_err()
+            .0
+            .contains("--phases required"));
+    }
+
+    #[test]
+    fn run_dynamic_command_toggles_phases_through_the_cache() {
+        let out = run(Command::Dynamic {
+            platform: PlatformId::OrinAgx,
+            phases: vec![
+                vec![Model::GoogleNet, Model::ResNet18],
+                vec![Model::GoogleNet, Model::ResNet50],
+            ],
+            rounds: 2,
+            budget: None,
+        })
+        .unwrap();
+        // Round 0 solves both phases; round 1 hits the cache for both.
+        assert!(out.contains("round 0 phase 0") && out.contains("solved"));
+        assert!(out.contains("round 1 phase 1") && out.contains("cache hit"));
+        assert!(out.contains("schedule cache: 2 hits, 2 misses, 2 phases cached"));
     }
 
     #[test]

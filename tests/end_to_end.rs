@@ -32,12 +32,8 @@ fn never_worse_than_baselines_across_platforms() {
         let contention = ContentionModel::calibrate(&platform);
         for &(a, b) in &pairs {
             let w = workload(&platform, &[a, b], 8);
-            let s = HaxConn::schedule_validated(
-                &platform,
-                &w,
-                &contention,
-                SchedulerConfig::default(),
-            );
+            let s =
+                HaxConn::schedule_validated(&platform, &w, &contention, SchedulerConfig::default());
             let hax = measure(&platform, &w, &s.assignment).latency_ms;
             for &kind in BaselineKind::all() {
                 let assignment = Baseline::assignment(kind, &platform, &w);
@@ -59,12 +55,7 @@ fn favorable_pairs_show_real_gains() {
     let platform = xavier_agx();
     let contention = ContentionModel::calibrate(&platform);
     let w = workload(&platform, &[Model::Vgg19, Model::ResNet152], 10);
-    let s = HaxConn::schedule_validated(
-        &platform,
-        &w,
-        &contention,
-        SchedulerConfig::default(),
-    );
+    let s = HaxConn::schedule_validated(&platform, &w, &contention, SchedulerConfig::default());
     let hax = measure(&platform, &w, &s.assignment).latency_ms;
     let mut best = f64::INFINITY;
     for &kind in BaselineKind::all() {
@@ -87,12 +78,7 @@ fn threaded_execution_agrees_with_simulator() {
     let platform = orin_agx();
     let contention = ContentionModel::calibrate(&platform);
     let w = workload(&platform, &[Model::GoogleNet, Model::ResNet101], 8);
-    let s = HaxConn::schedule_validated(
-        &platform,
-        &w,
-        &contention,
-        SchedulerConfig::default(),
-    );
+    let s = HaxConn::schedule_validated(&platform, &w, &contention, SchedulerConfig::default());
     let sim = measure(&platform, &w, &s.assignment);
     let run = execute(&platform, &w, &s.assignment);
     let rel = (run.makespan_ms - sim.latency_ms).abs() / sim.latency_ms;

@@ -4,8 +4,8 @@
 //! estimators (Herald/H2H) are "wrong by up to 75%" while the
 //! contention-aware one stays accurate.
 
-use haxconn::prelude::*;
 use haxconn::core::timeline::TimelineEvaluator;
+use haxconn::prelude::*;
 
 /// Deterministic xorshift for reproducible "random" assignments.
 struct Rng(u64);
@@ -22,11 +22,7 @@ impl Rng {
     }
 }
 
-fn random_assignment(
-    platform: &Platform,
-    workload: &Workload,
-    rng: &mut Rng,
-) -> Vec<Vec<usize>> {
+fn random_assignment(platform: &Platform, workload: &Workload, rng: &mut Rng) -> Vec<Vec<usize>> {
     workload
         .tasks
         .iter()
@@ -85,7 +81,11 @@ fn contention_aware_prediction_beats_blind_prediction() {
         "aware mean error {:.3}",
         mean(&aware_errs)
     );
-    assert!(max(&aware_errs) < 0.15, "aware max error {:.3}", max(&aware_errs));
+    assert!(
+        max(&aware_errs) < 0.15,
+        "aware max error {:.3}",
+        max(&aware_errs)
+    );
     // ...and is strictly better than the contention-blind one (which always
     // under-predicts co-run latency, the Herald/H2H failure mode).
     assert!(
@@ -101,10 +101,7 @@ fn blind_prediction_always_underestimates_contended_runs() {
     let platform = xavier_agx();
     let contention = ContentionModel::calibrate(&platform);
     let workload = Workload::concurrent(vec![
-        DnnTask::new(
-            "VGG19",
-            NetworkProfile::profile(&platform, Model::Vgg19, 8),
-        ),
+        DnnTask::new("VGG19", NetworkProfile::profile(&platform, Model::Vgg19, 8)),
         DnnTask::new(
             "ResNet152",
             NetworkProfile::profile(&platform, Model::ResNet152, 8),

@@ -1,23 +1,53 @@
-//! Property-based tests on cross-crate invariants.
+//! Property-style tests on cross-crate invariants.
+//!
+//! Previously written with `proptest`; the offline build environment
+//! cannot fetch external crates (README § Offline builds), so the same
+//! properties are now exercised with a deterministic xorshift sampler —
+//! every run checks the same pseudo-random cases, which also makes
+//! failures trivially reproducible.
 
 use haxconn::prelude::*;
 use haxconn::soc::{simulate, Job, LayerCost, WorkItem};
-use proptest::prelude::*;
 
-/// Arbitrary synthetic work item on a 2-PU platform.
-fn arb_item() -> impl Strategy<Value = (usize, f64, f64, bool)> {
-    (
-        0usize..2,
-        0.05f64..5.0,   // standalone ms
-        1.0f64..140.0,  // demand GB/s
-        any::<bool>(),  // memory bound?
-    )
+/// Deterministic xorshift64* generator for property sampling.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
 }
 
-fn make_item(platform: &Platform, (pu, time, demand, mem_bound): (usize, f64, f64, bool)) -> WorkItem {
-    let demand = demand.min(platform.pu(pu).max_bw_gbps);
+fn make_item(platform: &Platform, rng: &mut Rng) -> WorkItem {
+    let pu = rng.usize(0, 2);
+    let time = rng.f64(0.05, 5.0);
+    let demand = rng.f64(1.0, 140.0).min(platform.pu(pu).max_bw_gbps);
     let bytes = demand * time * 1e6;
-    let cost = if mem_bound {
+    let cost = if rng.bool() {
         LayerCost::pure_memory(time, bytes)
     } else {
         LayerCost {
@@ -34,21 +64,19 @@ fn make_item(platform: &Platform, (pu, time, demand, mem_bound): (usize, f64, f6
     WorkItem { pu, cost }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Simulator sanity for arbitrary job sets: makespan bounds, work
-    /// conservation, non-negative slowdowns, EMC within capacity.
-    #[test]
-    fn simulator_invariants(jobs_spec in prop::collection::vec(
-        prop::collection::vec(arb_item(), 1..5), 1..4)) {
-        let platform = orin_agx();
-        let jobs: Vec<Job> = jobs_spec
-            .iter()
-            .enumerate()
-            .map(|(i, items)| Job {
+/// Simulator sanity for arbitrary job sets: makespan bounds, work
+/// conservation, non-negative slowdowns, EMC within capacity.
+#[test]
+fn simulator_invariants() {
+    let platform = orin_agx();
+    for case in 0..48u64 {
+        let mut rng = Rng::new(case);
+        let jobs: Vec<Job> = (0..rng.usize(1, 4))
+            .map(|i| Job {
                 name: format!("j{i}"),
-                items: items.iter().map(|&s| make_item(&platform, s)).collect(),
+                items: (0..rng.usize(1, 5))
+                    .map(|_| make_item(&platform, &mut rng))
+                    .collect(),
             })
             .collect();
         let total_standalone: f64 = jobs
@@ -65,83 +93,107 @@ proptest! {
 
         // Makespan at least the longest chain, at most everything
         // serialized with the worst-case contention stretch.
-        prop_assert!(r.makespan_ms >= longest_chain - 1e-9);
-        prop_assert!(r.makespan_ms <= total_standalone * 10.0 + 1e-9);
+        assert!(r.makespan_ms >= longest_chain - 1e-9, "case {case}");
+        assert!(
+            r.makespan_ms <= total_standalone * 10.0 + 1e-9,
+            "case {case}"
+        );
         // Slowdowns never below 1 (within float noise).
         for job in &r.items {
             for t in job {
-                prop_assert!(t.slowdown >= 1.0 - 1e-6, "slowdown {}", t.slowdown);
-                prop_assert!(t.end_ms >= t.start_ms);
+                assert!(
+                    t.slowdown >= 1.0 - 1e-6,
+                    "case {case}: slowdown {}",
+                    t.slowdown
+                );
+                assert!(t.end_ms >= t.start_ms, "case {case}");
             }
         }
         // EMC peak bounded by achievable capacity.
-        prop_assert!(r.emc_peak_gbps <= platform.emc.capacity() + 1e-6);
+        assert!(
+            r.emc_peak_gbps <= platform.emc.capacity() + 1e-6,
+            "case {case}"
+        );
         // Busy time per PU never exceeds the makespan.
         for b in &r.pu_busy_ms {
-            prop_assert!(*b <= r.makespan_ms + 1e-9);
+            assert!(*b <= r.makespan_ms + 1e-9, "case {case}");
         }
-    }
-
-    /// The EMC grant function: grants never exceed demands, never exceed
-    /// capacity in aggregate, and shrink (weakly) as external traffic grows.
-    #[test]
-    fn emc_grant_invariants(own in 0.5f64..160.0, ext in 0.0f64..250.0) {
-        let platform = orin_agx();
-        let g = platform.emc.grant(&[own, ext]);
-        prop_assert!(g[0] <= own + 1e-9);
-        prop_assert!(g[1] <= ext + 1e-9);
-        prop_assert!(g[0] + g[1] <= platform.emc.capacity() + 1e-9);
-        // Monotonicity in external traffic.
-        let g2 = platform.emc.grant(&[own, ext + 20.0]);
-        prop_assert!(g2[0] <= g[0] + 1e-9);
-    }
-
-    /// PCCS prediction brackets the ground truth within a bounded relative
-    /// error over its calibrated range.
-    #[test]
-    fn contention_model_error_bounded(own in 1.0f64..148.0, ext in 0.0f64..200.0) {
-        let platform = orin_agx();
-        let cm = ContentionModel::calibrate(&platform);
-        let truth = {
-            let g = platform.emc.grant_pair(own, ext);
-            if g <= 0.0 { 1.0 } else { (own / g).max(1.0) }
-        };
-        let pred = cm.bw_slowdown(0, own, ext);
-        let rel = (pred - truth).abs() / truth;
-        prop_assert!(rel < 0.15, "own {own} ext {ext}: pred {pred} truth {truth}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// The EMC grant function: grants never exceed demands, never exceed
+/// capacity in aggregate, and shrink (weakly) as external traffic grows.
+#[test]
+fn emc_grant_invariants() {
+    let platform = orin_agx();
+    let mut rng = Rng::new(7);
+    for case in 0..200 {
+        let own = rng.f64(0.5, 160.0);
+        let ext = rng.f64(0.0, 250.0);
+        let g = platform.emc.grant(&[own, ext]);
+        assert!(g[0] <= own + 1e-9, "case {case}");
+        assert!(g[1] <= ext + 1e-9, "case {case}");
+        assert!(g[0] + g[1] <= platform.emc.capacity() + 1e-9, "case {case}");
+        // Monotonicity in external traffic.
+        let g2 = platform.emc.grant(&[own, ext + 20.0]);
+        assert!(g2[0] <= g[0] + 1e-9, "case {case}");
+    }
+}
 
-    /// For random small workloads, the validated scheduler never loses to
-    /// any baseline (measured), and its assignment respects PU support.
-    #[test]
-    fn scheduler_never_worse_on_random_pairs(
-        a_idx in 0usize..6,
-        b_idx in 0usize..6,
-        objective in prop::bool::ANY,
-    ) {
-        let models = [
-            Model::AlexNet,
-            Model::GoogleNet,
-            Model::ResNet18,
-            Model::ResNet50,
-            Model::MobileNetV1,
-            Model::DenseNet121,
-        ];
-        let platform = orin_agx();
-        let contention = ContentionModel::calibrate(&platform);
-        let w = Workload::concurrent(vec![
-            DnnTask::new("a", NetworkProfile::profile(&platform, models[a_idx], 6)),
-            DnnTask::new("b", NetworkProfile::profile(&platform, models[b_idx], 6)),
-        ]);
-        let obj = if objective {
+/// PCCS prediction brackets the ground truth within a bounded relative
+/// error over its calibrated range.
+#[test]
+fn contention_model_error_bounded() {
+    let platform = orin_agx();
+    let cm = ContentionModel::calibrate(&platform);
+    let mut rng = Rng::new(11);
+    for case in 0..200 {
+        let own = rng.f64(1.0, 148.0);
+        let ext = rng.f64(0.0, 200.0);
+        let truth = {
+            let g = platform.emc.grant_pair(own, ext);
+            if g <= 0.0 {
+                1.0
+            } else {
+                (own / g).max(1.0)
+            }
+        };
+        let pred = cm.bw_slowdown(0, own, ext);
+        let rel = (pred - truth).abs() / truth;
+        assert!(
+            rel < 0.15,
+            "case {case}: own {own} ext {ext}: pred {pred} truth {truth}"
+        );
+    }
+}
+
+/// For random small workloads, the validated scheduler never loses to any
+/// baseline (measured), and its assignment respects PU support.
+#[test]
+fn scheduler_never_worse_on_random_pairs() {
+    let models = [
+        Model::AlexNet,
+        Model::GoogleNet,
+        Model::ResNet18,
+        Model::ResNet50,
+        Model::MobileNetV1,
+        Model::DenseNet121,
+    ];
+    let platform = orin_agx();
+    let contention = ContentionModel::calibrate(&platform);
+    let mut rng = Rng::new(23);
+    for case in 0..8 {
+        let a_idx = rng.usize(0, models.len());
+        let b_idx = rng.usize(0, models.len());
+        let obj = if rng.bool() {
             Objective::MinMaxLatency
         } else {
             Objective::MaxThroughput
         };
+        let w = Workload::concurrent(vec![
+            DnnTask::new("a", NetworkProfile::profile(&platform, models[a_idx], 6)),
+            DnnTask::new("b", NetworkProfile::profile(&platform, models[b_idx], 6)),
+        ]);
         let s = HaxConn::schedule_validated(
             &platform,
             &w,
@@ -151,7 +203,10 @@ proptest! {
         // Assignment validity.
         for (t, row) in s.assignment.iter().enumerate() {
             for (g, &pu) in row.iter().enumerate() {
-                prop_assert!(w.tasks[t].profile.groups[g].cost[pu].is_some());
+                assert!(
+                    w.tasks[t].profile.groups[g].cost[pu].is_some(),
+                    "case {case}"
+                );
             }
         }
         let score = |assignment: &Vec<Vec<usize>>| {
@@ -164,9 +219,9 @@ proptest! {
         let hax = score(&s.assignment);
         for &kind in BaselineKind::all() {
             let base = score(&Baseline::assignment(kind, &platform, &w));
-            prop_assert!(
+            assert!(
                 hax <= base + 1e-9,
-                "{kind}: hax {hax} vs base {base}"
+                "case {case} {kind}: hax {hax} vs base {base}"
             );
         }
     }

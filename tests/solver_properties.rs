@@ -1,10 +1,47 @@
-//! Property-based validation of the constraint solver against brute force,
-//! and of the layer-grouping invariants on arbitrary partition budgets.
+//! Property-based validation of the constraint solver: sequential vs
+//! brute force, and — the load-bearing one — parallel vs sequential
+//! equivalence across thread counts and split depths.
+//!
+//! Previously written with `proptest`; the offline build environment
+//! cannot fetch external crates (README § Offline builds), so the same
+//! properties are sampled with a deterministic xorshift generator —
+//! every run checks identical pseudo-random cases.
 
 use haxconn::dnn::Model;
 use haxconn::profiler::grouping::{partition, valid_cuts};
-use haxconn::solver::{brute_force, solve, Assignment, CostModel, SolveOptions};
-use proptest::prelude::*;
+use haxconn::solver::{
+    brute_force, solve, solve_parallel_with, Assignment, BudgetState, CostModel, ParallelOptions,
+    SolveOptions,
+};
+
+/// Deterministic xorshift64* generator for property sampling.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
 
 /// A random weighted-assignment instance with pairwise difference
 /// constraints (structurally the same shape as the scheduling encoding:
@@ -50,84 +87,173 @@ impl CostModel for Instance {
     }
 }
 
-fn arb_instance() -> impl Strategy<Value = Instance> {
-    (2usize..7).prop_flat_map(|n| {
-        (
-            prop::collection::vec(prop::collection::vec(0.0f64..10.0, 3), n),
-            prop::collection::vec((0..n, 0..n), 0..4),
-        )
-            .prop_map(|(weights, raw_diffs)| Instance {
-                weights,
-                diffs: raw_diffs
-                    .into_iter()
-                    .filter(|(i, j)| i != j)
-                    .collect(),
-            })
-    })
+/// Samples a Wap-style instance: 2–8 variables, up to 3 difference
+/// constraints.
+fn arb_instance(rng: &mut Rng) -> Instance {
+    let n = rng.usize(2, 9);
+    let weights = (0..n)
+        .map(|_| (0..3).map(|_| rng.f64(0.0, 10.0)).collect())
+        .collect();
+    let diffs = (0..rng.usize(0, 4))
+        .map(|_| (rng.usize(0, n), rng.usize(0, n)))
+        .filter(|(i, j)| i != j)
+        .collect();
+    Instance { weights, diffs }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Branch & bound finds exactly the brute-force optimum (or proves
-    /// infeasibility) on random instances.
-    #[test]
-    fn bb_matches_brute_force(inst in arb_instance()) {
+/// Branch & bound finds exactly the brute-force optimum (or proves
+/// infeasibility) on random instances.
+#[test]
+fn bb_matches_brute_force() {
+    let mut rng = Rng::new(1);
+    for case in 0..64 {
+        let inst = arb_instance(&mut rng);
         let bb = solve(&inst, SolveOptions::default());
-        prop_assert!(bb.proven_optimal());
+        assert!(bb.proven_optimal(), "case {case}");
         let bf = brute_force(&inst);
         match (bf, bb.best) {
             (Some((_, c_bf)), Some((a, c_bb))) => {
-                prop_assert!((c_bf - c_bb).abs() < 1e-9, "{c_bf} vs {c_bb}");
+                assert!((c_bf - c_bb).abs() < 1e-9, "case {case}: {c_bf} vs {c_bb}");
                 // The returned assignment really has that cost.
-                prop_assert!((inst.cost(&a).unwrap() - c_bb).abs() < 1e-9);
+                assert!((inst.cost(&a).unwrap() - c_bb).abs() < 1e-9, "case {case}");
             }
             (None, None) => {}
-            (bf, bb) => prop_assert!(false, "disagree: {bf:?} vs {:?}", bb.map(|b| b.1)),
-        }
-    }
-
-    /// A node budget never yields a *better* cost than the full solve, and
-    /// any incumbent it returns is feasible.
-    #[test]
-    fn budgeted_solve_is_sound(inst in arb_instance(), budget in 1u64..200) {
-        let full = solve(&inst, SolveOptions::default());
-        let part = solve(
-            &inst,
-            SolveOptions { node_budget: Some(budget), ..Default::default() },
-        );
-        if let Some((a, c)) = part.best {
-            prop_assert!(inst.cost(&a).is_some());
-            let best = full.best.as_ref().expect("full solve found it too").1;
-            prop_assert!(c >= best - 1e-9);
+            (bf, bb) => panic!("case {case}: disagree: {bf:?} vs {:?}", bb.map(|b| b.1)),
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Layer grouping invariants hold for every model at every budget:
-    /// exhaustive, contiguous, within budget, and cutting only at valid
-    /// single-live-tensor points.
-    #[test]
-    fn grouping_invariants(model_idx in 0usize..14, budget in 1usize..16) {
-        let model = Model::all()[model_idx];
-        let net = model.network();
-        let groups = partition(&net, budget);
-        prop_assert!(groups.len() <= budget);
-        prop_assert_eq!(groups[0].start, 0);
-        prop_assert_eq!(groups.last().unwrap().end, net.len() - 1);
-        for w in groups.windows(2) {
-            prop_assert_eq!(w[1].start, w[0].end + 1);
+/// The parallel solver is an *exact drop-in* for the sequential one:
+/// across random instances, thread counts, and split depths it returns a
+/// bit-identical optimal cost and the identical (lexicographically
+/// tie-broken) assignment, independent of scheduling timing.
+#[test]
+fn parallel_equals_sequential_everywhere() {
+    let mut rng = Rng::new(42);
+    for case in 0..32 {
+        let inst = arb_instance(&mut rng);
+        let seq = solve(&inst, SolveOptions::default());
+        let n = inst.num_vars();
+        for threads in [1, 2, 4, 8] {
+            // Exercise explicit split depths around interesting spots
+            // (root split, mid-tree, all-leaves) plus the auto choice.
+            for depth in [Some(0), Some(1), Some(n / 2), Some(n), None] {
+                let par = solve_parallel_with(
+                    &inst,
+                    SolveOptions::default(),
+                    &ParallelOptions {
+                        threads,
+                        split_depth: depth,
+                    },
+                );
+                assert!(par.proven_optimal(), "case {case} t{threads} d{depth:?}");
+                match (&seq.best, &par.best) {
+                    (Some((a_seq, c_seq)), Some((a_par, c_par))) => {
+                        assert_eq!(
+                            c_seq.to_bits(),
+                            c_par.to_bits(),
+                            "case {case} t{threads} d{depth:?}: {c_seq} vs {c_par}"
+                        );
+                        assert_eq!(a_seq, a_par, "case {case} t{threads} d{depth:?}");
+                    }
+                    (None, None) => {}
+                    other => {
+                        panic!("case {case} t{threads} d{depth:?}: {other:?}")
+                    }
+                }
+            }
         }
-        let cuts = valid_cuts(&net);
-        for g in &groups[..groups.len() - 1] {
-            prop_assert!(
-                cuts.contains(&g.end),
-                "{model}: boundary {} is not a valid cut",
-                g.end
+    }
+}
+
+/// A global node budget makes the parallel solver exit early without ever
+/// overspending (the budget is shared by the pool, not per subtree), and
+/// any incumbent it returns is feasible and no better than the optimum.
+#[test]
+fn parallel_budget_is_global_and_sound() {
+    let mut rng = Rng::new(7);
+    for case in 0..24 {
+        let inst = arb_instance(&mut rng);
+        let full = solve(&inst, SolveOptions::default());
+        let budget = rng.usize(1, 200) as u64;
+        for threads in [2, 4] {
+            let part = solve_parallel_with(
+                &inst,
+                SolveOptions {
+                    node_budget: Some(budget),
+                    ..Default::default()
+                },
+                &ParallelOptions {
+                    threads,
+                    split_depth: None,
+                },
             );
+            assert!(
+                part.stats.nodes <= budget,
+                "case {case} t{threads}: {} nodes for budget {budget}",
+                part.stats.nodes
+            );
+            if part.stats.outcome == BudgetState::NodesExhausted {
+                assert!(!part.proven_optimal(), "case {case} t{threads}");
+            }
+            if let Some((a, c)) = part.best {
+                assert!(inst.cost(&a).is_some(), "case {case} t{threads}");
+                let best = full.best.as_ref().expect("full solve found it too").1;
+                assert!(c >= best - 1e-9, "case {case} t{threads}");
+            }
+        }
+    }
+}
+
+/// A node budget never yields a *better* cost than the full solve, and
+/// any incumbent it returns is feasible (sequential path).
+#[test]
+fn budgeted_solve_is_sound() {
+    let mut rng = Rng::new(23);
+    for case in 0..64 {
+        let inst = arb_instance(&mut rng);
+        let budget = rng.usize(1, 200) as u64;
+        let full = solve(&inst, SolveOptions::default());
+        let part = solve(
+            &inst,
+            SolveOptions {
+                node_budget: Some(budget),
+                ..Default::default()
+            },
+        );
+        assert!(part.stats.nodes <= budget, "case {case}");
+        if let Some((a, c)) = part.best {
+            assert!(inst.cost(&a).is_some(), "case {case}");
+            let best = full.best.as_ref().expect("full solve found it too").1;
+            assert!(c >= best - 1e-9, "case {case}");
+        }
+    }
+}
+
+/// Layer grouping invariants hold for every model at every budget:
+/// exhaustive, contiguous, within budget, and cutting only at valid
+/// single-live-tensor points.
+#[test]
+fn grouping_invariants() {
+    for model_idx in 0..14 {
+        for budget in 1..16 {
+            let model = Model::all()[model_idx];
+            let net = model.network();
+            let groups = partition(&net, budget);
+            assert!(groups.len() <= budget);
+            assert_eq!(groups[0].start, 0);
+            assert_eq!(groups.last().unwrap().end, net.len() - 1);
+            for w in groups.windows(2) {
+                assert_eq!(w[1].start, w[0].end + 1);
+            }
+            let cuts = valid_cuts(&net);
+            for g in &groups[..groups.len() - 1] {
+                assert!(
+                    cuts.contains(&g.end),
+                    "{model}: boundary {} is not a valid cut",
+                    g.end
+                );
+            }
         }
     }
 }
