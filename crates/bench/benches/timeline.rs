@@ -4,7 +4,7 @@
 use haxconn_bench::microbench::Runner;
 use haxconn_contention::ContentionModel;
 use haxconn_core::problem::{DnnTask, Workload};
-use haxconn_core::timeline::TimelineEvaluator;
+use haxconn_core::timeline::{TimelineEvaluator, TimelineWorkspace};
 use haxconn_dnn::Model;
 use haxconn_profiler::NetworkProfile;
 use haxconn_soc::orin_agx;
@@ -56,6 +56,12 @@ fn main() {
         let evaluator = TimelineEvaluator::new(&workload, &contention);
         runner.bench(&format!("timeline_evaluate/{n_tasks}"), || {
             black_box(evaluator.evaluate(&assignment))
+        });
+        // The solver's leaf path: same fixed point into a reused
+        // workspace, no per-call allocation, summary only.
+        let mut ws = TimelineWorkspace::default();
+        runner.bench(&format!("timeline_evaluate_into/{n_tasks}"), || {
+            black_box(evaluator.evaluate_into(&mut ws, |t, g| assignment[t][g]))
         });
     }
 }

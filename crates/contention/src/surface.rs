@@ -1,18 +1,23 @@
 //! A piecewise-(bi)linear surface over `(own demand, external traffic)`.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// A rectangular-grid piecewise-linear surface `z = f(x, y)` with bilinear
 /// interpolation inside cells and clamped extrapolation outside the grid —
 /// the functional form PCCS fits to measured slowdowns.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Grid values are stored as one flat row-major `Vec<f64>` (one pointer
+/// chase per [`PiecewiseSurface::eval`], and the four cell corners of a
+/// lookup sit in at most two cache lines); the serialized form stays the
+/// nested-rows layout for wire compatibility, converted on (de)serialize.
+#[derive(Debug, Clone)]
 pub struct PiecewiseSurface {
     /// Knot positions along x (own demand, GB/s); strictly increasing.
     pub xs: Vec<f64>,
     /// Knot positions along y (external traffic, GB/s); strictly increasing.
     pub ys: Vec<f64>,
-    /// Row-major values: `z[i][j] = f(xs[i], ys[j])`.
-    pub z: Vec<Vec<f64>>,
+    /// Flat row-major values: `z[idx(i, j)] = f(xs[i], ys[j])`.
+    z: Vec<f64>,
 }
 
 impl PiecewiseSurface {
@@ -23,11 +28,25 @@ impl PiecewiseSurface {
             xs.windows(2).all(|w| w[0] < w[1]) && ys.windows(2).all(|w| w[0] < w[1]),
             "knots must be strictly increasing"
         );
-        let z = xs
-            .iter()
-            .map(|&x| ys.iter().map(|&y| f(x, y)).collect())
-            .collect();
+        let mut z = Vec::with_capacity(xs.len() * ys.len());
+        for &x in &xs {
+            for &y in &ys {
+                z.push(f(x, y));
+            }
+        }
         PiecewiseSurface { xs, ys, z }
+    }
+
+    /// Flat index of grid point `(xs[i], ys[j])`.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.ys.len() + j
+    }
+
+    /// Grid value at `(xs[i], ys[j])`.
+    #[inline]
+    pub fn z(&self, i: usize, j: usize) -> f64 {
+        self.z[self.idx(i, j)]
     }
 
     /// Index of the cell containing `v` along `knots` (clamped to the grid).
@@ -52,13 +71,55 @@ impl PiecewiseSurface {
     pub fn eval(&self, x: f64, y: f64) -> f64 {
         let (i, tx) = Self::cell(&self.xs, x);
         let (j, ty) = Self::cell(&self.ys, y);
-        let z00 = self.z[i][j];
-        let z10 = self.z[i + 1][j];
-        let z01 = self.z[i][j + 1];
-        let z11 = self.z[i + 1][j + 1];
+        let row = self.idx(i, j);
+        let z00 = self.z[row];
+        let z01 = self.z[row + 1];
+        let next = self.idx(i + 1, j);
+        let z10 = self.z[next];
+        let z11 = self.z[next + 1];
         let a = z00 + (z10 - z00) * tx;
         let b = z01 + (z11 - z01) * tx;
         a + (b - a) * ty
+    }
+}
+
+// Hand-written (de)serialization: the wire format keeps the pre-flattening
+// nested-rows layout (`"z": [[...], ...]`), so calibrations serialized by
+// older builds still load and the `serde_roundtrip` golden stays stable.
+impl Serialize for PiecewiseSurface {
+    fn to_value(&self) -> Value {
+        let rows: Vec<Value> = (0..self.xs.len())
+            .map(|i| {
+                Value::Array(
+                    self.z[i * self.ys.len()..(i + 1) * self.ys.len()]
+                        .iter()
+                        .map(|v| v.to_value())
+                        .collect(),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("xs".to_string(), self.xs.to_value()),
+            ("ys".to_string(), self.ys.to_value()),
+            ("z".to_string(), Value::Array(rows)),
+        ])
+    }
+}
+
+impl Deserialize for PiecewiseSurface {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| Error::msg(format!("PiecewiseSurface: missing field `{name}`")))
+        };
+        let xs: Vec<f64> = Deserialize::from_value(field("xs")?)?;
+        let ys: Vec<f64> = Deserialize::from_value(field("ys")?)?;
+        let rows: Vec<Vec<f64>> = Deserialize::from_value(field("z")?)?;
+        if rows.len() != xs.len() || rows.iter().any(|r| r.len() != ys.len()) {
+            return Err(Error::msg("PiecewiseSurface: z grid does not match knots"));
+        }
+        let z = rows.into_iter().flatten().collect();
+        Ok(PiecewiseSurface { xs, ys, z })
     }
 }
 

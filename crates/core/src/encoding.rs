@@ -10,7 +10,7 @@
 //! transitions per DNN).
 
 use crate::problem::{Objective, SchedulerConfig, Workload};
-use crate::timeline::TimelineEvaluator;
+use crate::timeline::{TimelineEvaluator, TimelineWorkspace};
 use haxconn_contention::ContentionModel;
 use haxconn_solver::{Assignment, CostModel, PartialAssignment};
 
@@ -28,6 +28,53 @@ pub struct ScheduleEncoding<'a> {
     /// tied tasks (pipeline frame instances) share their representative's
     /// variables.
     task_spans: Vec<(usize, usize)>,
+    /// Per variable: domain is a singleton (forced placement, not a
+    /// scheduling decision — exempt from the transition budget).
+    pinned: Vec<bool>,
+    /// Per variable: the representative task owning it.
+    rep_of_var: Vec<usize>,
+    /// Per variable: every task whose span contains it (the representative
+    /// first, then its tied copies).
+    tasks_of_var: Vec<Vec<usize>>,
+    /// `time_of_var[var][k][pu]` = standalone time of the group behind
+    /// `var` under task `tasks_of_var[var][k]`'s profile when placed on
+    /// `pu` (`INFINITY` for unsupported PUs, which domains exclude).
+    time_of_var: Vec<Vec<Vec<f64>>>,
+    /// Per task: the upstream *closure* as `(task, multiplicity)` terms,
+    /// precomputed topologically in `new()` so `task_lower_bound` is a flat
+    /// weighted sum over span sums — no per-call recursion over `deps`.
+    closure: Vec<Vec<(usize, f64)>>,
+}
+
+/// Per-worker incremental state for [`ScheduleEncoding`] (the solver's
+/// `CostModel::Scratch`). Maintained by `push`/`pop` under the engine's
+/// LIFO discipline; see the field docs for the exact invariants.
+///
+/// `Default` yields an *unsized placeholder* — real instances come from
+/// [`CostModel::new_scratch`], which sizes every buffer for the encoding.
+#[derive(Default)]
+pub struct ScheduleScratch {
+    /// Mirror of the engine's partial assignment (`push`/`pop` don't see
+    /// it, so the scratch keeps its own copy).
+    vals: Vec<u32>,
+    assigned: Vec<bool>,
+    /// Per task: Σ over its span of (assigned ? standalone time : min
+    /// time) — the span term of `task_lower_bound`, delta-maintained.
+    span_sum: Vec<f64>,
+    /// `saved_span[var][k]`: value of `span_sum[tasks_of_var[var][k]]` at
+    /// push time. `pop` restores it verbatim — LIFO guarantees the state
+    /// between a push and its matching pop is otherwise unchanged, so the
+    /// restore is exact and floating-point drift cannot accumulate.
+    saved_span: Vec<Vec<f64>>,
+    /// Per representative task: adjacent-pair transition count (pairs of
+    /// consecutive assigned vars in the span with differing values,
+    /// neither pinned) — exactly what `transitions_in` counts.
+    trans: Vec<usize>,
+    /// Number of representative tasks currently over the transition
+    /// budget; `prune_with` is the O(1) check `violations > 0`.
+    violations: usize,
+    /// Timeline evaluation workspace reused across `cost_with` leaves.
+    pub(crate) ws: TimelineWorkspace,
 }
 
 impl<'a> ScheduleEncoding<'a> {
@@ -39,7 +86,7 @@ impl<'a> ScheduleEncoding<'a> {
     ) -> Self {
         let mut evaluator = TimelineEvaluator::new(workload, model);
         evaluator.contention_aware = config.contention_aware;
-        let mut domains = Vec::with_capacity(workload.num_vars());
+        let mut domains: Vec<Vec<u32>> = Vec::with_capacity(workload.num_vars());
         let mut min_time = Vec::with_capacity(workload.num_vars());
         let mut task_spans: Vec<(usize, usize)> = Vec::with_capacity(workload.tasks.len());
         for (t, task) in workload.tasks.iter().enumerate() {
@@ -61,6 +108,66 @@ impl<'a> ScheduleEncoding<'a> {
                 min_time.push(best);
             }
         }
+
+        let n_vars = domains.len();
+        let n_tasks = workload.tasks.len();
+        let pinned: Vec<bool> = domains.iter().map(|d| d.len() == 1).collect();
+        let n_pus = domains
+            .iter()
+            .flatten()
+            .map(|&v| v as usize + 1)
+            .max()
+            .unwrap_or(1);
+
+        let mut tasks_of_var: Vec<Vec<usize>> = vec![Vec::new(); n_vars];
+        for (t, &(start, len)) in task_spans.iter().enumerate() {
+            for tasks in tasks_of_var.iter_mut().skip(start).take(len) {
+                tasks.push(t);
+            }
+        }
+        let rep_of_var: Vec<usize> = tasks_of_var.iter().map(|ts| ts[0]).collect();
+
+        let mut time_of_var: Vec<Vec<Vec<f64>>> = vec![Vec::new(); n_vars];
+        for (t, &(start, len)) in task_spans.iter().enumerate() {
+            for g in 0..len {
+                let var = start + g;
+                let mut by_pu = vec![f64::INFINITY; n_pus];
+                for (pu, slot) in by_pu.iter_mut().enumerate() {
+                    if let Some(c) = workload.tasks[t].profile.groups[g].cost[pu] {
+                        *slot = c.time_ms;
+                    }
+                }
+                time_of_var[var].push(by_pu);
+            }
+        }
+
+        // Upstream closure with path multiplicities: lb(t) expands to
+        // Σ multiplicity(t') · span_sum(t') over every task reachable
+        // through `deps` (paper Eq. 4's streaming chains).
+        let upstream: Vec<Vec<usize>> = (0..n_tasks).map(|t| workload.upstream(t)).collect();
+        let mut closure: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n_tasks);
+        for t in 0..n_tasks {
+            let mut weight = vec![0.0f64; n_tasks];
+            let mut stack = vec![(t, 1.0f64)];
+            let mut expansions = 0usize;
+            while let Some((u, m)) = stack.pop() {
+                expansions += 1;
+                assert!(expansions <= 1_000_000, "dependency cycle in workload");
+                weight[u] += m;
+                for &up in &upstream[u] {
+                    stack.push((up, m));
+                }
+            }
+            closure.push(
+                weight
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &w)| w > 0.0)
+                    .map(|(i, &w)| (i, w))
+                    .collect(),
+            );
+        }
+
         ScheduleEncoding {
             workload,
             evaluator,
@@ -68,7 +175,19 @@ impl<'a> ScheduleEncoding<'a> {
             domains,
             min_time,
             task_spans,
+            pinned,
+            rep_of_var,
+            tasks_of_var,
+            time_of_var,
+            closure,
         }
+    }
+
+    /// Flat variable index behind `(task, group)` (tied tasks resolve to
+    /// their representative's span).
+    #[inline]
+    pub(crate) fn var_of(&self, task: usize, group: usize) -> usize {
+        self.task_spans[task].0 + group
     }
 
     /// Converts a flat solver assignment to per-task PU rows.
@@ -84,9 +203,9 @@ impl<'a> ScheduleEncoding<'a> {
             .collect()
     }
 
-    /// Lower bound on a task's completion: sum of cheapest standalone times
-    /// of its groups (contention ≥ 1, transitions ≥ 0, waits ≥ 0).
-    fn task_lower_bound(&self, task: usize, partial: &PartialAssignment) -> f64 {
+    /// Σ over `task`'s span of (assigned ? standalone time : cheapest
+    /// time) — the per-task term of the lower bound.
+    fn span_time_sum(&self, task: usize, partial: &PartialAssignment) -> f64 {
         let (start, len) = self.task_spans[task];
         let mut sum = 0.0;
         for g in 0..len {
@@ -100,11 +219,74 @@ impl<'a> ScheduleEncoding<'a> {
                 None => self.min_time[var],
             };
         }
-        // Streaming upstream chains add their lower bounds too.
-        for up in self.workload.upstream(task) {
-            sum += self.task_lower_bound(up, partial);
-        }
         sum
+    }
+
+    /// Lower bound on a task's completion: sum of cheapest standalone times
+    /// of its groups (contention ≥ 1, transitions ≥ 0, waits ≥ 0), plus the
+    /// bounds of its streaming upstream chain — expanded over the
+    /// precomputed closure instead of recursing over `deps` per call.
+    fn task_lower_bound(&self, task: usize, partial: &PartialAssignment) -> f64 {
+        self.closure[task]
+            .iter()
+            .map(|&(t, m)| m * self.span_time_sum(t, partial))
+            .sum()
+    }
+
+    /// Lower bound of `task` read off delta-maintained span sums.
+    #[inline]
+    fn task_lower_bound_inc(&self, task: usize, scratch: &ScheduleScratch) -> f64 {
+        self.closure[task]
+            .iter()
+            .map(|&(t, m)| m * scratch.span_sum[t])
+            .sum()
+    }
+
+    /// Transition-count change caused by assigning (or unassigning — the
+    /// LIFO discipline makes both ends see identical neighbour state)
+    /// `var = value`: only the two adjacent pairs inside the span can be
+    /// affected, and a pair counts iff both ends are assigned, differ, and
+    /// neither is pinned.
+    #[inline]
+    fn transition_delta(&self, scratch: &ScheduleScratch, var: usize, value: u32) -> usize {
+        let rep = self.rep_of_var[var];
+        let mut delta = 0;
+        if var > 0
+            && self.rep_of_var[var - 1] == rep
+            && scratch.assigned[var - 1]
+            && scratch.vals[var - 1] != value
+            && !self.pinned[var]
+            && !self.pinned[var - 1]
+        {
+            delta += 1;
+        }
+        if var + 1 < self.rep_of_var.len()
+            && self.rep_of_var[var + 1] == rep
+            && scratch.assigned[var + 1]
+            && scratch.vals[var + 1] != value
+            && !self.pinned[var]
+            && !self.pinned[var + 1]
+        {
+            delta += 1;
+        }
+        delta
+    }
+
+    /// The objective value of an evaluated timeline, shared by `cost` and
+    /// `cost_with` so both produce bit-identical results.
+    #[inline]
+    fn objective_of(&self, max_wait_ms: f64, task_latency_ms: &[f64]) -> Option<f64> {
+        // Eq. 9: reject schedules that need more than ε of same-PU overlap
+        // absorption.
+        if let Some(eps) = self.config.epsilon_ms {
+            if max_wait_ms > eps {
+                return None;
+            }
+        }
+        Some(match self.config.objective {
+            Objective::MinMaxLatency => task_latency_ms.iter().cloned().fold(0.0, f64::max),
+            Objective::MaxThroughput => -task_latency_ms.iter().map(|&t| 1000.0 / t).sum::<f64>(),
+        })
     }
 
     /// Counts the *chosen* transitions in a task's (partial) assignment.
@@ -140,6 +322,8 @@ impl<'a> ScheduleEncoding<'a> {
 }
 
 impl CostModel for ScheduleEncoding<'_> {
+    type Scratch = ScheduleScratch;
+
     fn num_vars(&self) -> usize {
         self.domains.len()
     }
@@ -181,19 +365,100 @@ impl CostModel for ScheduleEncoding<'_> {
     fn cost(&self, assignment: &Assignment) -> Option<f64> {
         let rows = self.to_rows(assignment);
         let tl = self.evaluator.evaluate(&rows);
-        // Eq. 9: reject schedules that need more than ε of same-PU overlap
-        // absorption.
-        if let Some(eps) = self.config.epsilon_ms {
-            if tl.max_wait_ms > eps {
-                return None;
+        self.objective_of(tl.max_wait_ms, &tl.task_latency_ms)
+    }
+
+    fn new_scratch(&self) -> ScheduleScratch {
+        let n_vars = self.domains.len();
+        let n_tasks = self.task_spans.len();
+        let mut span_sum = vec![0.0f64; n_tasks];
+        for (t, slot) in span_sum.iter_mut().enumerate() {
+            let (start, len) = self.task_spans[t];
+            *slot = self.min_time[start..start + len].iter().sum();
+        }
+        ScheduleScratch {
+            vals: vec![0; n_vars],
+            assigned: vec![false; n_vars],
+            span_sum,
+            saved_span: self
+                .tasks_of_var
+                .iter()
+                .map(|ts| vec![0.0; ts.len()])
+                .collect(),
+            trans: vec![0; n_tasks],
+            violations: 0,
+            ws: TimelineWorkspace::default(),
+        }
+    }
+
+    fn push(&self, scratch: &mut ScheduleScratch, var: usize, value: u32) {
+        // Transition delta first: it must see `var` still unassigned.
+        let delta = self.transition_delta(scratch, var, value);
+        if delta > 0 {
+            let rep = self.rep_of_var[var];
+            let old = scratch.trans[rep];
+            scratch.trans[rep] = old + delta;
+            if old <= self.config.max_transitions_per_task
+                && scratch.trans[rep] > self.config.max_transitions_per_task
+            {
+                scratch.violations += 1;
             }
         }
-        Some(match self.config.objective {
-            Objective::MinMaxLatency => tl.task_latency_ms.iter().cloned().fold(0.0, f64::max),
-            Objective::MaxThroughput => {
-                -tl.task_latency_ms.iter().map(|&t| 1000.0 / t).sum::<f64>()
+        // Span sums: swap this var's "cheapest" contribution for its actual
+        // time under every task sharing the span, saving the old sums so
+        // the matching pop restores them exactly.
+        for (k, &t) in self.tasks_of_var[var].iter().enumerate() {
+            scratch.saved_span[var][k] = scratch.span_sum[t];
+            scratch.span_sum[t] += self.time_of_var[var][k][value as usize] - self.min_time[var];
+        }
+        scratch.vals[var] = value;
+        scratch.assigned[var] = true;
+    }
+
+    fn pop(&self, scratch: &mut ScheduleScratch, var: usize) {
+        scratch.assigned[var] = false;
+        for (k, &t) in self.tasks_of_var[var].iter().enumerate() {
+            scratch.span_sum[t] = scratch.saved_span[var][k];
+        }
+        // LIFO means the neighbour state now matches what the matching
+        // push saw, so the recomputed delta is the one that was added.
+        let delta = self.transition_delta(scratch, var, scratch.vals[var]);
+        if delta > 0 {
+            let rep = self.rep_of_var[var];
+            let old = scratch.trans[rep];
+            scratch.trans[rep] = old - delta;
+            if old > self.config.max_transitions_per_task
+                && scratch.trans[rep] <= self.config.max_transitions_per_task
+            {
+                scratch.violations -= 1;
             }
-        })
+        }
+    }
+
+    fn prune_with(&self, scratch: &ScheduleScratch, _partial: &PartialAssignment) -> bool {
+        scratch.violations > 0
+    }
+
+    fn bound_with(&self, scratch: &ScheduleScratch, _partial: &PartialAssignment) -> f64 {
+        match self.config.objective {
+            Objective::MinMaxLatency => (0..self.task_spans.len())
+                .map(|t| self.task_lower_bound_inc(t, scratch))
+                .fold(0.0, f64::max),
+            Objective::MaxThroughput => -(0..self.task_spans.len())
+                .map(|t| 1000.0 / self.task_lower_bound_inc(t, scratch).max(1e-9))
+                .sum::<f64>(),
+        }
+    }
+
+    fn cost_with(&self, scratch: &mut ScheduleScratch, assignment: &Assignment) -> Option<f64> {
+        // Flat row-major view straight off the solver assignment — no
+        // per-leaf `Vec<Vec<usize>>` — into the reusable workspace. The
+        // arithmetic is `evaluate_into`'s either way, so the result is
+        // bit-identical to `cost`.
+        let summary = self.evaluator.evaluate_into(&mut scratch.ws, |t, g| {
+            assignment[self.task_spans[t].0 + g] as usize
+        });
+        self.objective_of(summary.max_wait_ms, scratch.ws.task_latency_ms())
     }
 }
 

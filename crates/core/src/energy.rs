@@ -7,7 +7,7 @@
 //! per FLOP but is 1.5–3× slower — so tightening the budget pushes work
 //! back onto the GPU, and relaxing it drains work onto the DLA.
 
-use crate::encoding::ScheduleEncoding;
+use crate::encoding::{ScheduleEncoding, ScheduleScratch};
 use crate::problem::{SchedulerConfig, Workload};
 use crate::scheduler::{Schedule, ScheduleOrigin};
 use crate::timeline::TimelineEvaluator;
@@ -18,11 +18,22 @@ use haxconn_solver::{solve, Assignment, CostModel, PartialAssignment, SolveOptio
 /// Dynamic energy of executing `assignment`, in millijoules (transition
 /// flush/reformat traffic included).
 pub fn dynamic_energy_mj(workload: &Workload, assignment: &[Vec<PuId>], power: &PowerModel) -> f64 {
+    dynamic_energy_with(workload, |t, g| assignment[t][g], power)
+}
+
+/// [`dynamic_energy_mj`] over a closure-based assignment view, so hot
+/// paths holding a flat solver assignment need not materialize per-task
+/// rows.
+pub fn dynamic_energy_with(
+    workload: &Workload,
+    pu_of: impl Fn(usize, usize) -> PuId,
+    power: &PowerModel,
+) -> f64 {
     let mut total = 0.0;
     for (t, task) in workload.tasks.iter().enumerate() {
         let profile = &task.profile;
         for g in 0..profile.len() {
-            let pu = assignment[t][g];
+            let pu = pu_of(t, g);
             let flops = profile.grouped.group_flops(g) as f64;
             let bytes = profile.groups[g].cost[pu]
                 .expect("assignment respects supported PUs")
@@ -30,7 +41,7 @@ pub fn dynamic_energy_mj(workload: &Workload, assignment: &[Vec<PuId>], power: &
             total += power.dynamic_mj(pu, flops, bytes);
             // Transition traffic: the boundary tensor is flushed and
             // re-read.
-            if g > 0 && assignment[t][g - 1] != pu {
+            if g > 0 && pu_of(t, g - 1) != pu {
                 let tr_bytes = 2.0 * profile.grouped.groups[g - 1].boundary_bytes as f64;
                 total += power.dynamic_mj(pu, 0.0, tr_bytes);
             }
@@ -65,6 +76,8 @@ struct EnergyEncoding<'a> {
 }
 
 impl CostModel for EnergyEncoding<'_> {
+    type Scratch = ScheduleScratch;
+
     fn num_vars(&self) -> usize {
         self.inner.num_vars()
     }
@@ -82,6 +95,44 @@ impl CostModel for EnergyEncoding<'_> {
             return None;
         }
         let dynamic = dynamic_energy_mj(self.workload, &rows, self.power);
+        Some(dynamic + self.power.static_mj(latency))
+    }
+
+    // The incremental protocol rides on the inner schedule encoding: its
+    // scratch maintains the transition counts (this model's only pruning
+    // rule) and owns the timeline workspace the leaf evaluation reuses.
+    fn new_scratch(&self) -> Self::Scratch {
+        self.inner.new_scratch()
+    }
+    fn push(&self, scratch: &mut Self::Scratch, var: usize, value: u32) {
+        self.inner.push(scratch, var, value);
+    }
+    fn pop(&self, scratch: &mut Self::Scratch, var: usize) {
+        self.inner.pop(scratch, var);
+    }
+    fn prune_with(&self, scratch: &Self::Scratch, partial: &PartialAssignment) -> bool {
+        self.inner.prune_with(scratch, partial)
+    }
+    fn cost_with(&self, scratch: &mut Self::Scratch, assignment: &Assignment) -> Option<f64> {
+        // The inner encoding is built with epsilon relaxed, so only the
+        // latency budget gates feasibility here (summary's wait is unused).
+        let _summary = self.evaluator.evaluate_into(&mut scratch.ws, |t, g| {
+            assignment[self.inner.var_of(t, g)] as usize
+        });
+        let latency = scratch
+            .ws
+            .task_latency_ms()
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        if latency > self.latency_budget_ms {
+            return None;
+        }
+        let dynamic = dynamic_energy_with(
+            self.workload,
+            |t, g| assignment[self.inner.var_of(t, g)] as usize,
+            self.power,
+        );
         Some(dynamic + self.power.static_mj(latency))
     }
 }

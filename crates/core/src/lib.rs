@@ -49,11 +49,12 @@ pub mod trace;
 pub use baselines::{Baseline, BaselineKind};
 pub use cache::{ScheduleCache, WorkloadSignature};
 pub use dynamic::DHaxConn;
-pub use energy::{dynamic_energy_mj, energy_of, schedule_min_energy};
+pub use encoding::{ScheduleEncoding, ScheduleScratch};
+pub use energy::{dynamic_energy_mj, dynamic_energy_with, energy_of, schedule_min_energy};
 pub use gantt::render_gantt;
 pub use measure::{measure, Measurement};
 pub use problem::{DnnTask, Objective, SchedulerConfig, Workload};
 pub use scenario::Scenario;
 pub use scheduler::{HaxConn, Schedule, ScheduleOrigin, Transition};
-pub use timeline::{PredictedTimeline, TimelineEvaluator};
+pub use timeline::{PredictedTimeline, TimelineEvaluator, TimelineSummary, TimelineWorkspace};
 pub use trace::chrome_trace_json;

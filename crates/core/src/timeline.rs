@@ -68,6 +68,9 @@ impl PredictedTimeline {
 pub struct TimelineEvaluator<'a> {
     workload: &'a Workload,
     model: &'a ContentionModel,
+    /// Per-task upstream lists, precomputed so the dispatch loop does not
+    /// re-filter `workload.deps` (let alone allocate) per candidate.
+    upstream: Vec<Vec<usize>>,
     /// When false, the contention term is ignored (`C = 1`) — the
     /// contention-blind ablation and the cost model of the Herald-/H2H-like
     /// baselines.
@@ -86,12 +89,64 @@ struct Footprint {
     demand_gbps: f64,
 }
 
+/// Reusable scratch for [`TimelineEvaluator::evaluate_into`]: owns every
+/// buffer the evaluator needs, so repeated evaluations (the solver's leaf
+/// hot path) allocate nothing after warm-up.
+///
+/// A workspace is evaluator-agnostic — buffers are (re)sized on each call —
+/// but reusing one across *different* workloads simply re-grows them.
+#[derive(Default)]
+pub struct TimelineWorkspace {
+    /// Flat per-group timings; task `t`'s groups live at
+    /// `group_off[t] .. group_off[t] + num_groups(t)`.
+    timings: Vec<GroupTiming>,
+    /// Start of each task's row in `timings`.
+    group_off: Vec<usize>,
+    pu_free: Vec<f64>,
+    next_group: Vec<usize>,
+    task_end: Vec<f64>,
+    /// Footprints of the previous fixed-point iteration (read side).
+    footprints: Vec<Footprint>,
+    /// Footprints being recorded this iteration (write side; swapped).
+    next_footprints: Vec<Footprint>,
+    /// Event-boundary scratch for `integrate`.
+    events: Vec<f64>,
+}
+
+impl TimelineWorkspace {
+    /// Per-task completion times of the last evaluation (absolute, ms).
+    pub fn task_latency_ms(&self) -> &[f64] {
+        &self.task_end
+    }
+
+    /// Timing of `(task, group)` from the last evaluation.
+    pub fn timing(&self, task: usize, group: usize) -> &GroupTiming {
+        &self.timings[self.group_off[task] + group]
+    }
+}
+
+/// The scalar outputs of one [`TimelineEvaluator::evaluate_into`] call
+/// (per-task / per-group detail stays in the [`TimelineWorkspace`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineSummary {
+    /// Completion of the last task, ms.
+    pub makespan_ms: f64,
+    /// Largest same-PU queuing wait observed, ms (Eq. 9's subject).
+    pub max_wait_ms: f64,
+    /// Total transition overhead charged, ms.
+    pub total_transition_ms: f64,
+}
+
 impl<'a> TimelineEvaluator<'a> {
     /// Creates an evaluator.
     pub fn new(workload: &'a Workload, model: &'a ContentionModel) -> Self {
+        let upstream = (0..workload.tasks.len())
+            .map(|t| workload.upstream(t))
+            .collect();
         TimelineEvaluator {
             workload,
             model,
+            upstream,
             contention_aware: true,
             max_iters: 10,
         }
@@ -104,6 +159,7 @@ impl<'a> TimelineEvaluator<'a> {
 
     /// Integrates one group's execution starting at `start` under the
     /// slowdown profile induced by `others`, returning `(end, mean_slowdown)`.
+    /// `events` is caller-owned scratch (cleared here, reused across calls).
     fn integrate(
         &self,
         task: usize,
@@ -111,6 +167,7 @@ impl<'a> TimelineEvaluator<'a> {
         cost: &LayerCost,
         start: f64,
         others: &[Footprint],
+        events: &mut Vec<f64>,
     ) -> (f64, f64) {
         let t0 = cost.time_ms;
         if !self.contention_aware || t0 <= 0.0 {
@@ -118,7 +175,7 @@ impl<'a> TimelineEvaluator<'a> {
         }
         // Event boundaries after `start` from other tasks' groups on other
         // PUs.
-        let mut events: Vec<f64> = Vec::new();
+        events.clear();
         for f in others {
             if f.task == task || f.pu == pu {
                 continue;
@@ -143,7 +200,7 @@ impl<'a> TimelineEvaluator<'a> {
 
         let mut now = start;
         let mut remaining = t0;
-        for &ev in &events {
+        for &ev in events.iter() {
             if remaining <= 0.0 {
                 break;
             }
@@ -173,45 +230,89 @@ impl<'a> TimelineEvaluator<'a> {
 
     /// Predicts the timeline of `assignment` (`assignment[task][group]` is
     /// the PU of that group).
+    ///
+    /// Thin wrapper over [`TimelineEvaluator::evaluate_into`] — both paths
+    /// share the same arithmetic, so their results are bit-identical.
     pub fn evaluate(&self, assignment: &[Vec<PuId>]) -> PredictedTimeline {
         let w = self.workload;
         assert_eq!(assignment.len(), w.tasks.len(), "one row per task");
-        let n_tasks = w.tasks.len();
-        let n_pus = assignment
+        let mut ws = TimelineWorkspace::default();
+        let summary = self.evaluate_into(&mut ws, |t, g| assignment[t][g]);
+        let groups = w
+            .tasks
             .iter()
-            .flatten()
-            .copied()
-            .max()
-            .map(|m| m + 1)
-            .unwrap_or(1);
+            .enumerate()
+            .map(|(t, task)| {
+                (0..task.num_groups())
+                    .map(|g| *ws.timing(t, g))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        PredictedTimeline {
+            groups,
+            task_latency_ms: ws.task_end.clone(),
+            makespan_ms: summary.makespan_ms,
+            max_wait_ms: summary.max_wait_ms,
+            total_transition_ms: summary.total_transition_ms,
+        }
+    }
 
-        let mut footprints: Vec<Footprint> = Vec::new();
-        let mut result: Option<PredictedTimeline> = None;
+    /// Predicts the timeline of the assignment described by `pu_of(task,
+    /// group)`, reusing `ws`'s buffers — allocation-free after warm-up.
+    ///
+    /// The closure-based assignment view lets callers keep assignments in
+    /// whatever layout they already have (the solver's flat `Vec<u32>`)
+    /// without materializing per-task rows. Scalar results are returned;
+    /// per-task / per-group detail stays readable from `ws`.
+    pub fn evaluate_into(
+        &self,
+        ws: &mut TimelineWorkspace,
+        pu_of: impl Fn(usize, usize) -> PuId,
+    ) -> TimelineSummary {
+        let w = self.workload;
+        let n_tasks = w.tasks.len();
+        ws.group_off.clear();
+        let mut total_groups = 0usize;
+        for t in &w.tasks {
+            ws.group_off.push(total_groups);
+            total_groups += t.num_groups();
+        }
+        let mut n_pus = 1usize;
+        for t in 0..n_tasks {
+            for g in 0..w.tasks[t].num_groups() {
+                n_pus = n_pus.max(pu_of(t, g) + 1);
+            }
+        }
+
+        ws.footprints.clear();
+        let mut summary = TimelineSummary {
+            makespan_ms: 0.0,
+            max_wait_ms: 0.0,
+            total_transition_ms: 0.0,
+        };
         let mut prev_makespan = f64::INFINITY;
 
         for _iter in 0..self.max_iters.max(1) {
-            let mut timings: Vec<Vec<GroupTiming>> = w
-                .tasks
-                .iter()
-                .map(|t| {
-                    vec![
-                        GroupTiming {
-                            pu: 0,
-                            start_ms: 0.0,
-                            end_ms: 0.0,
-                            wait_ms: 0.0,
-                            slowdown: 1.0
-                        };
-                        t.num_groups()
-                    ]
-                })
-                .collect();
-            let mut pu_free = vec![0.0f64; n_pus];
-            let mut next_group = vec![0usize; n_tasks];
-            let mut task_end = vec![0.0f64; n_tasks];
+            ws.timings.clear();
+            ws.timings.resize(
+                total_groups,
+                GroupTiming {
+                    pu: 0,
+                    start_ms: 0.0,
+                    end_ms: 0.0,
+                    wait_ms: 0.0,
+                    slowdown: 1.0,
+                },
+            );
+            ws.pu_free.clear();
+            ws.pu_free.resize(n_pus, 0.0);
+            ws.next_group.clear();
+            ws.next_group.resize(n_tasks, 0);
+            ws.task_end.clear();
+            ws.task_end.resize(n_tasks, 0.0);
             let mut max_wait = 0.0f64;
             let mut total_transition = 0.0f64;
-            let mut new_footprints: Vec<Footprint> = Vec::new();
+            ws.next_footprints.clear();
 
             // List scheduling: repeatedly dispatch the group that can start
             // earliest; equal start times resolve FIFO by readiness (the
@@ -220,30 +321,34 @@ impl<'a> TimelineEvaluator<'a> {
             loop {
                 let mut pick: Option<(usize, f64, f64)> = None; // (task, ready, start)
                 for t in 0..n_tasks {
-                    let g = next_group[t];
+                    let g = ws.next_group[t];
                     if g >= w.tasks[t].num_groups() {
                         continue;
                     }
                     // Ready: previous group done and upstream tasks done
                     // (upstream only gates the first group).
-                    let mut ready = if g > 0 { timings[t][g - 1].end_ms } else { 0.0 };
+                    let mut ready = if g > 0 {
+                        ws.timings[ws.group_off[t] + g - 1].end_ms
+                    } else {
+                        0.0
+                    };
                     if g == 0 {
-                        for up in w.upstream(t) {
+                        for &up in &self.upstream[t] {
                             // An upstream task still running blocks us; its
                             // current end estimate is a lower bound, so only
                             // dispatch once it has fully finished.
-                            if next_group[up] < w.tasks[up].num_groups() {
+                            if ws.next_group[up] < w.tasks[up].num_groups() {
                                 ready = f64::INFINITY;
                             } else {
-                                ready = ready.max(task_end[up]);
+                                ready = ready.max(ws.task_end[up]);
                             }
                         }
                     }
                     if !ready.is_finite() {
                         continue;
                     }
-                    let pu = assignment[t][g];
-                    let start = ready.max(pu_free[pu]);
+                    let pu = pu_of(t, g);
+                    let start = ready.max(ws.pu_free[pu]);
                     let better = match pick {
                         None => true,
                         Some((_, r, s)) => {
@@ -257,19 +362,19 @@ impl<'a> TimelineEvaluator<'a> {
                 let Some((t, ready, start)) = pick else {
                     break;
                 };
-                let g = next_group[t];
-                let pu = assignment[t][g];
+                let g = ws.next_group[t];
+                let pu = pu_of(t, g);
                 let cost = self.cost_of(t, g, pu);
                 let profile = &w.tasks[t].profile;
 
                 // Transition overheads (Eq. 2/3): tau_in when the previous
                 // group ran elsewhere; tau_out when the next group will.
-                let tau_in = if g > 0 && assignment[t][g - 1] != pu {
+                let tau_in = if g > 0 && pu_of(t, g - 1) != pu {
                     profile.groups[g - 1].tr_in_ms[pu]
                 } else {
                     0.0
                 };
-                let tau_out = if g + 1 < profile.len() && assignment[t][g + 1] != pu {
+                let tau_out = if g + 1 < profile.len() && pu_of(t, g + 1) != pu {
                     profile.groups[g].tr_out_ms[pu]
                 } else {
                     0.0
@@ -277,10 +382,11 @@ impl<'a> TimelineEvaluator<'a> {
                 total_transition += tau_in + tau_out;
 
                 let exec_start = start + tau_in;
-                let (exec_end, slowdown) = self.integrate(t, pu, &cost, exec_start, &footprints);
+                let (exec_end, slowdown) =
+                    self.integrate(t, pu, &cost, exec_start, &ws.footprints, &mut ws.events);
                 let end = exec_end + tau_out;
 
-                timings[t][g] = GroupTiming {
+                ws.timings[ws.group_off[t] + g] = GroupTiming {
                     pu,
                     start_ms: start,
                     end_ms: end,
@@ -288,10 +394,10 @@ impl<'a> TimelineEvaluator<'a> {
                     slowdown,
                 };
                 max_wait = max_wait.max(start - ready);
-                pu_free[pu] = end;
-                task_end[t] = end;
-                next_group[t] += 1;
-                new_footprints.push(Footprint {
+                ws.pu_free[pu] = end;
+                ws.task_end[t] = end;
+                ws.next_group[t] += 1;
+                ws.next_footprints.push(Footprint {
                     task: t,
                     pu,
                     interval: Interval::new(exec_start, exec_end),
@@ -303,29 +409,26 @@ impl<'a> TimelineEvaluator<'a> {
             #[allow(clippy::needless_range_loop)]
             for t in 0..n_tasks {
                 assert_eq!(
-                    next_group[t],
+                    ws.next_group[t],
                     w.tasks[t].num_groups(),
                     "dependency cycle in workload"
                 );
             }
 
-            let makespan = task_end.iter().cloned().fold(0.0, f64::max);
-            let tl = PredictedTimeline {
-                groups: timings,
-                task_latency_ms: task_end,
+            let makespan = ws.task_end.iter().cloned().fold(0.0, f64::max);
+            let converged = (makespan - prev_makespan).abs() < 1e-6;
+            prev_makespan = makespan;
+            std::mem::swap(&mut ws.footprints, &mut ws.next_footprints);
+            summary = TimelineSummary {
                 makespan_ms: makespan,
                 max_wait_ms: max_wait,
                 total_transition_ms: total_transition,
             };
-            let converged = (makespan - prev_makespan).abs() < 1e-6;
-            prev_makespan = makespan;
-            footprints = new_footprints;
-            result = Some(tl);
             if converged || !self.contention_aware {
                 break;
             }
         }
-        result.expect("at least one iteration ran")
+        summary
     }
 }
 

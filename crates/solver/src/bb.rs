@@ -12,7 +12,12 @@
 //!   allocating a keyed `Vec` per node,
 //! * the bound computed for a child during value ordering is passed down
 //!   as a memo, so descending into that child does not recompute the
-//!   model's (timeline-evaluating, hence expensive) lower bound.
+//!   model's (timeline-evaluating, hence expensive) lower bound,
+//! * every descent/backtrack is mirrored into the model's incremental
+//!   scratch via [`CostModel::push`]/[`CostModel::pop`] (strict LIFO), so
+//!   models implementing the incremental protocol answer `prune_with`/
+//!   `bound_with`/`cost_with` from delta-maintained state instead of
+//!   recomputing over the whole assignment.
 //!
 //! Budgets are enforced through a [`SharedState`]: a single atomic node
 //! counter claimed in batches and one deadline, shared by every worker of
@@ -206,6 +211,9 @@ pub(crate) struct Engine<'a, M: CostModel, F: FnMut(&Assignment, f64)> {
     complete: Assignment,
     /// Per-depth scratch for bound-guided value ordering.
     scratch: Vec<Vec<(f64, u32)>>,
+    /// The model's incremental-evaluation state, kept in lockstep with
+    /// `partial` through push/pop.
+    inc: M::Scratch,
     /// Incumbent local to the current work item (reset per subtree in the
     /// parallel solver so results do not depend on work distribution).
     pub(crate) local_best: Option<(Assignment, f64)>,
@@ -238,6 +246,7 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
             partial: vec![None; n],
             complete: vec![0; n],
             scratch: vec![Vec::new(); n],
+            inc: model.new_scratch(),
             local_best: None,
             init_ub: initial_upper_bound.unwrap_or(f64::INFINITY),
             bound_guided,
@@ -257,6 +266,22 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
             Some((_, c)) => *c,
             None => self.init_ub,
         }
+    }
+
+    /// Assigns `var = value`, mirroring the change into the model's
+    /// incremental scratch.
+    #[inline]
+    pub(crate) fn assign(&mut self, var: usize, value: u32) {
+        self.partial[var] = Some(value);
+        self.model.push(&mut self.inc, var, value);
+    }
+
+    /// Unassigns `var` (which must be the most recently assigned live
+    /// variable — the LIFO discipline the incremental protocol requires).
+    #[inline]
+    pub(crate) fn unassign(&mut self, var: usize) {
+        self.model.pop(&mut self.inc, var);
+        self.partial[var] = None;
     }
 
     /// Runs the subtree rooted at the current `partial` prefix, branching
@@ -288,12 +313,12 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
                 }
             }
         }
-        if self.model.prune(&self.partial) {
+        if self.model.prune_with(&self.inc, &self.partial) {
             self.pruned += 1;
             return false;
         }
         let bound = if bound_memo.is_nan() {
-            self.model.bound(&self.partial)
+            self.model.bound_with(&self.inc, &self.partial)
         } else {
             bound_memo
         };
@@ -316,7 +341,7 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
             for (dst, src) in self.complete.iter_mut().zip(self.partial.iter()) {
                 *dst = src.expect("complete assignment");
             }
-            if let Some(c) = self.model.cost(&self.complete) {
+            if let Some(c) = self.model.cost_with(&mut self.inc, &self.complete) {
                 if c < self.local_ub() {
                     self.local_best = Some((self.complete.clone(), c));
                     (self.sink)(&self.complete, c);
@@ -333,8 +358,9 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
             keyed.clear();
             for i in 0..dlen {
                 let v = self.model.domain(var)[i];
-                self.partial[var] = Some(v);
-                keyed.push((self.model.bound(&self.partial), v));
+                self.assign(var, v);
+                keyed.push((self.model.bound_with(&self.inc, &self.partial), v));
+                self.unassign(var);
             }
             // Stable insertion sort: ties keep domain order, and domains
             // are #PU-sized, so this beats an allocating merge sort.
@@ -347,23 +373,25 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
             }
             for i in 0..keyed.len() {
                 let (child_bound, v) = keyed[i];
-                self.partial[var] = Some(v);
-                if self.dfs(var + 1, child_bound) {
+                self.assign(var, v);
+                let abort = self.dfs(var + 1, child_bound);
+                self.unassign(var);
+                if abort {
                     self.scratch[var] = keyed;
                     return true;
                 }
             }
-            self.partial[var] = None;
             self.scratch[var] = keyed;
         } else {
             for i in 0..dlen {
                 let v = self.model.domain(var)[i];
-                self.partial[var] = Some(v);
-                if self.dfs(var + 1, f64::NAN) {
+                self.assign(var, v);
+                let abort = self.dfs(var + 1, f64::NAN);
+                self.unassign(var);
+                if abort {
                     return true;
                 }
             }
-            self.partial[var] = None;
         }
         false
     }
@@ -419,6 +447,7 @@ mod tests {
     }
 
     impl CostModel for Wap {
+        type Scratch = ();
         fn num_vars(&self) -> usize {
             self.domains.len()
         }

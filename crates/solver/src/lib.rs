@@ -29,5 +29,5 @@ pub mod model;
 pub mod parallel;
 
 pub use bb::{solve, BudgetState, Solution, SolveOptions, SolveStats};
-pub use model::{brute_force, Assignment, CostModel, PartialAssignment};
+pub use model::{brute_force, Assignment, CostModel, NonIncremental, PartialAssignment};
 pub use parallel::{solve_parallel, solve_parallel_with, ParallelOptions};

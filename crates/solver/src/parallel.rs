@@ -137,13 +137,13 @@ fn frontier_size<M: CostModel>(model: &M, depth: usize) -> usize {
     (0..depth).fold(1usize, |acc, v| acc.saturating_mul(model.domain(v).len()))
 }
 
-/// Decodes work item `k` into the first `depth` slots of `partial`
+/// Decodes work item `k` into the first `depth` slots of `prefix`
 /// (mixed radix, variable 0 most significant — so item order is the
 /// sequential solver's DFS order over prefixes).
-fn decode_prefix<M: CostModel>(model: &M, depth: usize, mut k: usize, partial: &mut [Option<u32>]) {
+fn decode_prefix<M: CostModel>(model: &M, depth: usize, mut k: usize, prefix: &mut [u32]) {
     for var in (0..depth).rev() {
         let dom = model.domain(var);
-        partial[var] = Some(dom[k % dom.len()]);
+        prefix[var] = dom[k % dom.len()];
         k /= dom.len();
     }
 }
@@ -207,6 +207,7 @@ pub fn solve_parallel_with<M: CostModel + Sync>(
                     bound_guided,
                     |a: &Assignment, c: f64| incumbent.offer(a, c, &tx),
                 );
+                let mut prefix = vec![0u32; depth];
                 loop {
                     if state.stopped() {
                         break;
@@ -215,7 +216,19 @@ pub fn solve_parallel_with<M: CostModel + Sync>(
                     if k >= total_items {
                         break;
                     }
-                    decode_prefix(model, depth, k, &mut engine.partial);
+                    decode_prefix(model, depth, k, &mut prefix);
+                    // Swap prefixes through assign/unassign so the model's
+                    // incremental scratch stays in lockstep with `partial`
+                    // across work items (pops in reverse order keep the
+                    // LIFO discipline).
+                    for var in (0..depth).rev() {
+                        if engine.partial[var].is_some() {
+                            engine.unassign(var);
+                        }
+                    }
+                    for (var, &v) in prefix.iter().enumerate() {
+                        engine.assign(var, v);
+                    }
                     // Local incumbents are per work item so results never
                     // depend on which worker ran which items (see module
                     // docs); cross-item pruning flows through the shared
@@ -271,6 +284,7 @@ mod tests {
     }
 
     impl CostModel for Wap {
+        type Scratch = ();
         fn num_vars(&self) -> usize {
             self.weights.len()
         }
@@ -421,6 +435,7 @@ mod tests {
         // domain of one shared value.
         struct OneValue(Wap);
         impl CostModel for OneValue {
+            type Scratch = ();
             fn num_vars(&self) -> usize {
                 self.0.num_vars()
             }

@@ -7,11 +7,13 @@
 //! properties are sampled with a deterministic xorshift generator —
 //! every run checks identical pseudo-random cases.
 
+use haxconn::core::encoding::ScheduleEncoding;
 use haxconn::dnn::Model;
+use haxconn::prelude::*;
 use haxconn::profiler::grouping::{partition, valid_cuts};
 use haxconn::solver::{
-    brute_force, solve, solve_parallel_with, Assignment, BudgetState, CostModel, ParallelOptions,
-    SolveOptions,
+    brute_force, solve, solve_parallel_with, Assignment, BudgetState, CostModel, NonIncremental,
+    ParallelOptions, SolveOptions,
 };
 
 /// Deterministic xorshift64* generator for property sampling.
@@ -45,14 +47,51 @@ impl Rng {
 
 /// A random weighted-assignment instance with pairwise difference
 /// constraints (structurally the same shape as the scheduling encoding:
-/// per-variable costs + pair constraints).
+/// per-variable costs + pair constraints). Implements the full incremental
+/// protocol, so these properties exercise the engine's push/pop wiring with
+/// a genuinely stateful scratch.
 #[derive(Debug, Clone)]
 struct Instance {
     weights: Vec<Vec<f64>>,
     diffs: Vec<(usize, usize)>,
 }
 
+/// Delta-maintained state for [`Instance`]: the weighted lower-bound sum
+/// (saved-value restore on pop, so no floating-point drift) and the number
+/// of violated difference pairs (exact integers).
+#[derive(Default)]
+struct InstScratch {
+    sum: f64,
+    min_w: Vec<f64>,
+    saved: Vec<f64>,
+    vals: Vec<u32>,
+    assigned: Vec<bool>,
+    conflicts: usize,
+}
+
+impl Instance {
+    /// Violated-pair delta of assigning (or, under LIFO, unassigning)
+    /// `var = value`.
+    fn conflict_delta(&self, scratch: &InstScratch, var: usize, value: u32) -> usize {
+        self.diffs
+            .iter()
+            .filter(|&&(i, j)| {
+                let other = if i == var {
+                    j
+                } else if j == var {
+                    i
+                } else {
+                    return false;
+                };
+                scratch.assigned[other] && scratch.vals[other] == value
+            })
+            .count()
+    }
+}
+
 impl CostModel for Instance {
+    type Scratch = InstScratch;
+
     fn num_vars(&self) -> usize {
         self.weights.len()
     }
@@ -84,6 +123,46 @@ impl CostModel for Instance {
                     .fold(f64::INFINITY, f64::min),
             })
             .sum()
+    }
+    fn prune(&self, partial: &[Option<u32>]) -> bool {
+        self.diffs
+            .iter()
+            .any(|&(i, j)| matches!((partial[i], partial[j]), (Some(a), Some(b)) if a == b))
+    }
+
+    fn new_scratch(&self) -> InstScratch {
+        let n = self.num_vars();
+        let min_w: Vec<f64> = self
+            .weights
+            .iter()
+            .map(|w| w.iter().cloned().fold(f64::INFINITY, f64::min))
+            .collect();
+        InstScratch {
+            sum: min_w.iter().sum(),
+            min_w,
+            saved: vec![0.0; n],
+            vals: vec![0; n],
+            assigned: vec![false; n],
+            conflicts: 0,
+        }
+    }
+    fn push(&self, scratch: &mut InstScratch, var: usize, value: u32) {
+        scratch.conflicts += self.conflict_delta(scratch, var, value);
+        scratch.saved[var] = scratch.sum;
+        scratch.sum += self.weights[var][value as usize] - scratch.min_w[var];
+        scratch.vals[var] = value;
+        scratch.assigned[var] = true;
+    }
+    fn pop(&self, scratch: &mut InstScratch, var: usize) {
+        scratch.assigned[var] = false;
+        scratch.sum = scratch.saved[var];
+        scratch.conflicts -= self.conflict_delta(scratch, var, scratch.vals[var]);
+    }
+    fn prune_with(&self, scratch: &InstScratch, _partial: &[Option<u32>]) -> bool {
+        scratch.conflicts > 0
+    }
+    fn bound_with(&self, scratch: &InstScratch, _partial: &[Option<u32>]) -> f64 {
+        scratch.sum
     }
 }
 
@@ -226,6 +305,150 @@ fn budgeted_solve_is_sound() {
             assert!(inst.cost(&a).is_some(), "case {case}");
             let best = full.best.as_ref().expect("full solve found it too").1;
             assert!(c >= best - 1e-9, "case {case}");
+        }
+    }
+}
+
+/// Drives a random assign/unassign walk in LIFO discipline over `model`,
+/// checking after every step that the incremental evaluators agree with
+/// the from-scratch ones: `prune_with` exactly, `bound_with` within
+/// `bound_tol` (floating-point reassociation only), and — at complete
+/// assignments — `cost_with` bit-identically.
+fn walk_equivalence<M: CostModel>(model: &M, rng: &mut Rng, steps: usize, bound_tol: f64) {
+    let n = model.num_vars();
+    let mut scratch = model.new_scratch();
+    let mut partial: Vec<Option<u32>> = vec![None; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut complete: Assignment = vec![0; n];
+    for step in 0..steps {
+        let push = stack.len() < n && (stack.is_empty() || rng.usize(0, 100) < 60);
+        if push {
+            // Any unassigned variable may be pushed: the LIFO contract does
+            // not promise index order (the engine's bound probes and the
+            // parallel prefix decoding are index-ordered, but the protocol
+            // itself must not depend on it).
+            let nth = rng.usize(0, n - stack.len());
+            let var = (0..n).filter(|&v| partial[v].is_none()).nth(nth).unwrap();
+            let dom = model.domain(var);
+            let val = dom[rng.usize(0, dom.len())];
+            partial[var] = Some(val);
+            model.push(&mut scratch, var, val);
+            stack.push(var);
+        } else {
+            let var = stack.pop().unwrap();
+            model.pop(&mut scratch, var);
+            partial[var] = None;
+        }
+        assert_eq!(
+            model.prune_with(&scratch, &partial),
+            model.prune(&partial),
+            "step {step}: prune disagrees at {partial:?}"
+        );
+        let b_inc = model.bound_with(&scratch, &partial);
+        let b_fs = model.bound(&partial);
+        assert!(
+            (b_inc - b_fs).abs() <= bound_tol,
+            "step {step}: bound {b_inc} vs {b_fs}"
+        );
+        if stack.len() == n {
+            for (dst, src) in complete.iter_mut().zip(partial.iter()) {
+                *dst = src.unwrap();
+            }
+            let c_inc = model.cost_with(&mut scratch, &complete);
+            let c_fs = model.cost(&complete);
+            match (c_inc, c_fs) {
+                (Some(x), Some(y)) => assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "step {step}: cost {x} vs {y} at {complete:?}"
+                ),
+                (None, None) => {}
+                other => panic!("step {step}: cost feasibility disagrees: {other:?}"),
+            }
+        }
+    }
+}
+
+/// Incremental push/pop evaluation ≡ from-scratch evaluation on random
+/// instances under random LIFO walks.
+#[test]
+fn incremental_walk_matches_from_scratch() {
+    let mut rng = Rng::new(314);
+    for _case in 0..48 {
+        let inst = arb_instance(&mut rng);
+        walk_equivalence(&inst, &mut rng, 300, 1e-9);
+    }
+}
+
+/// The real scheduling encoding honours the incremental contract too —
+/// on a concurrent multi-DNN workload (transition budgets, pinned groups)
+/// and on a pipeline workload (ties + streaming deps exercise the shared
+/// spans and the upstream closure).
+#[test]
+fn schedule_encoding_incremental_walk() {
+    let p = orin_agx();
+    let cm = ContentionModel::calibrate(&p);
+    let mut rng = Rng::new(2718);
+
+    let concurrent = Workload::concurrent(vec![
+        DnnTask::new("g", NetworkProfile::profile(&p, Model::GoogleNet, 5)),
+        DnnTask::new("r", NetworkProfile::profile(&p, Model::ResNet18, 5)),
+    ]);
+    for objective in [Objective::MinMaxLatency, Objective::MaxThroughput] {
+        let enc = ScheduleEncoding::new(
+            &concurrent,
+            &cm,
+            SchedulerConfig {
+                objective,
+                ..Default::default()
+            },
+        );
+        walk_equivalence(&enc, &mut rng, 400, 1e-9);
+    }
+
+    let pipeline = Workload::pipeline(vec![
+        DnnTask::new("a", NetworkProfile::profile(&p, Model::ResNet18, 4)),
+        DnnTask::new("b", NetworkProfile::profile(&p, Model::GoogleNet, 4)),
+    ]);
+    let enc = ScheduleEncoding::new(&pipeline, &cm, SchedulerConfig::default());
+    walk_equivalence(&enc, &mut rng, 400, 1e-9);
+}
+
+/// Solving with the incremental path enabled returns the bit-identical
+/// optimum of the from-scratch path (`NonIncremental` hides the hooks),
+/// sequentially and across parallel configurations.
+#[test]
+fn incremental_solver_equals_nonincremental() {
+    let mut rng = Rng::new(1618);
+    for case in 0..24 {
+        let inst = arb_instance(&mut rng);
+        let inc = solve(&inst, SolveOptions::default());
+        let scratch = solve(&NonIncremental(&inst), SolveOptions::default());
+        match (&inc.best, &scratch.best) {
+            (Some((a_inc, c_inc)), Some((a_fs, c_fs))) => {
+                assert_eq!(c_inc.to_bits(), c_fs.to_bits(), "case {case}");
+                assert_eq!(a_inc, a_fs, "case {case}");
+            }
+            (None, None) => {}
+            other => panic!("case {case}: {other:?}"),
+        }
+        for threads in [2, 8] {
+            let par = solve_parallel_with(
+                &NonIncremental(&inst),
+                SolveOptions::default(),
+                &ParallelOptions {
+                    threads,
+                    split_depth: None,
+                },
+            );
+            match (&inc.best, &par.best) {
+                (Some((a_inc, c_inc)), Some((a_par, c_par))) => {
+                    assert_eq!(c_inc.to_bits(), c_par.to_bits(), "case {case} t{threads}");
+                    assert_eq!(a_inc, a_par, "case {case} t{threads}");
+                }
+                (None, None) => {}
+                other => panic!("case {case} t{threads}: {other:?}"),
+            }
         }
     }
 }
