@@ -63,9 +63,11 @@ impl ScheduleCache {
         let sig = WorkloadSignature::of(workload);
         if self.entries.contains_key(&sig) {
             self.hits += 1;
+            haxconn_telemetry::counter_add("cache.hits", 1);
             self.entries.get(&sig)
         } else {
             self.misses += 1;
+            haxconn_telemetry::counter_add("cache.misses", 1);
             None
         }
     }
@@ -87,8 +89,10 @@ impl ScheduleCache {
         let sig = WorkloadSignature::of(workload);
         if self.entries.contains_key(&sig) {
             self.hits += 1;
+            haxconn_telemetry::counter_add("cache.hits", 1);
         } else {
             self.misses += 1;
+            haxconn_telemetry::counter_add("cache.misses", 1);
             self.entries.insert(sig.clone(), make());
         }
         self.entries.get(&sig).expect("just inserted")

@@ -55,6 +55,7 @@ impl DHaxConn {
         model: &ContentionModel,
         config: SchedulerConfig,
     ) -> Self {
+        let run_started = std::time::Instant::now();
         // 1. Initial schedule: best of the *instant* baselines only.
         let mut ev = TimelineEvaluator::new(workload, model);
         ev.contention_aware = config.contention_aware;
@@ -103,6 +104,19 @@ impl DHaxConn {
                 },
             )
         };
+        if haxconn_telemetry::enabled() {
+            use haxconn_telemetry as t;
+            let ms = run_started.elapsed().as_secs_f64() * 1e3;
+            t::counter_add("dynamic.resolves", 1);
+            t::counter_add("dynamic.incumbents", trace.len() as u64);
+            t::histogram_record("dynamic.resolve_ms", ms);
+            // Time-to-first-improvement is the paper's Fig. 7 x-axis:
+            // how quickly the runtime can swap off the naive schedule.
+            if let Some(first) = trace.first() {
+                t::histogram_record("dynamic.first_incumbent_ms", first.at.as_secs_f64() * 1e3);
+            }
+            t::span_event("dynamic", "resolve", t::clock_ms() - ms, ms);
+        }
         DHaxConn {
             initial,
             trace,

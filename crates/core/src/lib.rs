@@ -37,6 +37,7 @@ pub mod cache;
 pub mod dynamic;
 pub mod encoding;
 pub mod energy;
+pub mod error;
 pub mod gantt;
 pub mod interval;
 pub mod measure;
@@ -51,10 +52,11 @@ pub use cache::{ScheduleCache, WorkloadSignature};
 pub use dynamic::DHaxConn;
 pub use encoding::{ScheduleEncoding, ScheduleScratch};
 pub use energy::{dynamic_energy_mj, dynamic_energy_with, energy_of, schedule_min_energy};
+pub use error::{parse_model, parse_objective, parse_platform, HaxError};
 pub use gantt::render_gantt;
 pub use measure::{measure, Measurement};
 pub use problem::{DnnTask, Objective, SchedulerConfig, Workload};
 pub use scenario::Scenario;
 pub use scheduler::{HaxConn, Schedule, ScheduleOrigin, Transition};
 pub use timeline::{PredictedTimeline, TimelineEvaluator, TimelineSummary, TimelineWorkspace};
-pub use trace::chrome_trace_json;
+pub use trace::{chrome_trace_json, chrome_trace_json_with_snapshot};

@@ -1,5 +1,6 @@
 //! Workload descriptions and scheduler configuration.
 
+use crate::error::HaxError;
 use haxconn_profiler::NetworkProfile;
 use serde::{Deserialize, Serialize};
 
@@ -65,41 +66,122 @@ impl Workload {
     }
 
     /// A two-stage pipeline: `tasks[0] -> tasks[1]` (Scenario 3).
+    /// Panics on fewer than two tasks; see [`Workload::try_pipeline`]
+    /// for the fallible form.
     pub fn pipeline(tasks: Vec<DnnTask>) -> Self {
-        assert!(tasks.len() >= 2);
+        Self::try_pipeline(tasks).expect("pipeline workload")
+    }
+
+    /// Fallible [`Workload::pipeline`]: chains every task to the next.
+    pub fn try_pipeline(tasks: Vec<DnnTask>) -> Result<Self, HaxError> {
+        if tasks.len() < 2 {
+            return Err(HaxError::InvalidWorkload(format!(
+                "a pipeline needs at least 2 tasks, got {}",
+                tasks.len()
+            )));
+        }
         let deps = (0..tasks.len() - 1)
             .map(|i| TaskDep { from: i, to: i + 1 })
             .collect();
         let ties = vec![None; tasks.len()];
-        Workload { tasks, deps, ties }
+        Ok(Workload { tasks, deps, ties })
     }
 
-    /// Adds a streaming dependency.
-    pub fn with_dep(mut self, from: usize, to: usize) -> Self {
-        assert!(from < self.tasks.len() && to < self.tasks.len() && from != to);
+    /// Adds a streaming dependency. Panics on out-of-range or self
+    /// dependencies; see [`Workload::try_with_dep`].
+    pub fn with_dep(self, from: usize, to: usize) -> Self {
+        self.try_with_dep(from, to).expect("valid dependency")
+    }
+
+    /// Fallible [`Workload::with_dep`].
+    pub fn try_with_dep(mut self, from: usize, to: usize) -> Result<Self, HaxError> {
+        let n = self.tasks.len();
+        if from >= n || to >= n {
+            return Err(HaxError::InvalidWorkload(format!(
+                "dependency {from}->{to} references a task out of range (have {n} tasks)"
+            )));
+        }
+        if from == to {
+            return Err(HaxError::InvalidWorkload(format!(
+                "task {from} cannot depend on itself"
+            )));
+        }
         self.deps.push(TaskDep { from, to });
-        self
+        Ok(self)
     }
 
     /// Ties `task`'s assignment to `representative`'s (both must have the
     /// same group structure). The scheduler then decides one mapping shared
-    /// by both instances.
-    pub fn with_tie(mut self, task: usize, representative: usize) -> Self {
-        assert!(
-            representative < task,
-            "representative must precede the tied task"
-        );
-        assert!(
-            self.ties[representative].is_none(),
-            "representative must itself be untied"
-        );
-        assert_eq!(
-            self.tasks[task].num_groups(),
-            self.tasks[representative].num_groups(),
-            "tied tasks must share group structure"
-        );
+    /// by both instances. Panics on invalid ties; see
+    /// [`Workload::try_with_tie`].
+    pub fn with_tie(self, task: usize, representative: usize) -> Self {
+        self.try_with_tie(task, representative).expect("valid tie")
+    }
+
+    /// Fallible [`Workload::with_tie`].
+    pub fn try_with_tie(mut self, task: usize, representative: usize) -> Result<Self, HaxError> {
+        if task >= self.tasks.len() {
+            return Err(HaxError::InvalidWorkload(format!(
+                "tie references task {task} out of range"
+            )));
+        }
+        if representative >= task {
+            return Err(HaxError::InvalidWorkload(
+                "representative must precede the tied task".into(),
+            ));
+        }
+        if self.ties[representative].is_some() {
+            return Err(HaxError::InvalidWorkload(
+                "representative must itself be untied".into(),
+            ));
+        }
+        if self.tasks[task].num_groups() != self.tasks[representative].num_groups() {
+            return Err(HaxError::InvalidWorkload(format!(
+                "tied tasks must share group structure ({} vs {} groups)",
+                self.tasks[task].num_groups(),
+                self.tasks[representative].num_groups()
+            )));
+        }
         self.ties[task] = Some(representative);
-        self
+        Ok(self)
+    }
+
+    /// Structural validation: non-empty, every dependency and tie in
+    /// range, no self-dependencies. The scheduler's fallible entry
+    /// points call this before encoding.
+    pub fn validate(&self) -> Result<(), HaxError> {
+        if self.tasks.is_empty() {
+            return Err(HaxError::InvalidWorkload("workload has no tasks".into()));
+        }
+        for (t, task) in self.tasks.iter().enumerate() {
+            if task.num_groups() == 0 {
+                return Err(HaxError::InvalidWorkload(format!(
+                    "task {t} ('{}') has no layer groups",
+                    task.name
+                )));
+            }
+        }
+        for d in &self.deps {
+            if d.from >= self.tasks.len() || d.to >= self.tasks.len() || d.from == d.to {
+                return Err(HaxError::InvalidWorkload(format!(
+                    "invalid dependency {}->{}",
+                    d.from, d.to
+                )));
+            }
+        }
+        if self.ties.len() != self.tasks.len() {
+            return Err(HaxError::InvalidWorkload(
+                "tie table length mismatch".into(),
+            ));
+        }
+        for (t, tie) in self.ties.iter().enumerate() {
+            if let Some(r) = tie {
+                if *r >= t || self.ties[*r].is_some() {
+                    return Err(HaxError::InvalidWorkload(format!("invalid tie {t}->{r}")));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The representative whose assignment `task` uses (itself if untied).
@@ -202,6 +284,25 @@ impl SchedulerConfig {
             ..Default::default()
         }
     }
+
+    /// Checks the configuration is usable: ε and the node budget must be
+    /// finite/positive where given, and at least one transition must be
+    /// allowed for multi-group schedules to differ from single-PU ones.
+    pub fn validate(&self) -> Result<(), HaxError> {
+        if let Some(eps) = self.epsilon_ms {
+            if !eps.is_finite() || eps < 0.0 {
+                return Err(HaxError::InvalidConfig(format!(
+                    "epsilon_ms must be finite and non-negative, got {eps}"
+                )));
+            }
+        }
+        if self.node_budget == Some(0) {
+            return Err(HaxError::InvalidConfig(
+                "node_budget of 0 can never find a schedule".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -256,5 +357,31 @@ mod tests {
     fn self_dep_rejected() {
         let w = Workload::concurrent(vec![task(Model::ResNet18), task(Model::GoogleNet)]);
         let _ = w.with_dep(1, 1);
+    }
+
+    #[test]
+    fn try_constructors_report_errors_instead_of_panicking() {
+        let w = Workload::concurrent(vec![task(Model::ResNet18), task(Model::GoogleNet)]);
+        assert!(w.validate().is_ok());
+        assert!(w.clone().try_with_dep(1, 1).is_err());
+        assert!(w.clone().try_with_dep(0, 5).is_err());
+        assert!(w.clone().try_with_tie(1, 1).is_err());
+        assert!(Workload::try_pipeline(vec![task(Model::ResNet18)]).is_err());
+        assert!(Workload::concurrent(vec![]).validate().is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SchedulerConfig::default().validate().is_ok());
+        let bad_eps = SchedulerConfig {
+            epsilon_ms: Some(-1.0),
+            ..Default::default()
+        };
+        assert!(bad_eps.validate().is_err());
+        let bad_budget = SchedulerConfig {
+            node_budget: Some(0),
+            ..Default::default()
+        };
+        assert!(bad_budget.validate().is_err());
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::baselines::{Baseline, BaselineKind};
 use crate::encoding::ScheduleEncoding;
+use crate::error::HaxError;
 use crate::problem::{Objective, SchedulerConfig, Workload};
 use crate::timeline::{PredictedTimeline, TimelineEvaluator};
 use haxconn_contention::ContentionModel;
@@ -124,6 +125,21 @@ impl HaxConn {
         model: &ContentionModel,
         config: SchedulerConfig,
     ) -> Schedule {
+        Self::try_schedule(platform, workload, model, config).expect("schedulable workload")
+    }
+
+    /// Fallible [`HaxConn::schedule`]: validates the workload and
+    /// configuration first and returns [`HaxError`] instead of
+    /// panicking on malformed input.
+    pub fn try_schedule(
+        platform: &Platform,
+        workload: &Workload,
+        model: &ContentionModel,
+        config: SchedulerConfig,
+    ) -> Result<Schedule, HaxError> {
+        workload.validate()?;
+        config.validate()?;
+        let schedule_started = std::time::Instant::now();
         let run_solver = |enc: &ScheduleEncoding<'_>| -> Solution {
             let opts = SolveOptions {
                 node_budget: config.node_budget,
@@ -180,15 +196,27 @@ impl HaxConn {
                 winner = Some((a, c, tl, ScheduleOrigin::Fallback(kind)));
             }
         }
-        let (assignment, cost, predicted, origin) =
-            winner.expect("baselines always produce a candidate");
-        Schedule {
+        let (assignment, cost, predicted, origin) = winner.ok_or_else(|| {
+            HaxError::Infeasible("no candidate schedule (not even a baseline) was found".into())
+        })?;
+        if haxconn_telemetry::enabled() {
+            use haxconn_telemetry as t;
+            let ms = schedule_started.elapsed().as_secs_f64() * 1e3;
+            t::counter_add("scheduler.schedules", 1);
+            t::counter_add(
+                "scheduler.fallbacks",
+                u64::from(!matches!(origin, ScheduleOrigin::Optimal)),
+            );
+            t::histogram_record("scheduler.schedule_ms", ms);
+            t::span_event("scheduler", "schedule", t::clock_ms() - ms, ms);
+        }
+        Ok(Schedule {
             assignment,
             predicted,
             cost,
             origin,
             proven_optimal: proven,
-        }
+        })
     }
 }
 
@@ -208,7 +236,18 @@ impl HaxConn {
         model: &ContentionModel,
         config: SchedulerConfig,
     ) -> Schedule {
-        let mut winner = Self::schedule(platform, workload, model, config);
+        Self::try_schedule_validated(platform, workload, model, config)
+            .expect("schedulable workload")
+    }
+
+    /// Fallible [`HaxConn::schedule_validated`].
+    pub fn try_schedule_validated(
+        platform: &Platform,
+        workload: &Workload,
+        model: &ContentionModel,
+        config: SchedulerConfig,
+    ) -> Result<Schedule, HaxError> {
+        let mut winner = Self::try_schedule(platform, workload, model, config)?;
         let measured_cost = |assignment: &Vec<Vec<PuId>>| -> f64 {
             let m = crate::measure::measure(platform, workload, assignment);
             match config.objective {
@@ -234,7 +273,7 @@ impl HaxConn {
                 };
             }
         }
-        winner
+        Ok(winner)
     }
 }
 

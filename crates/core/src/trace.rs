@@ -56,6 +56,33 @@ struct ThreadNameArgs<'a> {
     name: &'a str,
 }
 
+/// A Chrome-tracing "counter" event: Perfetto renders these as a value
+/// track (the EMC bandwidth graph under the per-PU Gantt tracks).
+#[derive(Debug, Serialize)]
+struct CounterEvent<'a> {
+    name: &'a str,
+    ph: &'static str,
+    ts: f64,
+    pid: u32,
+    args: CounterArgs,
+}
+
+#[derive(Debug, Serialize)]
+struct CounterArgs {
+    value: f64,
+}
+
+fn push_counter(parts: &mut Vec<String>, name: &str, ts_us: f64, value: f64) {
+    let ev = CounterEvent {
+        name,
+        ph: "C",
+        ts: ts_us,
+        pid: 1,
+        args: CounterArgs { value },
+    };
+    parts.push(serde_json::to_string(&ev).expect("serialize counter"));
+}
+
 /// Builds the Chrome-tracing JSON for a measured run of `assignment`.
 ///
 /// The returned string is a complete JSON array that Perfetto /
@@ -108,7 +135,84 @@ pub fn chrome_trace_json(
             parts.push(serde_json::to_string(&ev).expect("serialize event"));
         }
     }
+
+    // EMC bandwidth as a counter track: one sample per re-arbitration
+    // point of the fluid simulation, so Perfetto draws the contention
+    // profile directly under the Gantt tracks.
+    for &(t_ms, gbps) in &measurement.raw.emc_series {
+        push_counter(&mut parts, "EMC bandwidth (GB/s)", t_ms * 1e3, gbps);
+    }
     format!("[{}]", parts.join(",\n"))
+}
+
+/// Like [`chrome_trace_json`], but additionally merges a telemetry
+/// [`haxconn_telemetry::Snapshot`] into the trace: every recorded
+/// series becomes its own counter track (queue depth, EMC bandwidth
+/// from other runs, …) and every span becomes a complete event on a
+/// named track, so one Perfetto load shows the schedule *and* the
+/// telemetry that produced it.
+pub fn chrome_trace_json_with_snapshot(
+    platform: &Platform,
+    workload: &Workload,
+    assignment: &[Vec<PuId>],
+    measurement: &Measurement,
+    snapshot: &haxconn_telemetry::Snapshot,
+) -> String {
+    let base = chrome_trace_json(platform, workload, assignment, measurement);
+    let mut parts: Vec<String> = Vec::new();
+    for (name, series) in &snapshot.series {
+        for &(t_ms, value) in &series.points {
+            push_counter(&mut parts, name, t_ms * 1e3, value);
+        }
+    }
+    // Span tracks: tid above the PU range so they never collide with
+    // the Gantt tracks; one tid per distinct track name.
+    let mut track_tids: Vec<&str> = Vec::new();
+    for span in &snapshot.spans {
+        let tid = match track_tids.iter().position(|t| *t == span.track.as_str()) {
+            Some(i) => i,
+            None => {
+                track_tids.push(&span.track);
+                track_tids.len() - 1
+            }
+        } as u32
+            + 1000;
+        let ev = TraceEvent {
+            name: span.name.clone(),
+            cat: "telemetry".to_string(),
+            ph: "X",
+            ts: span.start_ms * 1e3,
+            dur: span.dur_ms * 1e3,
+            pid: 1,
+            tid,
+            args: TraceArgs {
+                slowdown: 1.0,
+                demand_gbps: 0.0,
+            },
+        };
+        parts.push(serde_json::to_string(&ev).expect("serialize span"));
+    }
+    for (i, track) in track_tids.iter().enumerate() {
+        let ev = ThreadNameEvent {
+            name: "thread_name",
+            ph: "M",
+            pid: 1,
+            tid: i as u32 + 1000,
+            args: ThreadNameArgs { name: track },
+        };
+        parts.push(serde_json::to_string(&ev).expect("serialize metadata"));
+    }
+    if parts.is_empty() {
+        return base;
+    }
+    // Splice the extra events into the existing JSON array.
+    let mut out = base;
+    let end = out.rfind(']').expect("trace is a JSON array");
+    out.truncate(end);
+    out.push_str(",\n");
+    out.push_str(&parts.join(",\n"));
+    out.push(']');
+    out
 }
 
 #[cfg(test)]
@@ -171,6 +275,62 @@ mod tests {
             .filter(|e| e["cat"] == "transition")
             .count();
         assert!(transitions >= 2, "flush + reformat events expected");
+    }
+
+    #[test]
+    fn emc_counter_track_present_and_bounded() {
+        let (p, w) = setup();
+        let a = Baseline::assignment(BaselineKind::NaiveSplit, &p, &w);
+        let m = measure(&p, &w, &a);
+        let json = chrome_trace_json(&p, &w, &a, &m);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let counters: Vec<&serde_json::Value> = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["ph"] == "C")
+            .collect();
+        assert!(!counters.is_empty(), "EMC counter track expected");
+        for ev in &counters {
+            let v = ev["args"]["value"].as_f64().unwrap();
+            assert!(v >= 0.0 && v <= p.emc.capacity() + 1e-6);
+        }
+        // The series closes at zero so the counter track returns to rest.
+        assert_eq!(
+            counters.last().unwrap()["args"]["value"].as_f64(),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counter_and_span_tracks() {
+        let (p, w) = setup();
+        let a = Baseline::assignment(BaselineKind::NaiveSplit, &p, &w);
+        let m = measure(&p, &w, &a);
+        let mut snap = haxconn_telemetry::Snapshot::default();
+        let mut series = haxconn_telemetry::Series::default();
+        series.record(0.0, 1.0);
+        series.record(1.0, 2.0);
+        snap.series.insert("des.queue_depth".into(), series);
+        snap.spans.push(haxconn_telemetry::SpanEvent {
+            track: "solver".into(),
+            name: "bb.solve".into(),
+            start_ms: 0.5,
+            dur_ms: 2.0,
+        });
+        let json = chrome_trace_json_with_snapshot(&p, &w, &a, &m, &snap);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let arr = parsed.as_array().unwrap();
+        assert!(arr
+            .iter()
+            .any(|e| e["ph"] == "C" && e["name"] == "des.queue_depth"));
+        assert!(arr
+            .iter()
+            .any(|e| e["ph"] == "X" && e["cat"] == "telemetry" && e["name"] == "bb.solve"));
+        // The solver span track got a thread-name metadata record.
+        assert!(arr
+            .iter()
+            .any(|e| e["ph"] == "M" && e["args"]["name"] == "solver"));
     }
 
     #[test]

@@ -75,6 +75,17 @@ impl<M: SimModel> Engine<M> {
                 self.now = t;
                 self.steps += 1;
                 self.model.handle(t, ev, &mut self.queue);
+                // Telemetry is a single relaxed atomic load when
+                // disabled; when enabled, the pending-event depth after
+                // each delivery becomes the `des.queue_depth` series.
+                if haxconn_telemetry::enabled() {
+                    haxconn_telemetry::series_record(
+                        "des.queue_depth",
+                        t.as_ms(),
+                        self.queue.len() as f64,
+                    );
+                    haxconn_telemetry::counter_add("des.events", 1);
+                }
                 true
             }
             None => false,

@@ -29,6 +29,42 @@ pub struct ExecutionReport {
     pub records: Vec<ItemRecord>,
 }
 
+/// Flushes one executor run into the telemetry recorder: run/item counters,
+/// the makespan distribution, aggregate EMC traffic and per-PU occupancy
+/// (busy fraction of the makespan) plus one span per PU's busy time on a
+/// `runtime.pu` track.
+fn flush_execution_telemetry(kind: &str, platform: &Platform, report: &ExecutionReport) {
+    if !haxconn_telemetry::enabled() {
+        return;
+    }
+    use haxconn_telemetry as t;
+    t::counter_add("runtime.runs", 1);
+    t::counter_add(kind, 1);
+    t::counter_add("runtime.items", report.items_executed as u64);
+    t::histogram_record("runtime.makespan_ms", report.makespan_ms);
+    t::gauge_set("runtime.emc_mean_gbps", report.emc_mean_gbps);
+    for (pu, &busy) in platform.pus.iter().zip(report.pu_busy_ms.iter()) {
+        let occupancy = if report.makespan_ms > 0.0 {
+            busy / report.makespan_ms
+        } else {
+            0.0
+        };
+        t::gauge_set(&format!("runtime.occupancy.{}", pu.name), occupancy);
+        t::histogram_record("runtime.pu_busy_ms", busy);
+    }
+    // Item records become spans relative to the flush instant so they line
+    // up as one contiguous virtual-time window per run.
+    let base = t::clock_ms() - report.makespan_ms;
+    for r in &report.records {
+        t::span_event(
+            "runtime.items",
+            &platform.pus[r.pu].name,
+            base + r.start_ms,
+            r.end_ms - r.start_ms,
+        );
+    }
+}
+
 /// Executes `assignment` on `platform` with one real thread per DNN task,
 /// coordinated in virtual time.
 ///
@@ -75,7 +111,7 @@ pub fn execute(
     let arbiter = Arc::try_unwrap(arbiter).ok().expect("all workers joined");
     let (makespan_ms, pu_busy_ms, emc_mean_gbps, records) = arbiter.into_report();
     let fps = task_latency_ms.iter().map(|&t| 1000.0 / t).sum();
-    ExecutionReport {
+    let report = ExecutionReport {
         task_latency_ms,
         makespan_ms,
         fps,
@@ -83,7 +119,9 @@ pub fn execute(
         emc_mean_gbps,
         items_executed,
         records,
-    }
+    };
+    flush_execution_telemetry("runtime.runs.single", platform, &report);
+    report
 }
 
 /// Executes `assignment` continuously for `iterations` frames per task —
@@ -136,7 +174,7 @@ pub fn execute_loop(
     let (makespan_ms, pu_busy_ms, emc_mean_gbps, records) = arbiter.into_report();
     // Steady-state FPS: frames completed per second of wall (virtual) time.
     let fps = 1000.0 * (iterations * task_latency_ms.len()) as f64 / makespan_ms;
-    ExecutionReport {
+    let report = ExecutionReport {
         task_latency_ms,
         makespan_ms,
         fps,
@@ -144,7 +182,9 @@ pub fn execute_loop(
         emc_mean_gbps,
         items_executed,
         records,
-    }
+    };
+    flush_execution_telemetry("runtime.runs.loop", platform, &report);
+    report
 }
 
 #[cfg(test)]

@@ -30,4 +30,4 @@ pub mod stream;
 
 pub use arbiter::Arbiter;
 pub use executor::{execute, execute_loop, ExecutionReport};
-pub use stream::{simulate_stream, StreamConfig, StreamReport};
+pub use stream::{simulate_stream, try_simulate_stream, StreamConfig, StreamReport};

@@ -8,6 +8,7 @@
 //! arrivals feed a bounded queue drained by a server whose service time is
 //! the schedule's measured steady-state per-frame latency.
 
+use haxconn_core::HaxError;
 use haxconn_des::{Engine, EventQueue, SimModel, SimTime};
 
 /// Configuration of a stream run.
@@ -84,6 +85,13 @@ impl SimModel for Model {
                     return;
                 }
                 self.queue.push((id, now));
+                if haxconn_telemetry::enabled() {
+                    haxconn_telemetry::series_record(
+                        "stream.queue_depth",
+                        now.as_ms(),
+                        self.queue.len() as f64,
+                    );
+                }
                 if !self.busy {
                     self.busy = true;
                     queue.schedule(now + SimTime::from_ms(self.cfg.service_ms), Ev::Departure);
@@ -95,6 +103,14 @@ impl SimModel for Model {
                 self.latency_sum += latency;
                 self.worst = self.worst.max(latency);
                 self.processed += 1;
+                if haxconn_telemetry::enabled() {
+                    haxconn_telemetry::histogram_record("stream.latency_ms", latency);
+                    haxconn_telemetry::series_record(
+                        "stream.queue_depth",
+                        now.as_ms(),
+                        self.queue.len() as f64,
+                    );
+                }
                 if self.queue.is_empty() {
                     self.busy = false;
                 } else {
@@ -107,9 +123,41 @@ impl SimModel for Model {
 
 /// Simulates the admission behaviour of a pipeline under a periodic frame
 /// stream.
+///
+/// Panicking wrapper around [`try_simulate_stream`] for callers that have
+/// already validated their configuration.
 pub fn simulate_stream(cfg: StreamConfig) -> StreamReport {
-    assert!(cfg.frames > 0 && cfg.period_ms > 0.0 && cfg.service_ms > 0.0);
-    assert!(cfg.queue_capacity >= 1, "need at least one frame buffer");
+    match try_simulate_stream(cfg) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Simulates the admission behaviour of a pipeline under a periodic frame
+/// stream, rejecting invalid configurations instead of panicking.
+pub fn try_simulate_stream(cfg: StreamConfig) -> Result<StreamReport, HaxError> {
+    if cfg.frames == 0 {
+        return Err(HaxError::InvalidConfig(
+            "stream needs at least one frame".into(),
+        ));
+    }
+    if cfg.period_ms <= 0.0 || !cfg.period_ms.is_finite() {
+        return Err(HaxError::InvalidConfig(format!(
+            "stream period must be positive and finite, got {}",
+            cfg.period_ms
+        )));
+    }
+    if cfg.service_ms <= 0.0 || !cfg.service_ms.is_finite() {
+        return Err(HaxError::InvalidConfig(format!(
+            "stream service time must be positive and finite, got {}",
+            cfg.service_ms
+        )));
+    }
+    if cfg.queue_capacity == 0 {
+        return Err(HaxError::InvalidConfig(
+            "stream needs at least one frame buffer".into(),
+        ));
+    }
     let mut engine = Engine::new(Model {
         cfg,
         queue: Vec::new(),
@@ -122,7 +170,7 @@ pub fn simulate_stream(cfg: StreamConfig) -> StreamReport {
     engine.schedule(SimTime::ZERO, Ev::Arrival(0));
     let end = engine.run();
     let m = engine.into_model();
-    StreamReport {
+    let report = StreamReport {
         processed: m.processed,
         dropped: m.dropped,
         worst_latency_ms: m.worst,
@@ -132,7 +180,16 @@ pub fn simulate_stream(cfg: StreamConfig) -> StreamReport {
             0.0
         },
         horizon_ms: end.as_ms(),
+    };
+    if haxconn_telemetry::enabled() {
+        use haxconn_telemetry as t;
+        t::counter_add("stream.runs", 1);
+        t::counter_add("stream.processed", report.processed as u64);
+        t::counter_add("stream.dropped", report.dropped as u64);
+        t::gauge_set("stream.drop_rate", report.drop_rate());
+        t::gauge_set("stream.worst_latency_ms", report.worst_latency_ms);
     }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -199,6 +256,35 @@ mod tests {
             });
             assert_eq!(r.processed + r.dropped, frames, "service {service}");
             assert!(r.horizon_ms >= (frames - 1) as f64 * 33.3 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn try_variant_reports_config_errors() {
+        let ok = StreamConfig {
+            period_ms: 33.3,
+            service_ms: 10.0,
+            queue_capacity: 3,
+            frames: 10,
+        };
+        assert!(try_simulate_stream(ok).is_ok());
+        for bad in [
+            StreamConfig { frames: 0, ..ok },
+            StreamConfig {
+                period_ms: 0.0,
+                ..ok
+            },
+            StreamConfig {
+                service_ms: f64::NAN,
+                ..ok
+            },
+            StreamConfig {
+                queue_capacity: 0,
+                ..ok
+            },
+        ] {
+            let err = try_simulate_stream(bad).expect_err("invalid config");
+            assert!(matches!(err, HaxError::InvalidConfig(_)), "{err}");
         }
     }
 

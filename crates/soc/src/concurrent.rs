@@ -76,6 +76,11 @@ pub struct RunResult {
     pub emc_peak_gbps: f64,
     /// Busy time per PU, ms.
     pub pu_busy_ms: Vec<f64>,
+    /// Piecewise-constant EMC traffic over the run: `(t_ms, gbps)` at
+    /// every re-arbitration point, closed by `(makespan, 0.0)`. Feeds
+    /// the telemetry `soc.emc_bandwidth_gbps` series and the Chrome
+    /// trace's EMC counter track.
+    pub emc_series: Vec<(f64, f64)>,
 }
 
 impl RunResult {
@@ -143,6 +148,7 @@ pub fn simulate(platform: &Platform, jobs: &[Job], deps: &[Dep]) -> RunResult {
     let mut remaining_items: usize = jobs.iter().map(|j| j.items.len()).sum();
     let mut pu_busy = vec![0.0f64; n_pus];
     let mut emc = TimeWeighted::new(SimTime::ZERO, 0.0);
+    let mut emc_series: Vec<(f64, f64)> = Vec::new();
     let mut now = 0.0f64;
 
     // Seed: every zero-wait item enters its PU queue in (job, idx) order.
@@ -190,7 +196,9 @@ pub fn simulate(platform: &Platform, jobs: &[Job], deps: &[Dep]) -> RunResult {
             .map(|&p| active[p].as_ref().unwrap().cost.demand_gbps)
             .collect();
         let grants = platform.emc.grant(&demands);
-        emc.record(SimTime::from_ms(now), grants.iter().sum());
+        let granted: f64 = grants.iter().sum();
+        emc.record(SimTime::from_ms(now), granted);
+        emc_series.push((now, granted));
 
         // Instantaneous slowdown per live PU and time-to-finish.
         let mut dt = f64::INFINITY;
@@ -251,14 +259,45 @@ pub fn simulate(platform: &Platform, jobs: &[Job], deps: &[Dep]) -> RunResult {
     }
 
     emc.record(SimTime::from_ms(now), 0.0);
+    emc_series.push((now, 0.0));
     let makespan = now;
-    RunResult {
+    let result = RunResult {
         items: timings,
         job_end_ms: job_end,
         makespan_ms: makespan,
         emc_mean_gbps: emc.mean(SimTime::from_ms(makespan)),
         emc_peak_gbps: emc.peak(),
         pu_busy_ms: pu_busy,
+        emc_series,
+    };
+    flush_run_telemetry(platform, &result);
+    result
+}
+
+/// One flush per simulated run (the re-arbitration loop itself stays
+/// telemetry-free): aggregate EMC and per-PU numbers plus the full
+/// bandwidth series.
+fn flush_run_telemetry(platform: &Platform, r: &RunResult) {
+    if !haxconn_telemetry::enabled() {
+        return;
+    }
+    use haxconn_telemetry as t;
+    t::counter_add("sim.runs", 1);
+    t::counter_add(
+        "sim.items",
+        r.items.iter().map(|j| j.len() as u64).sum::<u64>(),
+    );
+    t::histogram_record("sim.makespan_ms", r.makespan_ms);
+    t::gauge_set("sim.emc_mean_gbps", r.emc_mean_gbps);
+    t::gauge_set("sim.emc_peak_gbps", r.emc_peak_gbps);
+    t::gauge_set("sim.emc_utilization", r.emc_utilization(platform));
+    for (pu, busy) in r.pu_busy_ms.iter().enumerate() {
+        if let Some(spec) = platform.pus.get(pu) {
+            t::gauge_set(&format!("sim.pu_busy_ms.{}", spec.name), *busy);
+        }
+    }
+    for &(t_ms, gbps) in &r.emc_series {
+        t::series_record("soc.emc_bandwidth_gbps", t_ms, gbps);
     }
 }
 

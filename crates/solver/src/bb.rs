@@ -86,10 +86,39 @@ pub struct SolveStats {
     pub leaves: u64,
     /// Subtrees pruned by bound or by `prune()`.
     pub pruned: u64,
+    /// Subtrees pruned because the model's feasibility check rejected
+    /// the prefix (`prune()` — e.g. the ε-overlap constraint, Eq. 9).
+    pub pruned_infeasible: u64,
+    /// Subtrees pruned against the local (per-work-item) incumbent.
+    pub pruned_bound: u64,
+    /// Subtrees pruned against the shared cross-worker incumbent.
+    pub pruned_incumbent: u64,
+    /// Strictly improving incumbents accepted locally.
+    pub incumbents: u64,
     /// Wall time spent.
     pub elapsed: Duration,
     /// Why the search stopped.
     pub outcome: BudgetState,
+}
+
+/// Flushes one solve's aggregated counters to the global telemetry
+/// recorder. Called once per solve — never from the DFS hot loop — so
+/// the disabled-case cost is a single relaxed atomic load.
+pub(crate) fn flush_solve_telemetry(label: &str, stats: &SolveStats) {
+    if !haxconn_telemetry::enabled() {
+        return;
+    }
+    use haxconn_telemetry as t;
+    t::counter_add("solver.solves", 1);
+    t::counter_add("solver.nodes", stats.nodes);
+    t::counter_add("solver.leaves", stats.leaves);
+    t::counter_add("solver.pruned.infeasible", stats.pruned_infeasible);
+    t::counter_add("solver.pruned.bound", stats.pruned_bound);
+    t::counter_add("solver.pruned.incumbent", stats.pruned_incumbent);
+    t::counter_add("solver.incumbents", stats.incumbents);
+    let ms = stats.elapsed.as_secs_f64() * 1e3;
+    t::histogram_record("solver.solve_ms", ms);
+    t::span_event("solver", label, t::clock_ms() - ms, ms);
 }
 
 /// Result of a solve.
@@ -225,6 +254,10 @@ pub(crate) struct Engine<'a, M: CostModel, F: FnMut(&Assignment, f64)> {
     pub(crate) nodes: u64,
     pub(crate) leaves: u64,
     pub(crate) pruned: u64,
+    pub(crate) pruned_infeasible: u64,
+    pub(crate) pruned_bound: u64,
+    pub(crate) pruned_incumbent: u64,
+    pub(crate) incumbents: u64,
     /// Called on every *local* improvement with the completed assignment
     /// and its cost. The sequential solver forwards to the user callback;
     /// parallel workers offer to the shared incumbent.
@@ -254,6 +287,10 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
             nodes: 0,
             leaves: 0,
             pruned: 0,
+            pruned_infeasible: 0,
+            pruned_bound: 0,
+            pruned_incumbent: 0,
+            incumbents: 0,
             sink,
         }
     }
@@ -315,6 +352,7 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
         }
         if self.model.prune_with(&self.inc, &self.partial) {
             self.pruned += 1;
+            self.pruned_infeasible += 1;
             return false;
         }
         let bound = if bound_memo.is_nan() {
@@ -324,6 +362,7 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
         };
         if bound >= self.local_ub() {
             self.pruned += 1;
+            self.pruned_bound += 1;
             return false;
         }
         // Cross-worker pruning against the lock-free shared incumbent.
@@ -333,6 +372,7 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
         // that is what makes equal-cost tie-breaking deterministic.
         if bound > self.shared.best_cost() + EPS {
             self.pruned += 1;
+            self.pruned_incumbent += 1;
             return false;
         }
         let n = self.model.num_vars();
@@ -344,6 +384,7 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
             if let Some(c) = self.model.cost_with(&mut self.inc, &self.complete) {
                 if c < self.local_ub() {
                     self.local_best = Some((self.complete.clone(), c));
+                    self.incumbents += 1;
                     (self.sink)(&self.complete, c);
                 }
             }
@@ -422,9 +463,14 @@ pub fn solve<M: CostModel>(model: &M, mut opts: SolveOptions<'_>) -> Solution {
         nodes: engine.nodes,
         leaves: engine.leaves,
         pruned: engine.pruned,
+        pruned_infeasible: engine.pruned_infeasible,
+        pruned_bound: engine.pruned_bound,
+        pruned_incumbent: engine.pruned_incumbent,
+        incumbents: engine.incumbents,
         elapsed: started.elapsed(),
         outcome: shared.outcome(),
     };
+    flush_solve_telemetry("bb.solve", &stats);
     Solution {
         best: engine.local_best,
         stats,

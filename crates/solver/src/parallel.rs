@@ -49,7 +49,9 @@
 //! the incumbent lock, so costs strictly decrease and timestamps are
 //! monotone) and the caller's thread delivers them while the workers run.
 
-use crate::bb::{solve, Engine, SharedState, Solution, SolveOptions, SolveStats, EPS};
+use crate::bb::{
+    flush_solve_telemetry, solve, Engine, SharedState, Solution, SolveOptions, SolveStats, EPS,
+};
 use crate::model::{Assignment, CostModel};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
@@ -132,6 +134,20 @@ fn choose_depth<M: CostModel>(model: &M, threads: usize, requested: Option<usize
     depth
 }
 
+/// Per-solve search totals plus one `(items claimed, busy ms)` entry
+/// per worker, accumulated under a mutex taken once per worker exit.
+#[derive(Default)]
+struct PoolStats {
+    nodes: u64,
+    leaves: u64,
+    pruned: u64,
+    pruned_infeasible: u64,
+    pruned_bound: u64,
+    pruned_incumbent: u64,
+    incumbents: u64,
+    workers: Vec<(u64, f64)>,
+}
+
 /// Number of work items at `depth` (saturating).
 fn frontier_size<M: CostModel>(model: &M, depth: usize) -> usize {
     (0..depth).fold(1usize, |acc, v| acc.saturating_mul(model.domain(v).len()))
@@ -187,7 +203,7 @@ pub fn solve_parallel_with<M: CostModel + Sync>(
         started,
     };
     let injector = AtomicUsize::new(0);
-    let stats = Mutex::new((0u64, 0u64, 0u64)); // nodes, leaves, pruned
+    let stats = Mutex::new(PoolStats::default());
     let (tx, rx) = mpsc::channel::<(Assignment, f64, Duration)>();
 
     std::thread::scope(|scope| {
@@ -208,6 +224,8 @@ pub fn solve_parallel_with<M: CostModel + Sync>(
                     |a: &Assignment, c: f64| incumbent.offer(a, c, &tx),
                 );
                 let mut prefix = vec![0u32; depth];
+                let worker_started = Instant::now();
+                let mut items_claimed = 0u64;
                 loop {
                     if state.stopped() {
                         break;
@@ -216,6 +234,7 @@ pub fn solve_parallel_with<M: CostModel + Sync>(
                     if k >= total_items {
                         break;
                     }
+                    items_claimed += 1;
                     decode_prefix(model, depth, k, &mut prefix);
                     // Swap prefixes through assign/unassign so the model's
                     // incremental scratch stays in lockstep with `partial`
@@ -239,9 +258,15 @@ pub fn solve_parallel_with<M: CostModel + Sync>(
                     }
                 }
                 let mut st = stats.lock().expect("stats lock");
-                st.0 += engine.nodes;
-                st.1 += engine.leaves;
-                st.2 += engine.pruned;
+                st.nodes += engine.nodes;
+                st.leaves += engine.leaves;
+                st.pruned += engine.pruned;
+                st.pruned_infeasible += engine.pruned_infeasible;
+                st.pruned_bound += engine.pruned_bound;
+                st.pruned_incumbent += engine.pruned_incumbent;
+                st.incumbents += engine.incumbents;
+                st.workers
+                    .push((items_claimed, worker_started.elapsed().as_secs_f64() * 1e3));
             });
         }
         // The workers hold the only remaining senders: once they finish,
@@ -258,18 +283,35 @@ pub fn solve_parallel_with<M: CostModel + Sync>(
         }
     });
 
-    let (nodes, leaves, pruned) = *stats.lock().expect("stats lock");
+    let pool = stats.into_inner().expect("stats lock");
     let best = incumbent.slot.into_inner().expect("incumbent lock");
-    Solution {
-        best,
-        stats: SolveStats {
-            nodes,
-            leaves,
-            pruned,
-            elapsed: started.elapsed(),
-            outcome: state.outcome(),
-        },
+    let stats = SolveStats {
+        nodes: pool.nodes,
+        leaves: pool.leaves,
+        pruned: pool.pruned,
+        pruned_infeasible: pool.pruned_infeasible,
+        pruned_bound: pool.pruned_bound,
+        pruned_incumbent: pool.pruned_incumbent,
+        incumbents: pool.incumbents,
+        elapsed: started.elapsed(),
+        outcome: state.outcome(),
+    };
+    flush_solve_telemetry("bb.solve_parallel", &stats);
+    if haxconn_telemetry::enabled() {
+        use haxconn_telemetry as t;
+        let elapsed_ms = stats.elapsed.as_secs_f64() * 1e3;
+        t::gauge_set("solver.par.workers", pool.workers.len() as f64);
+        for &(items, busy_ms) in &pool.workers {
+            // Every item after a worker's first is a steal from the
+            // shared injector; idle time is the tail a worker spends
+            // finished while the slowest worker still runs.
+            t::counter_add("solver.par.items", items);
+            t::counter_add("solver.par.steals", items.saturating_sub(1));
+            t::histogram_record("solver.par.worker_busy_ms", busy_ms);
+            t::histogram_record("solver.par.worker_idle_ms", (elapsed_ms - busy_ms).max(0.0));
+        }
     }
+    Solution { best, stats }
 }
 
 #[cfg(test)]

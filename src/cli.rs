@@ -2,12 +2,20 @@
 //!
 //! A thin, dependency-free front end over the library: list platforms and
 //! models, profile networks, generate and compare schedules, run the
-//! energy-aware variant, and export execution traces. The parsing lives
-//! here (not in the binary) so it is unit-testable.
+//! energy-aware variant, export execution traces and telemetry snapshots.
+//! The parsing lives here (not in the binary) so it is unit-testable.
+//!
+//! Error policy: everything fallible returns [`HaxError`]; the `haxconn`
+//! binary prints the message and exits nonzero. No code path here panics
+//! on user input.
 
 use crate::prelude::*;
-use haxconn_core::{chrome_trace_json, energy_of, schedule_min_energy, DHaxConn, ScheduleCache};
+use haxconn_core::{
+    chrome_trace_json, chrome_trace_json_with_snapshot, energy_of, schedule_min_energy, DHaxConn,
+    ScheduleCache,
+};
 use haxconn_soc::PowerModel;
+use haxconn_telemetry as tel;
 use std::fmt::Write as _;
 
 /// A parsed CLI invocation.
@@ -27,7 +35,7 @@ pub enum Command {
         groups: usize,
     },
     /// `haxconn schedule --platform P --models A,B[,C] [--objective O]
-    /// [--pipeline] [--trace FILE]`
+    /// [--pipeline] [--trace FILE] [--telemetry FILE]`
     Schedule {
         /// Target platform.
         platform: PlatformId,
@@ -41,6 +49,8 @@ pub enum Command {
         trace: Option<String>,
         /// Render an ASCII Gantt chart of the measured run.
         gantt: bool,
+        /// Optional telemetry snapshot output path (JSON).
+        telemetry: Option<String>,
     },
     /// `haxconn energy --platform P --models A,B --budget-ms X`
     Energy {
@@ -59,7 +69,7 @@ pub enum Command {
         layers: bool,
     },
     /// `haxconn dynamic --platform P --phases A,B[;C,D...] [--rounds N]
-    /// [--budget N]`
+    /// [--budget N] [--telemetry FILE]`
     Dynamic {
         /// Target platform.
         platform: PlatformId,
@@ -70,6 +80,8 @@ pub enum Command {
         rounds: usize,
         /// Global solver node budget per phase (None = optimal).
         budget: Option<u64>,
+        /// Optional telemetry snapshot output path (JSON).
+        telemetry: Option<String>,
     },
     /// `haxconn stream --platform P --models A,B --fps F [--buffers N]`
     Stream {
@@ -82,41 +94,34 @@ pub enum Command {
         /// Input queue capacity in frames.
         buffers: usize,
     },
+    /// `haxconn telemetry --file F` — summarize a telemetry snapshot.
+    Telemetry {
+        /// Path of a snapshot written by `--telemetry`.
+        file: String,
+    },
     /// `haxconn help`
     Help,
 }
 
-/// A CLI error with a user-facing message.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CliError(pub String);
-
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
-    }
+fn cli_err(msg: impl Into<String>) -> HaxError {
+    HaxError::Cli(msg.into())
 }
 
-fn parse_platform(s: &str) -> Result<PlatformId, CliError> {
+fn parse_platform_arg(s: &str) -> Result<PlatformId, HaxError> {
+    // A few extra spellings on top of the library's canonical names.
     match s.to_ascii_lowercase().as_str() {
-        "orin" | "orin-agx" | "agx-orin" => Ok(PlatformId::OrinAgx),
-        "xavier" | "xavier-agx" | "agx-xavier" => Ok(PlatformId::XavierAgx),
-        "sd865" | "snapdragon" | "snapdragon865" | "qualcomm" => Ok(PlatformId::Snapdragon865),
-        other => Err(CliError(format!(
-            "unknown platform '{other}' (expected orin | xavier | sd865)"
-        ))),
+        "agx-orin" => Ok(PlatformId::OrinAgx),
+        "agx-xavier" => Ok(PlatformId::XavierAgx),
+        "snapdragon" | "qualcomm" => Ok(PlatformId::Snapdragon865),
+        _ => parse_platform(s),
     }
 }
 
-fn parse_model(s: &str) -> Result<Model, CliError> {
-    Model::from_name(s)
-        .ok_or_else(|| CliError(format!("unknown model '{s}' (see `haxconn models`)")))
-}
-
-fn parse_models(s: &str) -> Result<Vec<Model>, CliError> {
-    let models: Result<Vec<Model>, CliError> = s.split(',').map(parse_model).collect();
+fn parse_models(s: &str) -> Result<Vec<Model>, HaxError> {
+    let models: Result<Vec<Model>, HaxError> = s.split(',').map(parse_model).collect();
     let models = models?;
     if models.is_empty() {
-        return Err(CliError("at least one model required".into()));
+        return Err(cli_err("at least one model required"));
     }
     Ok(models)
 }
@@ -133,10 +138,10 @@ impl<'a> Args<'a> {
         }
     }
 
-    fn take_value(&mut self, flag: &str) -> Result<Option<&'a str>, CliError> {
+    fn take_value(&mut self, flag: &str) -> Result<Option<&'a str>, HaxError> {
         if let Some(pos) = self.rest.iter().position(|a| *a == flag) {
             if pos + 1 >= self.rest.len() {
-                return Err(CliError(format!("{flag} needs a value")));
+                return Err(cli_err(format!("{flag} needs a value")));
             }
             let v = self.rest[pos + 1];
             self.rest.drain(pos..=pos + 1);
@@ -144,6 +149,11 @@ impl<'a> Args<'a> {
         } else {
             Ok(None)
         }
+    }
+
+    fn require(&mut self, flag: &str) -> Result<&'a str, HaxError> {
+        self.take_value(flag)?
+            .ok_or_else(|| cli_err(format!("{flag} required")))
     }
 
     fn take_switch(&mut self, flag: &str) -> bool {
@@ -155,17 +165,17 @@ impl<'a> Args<'a> {
         }
     }
 
-    fn finish(self) -> Result<(), CliError> {
+    fn finish(self) -> Result<(), HaxError> {
         if self.rest.is_empty() {
             Ok(())
         } else {
-            Err(CliError(format!("unexpected arguments: {:?}", self.rest)))
+            Err(cli_err(format!("unexpected arguments: {:?}", self.rest)))
         }
     }
 }
 
 /// Parses a full argument list (without the program name).
-pub fn parse(args: &[String]) -> Result<Command, CliError> {
+pub fn parse(args: &[String]) -> Result<Command, HaxError> {
     let Some(cmd) = args.first() else {
         return Ok(Command::Help);
     };
@@ -174,18 +184,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "platforms" => Command::Platforms,
         "models" => Command::Models,
         "profile" => {
-            let platform = parse_platform(
-                a.take_value("--platform")?
-                    .ok_or(CliError("--platform required".into()))?,
-            )?;
-            let model = parse_model(
-                a.take_value("--model")?
-                    .ok_or(CliError("--model required".into()))?,
-            )?;
+            let platform = parse_platform_arg(a.require("--platform")?)?;
+            let model = parse_model(a.require("--model")?)?;
             let groups = match a.take_value("--groups")? {
                 Some(v) => v
                     .parse()
-                    .map_err(|_| CliError(format!("bad --groups '{v}'")))?,
+                    .map_err(|_| cli_err(format!("bad --groups '{v}'")))?,
                 None => 10,
             };
             Command::Profile {
@@ -195,26 +199,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
         }
         "schedule" => {
-            let platform = parse_platform(
-                a.take_value("--platform")?
-                    .ok_or(CliError("--platform required".into()))?,
-            )?;
-            let models = parse_models(
-                a.take_value("--models")?
-                    .ok_or(CliError("--models required".into()))?,
-            )?;
+            let platform = parse_platform_arg(a.require("--platform")?)?;
+            let models = parse_models(a.require("--models")?)?;
             let objective = match a.take_value("--objective")? {
-                None | Some("latency") => Objective::MinMaxLatency,
-                Some("throughput") | Some("fps") => Objective::MaxThroughput,
-                Some(other) => {
-                    return Err(CliError(format!(
-                        "unknown objective '{other}' (latency | throughput)"
-                    )))
-                }
+                Some(v) => parse_objective(v)?,
+                None => Objective::MinMaxLatency,
             };
             let pipeline = a.take_switch("--pipeline");
             let trace = a.take_value("--trace")?.map(str::to_string);
             let gantt = a.take_switch("--gantt");
+            let telemetry = a.take_value("--telemetry")?.map(str::to_string);
             Command::Schedule {
                 platform,
                 models,
@@ -222,22 +216,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 pipeline,
                 trace,
                 gantt,
+                telemetry,
             }
         }
         "energy" => {
-            let platform = parse_platform(
-                a.take_value("--platform")?
-                    .ok_or(CliError("--platform required".into()))?,
-            )?;
-            let models = parse_models(
-                a.take_value("--models")?
-                    .ok_or(CliError("--models required".into()))?,
-            )?;
+            let platform = parse_platform_arg(a.require("--platform")?)?;
+            let models = parse_models(a.require("--models")?)?;
             let budget_ms = a
-                .take_value("--budget-ms")?
-                .ok_or(CliError("--budget-ms required".into()))?
+                .require("--budget-ms")?
                 .parse()
-                .map_err(|_| CliError("bad --budget-ms".into()))?;
+                .map_err(|_| cli_err("bad --budget-ms"))?;
             Command::Energy {
                 platform,
                 models,
@@ -245,55 +233,43 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
         }
         "dynamic" => {
-            let platform = parse_platform(
-                a.take_value("--platform")?
-                    .ok_or(CliError("--platform required".into()))?,
-            )?;
+            let platform = parse_platform_arg(a.require("--platform")?)?;
             let phases = a
-                .take_value("--phases")?
-                .ok_or(CliError("--phases required".into()))?
+                .require("--phases")?
                 .split(';')
                 .map(parse_models)
                 .collect::<Result<Vec<_>, _>>()?;
             let rounds = match a.take_value("--rounds")? {
-                Some(v) => v.parse().map_err(|_| CliError("bad --rounds".into()))?,
+                Some(v) => v.parse().map_err(|_| cli_err("bad --rounds"))?,
                 None => 2,
             };
             let budget = match a.take_value("--budget")? {
-                Some(v) => Some(v.parse().map_err(|_| CliError("bad --budget".into()))?),
+                Some(v) => Some(v.parse().map_err(|_| cli_err("bad --budget"))?),
                 None => None,
             };
+            let telemetry = a.take_value("--telemetry")?.map(str::to_string);
             Command::Dynamic {
                 platform,
                 phases,
                 rounds,
                 budget,
+                telemetry,
             }
         }
         "inspect" => {
-            let model = parse_model(
-                a.take_value("--model")?
-                    .ok_or(CliError("--model required".into()))?,
-            )?;
+            let model = parse_model(a.require("--model")?)?;
             let layers = a.take_switch("--layers");
             Command::Inspect { model, layers }
         }
         "stream" => {
-            let platform = parse_platform(
-                a.take_value("--platform")?
-                    .ok_or(CliError("--platform required".into()))?,
-            )?;
-            let models = parse_models(
-                a.take_value("--models")?
-                    .ok_or(CliError("--models required".into()))?,
-            )?;
+            let platform = parse_platform_arg(a.require("--platform")?)?;
+            let models = parse_models(a.require("--models")?)?;
             let fps = a
-                .take_value("--fps")?
-                .ok_or(CliError("--fps required".into()))?
+                .require("--fps")?
                 .parse()
-                .map_err(|_| CliError("bad --fps".into()))?;
+                .map_err(|_| cli_err("bad --fps"))?;
             let buffers = match a.take_value("--buffers")? {
-                Some(v) => v.parse().map_err(|_| CliError("bad --buffers".into()))?,
+                Some(v) => v.parse().map_err(|_| cli_err("bad --buffers"))?,
                 None => 3,
             };
             Command::Stream {
@@ -303,8 +279,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 buffers,
             }
         }
+        "telemetry" => Command::Telemetry {
+            file: a.require("--file")?.to_string(),
+        },
         "help" | "--help" | "-h" => Command::Help,
-        other => return Err(CliError(format!("unknown command '{other}'"))),
+        other => return Err(cli_err(format!("unknown command '{other}'"))),
     };
     a.finish()?;
     Ok(parsed)
@@ -317,24 +296,51 @@ pub const USAGE: &str =
 USAGE:
   haxconn platforms
   haxconn models
-  haxconn profile  --platform <orin|xavier|sd865> --model <NAME> [--groups N]
-  haxconn schedule --platform <P> --models <A,B[,C]> [--objective latency|throughput]
-                   [--pipeline] [--trace FILE.json] [--gantt]
-  haxconn energy   --platform <P> --models <A,B> --budget-ms <X>
-  haxconn dynamic  --platform <P> --phases <A,B[;C,D...]> [--rounds N] [--budget N]
-  haxconn inspect  --model <NAME> [--layers]
-  haxconn stream   --platform <P> --models <A,B> --fps <F> [--buffers N]
+  haxconn profile   --platform <orin|xavier|sd865> --model <NAME> [--groups N]
+  haxconn schedule  --platform <P> --models <A,B[,C]> [--objective latency|throughput]
+                    [--pipeline] [--trace FILE.json] [--gantt] [--telemetry FILE.json]
+  haxconn energy    --platform <P> --models <A,B> --budget-ms <X>
+  haxconn dynamic   --platform <P> --phases <A,B[;C,D...]> [--rounds N] [--budget N]
+                    [--telemetry FILE.json]
+  haxconn inspect   --model <NAME> [--layers]
+  haxconn stream    --platform <P> --models <A,B> --fps <F> [--buffers N]
+  haxconn telemetry --file <FILE.json>
 ";
 
+/// Switches the process-global memory recorder on (installing it on first
+/// use) and returns it, reset, so a run captures a fresh snapshot.
+fn telemetry_start() -> Result<&'static std::sync::Arc<MemoryRecorder>, HaxError> {
+    let rec = tel::memory_recorder().ok_or_else(|| {
+        cli_err("telemetry unavailable: a custom recorder is already installed in this process")
+    })?;
+    rec.reset();
+    tel::set_enabled(true);
+    Ok(rec)
+}
+
+/// Disables recording, takes the final snapshot and writes it to `path`.
+fn telemetry_finish(
+    rec: &MemoryRecorder,
+    path: &str,
+    out: &mut String,
+) -> Result<Snapshot, HaxError> {
+    tel::set_enabled(false);
+    let snap = rec.snapshot();
+    std::fs::write(path, snap.to_json())
+        .map_err(|e| HaxError::Io(format!("writing {path}: {e}")))?;
+    writeln!(out, "telemetry snapshot written to {path}")?;
+    Ok(snap)
+}
+
 /// Executes a parsed command, returning the text to print.
-pub fn run(command: Command) -> Result<String, CliError> {
+pub fn run(command: Command) -> Result<String, HaxError> {
     let mut out = String::new();
     match command {
         Command::Help => out.push_str(USAGE),
         Command::Platforms => {
             for id in PlatformId::all() {
                 let p = id.platform();
-                writeln!(out, "{} ({:?})", p.name, id).unwrap();
+                writeln!(out, "{} ({:?})", p.name, id)?;
                 for pu in &p.pus {
                     writeln!(
                         out,
@@ -344,16 +350,14 @@ pub fn run(command: Command) -> Result<String, CliError> {
                         pu.peak_gflops,
                         pu.max_bw_gbps,
                         pu.onchip_kib
-                    )
-                    .unwrap();
+                    )?;
                 }
                 writeln!(
                     out,
                     "  EMC {:.1} GB/s (capacity {:.1})",
                     p.emc.bandwidth_gbps,
                     p.emc.capacity()
-                )
-                .unwrap();
+                )?;
             }
         }
         Command::Models => {
@@ -361,8 +365,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 out,
                 "{:<12} {:>7} {:>10} {:>10}",
                 "model", "layers", "GFLOPs", "params(MB)"
-            )
-            .unwrap();
+            )?;
             for &m in Model::all() {
                 let n = m.network();
                 writeln!(
@@ -372,8 +375,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                     n.len(),
                     n.total_flops() as f64 / 1e9,
                     n.total_weight_bytes() as f64 / 1e6
-                )
-                .unwrap();
+                )?;
             }
         }
         Command::Profile {
@@ -383,7 +385,9 @@ pub fn run(command: Command) -> Result<String, CliError> {
         } => {
             let p = platform.platform();
             let prof = NetworkProfile::profile(&p, model, groups);
-            out.push_str(&serde_json::to_string_pretty(&prof).expect("serializable"));
+            let json = serde_json::to_string_pretty(&prof)
+                .map_err(|e| cli_err(format!("serializing profile: {e}")))?;
+            out.push_str(&json);
         }
         Command::Schedule {
             platform,
@@ -392,7 +396,12 @@ pub fn run(command: Command) -> Result<String, CliError> {
             pipeline,
             trace,
             gantt,
+            telemetry,
         } => {
+            let recorder = match &telemetry {
+                Some(_) => Some(telemetry_start()?),
+                None => None,
+            };
             let p = platform.platform();
             let contention = ContentionModel::calibrate(&p);
             let tasks: Vec<DnnTask> = models
@@ -400,11 +409,11 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 10)))
                 .collect();
             let workload = if pipeline {
-                Workload::pipeline(tasks)
+                Workload::try_pipeline(tasks)?
             } else {
                 Workload::concurrent(tasks)
             };
-            writeln!(out, "{:<10} {:>10} {:>9}", "scheduler", "lat (ms)", "fps").unwrap();
+            writeln!(out, "{:<10} {:>10} {:>9}", "scheduler", "lat (ms)", "fps")?;
             for &kind in BaselineKind::all() {
                 let a = Baseline::assignment(kind, &p, &workload);
                 let m = measure(&p, &workload, &a);
@@ -414,36 +423,44 @@ pub fn run(command: Command) -> Result<String, CliError> {
                     kind.name(),
                     m.latency_ms,
                     m.fps
-                )
-                .unwrap();
+                )?;
             }
-            let s = HaxConn::schedule_validated(
+            let s = HaxConn::try_schedule_validated(
                 &p,
                 &workload,
                 &contention,
                 SchedulerConfig::with_objective(objective),
-            );
+            )?;
             let m = measure(&p, &workload, &s.assignment);
             writeln!(
                 out,
                 "{:<10} {:>10.2} {:>9.1}",
                 "HaX-CoNN", m.latency_ms, m.fps
-            )
-            .unwrap();
-            writeln!(out, "\nschedule: {}", s.describe(&p, &workload)).unwrap();
+            )?;
+            writeln!(out, "\nschedule: {}", s.describe(&p, &workload))?;
             if gantt {
                 writeln!(
                     out,
                     "\n{}",
                     haxconn_core::render_gantt(&p, &workload, &s.assignment, &m, 72)
-                )
-                .unwrap();
+                )?;
             }
+            let snapshot = match (recorder, &telemetry) {
+                (Some(rec), Some(path)) => Some(telemetry_finish(rec, path, &mut out)?),
+                _ => None,
+            };
             if let Some(path) = trace {
-                let json = chrome_trace_json(&p, &workload, &s.assignment, &m);
+                // With telemetry on, counter series and solver/scheduler
+                // spans ride along in the same Perfetto-loadable file.
+                let json = match &snapshot {
+                    Some(snap) => {
+                        chrome_trace_json_with_snapshot(&p, &workload, &s.assignment, &m, snap)
+                    }
+                    None => chrome_trace_json(&p, &workload, &s.assignment, &m),
+                };
                 std::fs::write(&path, json)
-                    .map_err(|e| CliError(format!("writing {path}: {e}")))?;
-                writeln!(out, "trace written to {path} (open in Perfetto)").unwrap();
+                    .map_err(|e| HaxError::Io(format!("writing {path}: {e}")))?;
+                writeln!(out, "trace written to {path} (open in Perfetto)")?;
             }
         }
         Command::Inspect { model, layers } => {
@@ -456,8 +473,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 net.total_flops() as f64 / 1e9,
                 net.total_weight_bytes() as f64 / 1e6,
                 net.input_shape
-            )
-            .unwrap();
+            )?;
             let kinds = net.layers.iter().fold(
                 std::collections::BTreeMap::<String, usize>::new(),
                 |mut acc, l| {
@@ -470,9 +486,9 @@ pub fn run(command: Command) -> Result<String, CliError> {
                     acc
                 },
             );
-            writeln!(out, "layer kinds:").unwrap();
+            writeln!(out, "layer kinds:")?;
             for (k, n) in kinds {
-                writeln!(out, "  {k:<16} {n}").unwrap();
+                writeln!(out, "  {k:<16} {n}")?;
             }
             if layers {
                 writeln!(
@@ -480,8 +496,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                     "
 {:>5} {:<28} {:>14} {:>10} {:>10}",
                     "id", "name", "out shape", "MFLOPs", "KB out"
-                )
-                .unwrap();
+                )?;
                 for l in &net.layers {
                     writeln!(
                         out,
@@ -495,8 +510,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                         l.output_shape.to_string(),
                         l.flops() as f64 / 1e6,
                         l.output_bytes() as f64 / 1e3
-                    )
-                    .unwrap();
+                    )?;
                 }
             }
         }
@@ -505,11 +519,16 @@ pub fn run(command: Command) -> Result<String, CliError> {
             phases,
             rounds,
             budget,
+            telemetry,
         } => {
             // The D-HaX-CoNN loop (paper Fig. 7 + Section 3.5 CFG
             // toggling): each phase starts from the best naive schedule,
             // improves it anytime via the parallel solver, and lands in
             // the schedule cache so returning to a phase is instant.
+            let recorder = match &telemetry {
+                Some(_) => Some(telemetry_start()?),
+                None => None,
+            };
             let p = platform.platform();
             let contention = ContentionModel::calibrate(&p);
             let cfg = SchedulerConfig {
@@ -549,19 +568,22 @@ pub fn run(command: Command) -> Result<String, CliError> {
                             names.join("+"),
                             s.cost,
                             match settled {
-                                Some(at) => format!(", settled after {:.1} ms", at.as_secs_f64() * 1e3),
+                                Some(at) =>
+                                    format!(", settled after {:.1} ms", at.as_secs_f64() * 1e3),
                                 None => String::new(),
                             },
-                            if s.proven_optimal { ", optimal" } else { ", budget-bounded" },
-                        )
-                        .unwrap(),
+                            if s.proven_optimal {
+                                ", optimal"
+                            } else {
+                                ", budget-bounded"
+                            },
+                        )?,
                         None => writeln!(
                             out,
                             "round {round} phase {i} [{}]: cache hit — best {:.2}",
                             names.join("+"),
                             s.cost
-                        )
-                        .unwrap(),
+                        )?,
                     }
                 }
             }
@@ -570,8 +592,10 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 out,
                 "\nschedule cache: {hits} hits, {misses} misses, {} phases cached",
                 cache.len()
-            )
-            .unwrap();
+            )?;
+            if let (Some(rec), Some(path)) = (recorder, &telemetry) {
+                telemetry_finish(rec, path, &mut out)?;
+            }
         }
         Command::Stream {
             platform,
@@ -587,19 +611,23 @@ pub fn run(command: Command) -> Result<String, CliError> {
                     .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 10)))
                     .collect(),
             );
-            let s =
-                HaxConn::schedule_validated(&p, &workload, &contention, SchedulerConfig::default());
+            let s = HaxConn::try_schedule_validated(
+                &p,
+                &workload,
+                &contention,
+                SchedulerConfig::default(),
+            )?;
             // Steady-state per-frame service time from the concurrent loop
             // executor.
             let frames = 8;
             let run = haxconn_runtime::execute_loop(&p, &workload, &s.assignment, frames);
             let service_ms = run.makespan_ms / frames as f64;
-            let report = haxconn_runtime::simulate_stream(haxconn_runtime::StreamConfig {
+            let report = haxconn_runtime::try_simulate_stream(haxconn_runtime::StreamConfig {
                 period_ms: 1000.0 / fps,
                 service_ms,
                 queue_capacity: buffers,
                 frames: 1000,
-            });
+            })?;
             writeln!(
                 out,
                 "schedule: {}
@@ -607,8 +635,7 @@ per-frame service {:.2} ms vs period {:.2} ms",
                 s.describe(&p, &workload),
                 service_ms,
                 1000.0 / fps
-            )
-            .unwrap();
+            )?;
             writeln!(
                 out,
                 "1000-frame stream: processed {}, dropped {} ({:.1}%), mean latency {:.2} ms, worst {:.2} ms",
@@ -617,8 +644,7 @@ per-frame service {:.2} ms vs period {:.2} ms",
                 100.0 * report.drop_rate(),
                 report.mean_latency_ms,
                 report.worst_latency_ms
-            )
-            .unwrap();
+            )?;
         }
         Command::Energy {
             platform,
@@ -634,7 +660,8 @@ per-frame service {:.2} ms vs period {:.2} ms",
                     .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 10)))
                     .collect(),
             );
-            let fast = HaxConn::schedule(&p, &workload, &contention, SchedulerConfig::default());
+            let fast =
+                HaxConn::try_schedule(&p, &workload, &contention, SchedulerConfig::default())?;
             let fast_m = measure(&p, &workload, &fast.assignment);
             let fast_e = energy_of(&workload, &fast.assignment, &power, fast_m.latency_ms);
             writeln!(
@@ -643,8 +670,7 @@ per-frame service {:.2} ms vs period {:.2} ms",
                 fast_m.latency_ms,
                 fast_e.total_mj(),
                 fast_e.mean_power_w
-            )
-            .unwrap();
+            )?;
             match schedule_min_energy(
                 &p,
                 &workload,
@@ -662,15 +688,116 @@ per-frame service {:.2} ms vs period {:.2} ms",
                         m.latency_ms,
                         e.total_mj(),
                         e.mean_power_w
-                    )
-                    .unwrap();
-                    writeln!(out, "\nschedule: {}", s.describe(&p, &workload)).unwrap();
+                    )?;
+                    writeln!(out, "\nschedule: {}", s.describe(&p, &workload))?;
                 }
-                None => writeln!(out, "no schedule meets the {budget_ms} ms budget").unwrap(),
+                None => writeln!(out, "no schedule meets the {budget_ms} ms budget")?,
             }
+        }
+        Command::Telemetry { file } => {
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| HaxError::Io(format!("reading {file}: {e}")))?;
+            let v: serde_json::Value =
+                serde_json::from_str(&text).map_err(|e| cli_err(format!("parsing {file}: {e}")))?;
+            summarize_snapshot(&v, &mut out)?;
         }
     }
     Ok(out)
+}
+
+/// Looks up `key` in a JSON object value.
+fn field<'a>(v: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
+    match v {
+        serde_json::Value::Object(entries) => {
+            entries.iter().find(|(k, _)| k == key).map(|(_, val)| val)
+        }
+        _ => None,
+    }
+}
+
+/// Numeric coercion for snapshot fields.
+fn num(v: Option<&serde_json::Value>) -> f64 {
+    match v {
+        Some(serde_json::Value::Int(n)) => *n as f64,
+        Some(serde_json::Value::Float(x)) => *x,
+        _ => 0.0,
+    }
+}
+
+fn entries(v: Option<&serde_json::Value>) -> &[(String, serde_json::Value)] {
+    match v {
+        Some(serde_json::Value::Object(e)) => e,
+        _ => &[],
+    }
+}
+
+/// Renders a human-readable summary of a telemetry snapshot document (the
+/// JSON written by `--telemetry`, schema documented in `haxconn-telemetry`).
+fn summarize_snapshot(v: &serde_json::Value, out: &mut String) -> Result<(), HaxError> {
+    let schema = num(field(v, "schema"));
+    if schema != 1.0 {
+        return Err(cli_err(format!(
+            "unsupported telemetry schema {schema} (expected 1)"
+        )));
+    }
+    writeln!(out, "telemetry snapshot (schema 1)")?;
+    let counters = entries(field(v, "counters"));
+    if !counters.is_empty() {
+        writeln!(out, "\ncounters:")?;
+        for (name, val) in counters {
+            writeln!(out, "  {name:<36} {:>14}", num(Some(val)) as u64)?;
+        }
+    }
+    let gauges = entries(field(v, "gauges"));
+    if !gauges.is_empty() {
+        writeln!(out, "\ngauges:")?;
+        for (name, val) in gauges {
+            writeln!(out, "  {name:<36} {:>14.3}", num(Some(val)))?;
+        }
+    }
+    let hists = entries(field(v, "histograms"));
+    if !hists.is_empty() {
+        writeln!(
+            out,
+            "\nhistograms:{:>32} {:>10} {:>10} {:>10} {:>10}",
+            "count", "mean", "p50", "p90", "p99"
+        )?;
+        for (name, h) in hists {
+            writeln!(
+                out,
+                "  {name:<36} {:>4} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                num(field(h, "count")) as u64,
+                num(field(h, "mean")),
+                num(field(h, "p50")),
+                num(field(h, "p90")),
+                num(field(h, "p99"))
+            )?;
+        }
+    }
+    let series = entries(field(v, "series"));
+    if !series.is_empty() {
+        writeln!(
+            out,
+            "\nseries:{:>37} {:>10} {:>10}",
+            "samples", "mean", "peak"
+        )?;
+        for (name, s) in series {
+            writeln!(
+                out,
+                "  {name:<36} {:>6} {:>10.3} {:>10.3}",
+                num(field(s, "samples")) as u64,
+                num(field(s, "mean")),
+                num(field(s, "peak"))
+            )?;
+        }
+    }
+    let spans = match field(v, "spans") {
+        Some(serde_json::Value::Array(items)) => items.len(),
+        _ => 0,
+    };
+    let dropped = num(field(v, "spans_dropped")) as u64;
+    writeln!(out, "\nspans: {spans} recorded, {dropped} dropped")?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -681,20 +808,28 @@ mod tests {
         s.split_whitespace().map(str::to_string).collect()
     }
 
+    fn parsed(s: &str) -> Command {
+        parse(&args(s)).expect("parses")
+    }
+
+    fn parse_err(s: &str) -> String {
+        match parse(&args(s)) {
+            Ok(c) => panic!("expected a parse error, got {c:?}"),
+            Err(e) => e.to_string(),
+        }
+    }
+
     #[test]
     fn parses_platforms_and_models() {
-        assert_eq!(parse(&args("platforms")).unwrap(), Command::Platforms);
-        assert_eq!(parse(&args("models")).unwrap(), Command::Models);
-        assert_eq!(parse(&args("")).unwrap(), Command::Help);
-        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parsed("platforms"), Command::Platforms);
+        assert_eq!(parsed("models"), Command::Models);
+        assert_eq!(parsed(""), Command::Help);
+        assert_eq!(parsed("help"), Command::Help);
     }
 
     #[test]
     fn parses_profile() {
-        let c = parse(&args(
-            "profile --platform orin --model GoogleNet --groups 8",
-        ))
-        .unwrap();
+        let c = parsed("profile --platform orin --model GoogleNet --groups 8");
         assert_eq!(
             c,
             Command::Profile {
@@ -704,16 +839,15 @@ mod tests {
             }
         );
         // Default group budget.
-        let c = parse(&args("profile --model vgg19 --platform xavier")).unwrap();
+        let c = parsed("profile --model vgg19 --platform xavier");
         assert!(matches!(c, Command::Profile { groups: 10, .. }));
     }
 
     #[test]
     fn parses_schedule_with_options() {
-        let c = parse(&args(
+        let c = parsed(
             "schedule --platform sd865 --models GoogleNet,ResNet101 --objective throughput --pipeline --trace /tmp/t.json",
-        ))
-        .unwrap();
+        );
         assert_eq!(
             c,
             Command::Schedule {
@@ -723,40 +857,52 @@ mod tests {
                 pipeline: true,
                 trace: Some("/tmp/t.json".into()),
                 gantt: false,
+                telemetry: None,
             }
         );
     }
 
     #[test]
+    fn parses_telemetry_flag_and_subcommand() {
+        let c = parsed("schedule --platform orin --models GoogleNet --telemetry /tmp/m.json");
+        assert!(matches!(
+            c,
+            Command::Schedule {
+                telemetry: Some(ref p),
+                ..
+            } if p == "/tmp/m.json"
+        ));
+        let c = parsed("dynamic --platform orin --phases GoogleNet --telemetry /tmp/d.json");
+        assert!(matches!(
+            c,
+            Command::Dynamic {
+                telemetry: Some(ref p),
+                ..
+            } if p == "/tmp/d.json"
+        ));
+        assert_eq!(
+            parsed("telemetry --file snap.json"),
+            Command::Telemetry {
+                file: "snap.json".into()
+            }
+        );
+        assert!(parse_err("telemetry").contains("--file required"));
+    }
+
+    #[test]
     fn parse_errors_are_informative() {
-        assert!(parse(&args("schedule --platform mars --models GoogleNet"))
-            .unwrap_err()
-            .0
-            .contains("unknown platform"));
-        assert!(parse(&args("schedule --platform orin --models NopeNet"))
-            .unwrap_err()
-            .0
-            .contains("unknown model"));
-        assert!(parse(&args("schedule --platform orin"))
-            .unwrap_err()
-            .0
-            .contains("--models required"));
-        assert!(parse(&args("frobnicate"))
-            .unwrap_err()
-            .0
-            .contains("unknown command"));
-        assert!(parse(&args("models --bogus"))
-            .unwrap_err()
-            .0
-            .contains("unexpected arguments"));
+        assert!(
+            parse_err("schedule --platform mars --models GoogleNet").contains("unknown platform")
+        );
+        assert!(parse_err("schedule --platform orin --models NopeNet").contains("unknown model"));
+        assert!(parse_err("schedule --platform orin").contains("--models required"));
+        assert!(parse_err("frobnicate").contains("unknown command"));
+        assert!(parse_err("models --bogus").contains("unexpected arguments"));
     }
 
     #[test]
     fn parses_energy() {
-        let c = parse(&args(
-            "energy --platform orin --models GoogleNet,ResNet50 --budget-ms 12.5",
-        ))
-        .unwrap();
+        let c = parsed("energy --platform orin --models GoogleNet,ResNet50 --budget-ms 12.5");
         assert_eq!(
             c,
             Command::Energy {
@@ -769,16 +915,16 @@ mod tests {
 
     #[test]
     fn run_listing_commands() {
-        let p = run(Command::Platforms).unwrap();
+        let p = run(Command::Platforms).expect("runs");
         assert!(p.contains("Orin") && p.contains("EMC"));
-        let m = run(Command::Models).unwrap();
+        let m = run(Command::Models).expect("runs");
         assert!(m.contains("GoogleNet") && m.contains("VGG19"));
-        assert!(run(Command::Help).unwrap().contains("USAGE"));
+        assert!(run(Command::Help).expect("runs").contains("USAGE"));
     }
 
     #[test]
     fn parses_inspect_and_stream() {
-        let c = parse(&args("inspect --model DenseNet --layers")).unwrap();
+        let c = parsed("inspect --model DenseNet --layers");
         assert_eq!(
             c,
             Command::Inspect {
@@ -786,10 +932,7 @@ mod tests {
                 layers: true
             }
         );
-        let c = parse(&args(
-            "stream --platform orin --models GoogleNet,ResNet18 --fps 30",
-        ))
-        .unwrap();
+        let c = parsed("stream --platform orin --models GoogleNet,ResNet18 --fps 30");
         assert_eq!(
             c,
             Command::Stream {
@@ -803,10 +946,9 @@ mod tests {
 
     #[test]
     fn parses_dynamic() {
-        let c = parse(&args(
+        let c = parsed(
             "dynamic --platform orin --phases GoogleNet,ResNet18;GoogleNet,ResNet50 --rounds 3 --budget 500",
-        ))
-        .unwrap();
+        );
         assert_eq!(
             c,
             Command::Dynamic {
@@ -817,10 +959,11 @@ mod tests {
                 ],
                 rounds: 3,
                 budget: Some(500),
+                telemetry: None,
             }
         );
         // Defaults: two rounds, unbounded solve.
-        let c = parse(&args("dynamic --platform orin --phases GoogleNet,ResNet18")).unwrap();
+        let c = parsed("dynamic --platform orin --phases GoogleNet,ResNet18");
         assert!(matches!(
             c,
             Command::Dynamic {
@@ -829,10 +972,7 @@ mod tests {
                 ..
             }
         ));
-        assert!(parse(&args("dynamic --platform orin"))
-            .unwrap_err()
-            .0
-            .contains("--phases required"));
+        assert!(parse_err("dynamic --platform orin").contains("--phases required"));
     }
 
     #[test]
@@ -845,8 +985,9 @@ mod tests {
             ],
             rounds: 2,
             budget: None,
+            telemetry: None,
         })
-        .unwrap();
+        .expect("runs");
         // Round 0 solves both phases; round 1 hits the cache for both.
         assert!(out.contains("round 0 phase 0") && out.contains("solved"));
         assert!(out.contains("round 1 phase 1") && out.contains("cache hit"));
@@ -859,14 +1000,14 @@ mod tests {
             model: Model::GoogleNet,
             layers: false,
         })
-        .unwrap();
+        .expect("runs");
         assert!(out.contains("141 layers"));
         assert!(out.contains("Concat"));
         let with_layers = run(Command::Inspect {
             model: Model::AlexNet,
             layers: true,
         })
-        .unwrap();
+        .expect("runs");
         assert!(with_layers.contains("conv1"));
         assert!(with_layers.contains("fc8"));
     }
@@ -880,9 +1021,38 @@ mod tests {
             pipeline: false,
             trace: None,
             gantt: true,
+            telemetry: None,
         })
-        .unwrap();
+        .expect("runs");
         assert!(out.contains("HaX-CoNN"));
         assert!(out.contains("schedule:"));
+    }
+
+    #[test]
+    fn run_telemetry_summary_on_missing_file_fails() {
+        let err = match run(Command::Telemetry {
+            file: "/nonexistent/snapshot.json".into(),
+        }) {
+            Ok(_) => panic!("expected an IO error"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, HaxError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn summarize_rejects_wrong_schema() {
+        let v: serde_json::Value = serde_json::from_str("{\"schema\":99}").expect("valid json");
+        let mut out = String::new();
+        assert!(summarize_snapshot(&v, &mut out).is_err());
+    }
+
+    #[test]
+    fn summarize_renders_all_sections() {
+        let doc = Snapshot::default().to_json();
+        let v: serde_json::Value = serde_json::from_str(&doc).expect("valid json");
+        let mut out = String::new();
+        summarize_snapshot(&v, &mut out).expect("schema 1");
+        assert!(out.contains("telemetry snapshot (schema 1)"));
+        assert!(out.contains("spans: 0 recorded, 0 dropped"));
     }
 }

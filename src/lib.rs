@@ -10,34 +10,37 @@
 //!
 //! ## Quickstart
 //!
+//! The [`Session`](session::Session) builder is the one-stop entry point;
+//! every fallible step returns a [`HaxError`](core::HaxError) instead of
+//! panicking:
+//!
 //! ```
 //! use haxconn::prelude::*;
 //!
-//! // Target platform (simulated NVIDIA AGX Orin) and contention model.
-//! let platform = orin_agx();
-//! let contention = ContentionModel::calibrate(&platform);
+//! fn main() -> Result<(), HaxError> {
+//!     // Profile two DNNs on a simulated NVIDIA AGX Orin and find the
+//!     // optimal contention-aware schedule...
+//!     let scheduled = Session::on("orin-agx")
+//!         .task(Model::GoogleNet, 8)
+//!         .task(Model::ResNet101, 8)
+//!         .objective(Objective::MinMaxLatency)
+//!         .schedule()?;
 //!
-//! // Profile two DNNs offline (layer grouping + characterization).
-//! let workload = Workload::concurrent(vec![
-//!     DnnTask::new("GoogleNet", NetworkProfile::profile(&platform, Model::GoogleNet, 8)),
-//!     DnnTask::new("ResNet101", NetworkProfile::profile(&platform, Model::ResNet101, 8)),
-//! ]);
-//!
-//! // Find the optimal contention-aware schedule...
-//! let schedule = HaxConn::schedule(
-//!     &platform,
-//!     &workload,
-//!     &contention,
-//!     SchedulerConfig::default(),
-//! );
-//!
-//! // ...and measure it on the simulated SoC.
-//! let measured = measure(&platform, &workload, &schedule.assignment);
-//! assert!(measured.latency_ms > 0.0);
-//! println!("{}: {:.2} ms", schedule.describe(&platform, &workload), measured.latency_ms);
+//!     // ...and measure it on the simulated SoC.
+//!     let measured = scheduled.measure()?;
+//!     assert!(measured.latency_ms > 0.0);
+//!     println!("{}: {:.2} ms", scheduled.describe(), measured.latency_ms);
+//!     Ok(())
+//! }
 //! ```
+//!
+//! The underlying pieces (profiles, workloads, the scheduler, the
+//! simulator) remain available for direct use; `Session` only composes
+//! them. Library APIs report failures as `Result<_, HaxError>`; the
+//! `haxconn` binary prints the error and exits nonzero.
 
 pub mod cli;
+pub mod session;
 
 pub use haxconn_contention as contention;
 pub use haxconn_core as core;
@@ -47,17 +50,23 @@ pub use haxconn_profiler as profiler;
 pub use haxconn_runtime as runtime;
 pub use haxconn_soc as soc;
 pub use haxconn_solver as solver;
+pub use haxconn_telemetry as telemetry;
+
+pub use session::{ModelSpec, PlatformSpec, ScheduledSession, Session};
 
 /// The most common imports, in one place.
 pub mod prelude {
+    pub use crate::session::{ScheduledSession, Session};
     pub use haxconn_contention::ContentionModel;
     pub use haxconn_core::{
         baselines::{Baseline, BaselineKind},
         dynamic::DHaxConn,
         measure::{measure, Measurement},
+        parse_model, parse_objective, parse_platform,
         problem::{DnnTask, Objective, SchedulerConfig, Workload},
         scheduler::{HaxConn, Schedule, ScheduleOrigin, Transition},
         timeline::TimelineEvaluator,
+        HaxError,
     };
     pub use haxconn_dnn::{Model, Network, TensorShape};
     pub use haxconn_profiler::NetworkProfile;
@@ -65,4 +74,5 @@ pub mod prelude {
     pub use haxconn_soc::{
         orin_agx, snapdragon_865, xavier_agx, Platform, PlatformId, PuId, PuKind,
     };
+    pub use haxconn_telemetry::{MemoryRecorder, NullRecorder, Recorder, Snapshot};
 }

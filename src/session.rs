@@ -1,0 +1,363 @@
+//! The one-stop, fallible entry point to the whole stack.
+//!
+//! [`Session`] is a builder that hides the profile → workload → contention
+//! model → scheduler plumbing behind a handful of chained calls, with every
+//! fallible step surfacing a [`HaxError`] instead of panicking:
+//!
+//! ```
+//! use haxconn::prelude::*;
+//!
+//! # fn main() -> Result<(), HaxError> {
+//! let scheduled = Session::on("orin-agx")
+//!     .task(Model::GoogleNet, 8)
+//!     .task(Model::ResNet101, 8)
+//!     .objective(Objective::MinMaxLatency)
+//!     .schedule()?;
+//! let measured = scheduled.measure()?;
+//! assert!(measured.latency_ms > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use haxconn_contention::ContentionModel;
+use haxconn_core::measure::{measure, Measurement};
+use haxconn_core::problem::{DnnTask, Objective, SchedulerConfig, Workload};
+use haxconn_core::scheduler::{HaxConn, Schedule};
+use haxconn_core::{chrome_trace_json, parse_model, parse_platform, HaxError};
+use haxconn_dnn::Model;
+use haxconn_profiler::NetworkProfile;
+use haxconn_runtime::{execute, ExecutionReport};
+use haxconn_soc::{Platform, PlatformId};
+
+/// A platform given as a value, a built-in id, or a name to be parsed.
+#[derive(Debug, Clone)]
+pub enum PlatformSpec {
+    /// A fully constructed platform (possibly user-defined).
+    Ready(Platform),
+    /// One of the built-in SoCs.
+    Id(PlatformId),
+    /// A platform name (`"orin-agx"`, `"xavier-agx"`, `"sd865"`), parsed
+    /// when the session schedules.
+    Name(String),
+}
+
+impl From<Platform> for PlatformSpec {
+    fn from(p: Platform) -> Self {
+        PlatformSpec::Ready(p)
+    }
+}
+
+impl From<PlatformId> for PlatformSpec {
+    fn from(id: PlatformId) -> Self {
+        PlatformSpec::Id(id)
+    }
+}
+
+impl From<&str> for PlatformSpec {
+    fn from(name: &str) -> Self {
+        PlatformSpec::Name(name.to_string())
+    }
+}
+
+impl From<String> for PlatformSpec {
+    fn from(name: String) -> Self {
+        PlatformSpec::Name(name)
+    }
+}
+
+/// A model given as a value or a name to be parsed.
+#[derive(Debug, Clone)]
+pub enum ModelSpec {
+    /// A built-in model.
+    Ready(Model),
+    /// A model name (see `haxconn models`), parsed when the session
+    /// schedules.
+    Name(String),
+}
+
+impl From<Model> for ModelSpec {
+    fn from(m: Model) -> Self {
+        ModelSpec::Ready(m)
+    }
+}
+
+impl From<&str> for ModelSpec {
+    fn from(name: &str) -> Self {
+        ModelSpec::Name(name.to_string())
+    }
+}
+
+/// Builder for a scheduling session: platform + tasks + objective.
+pub struct Session {
+    platform: PlatformSpec,
+    tasks: Vec<(ModelSpec, usize)>,
+    deps: Vec<(usize, usize)>,
+    pipeline: bool,
+    config: SchedulerConfig,
+}
+
+impl Session {
+    /// Starts a session on `platform` — a [`Platform`], a [`PlatformId`],
+    /// or a platform name (parsed at [`Session::schedule`] time).
+    pub fn on(platform: impl Into<PlatformSpec>) -> Self {
+        Session {
+            platform: platform.into(),
+            tasks: Vec::new(),
+            deps: Vec::new(),
+            pipeline: false,
+            config: SchedulerConfig::default(),
+        }
+    }
+
+    /// Adds a DNN task: `model` (a [`Model`] or a name) profiled into
+    /// `groups` layer groups.
+    pub fn task(mut self, model: impl Into<ModelSpec>, groups: usize) -> Self {
+        self.tasks.push((model.into(), groups));
+        self
+    }
+
+    /// Sets the optimization objective (default: minimize max latency).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.config.objective = objective;
+        self
+    }
+
+    /// Replaces the whole scheduler configuration (node budgets, epsilon,
+    /// contention awareness, ...).
+    pub fn config(mut self, config: SchedulerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Chains the tasks into a pipeline: each task streams into the next.
+    pub fn pipelined(mut self) -> Self {
+        self.pipeline = true;
+        self
+    }
+
+    /// Adds a streaming dependency: task `to` starts after task `from`.
+    pub fn dep(mut self, from: usize, to: usize) -> Self {
+        self.deps.push((from, to));
+        self
+    }
+
+    /// Resolves the platform and models, profiles the workload, calibrates
+    /// the contention model and solves for the optimal schedule.
+    pub fn schedule(self) -> Result<ScheduledSession, HaxError> {
+        let platform = match self.platform {
+            PlatformSpec::Ready(p) => p,
+            PlatformSpec::Id(id) => id.platform(),
+            PlatformSpec::Name(name) => parse_platform(&name)?.platform(),
+        };
+        if self.tasks.is_empty() {
+            return Err(HaxError::InvalidWorkload(
+                "a session needs at least one task (use .task(model, groups))".into(),
+            ));
+        }
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        for (spec, groups) in self.tasks {
+            if groups == 0 {
+                return Err(HaxError::InvalidWorkload(
+                    "a task needs at least one layer group".into(),
+                ));
+            }
+            let model = match spec {
+                ModelSpec::Ready(m) => m,
+                ModelSpec::Name(name) => parse_model(&name)?,
+            };
+            tasks.push(DnnTask::new(
+                model.name(),
+                NetworkProfile::profile(&platform, model, groups),
+            ));
+        }
+        let mut workload = if self.pipeline {
+            Workload::try_pipeline(tasks)?
+        } else {
+            Workload::concurrent(tasks)
+        };
+        for (from, to) in self.deps {
+            workload = workload.try_with_dep(from, to)?;
+        }
+        let contention = ContentionModel::calibrate(&platform);
+        let schedule = HaxConn::try_schedule(&platform, &workload, &contention, self.config)?;
+        Ok(ScheduledSession {
+            platform,
+            workload,
+            contention,
+            schedule,
+        })
+    }
+}
+
+/// A solved session: the schedule plus everything needed to measure or
+/// execute it.
+pub struct ScheduledSession {
+    /// The resolved platform.
+    pub platform: Platform,
+    /// The profiled workload.
+    pub workload: Workload,
+    /// The calibrated contention model.
+    pub contention: ContentionModel,
+    /// The optimal (or fallback) schedule.
+    pub schedule: Schedule,
+}
+
+impl ScheduledSession {
+    /// Checks that every assigned PU actually supports its layer group
+    /// (the simulator's preconditions), so measurement cannot panic.
+    fn check_assignment(&self) -> Result<(), HaxError> {
+        for (t, row) in self.schedule.assignment.iter().enumerate() {
+            let profile = &self.workload.tasks[t].profile;
+            if row.len() != profile.len() {
+                return Err(HaxError::Infeasible(format!(
+                    "task {t} assignment covers {} groups, profile has {}",
+                    row.len(),
+                    profile.len()
+                )));
+            }
+            for (g, &pu) in row.iter().enumerate() {
+                if profile.groups[g].cost[pu].is_none() {
+                    return Err(HaxError::Infeasible(format!(
+                        "task {t} group {g} assigned to unsupported PU {}",
+                        self.platform.pus[pu].name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Measures the schedule on the ground-truth SoC simulator.
+    pub fn measure(&self) -> Result<Measurement, HaxError> {
+        self.check_assignment()?;
+        Ok(measure(
+            &self.platform,
+            &self.workload,
+            &self.schedule.assignment,
+        ))
+    }
+
+    /// Executes the schedule with the concurrent (thread-per-DNN) runtime.
+    pub fn execute(&self) -> Result<ExecutionReport, HaxError> {
+        self.check_assignment()?;
+        Ok(execute(
+            &self.platform,
+            &self.workload,
+            &self.schedule.assignment,
+        ))
+    }
+
+    /// Human-readable description of the schedule.
+    pub fn describe(&self) -> String {
+        self.schedule.describe(&self.platform, &self.workload)
+    }
+
+    /// Measures the schedule and renders the run as Chrome-trace JSON
+    /// (open in Perfetto / `chrome://tracing`).
+    pub fn chrome_trace(&self) -> Result<String, HaxError> {
+        let m = self.measure()?;
+        Ok(chrome_trace_json(
+            &self.platform,
+            &self.workload,
+            &self.schedule.assignment,
+            &m,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expect_err(result: Result<ScheduledSession, HaxError>, what: &str) -> HaxError {
+        match result {
+            Ok(_) => panic!("expected {what}"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn session_schedules_and_measures() {
+        let s = Session::on(PlatformId::OrinAgx)
+            .task(Model::GoogleNet, 6)
+            .task(Model::ResNet18, 6)
+            .schedule()
+            .expect("schedulable");
+        let m = s.measure().expect("measurable");
+        assert!(m.latency_ms > 0.0);
+        assert_eq!(m.task_latency_ms.len(), 2);
+        assert!(!s.describe().is_empty());
+    }
+
+    #[test]
+    fn session_accepts_names() {
+        let s = Session::on("orin")
+            .task("googlenet", 6)
+            .objective(Objective::MaxThroughput)
+            .schedule()
+            .expect("schedulable");
+        assert_eq!(s.workload.tasks.len(), 1);
+    }
+
+    #[test]
+    fn session_reports_bad_platform() {
+        let err = expect_err(
+            Session::on("tpu9000").task(Model::AlexNet, 4).schedule(),
+            "unknown platform",
+        );
+        assert!(matches!(err, HaxError::UnknownPlatform(_)), "{err}");
+    }
+
+    #[test]
+    fn session_reports_bad_model() {
+        let err = expect_err(
+            Session::on(PlatformId::OrinAgx)
+                .task("transformerXXL", 4)
+                .schedule(),
+            "unknown model",
+        );
+        assert!(matches!(err, HaxError::UnknownModel(_)), "{err}");
+    }
+
+    #[test]
+    fn session_reports_empty_workload() {
+        let err = expect_err(Session::on(PlatformId::OrinAgx).schedule(), "no tasks");
+        assert!(matches!(err, HaxError::InvalidWorkload(_)), "{err}");
+    }
+
+    #[test]
+    fn session_reports_bad_dep() {
+        let err = expect_err(
+            Session::on(PlatformId::OrinAgx)
+                .task(Model::AlexNet, 4)
+                .dep(0, 7)
+                .schedule(),
+            "dep out of range",
+        );
+        assert!(matches!(err, HaxError::InvalidWorkload(_)), "{err}");
+    }
+
+    #[test]
+    fn pipelined_session_orders_tasks() {
+        let s = Session::on(PlatformId::OrinAgx)
+            .task(Model::ResNet18, 6)
+            .task(Model::GoogleNet, 6)
+            .pipelined()
+            .schedule()
+            .expect("schedulable");
+        assert_eq!(s.workload.deps.len(), 1);
+        let run = s.execute().expect("executable");
+        assert!(run.task_latency_ms[1] >= run.task_latency_ms[0] - 1e-9);
+    }
+
+    #[test]
+    fn chrome_trace_is_json_array() {
+        let s = Session::on(PlatformId::OrinAgx)
+            .task(Model::GoogleNet, 6)
+            .schedule()
+            .expect("schedulable");
+        let json = s.chrome_trace().expect("traceable");
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+    }
+}
