@@ -1,0 +1,373 @@
+//! Deterministic differential fuzzing of the scheduling stack.
+//!
+//! Each scenario draws a small random workload (seeded xorshift64* — the
+//! whole run is reproducible from one seed), solves it four independent
+//! ways, and cross-checks the results:
+//!
+//! 1. sequential branch & bound (`solve`),
+//! 2. the work-stealing parallel solver (`solve_parallel_with`) at every
+//!    configured thread count — must match the sequential result
+//!    *bit-exactly* (cost bits and assignment),
+//! 3. exhaustive enumeration (`brute_force`) — the oracle: same optimum,
+//! 4. every baseline — the solver's optimum must be no worse than any
+//!    ε-feasible baseline under the same predictive cost.
+//!
+//! Every schedule the stack emits (solver winners and baselines alike) is
+//! run through the invariant validator; a single violation or divergence
+//! fails the run. Small workloads keep exhaustive enumeration cheap, so
+//! hundreds of scenarios complete in seconds in release builds — CI runs
+//! 500 on a fixed seed.
+
+use haxconn_contention::ContentionModel;
+use haxconn_core::validate::{validate_schedule, validate_timeline, Violation};
+use haxconn_core::{
+    Baseline, BaselineKind, DnnTask, HaxConn, Objective, ScheduleEncoding, SchedulerConfig,
+    TimelineEvaluator, Workload,
+};
+use haxconn_dnn::Model;
+use haxconn_profiler::NetworkProfile;
+use haxconn_soc::{orin_agx, snapdragon_865, xavier_agx, Platform};
+use haxconn_solver::{brute_force, solve, solve_parallel_with, ParallelOptions, SolveOptions};
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// Deterministic xorshift64* generator — the same offline idiom the
+/// property tests use (no external `rand`).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Fuzzer configuration. `Default` matches the CI run shape (500 scenarios
+/// would be passed explicitly; the default is a quick smoke).
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; the entire run is a pure function of it.
+    pub seed: u64,
+    /// Number of scenarios to generate.
+    pub scenarios: usize,
+    /// Worker-thread counts the parallel solver is cross-checked at.
+    pub thread_counts: Vec<usize>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 42,
+            scenarios: 50,
+            thread_counts: vec![2, 4],
+        }
+    }
+}
+
+/// One disagreement between two solve paths that must match.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Scenario index (0-based) within the run.
+    pub scenario: usize,
+    /// What disagreed with what, and by how much.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario {}: {}", self.scenario, self.detail)
+    }
+}
+
+/// Outcome of a fuzzing run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Scenarios executed.
+    pub scenarios: usize,
+    /// Schedules/timelines run through the validator.
+    pub schedules_validated: usize,
+    /// Solver-vs-solver/oracle/baseline disagreements (must be empty).
+    pub divergences: Vec<Divergence>,
+    /// Validator violations, tagged with their scenario (must be empty).
+    pub violations: Vec<(usize, Violation)>,
+}
+
+impl FuzzReport {
+    /// Whether the run found no divergences and no violations.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty() && self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for FuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fuzz: {} scenarios, {} schedules validated, {} divergences, {} violations",
+            self.scenarios,
+            self.schedules_validated,
+            self.divergences.len(),
+            self.violations.len()
+        )?;
+        for d in &self.divergences {
+            writeln!(f, "  divergence: {d}")?;
+        }
+        for (s, v) in &self.violations {
+            writeln!(f, "  violation (scenario {s}): {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The small-model pool: cheap to profile, diverse in structure (LRN-pinned
+/// stem groups in GoogleNet, depthwise chains in MobileNet, plain residual
+/// chains in ResNet-18).
+const MODELS: &[Model] = &[
+    Model::AlexNet,
+    Model::GoogleNet,
+    Model::ResNet18,
+    Model::MobileNetV1,
+];
+
+/// Profiles are deterministic in `(platform, model, groups)`, so the
+/// fuzzer memoizes them — profiling dominates scenario cost otherwise.
+struct ScenarioFactory {
+    platforms: Vec<(Platform, ContentionModel)>,
+    profiles: FxHashMap<(usize, Model, usize), NetworkProfile>,
+}
+
+impl ScenarioFactory {
+    fn new() -> Self {
+        let platforms = [orin_agx(), xavier_agx(), snapdragon_865()]
+            .into_iter()
+            .map(|p| {
+                let cm = ContentionModel::calibrate(&p);
+                (p, cm)
+            })
+            .collect();
+        ScenarioFactory {
+            platforms,
+            profiles: FxHashMap::default(),
+        }
+    }
+
+    fn profile(&mut self, platform_idx: usize, model: Model, groups: usize) -> NetworkProfile {
+        let platform = &self.platforms[platform_idx].0;
+        self.profiles
+            .entry((platform_idx, model, groups))
+            .or_insert_with(|| NetworkProfile::profile(platform, model, groups))
+            .clone()
+    }
+}
+
+/// Runs the differential fuzzer. Deterministic in `config` — same config,
+/// same report.
+pub fn run(config: &FuzzConfig) -> FuzzReport {
+    let mut rng = Rng::new(config.seed);
+    let mut factory = ScenarioFactory::new();
+    let mut report = FuzzReport::default();
+
+    for scenario in 0..config.scenarios {
+        // --- Draw a scenario. -------------------------------------------
+        let platform_idx = rng.usize(0, factory.platforms.len() - 1);
+        let n_tasks = rng.usize(1, 2);
+        let groups = rng.usize(2, 4);
+        let tasks: Vec<DnnTask> = (0..n_tasks)
+            .map(|i| {
+                let model = MODELS[rng.usize(0, MODELS.len() - 1)];
+                let profile = factory.profile(platform_idx, model, groups);
+                DnnTask::new(format!("{}#{i}", model.name()), profile)
+            })
+            .collect();
+        let mut workload = Workload::concurrent(tasks);
+        if n_tasks == 2 && rng.usize(0, 3) == 0 {
+            workload = workload.with_dep(0, 1);
+        }
+        let objective = if rng.bool() {
+            Objective::MinMaxLatency
+        } else {
+            Objective::MaxThroughput
+        };
+        let cfg = SchedulerConfig {
+            objective,
+            epsilon_ms: if rng.bool() { Some(0.35) } else { None },
+            max_transitions_per_task: rng.usize(1, 2),
+            ..Default::default()
+        };
+        let (platform, model) = {
+            let (p, cm) = &factory.platforms[platform_idx];
+            (p.clone(), cm.clone())
+        };
+
+        let diverge = |detail: String, report: &mut FuzzReport| {
+            report.divergences.push(Divergence { scenario, detail });
+        };
+
+        // --- Cross-check the three solve paths on the raw encoding. ------
+        let enc = ScheduleEncoding::new(&workload, &model, cfg);
+        let seq = solve(&enc, SolveOptions::default());
+        let oracle = brute_force(&enc);
+        match (&seq.best, &oracle) {
+            (Some((sa, sc)), Some((oa, oc))) => {
+                if sc.to_bits() != oc.to_bits() || sa != oa {
+                    diverge(
+                        format!("sequential B&B ({sc}) != exhaustive oracle ({oc})"),
+                        &mut report,
+                    );
+                }
+            }
+            (None, None) => {}
+            (s, o) => diverge(
+                format!(
+                    "feasibility disagreement: sequential found={}, oracle found={}",
+                    s.is_some(),
+                    o.is_some()
+                ),
+                &mut report,
+            ),
+        }
+        for &threads in &config.thread_counts {
+            let par = solve_parallel_with(
+                &enc,
+                SolveOptions::default(),
+                &ParallelOptions {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            match (&seq.best, &par.best) {
+                (Some((sa, sc)), Some((pa, pc))) => {
+                    if sc.to_bits() != pc.to_bits() || sa != pa {
+                        diverge(
+                            format!("parallel({threads} threads) cost {pc} != sequential {sc}"),
+                            &mut report,
+                        );
+                    }
+                }
+                (None, None) => {}
+                (s, p) => diverge(
+                    format!(
+                        "feasibility disagreement at {threads} threads: seq={}, par={}",
+                        s.is_some(),
+                        p.is_some()
+                    ),
+                    &mut report,
+                ),
+            }
+        }
+
+        // --- Full scheduler path: emitted schedules must validate, and
+        // sequential/parallel configs must agree. -------------------------
+        let full_seq = HaxConn::try_schedule(&platform, &workload, &model, cfg);
+        let full_par = HaxConn::try_schedule(
+            &platform,
+            &workload,
+            &model,
+            SchedulerConfig {
+                parallel_solve: true,
+                ..cfg
+            },
+        );
+        match (&full_seq, &full_par) {
+            (Ok(a), Ok(b)) => {
+                if a.cost.to_bits() != b.cost.to_bits() || a.assignment != b.assignment {
+                    diverge(
+                        format!(
+                            "HaxConn parallel_solve changed the schedule: {} vs {}",
+                            a.cost, b.cost
+                        ),
+                        &mut report,
+                    );
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => diverge(
+                format!(
+                    "HaxConn feasibility disagreement: seq ok={}, par ok={}",
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+                &mut report,
+            ),
+        }
+        if let Ok(schedule) = &full_seq {
+            let vr = validate_schedule(&platform, &workload, &cfg, schedule);
+            report.schedules_validated += 1;
+            for v in vr.violations {
+                report.violations.push((scenario, v));
+            }
+        }
+
+        // --- Baselines: validate each, and check never-worse. ------------
+        let solver_cost = seq.best.as_ref().map(|&(_, c)| c);
+        for &kind in BaselineKind::all() {
+            let assignment = Baseline::assignment(kind, &platform, &workload);
+            let mut ev = TimelineEvaluator::new(&workload, &model);
+            ev.contention_aware = cfg.contention_aware;
+            let tl = ev.evaluate(&assignment);
+            let vr = validate_timeline(&workload, &assignment, &tl);
+            report.schedules_validated += 1;
+            for v in vr.violations {
+                report.violations.push((scenario, v));
+            }
+            // The optimum can be no worse than any ε-feasible baseline
+            // under the encoding's own cost (`enc.cost` applies Eq. 9).
+            let flat: Vec<u32> = assignment
+                .iter()
+                .flat_map(|row| row.iter().map(|&pu| pu as u32))
+                .collect();
+            if let (Some(sc), Some(bc)) =
+                (solver_cost, haxconn_solver::CostModel::cost(&enc, &flat))
+            {
+                if sc > bc + 1e-9 {
+                    diverge(
+                        format!("solver optimum {sc} worse than {kind} baseline {bc}"),
+                        &mut report,
+                    );
+                }
+            }
+        }
+
+        report.scenarios += 1;
+    }
+
+    haxconn_telemetry::counter_add("check.fuzz_scenarios", report.scenarios as u64);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_is_clean_and_deterministic() {
+        let cfg = FuzzConfig {
+            seed: 7,
+            scenarios: 6,
+            thread_counts: vec![2],
+        };
+        let a = run(&cfg);
+        assert!(a.is_clean(), "{a}");
+        assert_eq!(a.scenarios, 6);
+        assert!(a.schedules_validated >= 6);
+        let b = run(&cfg);
+        assert_eq!(a.schedules_validated, b.schedules_validated);
+        assert_eq!(a.divergences.len(), b.divergences.len());
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Correctness tooling for the HaX-CoNN stack.
+//!
+//! The scheduler's claim is *provable* contention-aware optimality; this
+//! crate is the machinery that keeps the claim honest:
+//!
+//! * **Validation** — re-exports of the invariant checker in
+//!   `haxconn_core::validate` ([`validate_schedule`], [`validate_timeline`],
+//!   [`ValidationReport`]). The primitives live in core so the scheduler's
+//!   `debug_assertions` hooks can call them without a dependency cycle;
+//!   this crate is the user-facing surface.
+//! * **Differential fuzzing** ([`fuzz`]) — seeded, deterministic random
+//!   small workloads cross-checking the sequential branch & bound, the
+//!   work-stealing parallel solver (across thread counts), exhaustive
+//!   enumeration, and every baseline: costs must agree bit-exactly and
+//!   every emitted schedule must validate.
+//! * **Mutation tooling** ([`mutate`]) — helpers that corrupt one
+//!   invariant class at a time in an otherwise-valid schedule, workload,
+//!   or platform, proving the validator actually rejects each class.
+
+pub mod fuzz;
+pub mod mutate;
+
+pub use fuzz::{FuzzConfig, FuzzReport};
+pub use haxconn_core::validate::{
+    validate_schedule, validate_timeline, InvariantClass, ValidationReport, Violation,
+};

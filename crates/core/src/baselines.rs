@@ -106,7 +106,7 @@ impl Baseline {
         order.sort_by(|&a, &b| {
             let ta = workload.tasks[a].profile.standalone_ms(gpu).unwrap_or(0.0);
             let tb = workload.tasks[b].profile.standalone_ms(gpu).unwrap_or(0.0);
-            tb.partial_cmp(&ta).expect("no NaN").then(a.cmp(&b))
+            tb.total_cmp(&ta).then(a.cmp(&b))
         });
         let mut load = vec![0.0f64; platform.pus.len()];
         let mut result = vec![Vec::new(); workload.tasks.len()];
@@ -118,7 +118,7 @@ impl Baseline {
                 .min_by(|&&a, &&b| {
                     let ta = load[a] + profile.standalone_with_fallback_ms(a, gpu);
                     let tb = load[b] + profile.standalone_with_fallback_ms(b, gpu);
-                    ta.partial_cmp(&tb).expect("no NaN").then(a.cmp(&b))
+                    ta.total_cmp(&tb).then(a.cmp(&b))
                 })
                 .expect("at least one PU");
             load[pu] += profile.standalone_with_fallback_ms(pu, gpu);
@@ -159,10 +159,7 @@ impl Baseline {
                                     };
                                     t + tr
                                 };
-                                score(a)
-                                    .partial_cmp(&score(b))
-                                    .expect("no NaN")
-                                    .then(a.cmp(&b))
+                                score(a).total_cmp(&score(b)).then(a.cmp(&b))
                             })
                             .expect("supported somewhere");
                         prev = Some(pu);
@@ -206,10 +203,7 @@ impl Baseline {
                             };
                             load[pu] + t_exec + tr
                         };
-                        score(a)
-                            .partial_cmp(&score(b))
-                            .expect("no NaN")
-                            .then(a.cmp(&b))
+                        score(a).total_cmp(&score(b)).then(a.cmp(&b))
                     })
                     .expect("supported somewhere");
                 load[pu] += profile.groups[g].cost[pu].unwrap().time_ms;

@@ -43,64 +43,155 @@ impl WorkloadSignature {
     }
 }
 
-/// An LRU-less schedule cache (CFG phase sets are small — a handful of
-/// modes per autonomous system — so plain retention is right).
-#[derive(Default)]
+/// A cached schedule stamped with the monotone access tick that implements
+/// least-recently-used ordering without any auxiliary list.
+struct Entry {
+    schedule: Schedule,
+    last_used: u64,
+}
+
+/// A bounded schedule cache with LRU eviction. CFG phase sets are usually
+/// small (a handful of modes per autonomous system), but a long dynamic run
+/// that keeps encountering novel phases must not grow memory without
+/// bound — beyond [`ScheduleCache::DEFAULT_CAPACITY`] entries the
+/// least-recently-used phase is evicted.
 pub struct ScheduleCache {
-    entries: FxHashMap<WorkloadSignature, Schedule>,
+    entries: FxHashMap<WorkloadSignature, Entry>,
+    capacity: usize,
+    /// Monotone access counter; each lookup stamps the touched entry.
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for ScheduleCache {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
 }
 
 impl ScheduleCache {
-    /// An empty cache.
+    /// Default phase capacity — far above any realistic CFG mode count,
+    /// low enough to bound a pathological run.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Returns the cached schedule for `workload`, if any.
+    /// An empty cache retaining at most `capacity` phases (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ScheduleCache {
+            entries: FxHashMap::default(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of retained phases.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Evicts the least-recently-used entry. Capacities are small, so a
+    /// linear scan beats maintaining an intrusive list.
+    fn evict_lru(&mut self) {
+        let lru = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(sig, _)| sig.clone());
+        if let Some(sig) = lru {
+            self.entries.remove(&sig);
+            self.evictions += 1;
+            haxconn_telemetry::counter_add("cache.evictions", 1);
+        }
+    }
+
+    /// Returns the cached schedule for `workload`, if any (one map probe).
     pub fn get(&mut self, workload: &Workload) -> Option<&Schedule> {
         let sig = WorkloadSignature::of(workload);
-        if self.entries.contains_key(&sig) {
-            self.hits += 1;
-            haxconn_telemetry::counter_add("cache.hits", 1);
-            self.entries.get(&sig)
-        } else {
-            self.misses += 1;
-            haxconn_telemetry::counter_add("cache.misses", 1);
-            None
+        self.tick += 1;
+        match self.entries.get_mut(&sig) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                haxconn_telemetry::counter_add("cache.hits", 1);
+                Some(&e.schedule)
+            }
+            None => {
+                self.misses += 1;
+                haxconn_telemetry::counter_add("cache.misses", 1);
+                None
+            }
         }
     }
 
     /// Stores `schedule` for `workload`'s signature, replacing any previous
-    /// entry.
+    /// entry and evicting the LRU phase if the cache is full.
     pub fn insert(&mut self, workload: &Workload, schedule: Schedule) {
-        self.entries
-            .insert(WorkloadSignature::of(workload), schedule);
+        let sig = WorkloadSignature::of(workload);
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&sig) {
+            self.evict_lru();
+        }
+        self.entries.insert(
+            sig,
+            Entry {
+                schedule,
+                last_used: self.tick,
+            },
+        );
     }
 
     /// Fetches the schedule for `workload`, computing and caching it with
-    /// `make` on a miss.
+    /// `make` on a miss. Below capacity this is a single map probe (the
+    /// entry API resolves hit and miss in one lookup); only a full cache
+    /// pays an extra membership check to decide eviction up front.
     pub fn get_or_insert_with(
         &mut self,
         workload: &Workload,
         make: impl FnOnce() -> Schedule,
     ) -> &Schedule {
         let sig = WorkloadSignature::of(workload);
-        if self.entries.contains_key(&sig) {
-            self.hits += 1;
-            haxconn_telemetry::counter_add("cache.hits", 1);
-        } else {
-            self.misses += 1;
-            haxconn_telemetry::counter_add("cache.misses", 1);
-            self.entries.insert(sig.clone(), make());
+        self.tick += 1;
+        let tick = self.tick;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&sig) {
+            self.evict_lru();
         }
-        self.entries.get(&sig).expect("just inserted")
+        match self.entries.entry(sig) {
+            std::collections::hash_map::Entry::Occupied(o) => {
+                self.hits += 1;
+                haxconn_telemetry::counter_add("cache.hits", 1);
+                let e = o.into_mut();
+                e.last_used = tick;
+                &e.schedule
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.misses += 1;
+                haxconn_telemetry::counter_add("cache.misses", 1);
+                &v.insert(Entry {
+                    schedule: make(),
+                    last_used: tick,
+                })
+                .schedule
+            }
+        }
     }
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Number of phases evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Number of cached phases.
@@ -185,5 +276,47 @@ mod tests {
         let mut cache = ScheduleCache::new();
         assert!(cache.get(&workload(&[Model::AlexNet])).is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_bounds_growth_and_keeps_hot_phases() {
+        let p = orin_agx();
+        let cm = ContentionModel::calibrate(&p);
+        let phases = [
+            workload(&[Model::AlexNet]),
+            workload(&[Model::ResNet18]),
+            workload(&[Model::GoogleNet]),
+        ];
+        let mut cache = ScheduleCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let solve = |w: &Workload| HaxConn::schedule(&p, w, &cm, SchedulerConfig::default());
+        cache.get_or_insert_with(&phases[0], || solve(&phases[0]));
+        cache.get_or_insert_with(&phases[1], || solve(&phases[1]));
+        // Touch phase 0 so phase 1 becomes the LRU victim.
+        assert!(cache.get(&phases[0]).is_some());
+        cache.get_or_insert_with(&phases[2], || solve(&phases[2]));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // Hot phase survived; the LRU one was evicted.
+        assert!(cache.get(&phases[0]).is_some());
+        assert!(cache.get(&phases[1]).is_none());
+        assert!(cache.get(&phases[2]).is_some());
+    }
+
+    #[test]
+    fn insert_respects_capacity() {
+        let p = orin_agx();
+        let cm = ContentionModel::calibrate(&p);
+        let mut cache = ScheduleCache::with_capacity(1);
+        let a = workload(&[Model::AlexNet]);
+        let b = workload(&[Model::ResNet18]);
+        let s = HaxConn::schedule(&p, &a, &cm, SchedulerConfig::default());
+        cache.insert(&a, s.clone());
+        // Re-inserting the same phase replaces, not evicts.
+        cache.insert(&a, s.clone());
+        assert_eq!((cache.len(), cache.evictions()), (1, 0));
+        cache.insert(&b, s);
+        assert_eq!((cache.len(), cache.evictions()), (1, 1));
+        assert!(cache.get(&b).is_some());
     }
 }

@@ -71,7 +71,7 @@ impl DHaxConn {
                     at: Duration::ZERO,
                 }
             })
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("no NaN"))
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
             .expect("baselines nonempty");
 
         // 2. Background solve with anytime incumbents, warm-started from
@@ -155,13 +155,26 @@ impl DHaxConn {
         } else {
             ScheduleOrigin::Optimal
         };
-        Schedule {
+        let schedule = Schedule {
             assignment: best.assignment,
             predicted,
             cost: best.cost,
             origin,
             proven_optimal: self.proven_optimal,
+        };
+        // Debug builds self-check the converted incumbent at timeline level
+        // (no platform in scope here; the full platform-level validation
+        // runs in the static scheduler and in `haxconn-check`).
+        #[cfg(debug_assertions)]
+        {
+            let report = crate::validate::validate_timeline(
+                workload,
+                &schedule.assignment,
+                &schedule.predicted,
+            );
+            debug_assert!(report.is_valid(), "incumbent fails validation: {report}");
         }
+        schedule
     }
 }
 

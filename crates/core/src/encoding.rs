@@ -319,6 +319,35 @@ impl<'a> ScheduleEncoding<'a> {
         }
         (count, complete)
     }
+
+    /// Whether any task's chosen transitions exceed the budget — the
+    /// complete-assignment counterpart of [`CostModel::prune`]. `cost`
+    /// must reject exactly what `prune` rejects (the engine's contract:
+    /// a pruned prefix has no feasible completion), otherwise exhaustive
+    /// enumeration and warm-start cost probes accept assignments the
+    /// search space excludes.
+    fn over_transition_budget(&self, assignment: &Assignment) -> bool {
+        (0..self.task_spans.len()).any(|t| {
+            if self.workload.ties[t].is_some() {
+                return false;
+            }
+            let (start, len) = self.task_spans[t];
+            let mut count = 0usize;
+            let mut prev: Option<(u32, bool)> = None;
+            #[allow(clippy::needless_range_loop)] // var ids span two arrays
+            for var in start..start + len {
+                let pinned = self.domains[var].len() == 1;
+                let v = assignment[var];
+                if let Some((p, p_pinned)) = prev {
+                    if p != v && !pinned && !p_pinned {
+                        count += 1;
+                    }
+                }
+                prev = Some((v, pinned));
+            }
+            count > self.config.max_transitions_per_task
+        })
+    }
 }
 
 impl CostModel for ScheduleEncoding<'_> {
@@ -363,6 +392,9 @@ impl CostModel for ScheduleEncoding<'_> {
     }
 
     fn cost(&self, assignment: &Assignment) -> Option<f64> {
+        if self.over_transition_budget(assignment) {
+            return None;
+        }
         let rows = self.to_rows(assignment);
         let tl = self.evaluator.evaluate(&rows);
         self.objective_of(tl.max_wait_ms, &tl.task_latency_ms)
@@ -451,6 +483,12 @@ impl CostModel for ScheduleEncoding<'_> {
     }
 
     fn cost_with(&self, scratch: &mut ScheduleScratch, assignment: &Assignment) -> Option<f64> {
+        // Same feasibility verdict as `cost`, answered from the
+        // delta-maintained transition counters (the contract requires the
+        // scratch's push history to match `assignment`, so no rescan).
+        if scratch.violations > 0 {
+            return None;
+        }
         // Flat row-major view straight off the solver assignment — no
         // per-leaf `Vec<Vec<usize>>` — into the reusable workspace. The
         // arithmetic is `evaluate_into`'s either way, so the result is

@@ -24,6 +24,10 @@ pub enum HaxError {
     InvalidConfig(String),
     /// No feasible schedule exists for the problem as posed.
     Infeasible(String),
+    /// A produced schedule or timeline violated a structural invariant
+    /// (precedence, occupancy, bandwidth conservation, …) — see
+    /// `crate::validate`.
+    ScheduleInvariant(String),
     /// Command-line arguments could not be parsed.
     Cli(String),
     /// An I/O operation failed (path included in the message).
@@ -47,6 +51,7 @@ impl fmt::Display for HaxError {
             HaxError::InvalidWorkload(s) => write!(f, "invalid workload: {s}"),
             HaxError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
             HaxError::Infeasible(s) => write!(f, "no feasible schedule: {s}"),
+            HaxError::ScheduleInvariant(s) => write!(f, "schedule invariant violated: {s}"),
             HaxError::Cli(s) => write!(f, "{s}"),
             HaxError::Io(s) => write!(f, "{s}"),
         }

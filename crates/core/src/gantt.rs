@@ -61,7 +61,7 @@ pub fn render_gantt(
     for (pu, track) in tracks.iter().enumerate() {
         let mut row = vec![' '; width];
         let mut bars = track.clone();
-        bars.sort_by(|a, b| a.start_ms.partial_cmp(&b.start_ms).expect("no NaN"));
+        bars.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
         for bar in &bars {
             let s = scale(bar.start_ms);
             let e = scale(bar.end_ms).max(s);

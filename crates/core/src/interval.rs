@@ -56,7 +56,7 @@ pub fn contention_intervals(target: Interval, others: &[Interval]) -> Vec<Interv
             cuts.push(o.end);
         }
     }
-    cuts.sort_by(|a, b| a.partial_cmp(b).expect("times are not NaN"));
+    cuts.sort_by(f64::total_cmp);
     cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
     cuts.windows(2)
         .map(|w| Interval::new(w[0], w[1]))

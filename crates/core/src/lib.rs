@@ -29,6 +29,9 @@
 //! * [`scheduler`] — `HaxConn` (static optimal schedules) including the
 //!   never-worse-than-baseline fallback,
 //! * [`dynamic`] — `DHaxConn`, the anytime/dynamic variant (Fig. 7),
+//! * [`validate`] — schedule/timeline invariant checking (read-only;
+//!   wired behind `debug_assertions` in the scheduler and surfaced through
+//!   the `haxconn-check` crate),
 //! * [`mod@measure`] — conversion of schedules into ground-truth simulator runs
 //!   and paper-style metrics (latency, FPS, slowdown).
 
@@ -46,6 +49,7 @@ pub mod scenario;
 pub mod scheduler;
 pub mod timeline;
 pub mod trace;
+pub mod validate;
 
 pub use baselines::{Baseline, BaselineKind};
 pub use cache::{ScheduleCache, WorkloadSignature};
@@ -60,3 +64,6 @@ pub use scenario::Scenario;
 pub use scheduler::{HaxConn, Schedule, ScheduleOrigin, Transition};
 pub use timeline::{PredictedTimeline, TimelineEvaluator, TimelineSummary, TimelineWorkspace};
 pub use trace::{chrome_trace_json, chrome_trace_json_with_snapshot};
+pub use validate::{
+    validate_schedule, validate_timeline, InvariantClass, ValidationReport, Violation,
+};

@@ -210,13 +210,25 @@ impl HaxConn {
             t::histogram_record("scheduler.schedule_ms", ms);
             t::span_event("scheduler", "schedule", t::clock_ms() - ms, ms);
         }
-        Ok(Schedule {
+        let schedule = Schedule {
             assignment,
             predicted,
             cost,
             origin,
             proven_optimal: proven,
-        })
+        };
+        // Debug builds self-check every emitted schedule. The validator is
+        // read-only, so release outputs are byte-identical with or without
+        // this hook (machine-checked in tests/validation.rs).
+        #[cfg(debug_assertions)]
+        {
+            let report = crate::validate::validate_schedule(platform, workload, &config, &schedule);
+            debug_assert!(
+                report.is_valid(),
+                "emitted schedule fails validation: {report}"
+            );
+        }
+        Ok(schedule)
     }
 }
 

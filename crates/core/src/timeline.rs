@@ -15,6 +15,15 @@
 //! Because slowdowns depend on the very timeline being computed, the
 //! evaluator iterates to a fixed point (a handful of passes in practice —
 //! this mirrors how the paper's constraint system couples Eq. 5 and Eq. 7).
+//! Termination is explicit: the iteration stops when the makespan is
+//! stationary, and a period-2 makespan cycle (iterate A predicts iterate B
+//! predicts iterate A — comparing only successive iterates never sees it)
+//! is detected and broken by damping: the contention footprints read by the
+//! next pass become the per-group interval average of the last two passes.
+//! Either way [`TimelineSummary::converged`] reports whether a genuine
+//! fixed point was reached, so downstream consumers (the solver's
+//! objective, the validator) never mistake an oscillating iterate for an
+//! optimum.
 //!
 //! The maximum same-PU queuing wait is reported so the encoding can apply
 //! Eq. 9's ε constraint.
@@ -53,6 +62,9 @@ pub struct PredictedTimeline {
     pub max_wait_ms: f64,
     /// Total transition overhead charged, ms.
     pub total_transition_ms: f64,
+    /// Whether the contention fixed point genuinely converged (makespan
+    /// stationary) rather than the iteration budget running out.
+    pub converged: bool,
 }
 
 impl PredictedTimeline {
@@ -84,6 +96,10 @@ pub struct TimelineEvaluator<'a> {
 #[derive(Clone, Copy)]
 struct Footprint {
     task: usize,
+    /// Flat group slot (`group_off[task] + group`): the stable identity
+    /// used to pair this group's estimate across fixed-point iterations
+    /// (dispatch order may differ between passes).
+    slot: usize,
     pu: PuId,
     interval: Interval,
     demand_gbps: f64,
@@ -111,6 +127,8 @@ pub struct TimelineWorkspace {
     next_footprints: Vec<Footprint>,
     /// Event-boundary scratch for `integrate`.
     events: Vec<f64>,
+    /// Slot → index into `footprints`, rebuilt only when damping fires.
+    slot_index: Vec<usize>,
 }
 
 impl TimelineWorkspace {
@@ -135,6 +153,13 @@ pub struct TimelineSummary {
     pub max_wait_ms: f64,
     /// Total transition overhead charged, ms.
     pub total_transition_ms: f64,
+    /// Whether the contention fixed point genuinely converged (makespan
+    /// stationary between the last two passes). `false` means the
+    /// iteration budget ran out — the returned iterate is the last one
+    /// computed and its figures are estimates, not a fixed point.
+    pub converged: bool,
+    /// Number of fixed-point passes executed.
+    pub iterations: usize,
 }
 
 impl<'a> TimelineEvaluator<'a> {
@@ -187,7 +212,10 @@ impl<'a> TimelineEvaluator<'a> {
                 events.push(f.interval.end);
             }
         }
-        events.sort_by(|a, b| a.partial_cmp(b).expect("no NaN times"));
+        // `total_cmp` keeps a NaN boundary (degenerate profile) from
+        // panicking mid-solve; NaNs order last and poison the makespan,
+        // which the validator then reports as non-finite.
+        events.sort_by(f64::total_cmp);
         events.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
         let external_at = |t: f64| -> f64 {
@@ -254,6 +282,7 @@ impl<'a> TimelineEvaluator<'a> {
             makespan_ms: summary.makespan_ms,
             max_wait_ms: summary.max_wait_ms,
             total_transition_ms: summary.total_transition_ms,
+            converged: summary.converged,
         }
     }
 
@@ -289,10 +318,13 @@ impl<'a> TimelineEvaluator<'a> {
             makespan_ms: 0.0,
             max_wait_ms: 0.0,
             total_transition_ms: 0.0,
+            converged: false,
+            iterations: 0,
         };
         let mut prev_makespan = f64::INFINITY;
+        let mut prev_prev_makespan = f64::INFINITY;
 
-        for _iter in 0..self.max_iters.max(1) {
+        for iter in 0..self.max_iters.max(1) {
             ws.timings.clear();
             ws.timings.resize(
                 total_groups,
@@ -399,6 +431,7 @@ impl<'a> TimelineEvaluator<'a> {
                 ws.next_group[t] += 1;
                 ws.next_footprints.push(Footprint {
                     task: t,
+                    slot: ws.group_off[t] + g,
                     pu,
                     interval: Interval::new(exec_start, exec_end),
                     demand_gbps: cost.demand_gbps,
@@ -417,14 +450,44 @@ impl<'a> TimelineEvaluator<'a> {
 
             let makespan = ws.task_end.iter().cloned().fold(0.0, f64::max);
             let converged = (makespan - prev_makespan).abs() < 1e-6;
+            // A period-2 cycle (this makespan equals the one from two
+            // passes ago, but not the previous one) would ping-pong until
+            // the budget runs out while the successive-iterate test never
+            // fires. Break it by damping: feed the next pass each group's
+            // *averaged* interval from the last two estimates. Demands are
+            // per-(task, group) constants under a fixed assignment, so only
+            // the intervals need blending; slots pair the estimates because
+            // dispatch order may differ between passes.
+            let oscillating = !converged && (makespan - prev_prev_makespan).abs() < 1e-6;
+            if oscillating && !ws.footprints.is_empty() {
+                ws.slot_index.clear();
+                ws.slot_index.resize(total_groups, usize::MAX);
+                for (i, f) in ws.footprints.iter().enumerate() {
+                    ws.slot_index[f.slot] = i;
+                }
+                for f in ws.next_footprints.iter_mut() {
+                    let j = ws.slot_index[f.slot];
+                    if j != usize::MAX {
+                        let prev = ws.footprints[j].interval;
+                        f.interval = Interval::new(
+                            0.5 * (f.interval.start + prev.start),
+                            0.5 * (f.interval.end + prev.end),
+                        );
+                    }
+                }
+            }
+            prev_prev_makespan = prev_makespan;
             prev_makespan = makespan;
             std::mem::swap(&mut ws.footprints, &mut ws.next_footprints);
             summary = TimelineSummary {
                 makespan_ms: makespan,
                 max_wait_ms: max_wait,
                 total_transition_ms: total_transition,
+                // A contention-blind pass is exact by construction.
+                converged: converged || !self.contention_aware,
+                iterations: iter + 1,
             };
-            if converged || !self.contention_aware {
+            if summary.converged {
                 break;
             }
         }

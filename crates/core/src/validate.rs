@@ -1,0 +1,621 @@
+//! Schedule and timeline invariant checking.
+//!
+//! HaX-CoNN's claim is that emitted schedules are contention-aware
+//! *optima* — but an optimum over a malformed timeline is meaningless.
+//! This module makes well-formedness checkable: every invariant the
+//! evaluator and scheduler promise (precedence order, contiguous layer
+//! groups, exclusive PU occupancy, EMC bandwidth conservation, transition
+//! accounting, fixed-point convergence, cost consistency) is encoded as an
+//! explicit check that returns a [`ValidationReport`] instead of silently
+//! trusting the construction.
+//!
+//! The checks are read-only: validating a schedule never changes the
+//! schedule, its cost, or any trace output (the test suite machine-checks
+//! this bit-for-bit, like the telemetry write-only guarantee).
+//!
+//! Layering: the primitives live here in `haxconn-core` so the scheduler's
+//! `debug_assertions` hooks can call them without a dependency cycle; the
+//! `haxconn-check` crate re-exports them and adds the differential fuzzer
+//! and mutation tooling on top.
+
+use crate::error::HaxError;
+use crate::problem::{SchedulerConfig, Workload};
+use crate::scheduler::{objective_cost, Schedule, ScheduleOrigin};
+use crate::timeline::PredictedTimeline;
+use haxconn_soc::{Platform, PuId};
+use std::fmt;
+
+/// Comparison tolerance for accumulated floating-point quantities
+/// (summation order may differ between construction and re-derivation).
+pub const TOL_MS: f64 = 1e-6;
+
+/// The invariant classes the validator distinguishes. Each class has at
+/// least one mutation test demonstrating that corrupting it is caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantClass {
+    /// Structural shape: one timing row per task, one entry per group.
+    Shape,
+    /// All reported times/costs are finite (NaN/∞ poison comparisons).
+    Finiteness,
+    /// Within a task, group `g` starts no earlier than group `g-1` ends.
+    Precedence,
+    /// A streaming dependency's consumer starts after its producer ends.
+    Dependency,
+    /// No two groups occupy the same PU at the same time.
+    PuOverlap,
+    /// Layer groups tile the network contiguously and exhaustively.
+    Contiguity,
+    /// Every group runs on a PU that supports it.
+    PuSupport,
+    /// EMC conservation: each grant ≤ its demand, and granted bandwidth
+    /// sums to at most the platform bandwidth at every event point.
+    Bandwidth,
+    /// `total_transition_ms` equals the tau sums implied by the assignment.
+    TransitionAccounting,
+    /// Solver-originated schedules respect the per-task transition budget
+    /// (pinned, singleton-domain groups exempt).
+    TransitionBudget,
+    /// `Schedule::cost` equals the objective recomputed from the timeline.
+    CostConsistency,
+    /// The contention fixed point converged (not an oscillating iterate).
+    Convergence,
+    /// Scalar summaries (makespan, task latency, max wait) match the
+    /// per-group detail they summarize.
+    Accounting,
+}
+
+impl InvariantClass {
+    /// Short stable label used in violation messages and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            InvariantClass::Shape => "shape",
+            InvariantClass::Finiteness => "finiteness",
+            InvariantClass::Precedence => "precedence",
+            InvariantClass::Dependency => "dependency",
+            InvariantClass::PuOverlap => "pu-overlap",
+            InvariantClass::Contiguity => "contiguity",
+            InvariantClass::PuSupport => "pu-support",
+            InvariantClass::Bandwidth => "bandwidth",
+            InvariantClass::TransitionAccounting => "transition-accounting",
+            InvariantClass::TransitionBudget => "transition-budget",
+            InvariantClass::CostConsistency => "cost-consistency",
+            InvariantClass::Convergence => "convergence",
+            InvariantClass::Accounting => "accounting",
+        }
+    }
+}
+
+/// One failed invariant check.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant class failed.
+    pub class: InvariantClass,
+    /// Human-readable specifics (task/group indices, the offending values).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.class.label(), self.detail)
+    }
+}
+
+/// Outcome of validating a schedule or timeline.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Number of individual checks evaluated.
+    pub checks: usize,
+    /// Every check that failed (empty = valid).
+    pub violations: Vec<Violation>,
+}
+
+impl ValidationReport {
+    /// Whether every check passed.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Converts the report into a `Result`, folding all violations into a
+    /// [`HaxError::ScheduleInvariant`].
+    pub fn into_result(self) -> Result<(), HaxError> {
+        if self.is_valid() {
+            Ok(())
+        } else {
+            Err(HaxError::ScheduleInvariant(self.to_string()))
+        }
+    }
+
+    /// Records the outcome of one check.
+    fn check(&mut self, ok: bool, class: InvariantClass, detail: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.violations.push(Violation {
+                class,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Whether any violation belongs to `class`.
+    pub fn has(&self, class: InvariantClass) -> bool {
+        self.violations.iter().any(|v| v.class == class)
+    }
+
+    /// Publishes the outcome to telemetry (`check.validations`,
+    /// `check.violations`).
+    fn record(self) -> Self {
+        haxconn_telemetry::counter_add("check.validations", 1);
+        haxconn_telemetry::counter_add("check.violations", self.violations.len() as u64);
+        self
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "valid ({} checks)", self.checks)
+        } else {
+            write!(
+                f,
+                "{} violation(s) in {} checks: ",
+                self.violations.len(),
+                self.checks
+            )?;
+            for (i, v) in self.violations.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Per-task transition overheads implied by `assignment` under `workload`'s
+/// profiles: `(tau_in, tau_out)` of group `g` exactly as the evaluator
+/// charges them (Eqs. 2–3).
+fn taus(workload: &Workload, assignment: &[Vec<PuId>], t: usize, g: usize) -> (f64, f64) {
+    let profile = &workload.tasks[t].profile;
+    let row = &assignment[t];
+    let pu = row[g];
+    let tau_in = if g > 0 && row[g - 1] != pu {
+        profile.groups[g - 1].tr_in_ms[pu]
+    } else {
+        0.0
+    };
+    let tau_out = if g + 1 < profile.len() && row[g + 1] != pu {
+        profile.groups[g].tr_out_ms[pu]
+    } else {
+        0.0
+    };
+    (tau_in, tau_out)
+}
+
+/// Validates a predicted timeline against the workload and assignment that
+/// produced it: shape, finiteness, precedence, dependencies, exclusive PU
+/// occupancy, summary accounting, transition accounting, and fixed-point
+/// convergence. Platform-level checks (PU support, contiguity, EMC
+/// conservation, budgets, cost) live in [`validate_schedule`].
+pub fn validate_timeline(
+    workload: &Workload,
+    assignment: &[Vec<PuId>],
+    tl: &PredictedTimeline,
+) -> ValidationReport {
+    timeline_checks(workload, assignment, tl).record()
+}
+
+/// [`validate_timeline`]'s body without the telemetry publication, so
+/// [`validate_schedule`] can extend the report before recording it once.
+fn timeline_checks(
+    workload: &Workload,
+    assignment: &[Vec<PuId>],
+    tl: &PredictedTimeline,
+) -> ValidationReport {
+    let mut r = ValidationReport::default();
+
+    // Shape: one row per task, one timing per group, assignment congruent.
+    r.check(
+        tl.groups.len() == workload.tasks.len() && assignment.len() == workload.tasks.len(),
+        InvariantClass::Shape,
+        || {
+            format!(
+                "expected {} task rows, timeline has {}, assignment has {}",
+                workload.tasks.len(),
+                tl.groups.len(),
+                assignment.len()
+            )
+        },
+    );
+    r.check(
+        tl.task_latency_ms.len() == workload.tasks.len(),
+        InvariantClass::Shape,
+        || {
+            format!(
+                "task_latency_ms has {} entries for {} tasks",
+                tl.task_latency_ms.len(),
+                workload.tasks.len()
+            )
+        },
+    );
+    if !r.is_valid() {
+        // Row counts are off; indexed checks below would panic.
+        return r;
+    }
+    for (t, task) in workload.tasks.iter().enumerate() {
+        r.check(
+            tl.groups[t].len() == task.num_groups() && assignment[t].len() == task.num_groups(),
+            InvariantClass::Shape,
+            || {
+                format!(
+                    "task {t}: {} groups profiled, {} timed, {} assigned",
+                    task.num_groups(),
+                    tl.groups[t].len(),
+                    assignment[t].len()
+                )
+            },
+        );
+    }
+    if !r.is_valid() {
+        return r;
+    }
+
+    // Finiteness of every reported quantity.
+    for (t, row) in tl.groups.iter().enumerate() {
+        for (g, timing) in row.iter().enumerate() {
+            r.check(
+                timing.start_ms.is_finite()
+                    && timing.end_ms.is_finite()
+                    && timing.wait_ms.is_finite()
+                    && timing.slowdown.is_finite(),
+                InvariantClass::Finiteness,
+                || {
+                    format!(
+                        "task {t} group {g}: non-finite timing (start {}, end {}, wait {}, slowdown {})",
+                        timing.start_ms, timing.end_ms, timing.wait_ms, timing.slowdown
+                    )
+                },
+            );
+        }
+    }
+    r.check(
+        tl.makespan_ms.is_finite()
+            && tl.max_wait_ms.is_finite()
+            && tl.total_transition_ms.is_finite()
+            && tl.task_latency_ms.iter().all(|l| l.is_finite()),
+        InvariantClass::Finiteness,
+        || {
+            format!(
+                "non-finite summary (makespan {}, max_wait {}, transitions {})",
+                tl.makespan_ms, tl.max_wait_ms, tl.total_transition_ms
+            )
+        },
+    );
+    if r.has(InvariantClass::Finiteness) {
+        // Ordering checks on NaN would all misfire; report the root cause.
+        return r;
+    }
+
+    // Precedence: within a task, groups execute in order without overlap,
+    // with sane per-group figures.
+    for (t, row) in tl.groups.iter().enumerate() {
+        for (g, timing) in row.iter().enumerate() {
+            r.check(
+                timing.end_ms >= timing.start_ms - TOL_MS,
+                InvariantClass::Precedence,
+                || {
+                    format!(
+                        "task {t} group {g}: ends ({:.6}) before it starts ({:.6})",
+                        timing.end_ms, timing.start_ms
+                    )
+                },
+            );
+            r.check(
+                timing.wait_ms >= -TOL_MS && timing.slowdown >= 1.0 - 1e-9,
+                InvariantClass::Precedence,
+                || {
+                    format!(
+                        "task {t} group {g}: negative wait ({:.6}) or slowdown < 1 ({:.6})",
+                        timing.wait_ms, timing.slowdown
+                    )
+                },
+            );
+            if g > 0 {
+                r.check(
+                    timing.start_ms >= row[g - 1].end_ms - TOL_MS,
+                    InvariantClass::Precedence,
+                    || {
+                        format!(
+                            "task {t} group {g}: starts at {:.6} before group {} ends at {:.6}",
+                            timing.start_ms,
+                            g - 1,
+                            row[g - 1].end_ms
+                        )
+                    },
+                );
+            }
+        }
+    }
+
+    // Streaming dependencies: the consumer's first group starts only after
+    // the producer's last group completes (Eq. 4).
+    for d in &workload.deps {
+        let producer_end = tl.task_latency_ms[d.from];
+        let consumer_start = tl.groups[d.to][0].start_ms;
+        r.check(
+            consumer_start >= producer_end - TOL_MS,
+            InvariantClass::Dependency,
+            || {
+                format!(
+                    "dep {}->{}: consumer starts at {consumer_start:.6} before producer ends at {producer_end:.6}",
+                    d.from, d.to
+                )
+            },
+        );
+    }
+
+    // Exclusive PU occupancy: the full [start, end] window of a group
+    // (transitions included — the evaluator serializes them on the PU)
+    // never overlaps another group's window on the same PU.
+    let mut by_pu: Vec<(PuId, f64, f64, usize, usize)> = Vec::new();
+    for (t, row) in tl.groups.iter().enumerate() {
+        for (g, timing) in row.iter().enumerate() {
+            by_pu.push((timing.pu, timing.start_ms, timing.end_ms, t, g));
+        }
+    }
+    by_pu.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    for w in by_pu.windows(2) {
+        let (pu_a, _, end_a, t_a, g_a) = w[0];
+        let (pu_b, start_b, _, t_b, g_b) = w[1];
+        if pu_a != pu_b {
+            continue;
+        }
+        r.check(start_b >= end_a - TOL_MS, InvariantClass::PuOverlap, || {
+            format!(
+                "PU {pu_a}: task {t_b} group {g_b} starts at {start_b:.6} while task {t_a} group {g_a} runs until {end_a:.6}"
+            )
+        });
+    }
+
+    // Summary accounting: task latency is the last group's end, makespan
+    // the latest task, max wait the largest per-group wait.
+    for (t, row) in tl.groups.iter().enumerate() {
+        let last_end = row.last().map(|x| x.end_ms).unwrap_or(0.0);
+        r.check(
+            (tl.task_latency_ms[t] - last_end).abs() <= TOL_MS,
+            InvariantClass::Accounting,
+            || {
+                format!(
+                    "task {t}: latency {:.6} != last group end {last_end:.6}",
+                    tl.task_latency_ms[t]
+                )
+            },
+        );
+    }
+    let max_latency = tl.task_latency_ms.iter().cloned().fold(0.0, f64::max);
+    r.check(
+        (tl.makespan_ms - max_latency).abs() <= TOL_MS,
+        InvariantClass::Accounting,
+        || {
+            format!(
+                "makespan {:.6} != max task latency {max_latency:.6}",
+                tl.makespan_ms
+            )
+        },
+    );
+    let max_wait = tl
+        .groups
+        .iter()
+        .flatten()
+        .map(|x| x.wait_ms)
+        .fold(0.0, f64::max);
+    r.check(
+        (tl.max_wait_ms - max_wait).abs() <= TOL_MS,
+        InvariantClass::Accounting,
+        || {
+            format!(
+                "max_wait {:.6} != largest per-group wait {max_wait:.6}",
+                tl.max_wait_ms
+            )
+        },
+    );
+
+    // Transition accounting: total tau charged equals the tau sums implied
+    // by the assignment (Eqs. 2–3).
+    let mut tau_total = 0.0;
+    for (t, task) in workload.tasks.iter().enumerate() {
+        for g in 0..task.num_groups() {
+            let (tau_in, tau_out) = taus(workload, assignment, t, g);
+            tau_total += tau_in + tau_out;
+        }
+    }
+    r.check(
+        (tl.total_transition_ms - tau_total).abs() <= TOL_MS,
+        InvariantClass::TransitionAccounting,
+        || {
+            format!(
+                "total_transition_ms {:.6} != implied tau sum {tau_total:.6}",
+                tl.total_transition_ms
+            )
+        },
+    );
+
+    // Fixed-point convergence: an oscillating iterate is not a prediction.
+    r.check(tl.converged, InvariantClass::Convergence, || {
+        "contention fixed point did not converge (iteration budget exhausted)".to_string()
+    });
+
+    r
+}
+
+/// Validates a complete [`Schedule`] on `platform`: everything
+/// [`validate_timeline`] checks, plus layer-group contiguity, PU support,
+/// EMC bandwidth conservation, the per-task transition budget (for
+/// solver-originated schedules), and cost consistency.
+pub fn validate_schedule(
+    platform: &Platform,
+    workload: &Workload,
+    config: &SchedulerConfig,
+    schedule: &Schedule,
+) -> ValidationReport {
+    // PU support first: an unsupported or out-of-range placement poisons
+    // every indexed lookup downstream (the tau accounting inside the
+    // timeline checks included), so it must be reported as *the* failure,
+    // not as whatever secondary arithmetic it knocks over.
+    let mut r = ValidationReport::default();
+    let shape_ok = schedule.assignment.len() == workload.tasks.len()
+        && schedule
+            .assignment
+            .iter()
+            .zip(&workload.tasks)
+            .all(|(row, task)| row.len() == task.profile.len());
+    r.check(shape_ok, InvariantClass::Shape, || {
+        "assignment shape does not match the workload's tasks/groups".to_string()
+    });
+    if !shape_ok {
+        return r.record();
+    }
+    for (t, row) in schedule.assignment.iter().enumerate() {
+        for (g, &pu) in row.iter().enumerate() {
+            let supported =
+                pu < platform.pus.len() && workload.tasks[t].profile.groups[g].cost[pu].is_some();
+            r.check(supported, InvariantClass::PuSupport, || {
+                format!("task {t} group {g}: assigned to unsupported PU {pu}")
+            });
+        }
+    }
+    if r.has(InvariantClass::PuSupport) {
+        return r.record();
+    }
+
+    let tr = timeline_checks(workload, &schedule.assignment, &schedule.predicted);
+    r.checks += tr.checks;
+    r.violations.extend(tr.violations);
+    if !r.is_valid() {
+        // Shape/finiteness problems make the platform-level checks moot
+        // (and possibly panicky); the timeline report already tells why.
+        return r.record();
+    }
+
+    // Contiguity: layer groups tile the network front to back.
+    for (t, task) in workload.tasks.iter().enumerate() {
+        let groups = &task.profile.grouped.groups;
+        let n_layers = task.profile.grouped.network.len();
+        let mut expected_start = 0usize;
+        let mut tiles = true;
+        for grp in groups {
+            if grp.start != expected_start || grp.end < grp.start {
+                tiles = false;
+                break;
+            }
+            expected_start = grp.end + 1;
+        }
+        tiles &= expected_start == n_layers;
+        r.check(tiles, InvariantClass::Contiguity, || {
+            format!("task {t}: layer groups do not tile the {n_layers}-layer network contiguously")
+        });
+    }
+
+    // EMC bandwidth conservation: at every event point of the execution
+    // intervals, the arbiter's grants stay within each agent's demand and
+    // sum to at most the platform bandwidth.
+    let mut exec: Vec<(f64, f64, f64)> = Vec::new(); // (start, end, demand)
+    for (t, row) in schedule.predicted.groups.iter().enumerate() {
+        for (g, timing) in row.iter().enumerate() {
+            let (tau_in, tau_out) = taus(workload, &schedule.assignment, t, g);
+            let start = timing.start_ms + tau_in;
+            let end = timing.end_ms - tau_out;
+            let demand = workload.tasks[t].profile.groups[g].cost[schedule.assignment[t][g]]
+                .expect("support checked above")
+                .demand_gbps;
+            r.check(
+                demand.is_finite() && demand >= 0.0,
+                InvariantClass::Bandwidth,
+                || format!("task {t} group {g}: invalid EMC demand {demand}"),
+            );
+            if end > start {
+                exec.push((start, end, demand));
+            }
+        }
+    }
+    if !r.has(InvariantClass::Bandwidth) {
+        let mut events: Vec<f64> = exec.iter().flat_map(|&(s, e, _)| [s, e]).collect();
+        events.sort_by(f64::total_cmp);
+        events.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        for w in events.windows(2) {
+            let mid = 0.5 * (w[0] + w[1]);
+            let demands: Vec<f64> = exec
+                .iter()
+                .filter(|&&(s, e, _)| s <= mid && mid < e)
+                .map(|&(_, _, d)| d)
+                .collect();
+            if demands.is_empty() {
+                continue;
+            }
+            let grants = platform.emc.grant(&demands);
+            let granted: f64 = grants.iter().sum();
+            r.check(
+                granted <= platform.emc.bandwidth_gbps + TOL_MS,
+                InvariantClass::Bandwidth,
+                || {
+                    format!(
+                        "at t={mid:.6}ms the EMC grants {granted:.6} GB/s, above the platform's {} GB/s",
+                        platform.emc.bandwidth_gbps
+                    )
+                },
+            );
+            for (i, (&g, &d)) in grants.iter().zip(demands.iter()).enumerate() {
+                r.check(g <= d + TOL_MS, InvariantClass::Bandwidth, || {
+                    format!(
+                        "at t={mid:.6}ms agent {i} is granted {g:.6} GB/s above its demand {d:.6}"
+                    )
+                });
+            }
+        }
+    }
+
+    // Transition budget: solver-originated schedules respect the per-task
+    // cap; switches forced by pinned (singleton-domain) groups are not
+    // scheduling decisions and are exempt, exactly as in the encoding.
+    // Baseline fallbacks may exceed the budget by construction.
+    if schedule.origin == ScheduleOrigin::Optimal {
+        for (t, row) in schedule.assignment.iter().enumerate() {
+            let profile = &workload.tasks[t].profile;
+            let pinned: Vec<bool> = (0..profile.len())
+                .map(|g| profile.groups[g].supported_pus().len() == 1)
+                .collect();
+            let chosen = row
+                .windows(2)
+                .enumerate()
+                .filter(|(g, w)| w[0] != w[1] && !pinned[*g] && !pinned[g + 1])
+                .count();
+            r.check(
+                chosen <= config.max_transitions_per_task,
+                InvariantClass::TransitionBudget,
+                || {
+                    format!(
+                        "task {t}: {chosen} chosen transitions exceed the budget of {}",
+                        config.max_transitions_per_task
+                    )
+                },
+            );
+        }
+    }
+
+    // Cost consistency: the reported cost is the objective of the reported
+    // timeline (both sides come from the same arithmetic, so the match is
+    // tight).
+    let recomputed = objective_cost(config.objective, &schedule.predicted);
+    r.check(
+        (schedule.cost - recomputed).abs() <= 1e-9,
+        InvariantClass::CostConsistency,
+        || {
+            format!(
+                "schedule cost {} != objective recomputed from its timeline {recomputed}",
+                schedule.cost
+            )
+        },
+    );
+
+    r.record()
+}

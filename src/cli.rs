@@ -99,6 +99,24 @@ pub enum Command {
         /// Path of a snapshot written by `--telemetry`.
         file: String,
     },
+    /// `haxconn check --platform P --models A,B [--objective O] [--pipeline]`
+    /// (validate one schedule) or `haxconn check --fuzz N [--seed S]`
+    /// (differential fuzzing).
+    Check {
+        /// Differential-fuzz scenario count; `None` = schedule-validate
+        /// mode.
+        fuzz: Option<usize>,
+        /// Fuzzer seed (deterministic; same seed = same scenarios).
+        seed: u64,
+        /// Target platform (schedule-validate mode).
+        platform: Option<PlatformId>,
+        /// Concurrent models (schedule-validate mode).
+        models: Vec<Model>,
+        /// Optimization objective (schedule-validate mode).
+        objective: Objective,
+        /// Chain the models as a streaming pipeline.
+        pipeline: bool,
+    },
     /// `haxconn help`
     Help,
 }
@@ -282,6 +300,47 @@ pub fn parse(args: &[String]) -> Result<Command, HaxError> {
         "telemetry" => Command::Telemetry {
             file: a.require("--file")?.to_string(),
         },
+        "check" => {
+            let fuzz = match a.take_value("--fuzz")? {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| cli_err(format!("bad --fuzz '{v}'")))?,
+                ),
+                None => None,
+            };
+            let seed = match a.take_value("--seed")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad --seed '{v}'")))?,
+                None => 42,
+            };
+            if fuzz.is_some() {
+                Command::Check {
+                    fuzz,
+                    seed,
+                    platform: None,
+                    models: Vec::new(),
+                    objective: Objective::MinMaxLatency,
+                    pipeline: false,
+                }
+            } else {
+                let platform = parse_platform_arg(a.require("--platform")?)?;
+                let models = parse_models(a.require("--models")?)?;
+                let objective = match a.take_value("--objective")? {
+                    Some(v) => parse_objective(v)?,
+                    None => Objective::MinMaxLatency,
+                };
+                let pipeline = a.take_switch("--pipeline");
+                Command::Check {
+                    fuzz: None,
+                    seed,
+                    platform: Some(platform),
+                    models,
+                    objective,
+                    pipeline,
+                }
+            }
+        }
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(cli_err(format!("unknown command '{other}'"))),
     };
@@ -305,6 +364,8 @@ USAGE:
   haxconn inspect   --model <NAME> [--layers]
   haxconn stream    --platform <P> --models <A,B> --fps <F> [--buffers N]
   haxconn telemetry --file <FILE.json>
+  haxconn check     --platform <P> --models <A,B[,C]> [--objective O] [--pipeline]
+  haxconn check     --fuzz <N> [--seed S]
 ";
 
 /// Switches the process-global memory recorder on (installing it on first
@@ -701,6 +762,48 @@ per-frame service {:.2} ms vs period {:.2} ms",
                 serde_json::from_str(&text).map_err(|e| cli_err(format!("parsing {file}: {e}")))?;
             summarize_snapshot(&v, &mut out)?;
         }
+        Command::Check {
+            fuzz,
+            seed,
+            platform,
+            models,
+            objective,
+            pipeline,
+        } => match fuzz {
+            Some(scenarios) => {
+                let report = haxconn_check::fuzz::run(&haxconn_check::FuzzConfig {
+                    seed,
+                    scenarios,
+                    ..Default::default()
+                });
+                writeln!(out, "{report}")?;
+                // Divergences and violations are a hard failure so CI can
+                // gate on the exit status.
+                if !report.is_clean() {
+                    return Err(HaxError::ScheduleInvariant(format!(
+                        "differential fuzzing (seed {seed}) found {} divergence(s) and {} \
+                         invariant violation(s)",
+                        report.divergences.len(),
+                        report.violations.len()
+                    )));
+                }
+            }
+            None => {
+                let platform = platform.ok_or_else(|| cli_err("--platform required"))?;
+                let mut session = Session::on(platform).objective(objective);
+                for &m in &models {
+                    session = session.task(m, 10);
+                }
+                if pipeline {
+                    session = session.pipelined();
+                }
+                let s = session.schedule()?;
+                writeln!(out, "schedule: {}", s.describe())?;
+                let report = s.validate();
+                writeln!(out, "validation: {report}")?;
+                report.into_result()?;
+            }
+        },
     }
     Ok(out)
 }
@@ -1026,6 +1129,64 @@ mod tests {
         .expect("runs");
         assert!(out.contains("HaX-CoNN"));
         assert!(out.contains("schedule:"));
+    }
+
+    #[test]
+    fn parses_check() {
+        let c = parsed("check --platform orin --models GoogleNet,ResNet18 --objective throughput");
+        assert_eq!(
+            c,
+            Command::Check {
+                fuzz: None,
+                seed: 42,
+                platform: Some(PlatformId::OrinAgx),
+                models: vec![Model::GoogleNet, Model::ResNet18],
+                objective: Objective::MaxThroughput,
+                pipeline: false,
+            }
+        );
+        let c = parsed("check --fuzz 25 --seed 9");
+        assert_eq!(
+            c,
+            Command::Check {
+                fuzz: Some(25),
+                seed: 9,
+                platform: None,
+                models: Vec::new(),
+                objective: Objective::MinMaxLatency,
+                pipeline: false,
+            }
+        );
+        assert!(parse_err("check").contains("--platform required"));
+        assert!(parse_err("check --fuzz many").contains("bad --fuzz"));
+    }
+
+    #[test]
+    fn run_check_command_validates_schedule() {
+        let out = run(Command::Check {
+            fuzz: None,
+            seed: 42,
+            platform: Some(PlatformId::OrinAgx),
+            models: vec![Model::GoogleNet, Model::ResNet18],
+            objective: Objective::MinMaxLatency,
+            pipeline: false,
+        })
+        .expect("valid schedule");
+        assert!(out.contains("validation: valid ("), "{out}");
+    }
+
+    #[test]
+    fn run_check_command_fuzzes_clean() {
+        let out = run(Command::Check {
+            fuzz: Some(3),
+            seed: 11,
+            platform: None,
+            models: Vec::new(),
+            objective: Objective::MinMaxLatency,
+            pipeline: false,
+        })
+        .expect("clean fuzz run");
+        assert!(out.contains("3 scenarios"), "{out}");
     }
 
     #[test]

@@ -42,6 +42,7 @@
 pub mod cli;
 pub mod session;
 
+pub use haxconn_check as check;
 pub use haxconn_contention as contention;
 pub use haxconn_core as core;
 pub use haxconn_des as des;
@@ -66,6 +67,7 @@ pub mod prelude {
         problem::{DnnTask, Objective, SchedulerConfig, Workload},
         scheduler::{HaxConn, Schedule, ScheduleOrigin, Transition},
         timeline::TimelineEvaluator,
+        validate::{validate_schedule, validate_timeline, InvariantClass, ValidationReport},
         HaxError,
     };
     pub use haxconn_dnn::{Model, Network, TensorShape};

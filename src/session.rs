@@ -185,6 +185,7 @@ impl Session {
             workload,
             contention,
             schedule,
+            config: self.config,
         })
     }
 }
@@ -200,6 +201,9 @@ pub struct ScheduledSession {
     pub contention: ContentionModel,
     /// The optimal (or fallback) schedule.
     pub schedule: Schedule,
+    /// The configuration the schedule was solved under (validation re-uses
+    /// its objective and transition budget).
+    pub config: SchedulerConfig,
 }
 
 impl ScheduledSession {
@@ -250,6 +254,19 @@ impl ScheduledSession {
     /// Human-readable description of the schedule.
     pub fn describe(&self) -> String {
         self.schedule.describe(&self.platform, &self.workload)
+    }
+
+    /// Runs the full invariant checker over the session's schedule
+    /// (precedence, occupancy, contiguity, EMC bandwidth conservation,
+    /// transition accounting and budget, convergence, cost consistency).
+    /// Read-only: validating never changes the schedule or any output.
+    pub fn validate(&self) -> haxconn_core::validate::ValidationReport {
+        haxconn_core::validate::validate_schedule(
+            &self.platform,
+            &self.workload,
+            &self.config,
+            &self.schedule,
+        )
     }
 
     /// Measures the schedule and renders the run as Chrome-trace JSON
