@@ -1,0 +1,258 @@
+//! Fleet-evaluation scaling bench and perf-trajectory gate.
+//!
+//! The claim under test (PR 5): replaying schedules on the single-threaded
+//! DES executor makes batched fleet evaluation dramatically cheaper than
+//! the thread-per-DNN executor, while staying bit-deterministic.
+//!
+//! The bench builds ≥200 (workload, assignment, iterations) scenarios —
+//! several model pairs, each with every baseline assignment plus seeded
+//! random valid assignments — and evaluates the whole fleet three ways:
+//!
+//! 1. DES batch at full worker count (twice — byte-identical reports are
+//!    the determinism contract),
+//! 2. DES batch at one worker (reports must match the full-width run
+//!    bit-for-bit: worker count must not influence results),
+//! 3. thread-per-DNN batch (the seed path, kept behind
+//!    `ExecMode::Threaded`).
+//!
+//! Gates: ≥200 scenarios, all DES report sets bit-identical, and the DES
+//! batch ≥3× faster wall-clock than the threaded batch. The measurement
+//! is written to `BENCH_runtime.json` at the repo root; any gate failure
+//! exits non-zero.
+//!
+//! Usage: `runtime_scaling [candidates_per_workload]` (default 70 → 210
+//! scenarios across 3 workloads).
+
+use haxconn_core::baselines::{Baseline, BaselineKind};
+use haxconn_core::problem::{DnnTask, Workload};
+use haxconn_dnn::Model;
+use haxconn_profiler::NetworkProfile;
+use haxconn_runtime::{
+    evaluate_fleet, ExecMode, ExecutionReport, FleetOptions, FleetReport, FleetScenario,
+};
+use haxconn_soc::{orin_agx, PuId};
+use serde::Serialize;
+
+const GROUPS: usize = 6;
+const ITERATIONS: usize = 2;
+
+/// Deterministic xorshift64 — the repo's offline `rand` stand-in.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Baseline assignments plus seeded random valid assignments, `count`
+/// total, for one workload.
+fn candidates(
+    platform: &haxconn_soc::Platform,
+    workload: &Workload,
+    count: usize,
+) -> Vec<Vec<Vec<PuId>>> {
+    let mut out: Vec<Vec<Vec<PuId>>> = BaselineKind::all()
+        .iter()
+        .map(|&kind| Baseline::assignment(kind, platform, workload))
+        .collect();
+    out.truncate(count);
+    let mut rng = Rng(0x5EED | 1);
+    while out.len() < count {
+        out.push(
+            workload
+                .tasks
+                .iter()
+                .map(|t| {
+                    t.profile
+                        .groups
+                        .iter()
+                        .map(|g| {
+                            let pus = g.supported_pus();
+                            pus[rng.next() as usize % pus.len()]
+                        })
+                        .collect()
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
+fn bit_identical(a: &ExecutionReport, b: &ExecutionReport) -> bool {
+    a.makespan_ms.to_bits() == b.makespan_ms.to_bits()
+        && a.fps.to_bits() == b.fps.to_bits()
+        && a.emc_mean_gbps.to_bits() == b.emc_mean_gbps.to_bits()
+        && a.items_executed == b.items_executed
+        && a.task_latency_ms.len() == b.task_latency_ms.len()
+        && a.task_latency_ms
+            .iter()
+            .zip(b.task_latency_ms.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.pu_busy_ms.len() == b.pu_busy_ms.len()
+        && a.pu_busy_ms
+            .iter()
+            .zip(b.pu_busy_ms.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn fleets_identical(a: &FleetReport, b: &FleetReport) -> bool {
+    a.reports.len() == b.reports.len()
+        && a.reports
+            .iter()
+            .zip(b.reports.iter())
+            .all(|(x, y)| bit_identical(x, y))
+}
+
+#[derive(Serialize)]
+struct FleetRun {
+    mode: String,
+    workers: usize,
+    wall_ms: f64,
+    scenarios_per_sec: f64,
+}
+
+fn run_of(mode: &str, fleet: &FleetReport) -> FleetRun {
+    FleetRun {
+        mode: mode.to_string(),
+        workers: fleet.workers,
+        wall_ms: fleet.wall_ms,
+        scenarios_per_sec: fleet.throughput_per_sec(),
+    }
+}
+
+#[derive(Serialize)]
+struct Report {
+    generated_by: String,
+    scenarios: usize,
+    iterations: usize,
+    groups_per_dnn: usize,
+    workloads: Vec<Vec<String>>,
+    des: FleetRun,
+    des_repeat: FleetRun,
+    des_single_worker: FleetRun,
+    threaded: FleetRun,
+    /// threaded wall / best DES wall.
+    speedup_wall: f64,
+    reports_bit_identical: bool,
+}
+
+fn main() {
+    let per_workload: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("candidates_per_workload"))
+        .unwrap_or(70);
+
+    let platform = orin_agx();
+    let pairs: [[Model; 2]; 3] = [
+        [Model::GoogleNet, Model::ResNet18],
+        [Model::AlexNet, Model::MobileNetV1],
+        [Model::ResNet50, Model::GoogleNet],
+    ];
+    let workloads: Vec<Workload> = pairs
+        .iter()
+        .map(|pair| {
+            Workload::concurrent(
+                pair.iter()
+                    .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&platform, m, GROUPS)))
+                    .collect(),
+            )
+        })
+        .collect();
+    let assignments: Vec<Vec<Vec<Vec<PuId>>>> = workloads
+        .iter()
+        .map(|w| candidates(&platform, w, per_workload))
+        .collect();
+    let scenarios: Vec<FleetScenario> = workloads
+        .iter()
+        .zip(assignments.iter())
+        .flat_map(|(w, cands)| {
+            cands.iter().map(move |a| FleetScenario {
+                workload: w,
+                assignment: a.clone(),
+                iterations: ITERATIONS,
+            })
+        })
+        .collect();
+
+    let des_opts = FleetOptions {
+        mode: ExecMode::Des,
+        threads: None,
+    };
+
+    // Warm both paths (first-touch, thread pool spin-up) on a small slice.
+    let _ = evaluate_fleet(&platform, &scenarios[..4], des_opts);
+    let _ = evaluate_fleet(
+        &platform,
+        &scenarios[..4],
+        FleetOptions {
+            mode: ExecMode::Threaded,
+            threads: None,
+        },
+    );
+
+    let des_a = evaluate_fleet(&platform, &scenarios, des_opts);
+    let des_b = evaluate_fleet(&platform, &scenarios, des_opts);
+    let des_one = evaluate_fleet(
+        &platform,
+        &scenarios,
+        FleetOptions {
+            mode: ExecMode::Des,
+            threads: Some(1),
+        },
+    );
+    let threaded = evaluate_fleet(
+        &platform,
+        &scenarios,
+        FleetOptions {
+            mode: ExecMode::Threaded,
+            threads: None,
+        },
+    );
+
+    let identical = fleets_identical(&des_a, &des_b) && fleets_identical(&des_a, &des_one);
+    let des_wall = des_a.wall_ms.min(des_b.wall_ms);
+    let speedup = threaded.wall_ms / des_wall;
+
+    let out = Report {
+        generated_by: "runtime_scaling".to_string(),
+        scenarios: scenarios.len(),
+        iterations: ITERATIONS,
+        groups_per_dnn: GROUPS,
+        workloads: pairs
+            .iter()
+            .map(|pair| pair.iter().map(|m| m.name().to_string()).collect())
+            .collect(),
+        des: run_of("des", &des_a),
+        des_repeat: run_of("des", &des_b),
+        des_single_worker: run_of("des", &des_one),
+        threaded: run_of("threaded", &threaded),
+        speedup_wall: speedup,
+        reports_bit_identical: identical,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serialize");
+    println!("{json}");
+    let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    std::fs::write(bench_path, format!("{json}\n")).expect("write BENCH_runtime.json");
+    eprintln!("wrote {bench_path}");
+
+    let mut failed = false;
+    if out.scenarios < 200 {
+        eprintln!("FAIL: only {} scenarios (< 200 target)", out.scenarios);
+        failed = true;
+    }
+    if !identical {
+        eprintln!("FAIL: DES fleet reports are not bit-identical across runs/worker counts");
+        failed = true;
+    }
+    if speedup < 3.0 {
+        eprintln!("FAIL: DES batch speedup {speedup:.2}x < 3x target over the threaded batch");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -36,36 +36,10 @@ use haxconn_soc::Platform;
 /// groups for GoogleNet).
 pub const GROUPS: usize = 10;
 
-/// Maps `f` over `items` on all available CPUs, preserving order.
-///
-/// Stand-in for rayon's `par_iter().map().collect()` (the offline build
-/// cannot fetch rayon — README § Offline builds): scoped worker threads
-/// pull indices from a shared atomic cursor, so long-running items load-
-/// balance just like a work-stealing pool on these embarrassingly
-/// parallel sweeps.
-pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let cursor = std::sync::atomic::AtomicUsize::new(0);
-    let out: Vec<std::sync::Mutex<Option<R>>> =
-        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                *out[i].lock().expect("slot lock") = Some(f(&items[i]));
-            });
-        }
-    });
-    out.into_iter()
-        .map(|slot| slot.into_inner().expect("slot lock").expect("slot filled"))
-        .collect()
-}
+// The compat `par_map` pool (rayon stand-in for offline builds) now lives
+// in `haxconn-runtime` next to the fleet evaluator that shares it; the
+// experiment binaries keep using it through this re-export.
+pub use haxconn_runtime::{par_map, par_map_with};
 
 /// Profiles `model` on `platform` with the standard group budget.
 pub fn profile(platform: &Platform, model: Model) -> NetworkProfile {

@@ -14,7 +14,9 @@
 //!
 //! Every schedule the stack emits (solver winners and baselines alike) is
 //! run through the invariant validator; a single violation or divergence
-//! fails the run. Small workloads keep exhaustive enumeration cheap, so
+//! fails the run. Solver winners are additionally replayed on the DES
+//! executor twice (must be bit-identical — the determinism contract) and
+//! cross-checked against the sequential simulator (≤ 15 % relative). Small workloads keep exhaustive enumeration cheap, so
 //! hundreds of scenarios complete in seconds in release builds — CI runs
 //! 500 on a fixed seed.
 
@@ -26,6 +28,7 @@ use haxconn_core::{
 };
 use haxconn_dnn::Model;
 use haxconn_profiler::NetworkProfile;
+use haxconn_runtime::{execute_with, ExecMode};
 use haxconn_soc::{orin_agx, snapdragon_865, xavier_agx, Platform};
 use haxconn_solver::{brute_force, solve, solve_parallel_with, ParallelOptions, SolveOptions};
 use rustc_hash::FxHashMap;
@@ -102,6 +105,9 @@ pub struct FuzzReport {
     pub scenarios: usize,
     /// Schedules/timelines run through the validator.
     pub schedules_validated: usize,
+    /// Schedules replayed on the DES executor and cross-checked against
+    /// the sequential simulator (determinism + agreement).
+    pub executions_checked: usize,
     /// Solver-vs-solver/oracle/baseline disagreements (must be empty).
     pub divergences: Vec<Divergence>,
     /// Validator violations, tagged with their scenario (must be empty).
@@ -119,9 +125,10 @@ impl fmt::Display for FuzzReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fuzz: {} scenarios, {} schedules validated, {} divergences, {} violations",
+            "fuzz: {} scenarios, {} schedules validated, {} executions checked, {} divergences, {} violations",
             self.scenarios,
             self.schedules_validated,
+            self.executions_checked,
             self.divergences.len(),
             self.violations.len()
         )?;
@@ -312,6 +319,39 @@ pub fn run(config: &FuzzConfig) -> FuzzReport {
             for v in vr.violations {
                 report.violations.push((scenario, v));
             }
+
+            // --- DES replay: must be bit-deterministic and agree with the
+            // sequential simulator. ---------------------------------------
+            let a = execute_with(&platform, &workload, &schedule.assignment, ExecMode::Des);
+            let b = execute_with(&platform, &workload, &schedule.assignment, ExecMode::Des);
+            let bit_identical = a.makespan_ms.to_bits() == b.makespan_ms.to_bits()
+                && a.task_latency_ms.len() == b.task_latency_ms.len()
+                && a.task_latency_ms
+                    .iter()
+                    .zip(b.task_latency_ms.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+            if !bit_identical {
+                diverge(
+                    format!(
+                        "DES executor nondeterministic: makespan {} vs {}",
+                        a.makespan_ms, b.makespan_ms
+                    ),
+                    &mut report,
+                );
+            }
+            let measured =
+                haxconn_core::measure::measure(&platform, &workload, &schedule.assignment);
+            let rel = (a.makespan_ms - measured.latency_ms).abs() / measured.latency_ms.max(1e-9);
+            if rel > 0.15 {
+                diverge(
+                    format!(
+                        "DES makespan {:.4} ms disagrees with simulator {:.4} ms (rel {:.3})",
+                        a.makespan_ms, measured.latency_ms, rel
+                    ),
+                    &mut report,
+                );
+            }
+            report.executions_checked += 1;
         }
 
         // --- Baselines: validate each, and check never-worse. ------------
@@ -366,8 +406,10 @@ mod tests {
         assert!(a.is_clean(), "{a}");
         assert_eq!(a.scenarios, 6);
         assert!(a.schedules_validated >= 6);
+        assert!(a.executions_checked >= 1);
         let b = run(&cfg);
         assert_eq!(a.schedules_validated, b.schedules_validated);
+        assert_eq!(a.executions_checked, b.executions_checked);
         assert_eq!(a.divergences.len(), b.divergences.len());
     }
 }

@@ -89,6 +89,22 @@ pub fn to_jobs(workload: &Workload, assignment: &[Vec<PuId>]) -> (Vec<Job>, Vec<
     (jobs, deps)
 }
 
+/// Converts a scheduled workload into simulator jobs plus, per task, the
+/// upstream task indices whose completion gates its first item — the shared
+/// input of the runtime executors (threaded and DES) and the fleet
+/// evaluator, so every execution path derives its work items and streaming
+/// dependencies from one place.
+pub fn to_jobs_with_upstream(
+    workload: &Workload,
+    assignment: &[Vec<PuId>],
+) -> (Vec<Job>, Vec<Dep>, Vec<Vec<usize>>) {
+    let (jobs, deps) = to_jobs(workload, assignment);
+    let upstream = (0..workload.tasks.len())
+        .map(|t| workload.upstream(t))
+        .collect();
+    (jobs, deps, upstream)
+}
+
 /// Measures `assignment` on the platform's ground-truth simulator.
 pub fn measure(platform: &Platform, workload: &Workload, assignment: &[Vec<PuId>]) -> Measurement {
     let (jobs, deps) = to_jobs(workload, assignment);

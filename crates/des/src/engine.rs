@@ -36,6 +36,34 @@ impl<M: SimModel> Engine<M> {
         }
     }
 
+    /// Creates an engine at time zero whose queue has room for `cap`
+    /// pending events — avoids heap growth mid-run when the caller knows
+    /// the event population up front (e.g. one completion event per work
+    /// item).
+    pub fn with_capacity(model: M, cap: usize) -> Self {
+        Engine {
+            model,
+            queue: EventQueue::with_capacity(cap),
+            now: SimTime::ZERO,
+            steps: 0,
+        }
+    }
+
+    /// Creates an engine at time zero from a recycled queue. The queue is
+    /// [`EventQueue::reset`] first, so the engine behaves exactly as if
+    /// built with [`Engine::new`] — only the heap allocation is reused.
+    /// Pair with [`Engine::into_parts`] to run many simulations without
+    /// reallocating (the fleet executor's per-worker loop does this).
+    pub fn with_queue(model: M, mut queue: EventQueue<M::Event>) -> Self {
+        queue.reset();
+        Engine {
+            model,
+            queue,
+            now: SimTime::ZERO,
+            steps: 0,
+        }
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -59,6 +87,12 @@ impl<M: SimModel> Engine<M> {
     /// Consumes the engine, returning the model.
     pub fn into_model(self) -> M {
         self.model
+    }
+
+    /// Consumes the engine, returning the model and the event queue (with
+    /// its allocation intact) for reuse via [`Engine::with_queue`].
+    pub fn into_parts(self) -> (M, EventQueue<M::Event>) {
+        (self.model, self.queue)
     }
 
     /// Schedules an initial/external event.
@@ -184,6 +218,30 @@ mod tests {
         eng.schedule(SimTime::from_ms(1.0), Ev::Tick(0));
         eng.run();
         eng.schedule(SimTime::from_ms(0.5), Ev::Tick(0));
+    }
+
+    #[test]
+    fn queue_reuse_matches_fresh_engine() {
+        let trace = |mut eng: Engine<Countdown>| {
+            eng.schedule(SimTime::from_ms(0.25), Ev::Tick(5));
+            eng.run();
+            eng.into_parts()
+        };
+        let (fresh, queue) = trace(Engine::new(Countdown { fired: vec![] }));
+        assert!(queue.is_empty());
+        let cap = queue.capacity();
+        assert!(cap > 0);
+        // Recycle the queue: identical trace, no new allocation needed.
+        let (reused, queue2) = trace(Engine::with_queue(Countdown { fired: vec![] }, queue));
+        assert_eq!(fresh.fired, reused.fired);
+        assert_eq!(queue2.capacity(), cap);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let eng = Engine::with_capacity(Countdown { fired: vec![] }, 64);
+        assert!(eng.queue.capacity() >= 64);
+        assert_eq!(eng.now(), SimTime::ZERO);
     }
 
     #[test]

@@ -93,10 +93,25 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Discards all pending events (the sequence counter keeps advancing so
     /// determinism across a clear is preserved).
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Returns the queue to its initial state — no pending events, sequence
+    /// counter back at zero — while keeping the heap allocation. A reused
+    /// queue behaves exactly like a fresh one, so batch drivers (the fleet
+    /// executor runs thousands of simulations per worker) can recycle one
+    /// allocation across runs without affecting determinism.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
     }
 }
 
@@ -137,6 +152,25 @@ mod tests {
         assert!(!q.is_empty());
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reset_restores_initial_state_keeping_capacity() {
+        let mut q = EventQueue::with_capacity(32);
+        let cap = q.capacity();
+        let t = SimTime::from_ms(1.0);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        q.reset();
+        assert!(q.is_empty());
+        assert!(q.capacity() >= cap);
+        // Sequence counter restarts: FIFO order among equal-time events is
+        // identical to a fresh queue.
+        q.schedule(t, 100);
+        q.schedule(t, 200);
+        assert_eq!(q.pop().unwrap().1, 100);
+        assert_eq!(q.pop().unwrap().1, 200);
     }
 
     #[test]

@@ -15,6 +15,35 @@ struct ActiveItem {
     start_ms: f64,
 }
 
+/// One fluid re-arbitration step over the active set: grants the EMC
+/// bandwidth demanded by `active` (each entry a `(cost, remaining)` pair,
+/// remaining in standalone-equivalent ms), fills `slowdowns` with each
+/// item's stretch factor under its grant, and returns `(dt, granted_gbps)`
+/// where `dt` is the time to the next completion and `granted_gbps` the
+/// aggregate granted traffic. This is the item-cost core shared by the
+/// threaded arbiter and the DES executor, so both paths stretch work
+/// identically under contention; `demands` and `slowdowns` are caller-owned
+/// scratch so the DES hot loop does not reallocate per event.
+pub(crate) fn fluid_step(
+    platform: &Platform,
+    active: &[(LayerCost, f64)],
+    demands: &mut Vec<f64>,
+    slowdowns: &mut Vec<f64>,
+) -> (f64, f64) {
+    demands.clear();
+    demands.extend(active.iter().map(|(cost, _)| cost.demand_gbps));
+    let grants = platform.emc.grant(demands);
+    let granted: f64 = grants.iter().sum();
+    slowdowns.clear();
+    let mut dt = f64::INFINITY;
+    for ((cost, remaining), &grant) in active.iter().zip(grants.iter()) {
+        let s = cost.slowdown_under_grant(grant).max(1.0);
+        slowdowns.push(s);
+        dt = dt.min(remaining * s);
+    }
+    (dt, granted)
+}
+
 /// Completion record for one executed item.
 #[derive(Debug, Clone, Copy)]
 pub struct ItemRecord {
@@ -111,16 +140,12 @@ impl Arbiter {
             "virtual-time deadlock: all threads blocked with no active work \
              (circular dependency?)"
         );
-        let demands: Vec<f64> = st.active.iter().map(|a| a.cost.demand_gbps).collect();
-        let grants = self.platform.emc.grant(&demands);
-        let mut dt = f64::INFINITY;
-        let mut slowdowns = Vec::with_capacity(st.active.len());
-        for (a, &g) in st.active.iter().zip(grants.iter()) {
-            let s = a.cost.slowdown_under_grant(g).max(1.0);
-            slowdowns.push(s);
-            dt = dt.min(a.remaining * s);
-        }
-        st.emc_integral += grants.iter().sum::<f64>() * dt;
+        let pairs: Vec<(LayerCost, f64)> =
+            st.active.iter().map(|a| (a.cost, a.remaining)).collect();
+        let mut demands = Vec::new();
+        let mut slowdowns = Vec::new();
+        let (dt, granted) = fluid_step(&self.platform, &pairs, &mut demands, &mut slowdowns);
+        st.emc_integral += granted * dt;
         st.now_ms += dt;
         let now = st.now_ms;
         for (a, &s) in st.active.iter_mut().zip(slowdowns.iter()) {

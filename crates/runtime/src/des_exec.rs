@@ -1,0 +1,311 @@
+//! Deterministic virtual-time schedule execution on the `haxconn-des`
+//! engine.
+//!
+//! Replays the arbiter's semantics — per-PU FIFO occupancy, EMC bandwidth
+//! grants stretching the whole active set, transition flush/reformat steps,
+//! frame-k streaming dependencies — as discrete events on a single thread.
+//! The fluid contention model is piecewise constant between completions, so
+//! one pending `Advance` event (the next completion under the current
+//! grants) is all the event population a run ever needs: settle progress,
+//! retire finished items, release successors, start queued items, and
+//! re-arbitrate.
+//!
+//! Unlike the thread-per-DNN path there are no OS ties to race: items
+//! complete in PU-index order, released work enqueues chain-successor first
+//! and then unblocked tasks in task-index order, and tokens are assigned at
+//! enqueue. Two runs of the same schedule therefore produce bit-identical
+//! reports, and the arithmetic (`remaining -= dt / slowdown`, `now += dt`)
+//! matches the threaded arbiter operation for operation.
+
+use crate::arbiter::{fluid_step, ItemRecord};
+use haxconn_core::measure::to_jobs_with_upstream;
+use haxconn_core::problem::Workload;
+use haxconn_des::{Engine, EventQueue, SimModel, SimTime};
+use haxconn_soc::{Job, LayerCost, Platform, PuId};
+use std::collections::VecDeque;
+
+/// Mode-independent result of one executed run; the public
+/// [`crate::ExecutionReport`] adds the caller-chosen FPS convention.
+pub(crate) struct RawRun {
+    pub task_latency_ms: Vec<f64>,
+    pub makespan_ms: f64,
+    pub pu_busy_ms: Vec<f64>,
+    pub emc_mean_gbps: f64,
+    pub items_executed: usize,
+    pub records: Vec<ItemRecord>,
+}
+
+/// The single event kind: advance to the next item completion.
+pub(crate) struct Advance;
+
+/// An item occupying a PU.
+#[derive(Clone, Copy)]
+struct Running {
+    token: u64,
+    task: usize,
+    cost: LayerCost,
+    /// Remaining work in standalone-equivalent ms.
+    remaining: f64,
+    start_ms: f64,
+}
+
+struct TaskState {
+    upstream: Vec<usize>,
+    frames_done: usize,
+    /// Index into the job's item chain of the item currently queued,
+    /// running, or about to be released.
+    next_item: usize,
+    end_ms: f64,
+    /// Parked waiting for an upstream frame.
+    blocked: bool,
+}
+
+struct DesModel<'a> {
+    platform: &'a Platform,
+    jobs: Vec<Job>,
+    iterations: usize,
+    tasks: Vec<TaskState>,
+    /// Per-PU FIFO of released-but-not-started items: `(token, task)`.
+    ready: Vec<VecDeque<(u64, usize)>>,
+    /// Per-PU occupant.
+    active: Vec<Option<Running>>,
+    /// PU indices of the occupied slots, in PU order (parallel to
+    /// `slowdowns` from the last arbitration).
+    live_pus: Vec<usize>,
+    /// Scratch reused across events so the hot loop does not allocate.
+    pairs: Vec<(LayerCost, f64)>,
+    demands: Vec<f64>,
+    slowdowns: Vec<f64>,
+    /// The `dt` the pending `Advance` was scheduled with — used verbatim to
+    /// settle progress (`remaining -= dt / s`), mirroring the arbiter's
+    /// arithmetic instead of re-deriving the interval from timestamps.
+    pending_dt: f64,
+    granted_gbps: f64,
+    emc_integral: f64,
+    pu_busy_ms: Vec<f64>,
+    records: Vec<ItemRecord>,
+    next_token: u64,
+    /// Items not yet completed across all frames.
+    pending: usize,
+    makespan_ms: f64,
+}
+
+impl DesModel<'_> {
+    /// Whether `task` may start its next frame: every upstream task has
+    /// completed strictly more frames (frame k waits for upstream frame k).
+    fn upstream_satisfied(&self, task: usize) -> bool {
+        let frame = self.tasks[task].frames_done;
+        self.tasks[task]
+            .upstream
+            .iter()
+            .all(|&u| self.tasks[u].frames_done > frame)
+    }
+
+    /// Releases `task`'s `next_item` onto its PU's FIFO, assigning the next
+    /// token (token order is release order, which is deterministic).
+    fn enqueue_next(&mut self, task: usize) {
+        let item = &self.jobs[task].items[self.tasks[task].next_item];
+        let token = self.next_token;
+        self.next_token += 1;
+        self.ready[item.pu].push_back((token, task));
+    }
+}
+
+impl SimModel for DesModel<'_> {
+    type Event = Advance;
+
+    fn handle(&mut self, now: SimTime, _ev: Advance, queue: &mut EventQueue<Advance>) {
+        let now_ms = now.as_ms();
+        // 1. Settle fluid progress over the interval this event was
+        //    scheduled for, under the grants computed then.
+        let dt = self.pending_dt;
+        self.pending_dt = 0.0;
+        if dt > 0.0 {
+            self.emc_integral += self.granted_gbps * dt;
+            for (k, &pu) in self.live_pus.iter().enumerate() {
+                if let Some(item) = self.active[pu].as_mut() {
+                    item.remaining = (item.remaining - dt / self.slowdowns[k]).max(0.0);
+                }
+            }
+        }
+        // 2. Retire finished items in PU order; each completion releases
+        //    the task's chain successor (or its next frame) immediately.
+        for pu in 0..self.active.len() {
+            let finished = match self.active[pu] {
+                Some(item) if item.remaining <= 1e-12 => item,
+                _ => continue,
+            };
+            self.active[pu] = None;
+            self.pending -= 1;
+            self.pu_busy_ms[pu] += now_ms - finished.start_ms;
+            self.makespan_ms = now_ms;
+            self.records.push(ItemRecord {
+                token: finished.token,
+                pu,
+                start_ms: finished.start_ms,
+                end_ms: now_ms,
+            });
+            let t = finished.task;
+            self.tasks[t].next_item += 1;
+            if self.tasks[t].next_item < self.jobs[t].items.len() {
+                self.enqueue_next(t);
+            } else {
+                self.tasks[t].frames_done += 1;
+                if self.tasks[t].frames_done < self.iterations {
+                    self.tasks[t].next_item = 0;
+                    if self.upstream_satisfied(t) {
+                        self.enqueue_next(t);
+                    } else {
+                        self.tasks[t].blocked = true;
+                    }
+                } else {
+                    self.tasks[t].end_ms = now_ms;
+                }
+            }
+        }
+        // 3. Wake parked tasks whose upstream frames arrived, in task-index
+        //    order (the initial event at t=0 seeds every dependency-free
+        //    task through this scan).
+        for t in 0..self.tasks.len() {
+            if self.tasks[t].blocked && self.upstream_satisfied(t) {
+                self.tasks[t].blocked = false;
+                self.enqueue_next(t);
+            }
+        }
+        // 4. Start queued items on free PUs, in PU order.
+        for pu in 0..self.active.len() {
+            if self.active[pu].is_none() {
+                if let Some((token, t)) = self.ready[pu].pop_front() {
+                    let cost = self.jobs[t].items[self.tasks[t].next_item].cost;
+                    self.active[pu] = Some(Running {
+                        token,
+                        task: t,
+                        cost,
+                        remaining: cost.time_ms,
+                        start_ms: now_ms,
+                    });
+                }
+            }
+        }
+        // 5. Re-arbitrate EMC bandwidth over the (possibly changed) active
+        //    set and schedule the next completion.
+        self.live_pus.clear();
+        self.pairs.clear();
+        for (pu, slot) in self.active.iter().enumerate() {
+            if let Some(item) = slot {
+                self.live_pus.push(pu);
+                self.pairs.push((item.cost, item.remaining));
+            }
+        }
+        if self.pairs.is_empty() {
+            assert!(
+                self.pending == 0,
+                "virtual-time deadlock: no runnable work with {} items pending \
+                 (circular dependency?)",
+                self.pending
+            );
+            self.granted_gbps = 0.0;
+            return;
+        }
+        let (dt, granted) = fluid_step(
+            self.platform,
+            &self.pairs,
+            &mut self.demands,
+            &mut self.slowdowns,
+        );
+        self.granted_gbps = granted;
+        self.pending_dt = dt;
+        queue.schedule(now + SimTime::from_ms(dt), Advance);
+    }
+}
+
+/// Reusable DES execution driver: recycles the engine's event-queue
+/// allocation across runs (via [`Engine::with_queue`] / `into_parts`), which
+/// is what the fleet evaluator's per-worker loop relies on. Reuse never
+/// changes results — a reset queue behaves exactly like a fresh one.
+pub(crate) struct DesRunner {
+    queue: Option<EventQueue<Advance>>,
+}
+
+impl DesRunner {
+    pub(crate) fn new() -> Self {
+        DesRunner { queue: None }
+    }
+
+    /// Executes `assignment` for `iterations` frames per task and returns
+    /// the run metrics. Deterministic: same inputs, bit-identical output.
+    pub(crate) fn run(
+        &mut self,
+        platform: &Platform,
+        workload: &Workload,
+        assignment: &[Vec<PuId>],
+        iterations: usize,
+    ) -> RawRun {
+        assert!(iterations >= 1);
+        let (jobs, _, upstream) = to_jobs_with_upstream(workload, assignment);
+        let pending: usize = jobs.iter().map(|j| j.items.len()).sum::<usize>() * iterations;
+        let n_pus = platform.pus.len();
+        let tasks = upstream
+            .into_iter()
+            .map(|ups| TaskState {
+                upstream: ups,
+                frames_done: 0,
+                next_item: 0,
+                end_ms: 0.0,
+                blocked: true,
+            })
+            .collect();
+        let model = DesModel {
+            platform,
+            jobs,
+            iterations,
+            tasks,
+            ready: vec![VecDeque::new(); n_pus],
+            active: vec![None; n_pus],
+            live_pus: Vec::with_capacity(n_pus),
+            pairs: Vec::with_capacity(n_pus),
+            demands: Vec::with_capacity(n_pus),
+            slowdowns: Vec::with_capacity(n_pus),
+            pending_dt: 0.0,
+            granted_gbps: 0.0,
+            emc_integral: 0.0,
+            pu_busy_ms: vec![0.0; n_pus],
+            records: Vec::with_capacity(pending),
+            next_token: 0,
+            pending,
+            makespan_ms: 0.0,
+        };
+        let mut engine = match self.queue.take() {
+            Some(q) => Engine::with_queue(model, q),
+            None => Engine::with_capacity(model, 4),
+        };
+        engine.schedule(SimTime::ZERO, Advance);
+        engine.run();
+        let (m, q) = engine.into_parts();
+        self.queue = Some(q);
+        assert!(m.pending == 0, "DES run drained with items pending");
+        let emc_mean_gbps = if m.makespan_ms > 0.0 {
+            m.emc_integral / m.makespan_ms
+        } else {
+            0.0
+        };
+        RawRun {
+            task_latency_ms: m.tasks.iter().map(|t| t.end_ms).collect(),
+            makespan_ms: m.makespan_ms,
+            pu_busy_ms: m.pu_busy_ms,
+            emc_mean_gbps,
+            items_executed: m.records.len(),
+            records: m.records,
+        }
+    }
+}
+
+/// One-shot convenience wrapper around [`DesRunner`].
+pub(crate) fn run_raw(
+    platform: &Platform,
+    workload: &Workload,
+    assignment: &[Vec<PuId>],
+    iterations: usize,
+) -> RawRun {
+    DesRunner::new().run(platform, workload, assignment, iterations)
+}

@@ -1,11 +1,29 @@
-//! Thread-per-DNN schedule execution on top of the [`crate::Arbiter`].
+//! Schedule execution: deterministic DES replay by default, with the
+//! thread-per-DNN arbiter path kept behind [`ExecMode`] for differential
+//! testing.
 
 use crate::arbiter::{Arbiter, ItemRecord};
-use haxconn_core::measure::to_jobs;
+use crate::des_exec::{self, RawRun};
+use haxconn_core::measure::to_jobs_with_upstream;
 use haxconn_core::problem::Workload;
 use haxconn_soc::{Platform, PuId};
 use std::sync::Arc;
 use std::thread;
+
+/// How a schedule is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Single-threaded virtual-time replay on the `haxconn-des` engine.
+    /// Bit-deterministic: the same schedule always yields a byte-identical
+    /// [`ExecutionReport`]. The default.
+    #[default]
+    Des,
+    /// One real OS thread per DNN task, coordinated through the
+    /// mutex/condvar [`Arbiter`]. Exercises real synchronization; equal
+    /// virtual-time ties resolve in OS scheduling order, so repeated runs
+    /// may differ within the tolerances the tests document.
+    Threaded,
+}
 
 /// Timings observed by the concurrent executor.
 #[derive(Debug, Clone)]
@@ -24,16 +42,54 @@ pub struct ExecutionReport {
     /// Number of work items executed (layer groups + transition steps).
     pub items_executed: usize,
     /// Per-item completion records in completion order (token, PU,
-    /// start/end) — raw material for Gantt charts and traces of the
-    /// threaded run.
+    /// start/end) — raw material for Gantt charts and traces.
     pub records: Vec<ItemRecord>,
 }
 
+/// Aggregate single-shot FPS: each task contributes `1000 / latency`.
+/// Degenerate latencies (zero-cost tasks, non-finite values) are skipped so
+/// the aggregate stays finite instead of blowing up to `inf`.
+fn aggregate_fps(task_latency_ms: &[f64]) -> f64 {
+    task_latency_ms
+        .iter()
+        .filter(|l| l.is_finite() && **l > 0.0)
+        .map(|l| 1000.0 / *l)
+        .sum()
+}
+
+/// Steady-state loop FPS: frames completed per second of virtual time.
+fn loop_fps(iterations: usize, tasks: usize, makespan_ms: f64) -> f64 {
+    if makespan_ms > 0.0 && makespan_ms.is_finite() {
+        1000.0 * (iterations * tasks) as f64 / makespan_ms
+    } else {
+        0.0
+    }
+}
+
+impl RawRun {
+    fn into_report(self, fps: f64) -> ExecutionReport {
+        ExecutionReport {
+            task_latency_ms: self.task_latency_ms,
+            makespan_ms: self.makespan_ms,
+            fps,
+            pu_busy_ms: self.pu_busy_ms,
+            emc_mean_gbps: self.emc_mean_gbps,
+            items_executed: self.items_executed,
+            records: self.records,
+        }
+    }
+}
+
+/// Upper bound on per-item spans emitted per run; `execute_loop` with
+/// thousands of frames would otherwise dominate flush cost. The overflow is
+/// counted in `runtime.spans_truncated`.
+const MAX_ITEM_SPANS: usize = 512;
+
 /// Flushes one executor run into the telemetry recorder: run/item counters,
 /// the makespan distribution, aggregate EMC traffic and per-PU occupancy
-/// (busy fraction of the makespan) plus one span per PU's busy time on a
-/// `runtime.pu` track.
-fn flush_execution_telemetry(kind: &str, platform: &Platform, report: &ExecutionReport) {
+/// (busy fraction of the makespan) plus one span per item record (capped at
+/// [`MAX_ITEM_SPANS`]) on a `runtime.items` track.
+pub(crate) fn flush_execution_telemetry(kind: &str, platform: &Platform, report: &ExecutionReport) {
     if !haxconn_telemetry::enabled() {
         return;
     }
@@ -55,7 +111,8 @@ fn flush_execution_telemetry(kind: &str, platform: &Platform, report: &Execution
     // Item records become spans relative to the flush instant so they line
     // up as one contiguous virtual-time window per run.
     let base = t::clock_ms() - report.makespan_ms;
-    for r in &report.records {
+    let emit = report.records.len().min(MAX_ITEM_SPANS);
+    for r in &report.records[..emit] {
         t::span_event(
             "runtime.items",
             &platform.pus[r.pu].name,
@@ -63,24 +120,23 @@ fn flush_execution_telemetry(kind: &str, platform: &Platform, report: &Execution
             r.end_ms - r.start_ms,
         );
     }
+    let truncated = report.records.len() - emit;
+    if truncated > 0 {
+        t::counter_add("runtime.spans_truncated", truncated as u64);
+    }
 }
 
-/// Executes `assignment` on `platform` with one real thread per DNN task,
-/// coordinated in virtual time.
-///
-/// The worker threads perform the same flush/reformat transition steps the
-/// paper implements with TensorRT `MarkOutput`/`addInput`, and synchronize
-/// streaming dependencies through the arbiter's shared-memory primitives
-/// (the role of the paper's custom TensorRT plugin).
-pub fn execute(
+/// Runs the workload with one real thread per DNN task coordinated in
+/// virtual time. `iterations: None` is the single-shot setting (each task
+/// waits for its upstream tasks to *finish*); `Some(n)` is the continuous
+/// loop (frame k waits for the producers' frame k, then free-runs).
+fn run_threaded(
     platform: &Platform,
     workload: &Workload,
     assignment: &[Vec<PuId>],
-) -> ExecutionReport {
-    let (jobs, _) = to_jobs(workload, assignment);
-    let upstream: Vec<Vec<usize>> = (0..workload.tasks.len())
-        .map(|t| workload.upstream(t))
-        .collect();
+    iterations: Option<usize>,
+) -> RawRun {
+    let (jobs, _, upstream) = to_jobs_with_upstream(workload, assignment);
     let arbiter = Arc::new(Arbiter::new(platform.clone(), jobs.len()));
 
     let mut handles = Vec::with_capacity(jobs.len());
@@ -88,13 +144,28 @@ pub fn execute(
         let arbiter = Arc::clone(&arbiter);
         let ups = upstream[t].clone();
         handles.push(thread::spawn(move || {
-            arbiter.wait_for_tasks(&ups);
             let mut executed = 0usize;
             let mut end = 0.0f64;
-            for item in &job.items {
-                let (token, _start) = arbiter.start_item(item.pu, item.cost);
-                end = arbiter.finish_item(token);
-                executed += 1;
+            match iterations {
+                None => {
+                    arbiter.wait_for_tasks(&ups);
+                    for item in &job.items {
+                        let (token, _start) = arbiter.start_item(item.pu, item.cost);
+                        end = arbiter.finish_item(token);
+                        executed += 1;
+                    }
+                }
+                Some(n) => {
+                    for frame in 0..n {
+                        arbiter.wait_for_frame(&ups, frame);
+                        for item in &job.items {
+                            let (token, _start) = arbiter.start_item(item.pu, item.cost);
+                            end = arbiter.finish_item(token);
+                            executed += 1;
+                        }
+                        arbiter.frame_finished(t);
+                    }
+                }
             }
             arbiter.task_finished(t);
             (end, executed)
@@ -110,79 +181,114 @@ pub fn execute(
     }
     let arbiter = Arc::try_unwrap(arbiter).ok().expect("all workers joined");
     let (makespan_ms, pu_busy_ms, emc_mean_gbps, records) = arbiter.into_report();
-    let fps = task_latency_ms.iter().map(|&t| 1000.0 / t).sum();
-    let report = ExecutionReport {
+    RawRun {
         task_latency_ms,
         makespan_ms,
-        fps,
         pu_busy_ms,
         emc_mean_gbps,
         items_executed,
         records,
+    }
+}
+
+/// Runs one fleet scenario on a caller-owned [`DesRunner`] (so the fleet's
+/// per-worker event-queue allocation is reused) and applies the same FPS
+/// convention as `execute` / `execute_loop`: `iterations == 1` is the
+/// single-shot setting, anything larger the continuous loop.
+pub(crate) fn run_scenario(
+    runner: &mut crate::des_exec::DesRunner,
+    platform: &Platform,
+    workload: &Workload,
+    assignment: &[Vec<PuId>],
+    iterations: usize,
+    mode: ExecMode,
+) -> ExecutionReport {
+    assert!(iterations >= 1);
+    let raw = match mode {
+        ExecMode::Des => runner.run(platform, workload, assignment, iterations),
+        ExecMode::Threaded => {
+            let frames = if iterations == 1 {
+                None
+            } else {
+                Some(iterations)
+            };
+            run_threaded(platform, workload, assignment, frames)
+        }
     };
+    let fps = if iterations == 1 {
+        aggregate_fps(&raw.task_latency_ms)
+    } else {
+        loop_fps(iterations, raw.task_latency_ms.len(), raw.makespan_ms)
+    };
+    raw.into_report(fps)
+}
+
+/// Executes `assignment` on `platform` in the default [`ExecMode::Des`].
+///
+/// The run performs the same flush/reformat transition steps the paper
+/// implements with TensorRT `MarkOutput`/`addInput`, and enforces streaming
+/// dependencies between tasks (the role of the paper's custom TensorRT
+/// plugin).
+pub fn execute(
+    platform: &Platform,
+    workload: &Workload,
+    assignment: &[Vec<PuId>],
+) -> ExecutionReport {
+    execute_with(platform, workload, assignment, ExecMode::default())
+}
+
+/// [`execute`] with an explicit execution mode.
+pub fn execute_with(
+    platform: &Platform,
+    workload: &Workload,
+    assignment: &[Vec<PuId>],
+    mode: ExecMode,
+) -> ExecutionReport {
+    let raw = match mode {
+        ExecMode::Des => des_exec::run_raw(platform, workload, assignment, 1),
+        ExecMode::Threaded => run_threaded(platform, workload, assignment, None),
+    };
+    let fps = aggregate_fps(&raw.task_latency_ms);
+    let report = raw.into_report(fps);
     flush_execution_telemetry("runtime.runs.single", platform, &report);
     report
 }
 
 /// Executes `assignment` continuously for `iterations` frames per task —
 /// the autonomous-loop setting of the paper ("workloads running
-/// concurrently and *continuously*"). Each worker thread re-runs its DNN
-/// chain back-to-back; steady-state throughput emerges from the PU queues.
+/// concurrently and *continuously*") — in the default [`ExecMode::Des`].
+/// Each task re-runs its DNN chain back-to-back; steady-state throughput
+/// emerges from the PU queues.
 pub fn execute_loop(
     platform: &Platform,
     workload: &Workload,
     assignment: &[Vec<PuId>],
     iterations: usize,
 ) -> ExecutionReport {
+    execute_loop_with(
+        platform,
+        workload,
+        assignment,
+        iterations,
+        ExecMode::default(),
+    )
+}
+
+/// [`execute_loop`] with an explicit execution mode.
+pub fn execute_loop_with(
+    platform: &Platform,
+    workload: &Workload,
+    assignment: &[Vec<PuId>],
+    iterations: usize,
+    mode: ExecMode,
+) -> ExecutionReport {
     assert!(iterations >= 1);
-    let (jobs, _) = to_jobs(workload, assignment);
-    let upstream: Vec<Vec<usize>> = (0..workload.tasks.len())
-        .map(|t| workload.upstream(t))
-        .collect();
-    let arbiter = Arc::new(Arbiter::new(platform.clone(), jobs.len()));
-
-    let mut handles = Vec::with_capacity(jobs.len());
-    for (t, job) in jobs.into_iter().enumerate() {
-        let arbiter = Arc::clone(&arbiter);
-        let ups = upstream[t].clone();
-        handles.push(thread::spawn(move || {
-            let mut executed = 0usize;
-            let mut end = 0.0f64;
-            for frame in 0..iterations {
-                // Frame k waits for its producers' frame k, then free-runs.
-                arbiter.wait_for_frame(&ups, frame);
-                for item in &job.items {
-                    let (token, _start) = arbiter.start_item(item.pu, item.cost);
-                    end = arbiter.finish_item(token);
-                    executed += 1;
-                }
-                arbiter.frame_finished(t);
-            }
-            arbiter.task_finished(t);
-            (end, executed)
-        }));
-    }
-
-    let mut task_latency_ms = Vec::with_capacity(handles.len());
-    let mut items_executed = 0usize;
-    for h in handles {
-        let (end, n) = h.join().expect("worker thread panicked");
-        task_latency_ms.push(end);
-        items_executed += n;
-    }
-    let arbiter = Arc::try_unwrap(arbiter).ok().expect("all workers joined");
-    let (makespan_ms, pu_busy_ms, emc_mean_gbps, records) = arbiter.into_report();
-    // Steady-state FPS: frames completed per second of wall (virtual) time.
-    let fps = 1000.0 * (iterations * task_latency_ms.len()) as f64 / makespan_ms;
-    let report = ExecutionReport {
-        task_latency_ms,
-        makespan_ms,
-        fps,
-        pu_busy_ms,
-        emc_mean_gbps,
-        items_executed,
-        records,
+    let raw = match mode {
+        ExecMode::Des => des_exec::run_raw(platform, workload, assignment, iterations),
+        ExecMode::Threaded => run_threaded(platform, workload, assignment, Some(iterations)),
     };
+    let fps = loop_fps(iterations, raw.task_latency_ms.len(), raw.makespan_ms);
+    let report = raw.into_report(fps);
     flush_execution_telemetry("runtime.runs.loop", platform, &report);
     report
 }
@@ -208,18 +314,45 @@ mod tests {
         (p, Workload::concurrent(tasks))
     }
 
+    /// Byte-level equality of two reports (bit patterns of every float).
+    fn bit_identical(a: &ExecutionReport, b: &ExecutionReport) -> bool {
+        let f = |x: f64, y: f64| x.to_bits() == y.to_bits();
+        f(a.makespan_ms, b.makespan_ms)
+            && f(a.fps, b.fps)
+            && f(a.emc_mean_gbps, b.emc_mean_gbps)
+            && a.items_executed == b.items_executed
+            && a.task_latency_ms.len() == b.task_latency_ms.len()
+            && a.task_latency_ms
+                .iter()
+                .zip(&b.task_latency_ms)
+                .all(|(x, y)| f(*x, *y))
+            && a.pu_busy_ms
+                .iter()
+                .zip(&b.pu_busy_ms)
+                .all(|(x, y)| f(*x, *y))
+            && a.records.len() == b.records.len()
+            && a.records.iter().zip(&b.records).all(|(x, y)| {
+                x.token == y.token
+                    && x.pu == y.pu
+                    && f(x.start_ms, y.start_ms)
+                    && f(x.end_ms, y.end_ms)
+            })
+    }
+
     #[test]
     fn single_task_matches_simulator_exactly() {
         let (p, w) = setup(&[Model::ResNet50]);
         let a = Baseline::assignment(BaselineKind::GpuOnly, &p, &w);
         let sim = measure(&p, &w, &a);
-        let run = execute(&p, &w, &a);
-        assert!(
-            (run.makespan_ms - sim.latency_ms).abs() < 1e-6,
-            "threaded {} vs simulated {}",
-            run.makespan_ms,
-            sim.latency_ms
-        );
+        for mode in [ExecMode::Des, ExecMode::Threaded] {
+            let run = execute_with(&p, &w, &a, mode);
+            assert!(
+                (run.makespan_ms - sim.latency_ms).abs() < 1e-6,
+                "{mode:?} {} vs simulated {}",
+                run.makespan_ms,
+                sim.latency_ms
+            );
+        }
     }
 
     #[test]
@@ -234,7 +367,7 @@ mod tests {
         let rel = (run.makespan_ms - sim.latency_ms).abs() / sim.latency_ms;
         assert!(
             rel < 0.20,
-            "threaded {} vs simulated {} (rel {rel})",
+            "executed {} vs simulated {} (rel {rel})",
             run.makespan_ms,
             sim.latency_ms
         );
@@ -255,10 +388,43 @@ mod tests {
         let rel = (run.makespan_ms - sim.latency_ms).abs() / sim.latency_ms;
         assert!(
             rel < 0.10,
-            "threaded {} vs simulated {} (rel {rel})",
+            "executed {} vs simulated {} (rel {rel})",
             run.makespan_ms,
             sim.latency_ms
         );
+    }
+
+    #[test]
+    fn des_and_threaded_agree_within_tolerance() {
+        let (p, w) = setup(&[Model::GoogleNet, Model::ResNet101]);
+        let cm = ContentionModel::calibrate(&p);
+        let s = HaxConn::schedule(&p, &w, &cm, SchedulerConfig::default());
+        let des = execute_with(&p, &w, &s.assignment, ExecMode::Des);
+        let thr = execute_with(&p, &w, &s.assignment, ExecMode::Threaded);
+        let rel = (des.makespan_ms - thr.makespan_ms).abs() / thr.makespan_ms;
+        assert!(
+            rel < 0.10,
+            "DES {} vs threaded {} (rel {rel})",
+            des.makespan_ms,
+            thr.makespan_ms
+        );
+        assert_eq!(des.items_executed, thr.items_executed);
+    }
+
+    #[test]
+    fn des_loop_and_threaded_loop_agree_within_tolerance() {
+        let (p, w) = setup(&[Model::GoogleNet, Model::ResNet18]);
+        let a = Baseline::assignment(BaselineKind::NaiveSplit, &p, &w);
+        let des = execute_loop_with(&p, &w, &a, 4, ExecMode::Des);
+        let thr = execute_loop_with(&p, &w, &a, 4, ExecMode::Threaded);
+        let rel = (des.makespan_ms - thr.makespan_ms).abs() / thr.makespan_ms;
+        assert!(
+            rel < 0.20,
+            "DES {} vs threaded {} (rel {rel})",
+            des.makespan_ms,
+            thr.makespan_ms
+        );
+        assert_eq!(des.items_executed, thr.items_executed);
     }
 
     #[test]
@@ -270,21 +436,37 @@ mod tests {
         ];
         let w = Workload::pipeline(tasks);
         let a = Baseline::assignment(BaselineKind::GpuOnly, &p, &w);
-        let run = execute(&p, &w, &a);
-        let t0 = w.tasks[0].profile.standalone_ms(p.gpu()).unwrap();
-        assert!(run.task_latency_ms[1] >= run.task_latency_ms[0] - 1e-9);
-        assert!(run.task_latency_ms[0] >= t0 - 1e-6);
+        for mode in [ExecMode::Des, ExecMode::Threaded] {
+            let run = execute_with(&p, &w, &a, mode);
+            let t0 = w.tasks[0].profile.standalone_ms(p.gpu()).unwrap();
+            assert!(run.task_latency_ms[1] >= run.task_latency_ms[0] - 1e-9);
+            assert!(run.task_latency_ms[0] >= t0 - 1e-6);
+        }
     }
 
     #[test]
     fn repeated_runs_consistent_makespan() {
+        // The DES executor is bit-deterministic: repeated runs of the same
+        // schedule are exactly equal, not just within a tolerance.
+        let (p, w) = setup(&[Model::GoogleNet, Model::ResNet101]);
+        let cm = ContentionModel::calibrate(&p);
+        let s = HaxConn::schedule(&p, &w, &cm, SchedulerConfig::default());
+        let first = execute(&p, &w, &s.assignment);
+        for _ in 0..3 {
+            let again = execute(&p, &w, &s.assignment);
+            assert!(bit_identical(&first, &again));
+        }
+    }
+
+    #[test]
+    fn threaded_repeated_runs_consistent_makespan() {
         // OS scheduling may reorder equal-time ties, but the makespan of a
         // HaX-CoNN schedule (no deliberate same-PU queuing) is stable.
         let (p, w) = setup(&[Model::GoogleNet, Model::ResNet101]);
         let cm = ContentionModel::calibrate(&p);
         let s = HaxConn::schedule(&p, &w, &cm, SchedulerConfig::default());
         let runs: Vec<f64> = (0..4)
-            .map(|_| execute(&p, &w, &s.assignment).makespan_ms)
+            .map(|_| execute_with(&p, &w, &s.assignment, ExecMode::Threaded).makespan_ms)
             .collect();
         let min = runs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = runs.iter().cloned().fold(0.0f64, f64::max);
@@ -303,18 +485,20 @@ mod tests {
         ];
         let w = Workload::pipeline(tasks);
         let a = Baseline::assignment(BaselineKind::NaiveSplit, &p, &w);
-        let one = execute_loop(&p, &w, &a, 1);
-        let many = execute_loop(&p, &w, &a, 6);
-        assert!(
-            many.makespan_ms < 6.0 * one.makespan_ms * 0.95,
-            "no cross-frame overlap: {} vs 6x{}",
-            many.makespan_ms,
-            one.makespan_ms
-        );
-        assert!(many.makespan_ms >= one.makespan_ms);
-        assert_eq!(many.items_executed, 6 * one.items_executed);
-        // Steady-state throughput beats the single-shot throughput.
-        assert!(many.fps > one.fps, "{} vs {}", many.fps, one.fps);
+        for mode in [ExecMode::Des, ExecMode::Threaded] {
+            let one = execute_loop_with(&p, &w, &a, 1, mode);
+            let many = execute_loop_with(&p, &w, &a, 6, mode);
+            assert!(
+                many.makespan_ms < 6.0 * one.makespan_ms * 0.95,
+                "{mode:?}: no cross-frame overlap: {} vs 6x{}",
+                many.makespan_ms,
+                one.makespan_ms
+            );
+            assert!(many.makespan_ms >= one.makespan_ms);
+            assert_eq!(many.items_executed, 6 * one.items_executed);
+            // Steady-state throughput beats the single-shot throughput.
+            assert!(many.fps > one.fps, "{mode:?}: {} vs {}", many.fps, one.fps);
+        }
     }
 
     #[test]
@@ -331,15 +515,17 @@ mod tests {
     fn records_cover_every_item() {
         let (p, w) = setup(&[Model::GoogleNet, Model::ResNet18]);
         let a = Baseline::assignment(BaselineKind::NaiveSplit, &p, &w);
-        let run = execute(&p, &w, &a);
-        assert_eq!(run.records.len(), run.items_executed);
-        // Records are in completion order with sane intervals.
-        let mut prev = 0.0;
-        for r in &run.records {
-            assert!(r.end_ms >= r.start_ms);
-            assert!(r.end_ms >= prev - 1e-9);
-            prev = r.end_ms;
-            assert!(r.pu < p.pus.len());
+        for mode in [ExecMode::Des, ExecMode::Threaded] {
+            let run = execute_with(&p, &w, &a, mode);
+            assert_eq!(run.records.len(), run.items_executed);
+            // Records are in completion order with sane intervals.
+            let mut prev = 0.0;
+            for r in &run.records {
+                assert!(r.end_ms >= r.start_ms);
+                assert!(r.end_ms >= prev - 1e-9, "{mode:?}");
+                prev = r.end_ms;
+                assert!(r.pu < p.pus.len());
+            }
         }
     }
 
@@ -350,6 +536,17 @@ mod tests {
         let run = execute(&p, &w, &a);
         assert_eq!(run.task_latency_ms.len(), 3);
         assert!(run.fps > 0.0);
+        assert!(run.fps.is_finite());
         assert!(run.emc_mean_gbps > 0.0);
+    }
+
+    #[test]
+    fn fps_guard_skips_degenerate_latencies() {
+        assert_eq!(aggregate_fps(&[]), 0.0);
+        let fps = aggregate_fps(&[0.0, 10.0, f64::INFINITY, f64::NAN]);
+        assert!((fps - 100.0).abs() < 1e-9);
+        assert!(fps.is_finite());
+        assert_eq!(loop_fps(5, 2, 0.0), 0.0);
+        assert!((loop_fps(5, 2, 100.0) - 100.0).abs() < 1e-9);
     }
 }

@@ -1,0 +1,280 @@
+//! Batched fleet evaluation: fan many (workload, assignment, iterations)
+//! scenarios across a worker pool of reusable DES runners.
+//!
+//! The paper's evaluation — and D-HaX-CoNN in particular — needs cheap
+//! measurement of many candidate schedules under concurrent execution.
+//! Spawning one OS thread per DNN per candidate (the threaded path) is far
+//! too slow for that; here each pool worker owns a single [`DesRunner`]
+//! whose event-queue allocation is recycled across every scenario it pulls
+//! from the shared cursor. Scenario results are bit-deterministic and
+//! independent of the worker count, so fleet evaluation parallelism never
+//! changes reported numbers.
+
+use crate::des_exec::DesRunner;
+use crate::executor::{run_scenario, ExecMode, ExecutionReport};
+use haxconn_core::problem::Workload;
+use haxconn_soc::{Platform, PuId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Worker threads to use when the caller does not pin a count.
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, preserving
+/// order: scoped workers pull indices from a shared atomic cursor, so
+/// long-running items load-balance just like a work-stealing pool on these
+/// embarrassingly parallel sweeps.
+pub fn par_map_with<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(items.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let out: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *out[i].lock().expect("slot lock") = Some(f(&items[i]));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.into_inner().expect("slot lock").expect("slot filled"))
+        .collect()
+}
+
+/// Maps `f` over `items` on all available CPUs, preserving order.
+///
+/// Stand-in for rayon's `par_iter().map().collect()` (the offline build
+/// cannot fetch rayon — README § Offline builds).
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    par_map_with(items, available_threads(), f)
+}
+
+/// One scenario of a fleet evaluation.
+pub struct FleetScenario<'a> {
+    /// Workload to execute (borrowed — many scenarios typically share one
+    /// profiled workload and differ only in assignment).
+    pub workload: &'a Workload,
+    /// Per-task, per-group PU assignment.
+    pub assignment: Vec<Vec<PuId>>,
+    /// Frames per task: `1` is the single-shot setting of `execute`,
+    /// anything larger the continuous loop of `execute_loop`.
+    pub iterations: usize,
+}
+
+/// Options for [`evaluate_fleet`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetOptions {
+    /// How each scenario is executed. [`ExecMode::Des`] (the default) is
+    /// the fast deterministic path; [`ExecMode::Threaded`] exists for
+    /// differential benchmarking.
+    pub mode: ExecMode,
+    /// Worker-pool size (`None` = all available CPUs).
+    pub threads: Option<usize>,
+}
+
+/// Result of one [`evaluate_fleet`] batch.
+pub struct FleetReport {
+    /// One report per scenario, in input order. In DES mode these are
+    /// bit-identical across repeated batches and worker counts.
+    pub reports: Vec<ExecutionReport>,
+    /// Wall-clock time of the whole batch, ms.
+    pub wall_ms: f64,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
+impl FleetReport {
+    /// Scenarios evaluated per wall-clock second.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            1000.0 * self.reports.len() as f64 / self.wall_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Evaluates `scenarios` on `platform` across the `par_map` worker pool.
+///
+/// Each worker owns one [`DesRunner`] so the DES engine's event-queue
+/// allocation is recycled across all scenarios it executes; per-scenario
+/// telemetry (wall time, makespan, a scenario counter) is recorded when the
+/// telemetry recorder is installed.
+pub fn evaluate_fleet(
+    platform: &Platform,
+    scenarios: &[FleetScenario],
+    opts: FleetOptions,
+) -> FleetReport {
+    let started = Instant::now();
+    let workers = opts
+        .threads
+        .unwrap_or_else(available_threads)
+        .max(1)
+        .min(scenarios.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ExecutionReport>>> =
+        scenarios.iter().map(|_| Mutex::new(None)).collect();
+    let worker_ids: Vec<usize> = (0..workers).collect();
+    par_map_with(&worker_ids, workers, |_| {
+        let mut runner = DesRunner::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= scenarios.len() {
+                break;
+            }
+            let sc = &scenarios[i];
+            let t0 = Instant::now();
+            let report = run_scenario(
+                &mut runner,
+                platform,
+                sc.workload,
+                &sc.assignment,
+                sc.iterations,
+                opts.mode,
+            );
+            if haxconn_telemetry::enabled() {
+                use haxconn_telemetry as t;
+                t::counter_add("runtime.fleet.scenarios", 1);
+                t::histogram_record(
+                    "runtime.fleet.scenario_wall_ms",
+                    t0.elapsed().as_secs_f64() * 1e3,
+                );
+                t::histogram_record("runtime.fleet.makespan_ms", report.makespan_ms);
+            }
+            *slots[i].lock().expect("slot lock") = Some(report);
+        }
+    });
+    let reports: Vec<ExecutionReport> = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot lock").expect("slot filled"))
+        .collect();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    if haxconn_telemetry::enabled() {
+        use haxconn_telemetry as t;
+        t::counter_add("runtime.fleet.batches", 1);
+        t::histogram_record("runtime.fleet.batch_wall_ms", wall_ms);
+    }
+    FleetReport {
+        reports,
+        wall_ms,
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haxconn_core::baselines::{Baseline, BaselineKind};
+    use haxconn_core::problem::DnnTask;
+    use haxconn_dnn::Model;
+    use haxconn_profiler::NetworkProfile;
+    use haxconn_soc::orin_agx;
+
+    fn setup() -> (Platform, Workload) {
+        let p = orin_agx();
+        let tasks = [Model::GoogleNet, Model::ResNet18]
+            .iter()
+            .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 6)))
+            .collect();
+        (p, Workload::concurrent(tasks))
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, |&i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(par_map_with(&items, 0, |&i| i).len() == 100); // clamps to 1
+        let empty: Vec<usize> = vec![];
+        assert!(par_map(&empty, |&i: &usize| i).is_empty());
+    }
+
+    #[test]
+    fn fleet_reports_match_direct_execution_bit_for_bit() {
+        let (p, w) = setup();
+        let scenarios: Vec<FleetScenario> = BaselineKind::all()
+            .iter()
+            .map(|&kind| FleetScenario {
+                workload: &w,
+                assignment: Baseline::assignment(kind, &p, &w),
+                iterations: 1,
+            })
+            .collect();
+        let fleet = evaluate_fleet(&p, &scenarios, FleetOptions::default());
+        assert_eq!(fleet.reports.len(), scenarios.len());
+        assert!(fleet.workers >= 1);
+        for (sc, got) in scenarios.iter().zip(&fleet.reports) {
+            let direct = crate::execute(&p, sc.workload, &sc.assignment);
+            assert_eq!(got.makespan_ms.to_bits(), direct.makespan_ms.to_bits());
+            assert_eq!(got.fps.to_bits(), direct.fps.to_bits());
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let (p, w) = setup();
+        let a = Baseline::assignment(BaselineKind::NaiveSplit, &p, &w);
+        let scenarios: Vec<FleetScenario> = (0..8)
+            .map(|i| FleetScenario {
+                workload: &w,
+                assignment: a.clone(),
+                iterations: 1 + i % 3,
+            })
+            .collect();
+        let one = evaluate_fleet(
+            &p,
+            &scenarios,
+            FleetOptions {
+                threads: Some(1),
+                ..Default::default()
+            },
+        );
+        let four = evaluate_fleet(
+            &p,
+            &scenarios,
+            FleetOptions {
+                threads: Some(4),
+                ..Default::default()
+            },
+        );
+        for (r1, r4) in one.reports.iter().zip(&four.reports) {
+            assert_eq!(r1.makespan_ms.to_bits(), r4.makespan_ms.to_bits());
+            assert_eq!(r1.items_executed, r4.items_executed);
+        }
+    }
+
+    #[test]
+    fn threaded_mode_runs_every_scenario() {
+        let (p, w) = setup();
+        let a = Baseline::assignment(BaselineKind::GpuOnly, &p, &w);
+        let scenarios: Vec<FleetScenario> = (0..3)
+            .map(|_| FleetScenario {
+                workload: &w,
+                assignment: a.clone(),
+                iterations: 1,
+            })
+            .collect();
+        let fleet = evaluate_fleet(
+            &p,
+            &scenarios,
+            FleetOptions {
+                mode: ExecMode::Threaded,
+                threads: Some(2),
+            },
+        );
+        assert_eq!(fleet.reports.len(), 3);
+        assert!(fleet.reports.iter().all(|r| r.makespan_ms > 0.0));
+    }
+}

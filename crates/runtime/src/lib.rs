@@ -5,29 +5,40 @@
 //! The paper executes schedules with one TensorRT context per DNN and a
 //! custom plugin that synchronizes concurrently running DNNs through
 //! inter-process shared-memory primitives. This crate reproduces that
-//! concurrency structure in real threads:
+//! concurrency structure in two interchangeable ways, selected by
+//! [`executor::ExecMode`]:
 //!
-//! * one worker **thread per DNN task** executes its chain of layer groups
-//!   (and transition flush/reformat steps) in order,
-//! * a central [`arbiter::Arbiter`] — a `parking_lot` mutex + condvar —
-//!   provides per-accelerator mutual exclusion (FIFO), streaming
-//!   dependencies between tasks, and **virtual time**: when every live
-//!   thread is blocked, the last one to block advances the clock to the
-//!   next completion under the SoC's EMC bandwidth arbitration (the same
-//!   fluid contention model as the ground-truth simulator),
-//! * the result is an [`executor::ExecutionReport`] whose timings agree
-//!   with the sequential simulator (`haxconn_core::measure`) up to
-//!   equal-time tie-breaking.
+//! * **DES replay** (the default): [`des_exec`] replays the same per-item
+//!   semantics — per-PU FIFO occupancy, EMC bandwidth grants stretching the
+//!   active set, transition flush/reformat steps, frame-k streaming
+//!   dependencies — as discrete events on the `haxconn-des` engine.
+//!   Single-threaded, allocation-light, and **bit-deterministic**: the
+//!   same schedule always produces a byte-identical report.
+//! * **Threaded**: one worker **thread per DNN task** coordinated by the
+//!   [`arbiter::Arbiter`] — a `parking_lot` mutex + condvar providing
+//!   per-accelerator mutual exclusion (FIFO), streaming dependencies, and
+//!   virtual time advanced at quiescence. Exercises real synchronization;
+//!   equal-time ties resolve in OS scheduling order.
 //!
-//! This gives the repository a faithful runtime layer: schedules are not
-//! just predicted but *executed* by concurrent code with real
-//! synchronization, which is what the integration tests and several
-//! experiment binaries drive.
+//! Both paths share the fluid contention arithmetic (`arbiter::fluid_step`)
+//! and produce an [`executor::ExecutionReport`] whose timings agree with
+//! the sequential simulator (`haxconn_core::measure`) up to equal-time
+//! tie-breaking.
+//!
+//! On top of the DES path, [`fleet::evaluate_fleet`] fans batches of
+//! (workload, assignment, iterations) scenarios across a [`par_map`] worker
+//! pool with one reusable DES runner per worker — the fast measurement
+//! backend for fleet-scale schedule evaluation.
 
 pub mod arbiter;
+pub mod des_exec;
 pub mod executor;
+pub mod fleet;
 pub mod stream;
 
 pub use arbiter::Arbiter;
-pub use executor::{execute, execute_loop, ExecutionReport};
+pub use executor::{
+    execute, execute_loop, execute_loop_with, execute_with, ExecMode, ExecutionReport,
+};
+pub use fleet::{evaluate_fleet, par_map, par_map_with, FleetOptions, FleetReport, FleetScenario};
 pub use stream::{simulate_stream, try_simulate_stream, StreamConfig, StreamReport};

@@ -10,6 +10,7 @@
 
 use haxconn_core::HaxError;
 use haxconn_des::{Engine, EventQueue, SimModel, SimTime};
+use std::collections::VecDeque;
 
 /// Configuration of a stream run.
 #[derive(Debug, Clone, Copy)]
@@ -60,7 +61,7 @@ enum Ev {
 
 struct Model {
     cfg: StreamConfig,
-    queue: Vec<(usize, SimTime)>, // (frame id, arrival time)
+    queue: VecDeque<(usize, SimTime)>, // (frame id, arrival time)
     busy: bool,
     processed: usize,
     dropped: usize,
@@ -84,7 +85,7 @@ impl SimModel for Model {
                     self.dropped += 1;
                     return;
                 }
-                self.queue.push((id, now));
+                self.queue.push_back((id, now));
                 if haxconn_telemetry::enabled() {
                     haxconn_telemetry::series_record(
                         "stream.queue_depth",
@@ -98,7 +99,10 @@ impl SimModel for Model {
                 }
             }
             Ev::Departure => {
-                let (_, arrived) = self.queue.remove(0);
+                let (_, arrived) = self
+                    .queue
+                    .pop_front()
+                    .expect("departure fired with an empty queue");
                 let latency = (now - arrived).as_ms();
                 self.latency_sum += latency;
                 self.worst = self.worst.max(latency);
@@ -160,7 +164,7 @@ pub fn try_simulate_stream(cfg: StreamConfig) -> Result<StreamReport, HaxError> 
     }
     let mut engine = Engine::new(Model {
         cfg,
-        queue: Vec::new(),
+        queue: VecDeque::new(),
         busy: false,
         processed: 0,
         dropped: 0,

@@ -99,6 +99,25 @@ pub enum Command {
         /// Path of a snapshot written by `--telemetry`.
         file: String,
     },
+    /// `haxconn fleet --platform P --models A,B[,C] [--count N]
+    /// [--iterations K] [--seed S] [--threads T] [--threaded]`
+    Fleet {
+        /// Target platform.
+        platform: PlatformId,
+        /// Concurrent models.
+        models: Vec<Model>,
+        /// Total candidate assignments to evaluate (baselines + HaX-CoNN +
+        /// random fill).
+        count: usize,
+        /// Frames per task per scenario.
+        iterations: usize,
+        /// Seed for the random candidate assignments.
+        seed: u64,
+        /// Worker-pool size (`None` = all CPUs).
+        threads: Option<usize>,
+        /// Use the thread-per-DNN executor instead of the DES replay.
+        threaded: bool,
+    },
     /// `haxconn check --platform P --models A,B [--objective O] [--pipeline]`
     /// (validate one schedule) or `haxconn check --fuzz N [--seed S]`
     /// (differential fuzzing).
@@ -300,6 +319,51 @@ pub fn parse(args: &[String]) -> Result<Command, HaxError> {
         "telemetry" => Command::Telemetry {
             file: a.require("--file")?.to_string(),
         },
+        "fleet" => {
+            let platform = parse_platform_arg(a.require("--platform")?)?;
+            let models = parse_models(a.require("--models")?)?;
+            let count = match a.take_value("--count")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad --count '{v}'")))?,
+                None => 32,
+            };
+            let iterations = match a.take_value("--iterations")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad --iterations '{v}'")))?,
+                None => 1,
+            };
+            let seed = match a.take_value("--seed")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad --seed '{v}'")))?,
+                None => 42,
+            };
+            let threads = match a.take_value("--threads")? {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| cli_err(format!("bad --threads '{v}'")))?,
+                ),
+                None => None,
+            };
+            let threaded = a.take_switch("--threaded");
+            if count == 0 {
+                return Err(cli_err("--count must be at least 1"));
+            }
+            if iterations == 0 {
+                return Err(cli_err("--iterations must be at least 1"));
+            }
+            Command::Fleet {
+                platform,
+                models,
+                count,
+                iterations,
+                seed,
+                threads,
+                threaded,
+            }
+        }
         "check" => {
             let fuzz = match a.take_value("--fuzz")? {
                 Some(v) => Some(
@@ -364,6 +428,8 @@ USAGE:
   haxconn inspect   --model <NAME> [--layers]
   haxconn stream    --platform <P> --models <A,B> --fps <F> [--buffers N]
   haxconn telemetry --file <FILE.json>
+  haxconn fleet     --platform <P> --models <A,B[,C]> [--count N] [--iterations K]
+                    [--seed S] [--threads T] [--threaded]
   haxconn check     --platform <P> --models <A,B[,C]> [--objective O] [--pipeline]
   haxconn check     --fuzz <N> [--seed S]
 ";
@@ -753,6 +819,120 @@ per-frame service {:.2} ms vs period {:.2} ms",
                     writeln!(out, "\nschedule: {}", s.describe(&p, &workload))?;
                 }
                 None => writeln!(out, "no schedule meets the {budget_ms} ms budget")?,
+            }
+        }
+        Command::Fleet {
+            platform,
+            models,
+            count,
+            iterations,
+            seed,
+            threads,
+            threaded,
+        } => {
+            let p = platform.platform();
+            let contention = ContentionModel::calibrate(&p);
+            let workload = Workload::concurrent(
+                models
+                    .iter()
+                    .map(|&m| DnnTask::new(m.name(), NetworkProfile::profile(&p, m, 6)))
+                    .collect(),
+            );
+            // Candidate pool: every baseline, the HaX-CoNN schedule, then
+            // random valid assignments until `count` is reached.
+            let mut labels: Vec<String> = Vec::new();
+            let mut candidates: Vec<Vec<Vec<PuId>>> = Vec::new();
+            for &kind in BaselineKind::all() {
+                labels.push(kind.name().to_string());
+                candidates.push(Baseline::assignment(kind, &p, &workload));
+            }
+            let s = HaxConn::try_schedule(&p, &workload, &contention, SchedulerConfig::default())?;
+            labels.push("HaX-CoNN".to_string());
+            candidates.push(s.assignment.clone());
+            candidates.truncate(count);
+            labels.truncate(count);
+            let mut rng = seed | 1; // xorshift64 state must be nonzero
+            let mut next = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            while candidates.len() < count {
+                let assignment: Vec<Vec<PuId>> = workload
+                    .tasks
+                    .iter()
+                    .map(|t| {
+                        t.profile
+                            .groups
+                            .iter()
+                            .map(|g| {
+                                let supported: Vec<PuId> = (0..p.pus.len())
+                                    .filter(|&pu| g.cost[pu].is_some())
+                                    .collect();
+                                supported[next() as usize % supported.len()]
+                            })
+                            .collect()
+                    })
+                    .collect();
+                labels.push(format!("random#{}", candidates.len()));
+                candidates.push(assignment);
+            }
+            let scenarios: Vec<haxconn_runtime::FleetScenario> = candidates
+                .iter()
+                .map(|assignment| haxconn_runtime::FleetScenario {
+                    workload: &workload,
+                    assignment: assignment.clone(),
+                    iterations,
+                })
+                .collect();
+            let opts = haxconn_runtime::FleetOptions {
+                mode: if threaded {
+                    haxconn_runtime::ExecMode::Threaded
+                } else {
+                    haxconn_runtime::ExecMode::Des
+                },
+                threads,
+            };
+            let fleet = haxconn_runtime::evaluate_fleet(&p, &scenarios, opts);
+            writeln!(
+                out,
+                "fleet: {} scenarios x {} iteration(s) on {} ({} mode, {} workers)",
+                fleet.reports.len(),
+                iterations,
+                p.name,
+                if threaded { "threaded" } else { "des" },
+                fleet.workers
+            )?;
+            writeln!(
+                out,
+                "evaluated in {:.2} ms ({:.0} scenarios/s)",
+                fleet.wall_ms,
+                fleet.throughput_per_sec()
+            )?;
+            let mut ranked: Vec<usize> = (0..fleet.reports.len()).collect();
+            ranked.sort_by(|&a, &b| {
+                fleet.reports[a]
+                    .makespan_ms
+                    .total_cmp(&fleet.reports[b].makespan_ms)
+            });
+            writeln!(out, "\n{:<12} {:>12} {:>9}", "candidate", "makespan", "fps")?;
+            for &i in ranked.iter().take(5) {
+                writeln!(
+                    out,
+                    "{:<12} {:>9.2} ms {:>9.1}",
+                    labels[i], fleet.reports[i].makespan_ms, fleet.reports[i].fps
+                )?;
+            }
+            if ranked.len() > 5 {
+                let worst = *ranked.last().expect("nonempty ranking");
+                writeln!(
+                    out,
+                    "... {} more, worst {:<12} {:>9.2} ms",
+                    ranked.len() - 5,
+                    labels[worst],
+                    fleet.reports[worst].makespan_ms
+                )?;
             }
         }
         Command::Telemetry { file } => {
@@ -1187,6 +1367,63 @@ mod tests {
         })
         .expect("clean fuzz run");
         assert!(out.contains("3 scenarios"), "{out}");
+    }
+
+    #[test]
+    fn parses_fleet() {
+        let c = parsed("fleet --platform orin --models GoogleNet,ResNet18 --count 8 --seed 7");
+        assert_eq!(
+            c,
+            Command::Fleet {
+                platform: PlatformId::OrinAgx,
+                models: vec![Model::GoogleNet, Model::ResNet18],
+                count: 8,
+                iterations: 1,
+                seed: 7,
+                threads: None,
+                threaded: false,
+            }
+        );
+        let c = parsed(
+            "fleet --platform xavier --models VGG19,AlexNet --iterations 3 --threads 2 --threaded",
+        );
+        assert_eq!(
+            c,
+            Command::Fleet {
+                platform: PlatformId::XavierAgx,
+                models: vec![Model::Vgg19, Model::AlexNet],
+                count: 32,
+                iterations: 3,
+                seed: 42,
+                threads: Some(2),
+                threaded: true,
+            }
+        );
+        assert!(
+            parse_err("fleet --platform orin --models GoogleNet,ResNet18 --count 0")
+                .contains("--count")
+        );
+        assert!(
+            parse_err("fleet --platform orin --models GoogleNet,ResNet18 --iterations 0")
+                .contains("--iterations")
+        );
+    }
+
+    #[test]
+    fn run_fleet_command_ranks_candidates() {
+        let out = run(Command::Fleet {
+            platform: PlatformId::OrinAgx,
+            models: vec![Model::GoogleNet, Model::ResNet18],
+            count: 10,
+            iterations: 1,
+            seed: 42,
+            threads: Some(2),
+            threaded: false,
+        })
+        .expect("fleet runs");
+        assert!(out.contains("fleet: 10 scenarios"), "{out}");
+        assert!(out.contains("HaX-CoNN") || out.contains("random#"), "{out}");
+        assert!(out.contains("scenarios/s"), "{out}");
     }
 
     #[test]

@@ -26,7 +26,8 @@ use haxconn_core::scheduler::{HaxConn, Schedule};
 use haxconn_core::{chrome_trace_json, parse_model, parse_platform, HaxError};
 use haxconn_dnn::Model;
 use haxconn_profiler::NetworkProfile;
-use haxconn_runtime::{execute, ExecutionReport};
+use haxconn_runtime::{evaluate_fleet, execute, ExecutionReport, FleetOptions, FleetScenario};
+use haxconn_soc::PuId;
 use haxconn_soc::{Platform, PlatformId};
 
 /// A platform given as a value, a built-in id, or a name to be parsed.
@@ -210,7 +211,20 @@ impl ScheduledSession {
     /// Checks that every assigned PU actually supports its layer group
     /// (the simulator's preconditions), so measurement cannot panic.
     fn check_assignment(&self) -> Result<(), HaxError> {
-        for (t, row) in self.schedule.assignment.iter().enumerate() {
+        self.check_candidate(&self.schedule.assignment)
+    }
+
+    /// [`Self::check_assignment`] for an arbitrary candidate assignment of
+    /// this session's workload.
+    fn check_candidate(&self, assignment: &[Vec<PuId>]) -> Result<(), HaxError> {
+        if assignment.len() != self.workload.tasks.len() {
+            return Err(HaxError::Infeasible(format!(
+                "assignment covers {} tasks, workload has {}",
+                assignment.len(),
+                self.workload.tasks.len()
+            )));
+        }
+        for (t, row) in assignment.iter().enumerate() {
             let profile = &self.workload.tasks[t].profile;
             if row.len() != profile.len() {
                 return Err(HaxError::Infeasible(format!(
@@ -220,6 +234,11 @@ impl ScheduledSession {
                 )));
             }
             for (g, &pu) in row.iter().enumerate() {
+                if pu >= self.platform.pus.len() {
+                    return Err(HaxError::Infeasible(format!(
+                        "task {t} group {g} assigned to out-of-range PU {pu}"
+                    )));
+                }
                 if profile.groups[g].cost[pu].is_none() {
                     return Err(HaxError::Infeasible(format!(
                         "task {t} group {g} assigned to unsupported PU {}",
@@ -241,7 +260,8 @@ impl ScheduledSession {
         ))
     }
 
-    /// Executes the schedule with the concurrent (thread-per-DNN) runtime.
+    /// Executes the schedule with the concurrent runtime (deterministic
+    /// DES replay by default — see [`haxconn_runtime::ExecMode`]).
     pub fn execute(&self) -> Result<ExecutionReport, HaxError> {
         self.check_assignment()?;
         Ok(execute(
@@ -249,6 +269,40 @@ impl ScheduledSession {
             &self.workload,
             &self.schedule.assignment,
         ))
+    }
+
+    /// Executes many candidate assignments of this session's workload in
+    /// one batch on the deterministic DES fleet evaluator and returns one
+    /// [`ExecutionReport`] per candidate, in input order.
+    ///
+    /// Every candidate is validated up front (shape and PU support), so a
+    /// single bad candidate fails the whole call instead of panicking a
+    /// worker mid-batch. `iterations` selects single-shot (`1`) or
+    /// continuous-loop (`> 1`) semantics, as in
+    /// [`haxconn_runtime::execute_loop`].
+    pub fn measure_many(
+        &self,
+        candidates: &[Vec<Vec<PuId>>],
+        iterations: usize,
+    ) -> Result<Vec<ExecutionReport>, HaxError> {
+        if iterations == 0 {
+            return Err(HaxError::InvalidConfig(
+                "measure_many needs at least one iteration per scenario".into(),
+            ));
+        }
+        for (i, candidate) in candidates.iter().enumerate() {
+            self.check_candidate(candidate)
+                .map_err(|e| HaxError::Infeasible(format!("candidate {i}: {e}")))?;
+        }
+        let scenarios: Vec<FleetScenario> = candidates
+            .iter()
+            .map(|assignment| FleetScenario {
+                workload: &self.workload,
+                assignment: assignment.clone(),
+                iterations,
+            })
+            .collect();
+        Ok(evaluate_fleet(&self.platform, &scenarios, FleetOptions::default()).reports)
     }
 
     /// Human-readable description of the schedule.
@@ -365,6 +419,58 @@ mod tests {
         assert_eq!(s.workload.deps.len(), 1);
         let run = s.execute().expect("executable");
         assert!(run.task_latency_ms[1] >= run.task_latency_ms[0] - 1e-9);
+    }
+
+    #[test]
+    fn measure_many_reports_every_candidate() {
+        let s = Session::on(PlatformId::OrinAgx)
+            .task(Model::GoogleNet, 6)
+            .task(Model::ResNet18, 6)
+            .schedule()
+            .expect("schedulable");
+        // Solved assignment plus an all-GPU variant.
+        let gpu = s.platform.gpu();
+        let all_gpu: Vec<Vec<PuId>> = s
+            .workload
+            .tasks
+            .iter()
+            .map(|t| vec![gpu; t.num_groups()])
+            .collect();
+        let candidates = vec![s.schedule.assignment.clone(), all_gpu];
+        let reports = s.measure_many(&candidates, 1).expect("measurable");
+        assert_eq!(reports.len(), 2);
+        // Batch results match direct execution bit for bit.
+        let direct = s.execute().expect("executable");
+        assert_eq!(
+            reports[0].makespan_ms.to_bits(),
+            direct.makespan_ms.to_bits()
+        );
+        // And the batch is deterministic across calls.
+        let again = s.measure_many(&candidates, 1).expect("measurable");
+        assert_eq!(
+            reports[1].makespan_ms.to_bits(),
+            again[1].makespan_ms.to_bits()
+        );
+    }
+
+    #[test]
+    fn measure_many_rejects_bad_candidates() {
+        let s = Session::on(PlatformId::OrinAgx)
+            .task(Model::GoogleNet, 6)
+            .schedule()
+            .expect("schedulable");
+        let err = s
+            .measure_many(std::slice::from_ref(&s.schedule.assignment), 0)
+            .expect_err("zero iterations");
+        assert!(matches!(err, HaxError::InvalidConfig(_)), "{err}");
+        let err = s
+            .measure_many(&[vec![vec![0usize; 3]]], 1)
+            .expect_err("wrong group count");
+        assert!(matches!(err, HaxError::Infeasible(_)), "{err}");
+        let err = s
+            .measure_many(&[vec![vec![99usize; 6]]], 1)
+            .expect_err("out-of-range PU");
+        assert!(matches!(err, HaxError::Infeasible(_)), "{err}");
     }
 
     #[test]
