@@ -34,12 +34,13 @@ use haxconn_core::encoding::ScheduleEncoding;
 use haxconn_core::interval::Interval;
 use haxconn_core::problem::{DnnTask, Objective, SchedulerConfig, Workload};
 use haxconn_core::timeline::GroupTiming;
+use haxconn_core::{generate_instance, Baseline, BaselineKind};
 use haxconn_dnn::Model;
 use haxconn_profiler::NetworkProfile;
 use haxconn_soc::{orin_agx, LayerCost, PuId};
 use haxconn_solver::{
-    solve, solve_parallel_with, Assignment, CostModel, ParallelOptions, PartialAssignment,
-    Solution, SolveOptions,
+    solve, solve_parallel_with, solve_portfolio, Assignment, CostModel, ParallelOptions,
+    PartialAssignment, PortfolioOptions, Solution, SolveOptions, SolveOutcome, Winner,
 };
 use serde::Serialize;
 use std::sync::Mutex;
@@ -657,6 +658,133 @@ struct ScenarioReport {
 }
 
 // ---------------------------------------------------------------------
+// Portfolio vs B&B-alone on generated 50+-variable instances.
+// ---------------------------------------------------------------------
+
+/// One generated large instance, solved twice under the same wall-clock
+/// budget and baseline seed: pure parallel B&B (`lns_workers = 0`) vs the
+/// full portfolio race. The metric is anytime quality — how fast each arm
+/// gets within 1% of the best cost either arm reaches under the budget;
+/// an arm that never does is censored at the full budget.
+#[derive(Serialize)]
+struct PortfolioInstanceRun {
+    name: String,
+    num_vars: usize,
+    num_pus: usize,
+    baseline_seed_cost: f64,
+    bb_cost: f64,
+    portfolio_cost: f64,
+    best_cost: f64,
+    bb_time_to_near_best_ms: f64,
+    portfolio_time_to_near_best_ms: f64,
+    /// Never reached within-1% — time censored at the full budgeted wall.
+    bb_censored: bool,
+    portfolio_censored: bool,
+    speedup_time_to_near_best: f64,
+    /// Primal-gap integrals (gap·ms over the budget window): the anytime
+    /// metric that is robust to the exact timing of single incumbents.
+    bb_primal_integral: f64,
+    portfolio_primal_integral: f64,
+    speedup_primal_integral: f64,
+    /// Best of the two anytime speedups — the gated number.
+    anytime_speedup: f64,
+    portfolio_exactness: String,
+    portfolio_winner: String,
+    lns_iters: u64,
+    lns_incumbents: u64,
+}
+
+#[derive(Serialize)]
+struct PortfolioReport {
+    platform: String,
+    time_budget_ms: f64,
+    lns_workers: usize,
+    /// `best_cost * (1 + tolerance)` is the near-best target.
+    near_best_tolerance: f64,
+    instances: Vec<PortfolioInstanceRun>,
+    min_anytime_speedup: f64,
+    /// Unbudgeted portfolio vs sequential B&B on the paper-scale DNN
+    /// scenario above: same assignment, bit-identical cost.
+    paper_scale_bit_identical: bool,
+    paper_scale_proven: bool,
+}
+
+/// Incumbent trajectory of one budgeted anytime run.
+struct Trajectory {
+    timeline: Vec<(f64, Duration)>,
+    final_cost: f64,
+    wall: Duration,
+}
+
+fn run_anytime<M: CostModel + Sync>(
+    model: &M,
+    seed_inc: &(Assignment, f64),
+    time_budget: Duration,
+    lns_workers: usize,
+) -> (Trajectory, SolveOutcome) {
+    let started = Instant::now();
+    let mut timeline: Vec<(f64, Duration)> = Vec::new();
+    let out = solve_portfolio(
+        model,
+        SolveOptions {
+            time_budget: Some(time_budget),
+            initial_incumbent: Some(seed_inc.clone()),
+            on_incumbent: Some(Box::new(|_, c, at| timeline.push((c, at)))),
+            ..Default::default()
+        },
+        &PortfolioOptions {
+            lns_workers,
+            ..Default::default()
+        },
+    );
+    // Censor at the nominal budget: an arm that exhausts the tree early
+    // has proven there is nothing left to find, so the clock reading is
+    // only meaningful up to the shared wall.
+    let wall = started.elapsed().max(time_budget);
+    let final_cost = out.best.as_ref().map(|b| b.1).unwrap_or(f64::NAN);
+    (
+        Trajectory {
+            timeline,
+            final_cost,
+            wall,
+        },
+        out,
+    )
+}
+
+/// First time the trajectory reaches `target`, in ms; censored at the
+/// full wall when it never does. The baseline seed counts at t = 0.
+fn time_to_target(t: &Trajectory, seed_cost: f64, target: f64) -> (f64, bool) {
+    if seed_cost <= target {
+        return (0.0, false);
+    }
+    for &(c, at) in &t.timeline {
+        if c <= target {
+            return (at.as_secs_f64() * 1e3, false);
+        }
+    }
+    (t.wall.as_secs_f64() * 1e3, true)
+}
+
+/// Integral of the primal gap `cost(t)/best − 1` over the budget window
+/// (gap·ms, piecewise constant between incumbents, seed at t = 0). The
+/// standard anytime-quality measure: one late incumbent shifts it only
+/// marginally, unlike a threshold-crossing time.
+fn primal_integral(t: &Trajectory, seed_cost: f64, best: f64, horizon: Duration) -> f64 {
+    let h = horizon.as_secs_f64() * 1e3;
+    let mut acc = 0.0;
+    let mut cur = seed_cost;
+    let mut at = 0.0;
+    for &(c, when) in &t.timeline {
+        let w = (when.as_secs_f64() * 1e3).min(h);
+        acc += (cur / best - 1.0) * (w - at).max(0.0);
+        cur = c;
+        at = w;
+    }
+    acc + (cur / best - 1.0) * (h - at).max(0.0)
+}
+
+// ---------------------------------------------------------------------
 // Reporting
 // ---------------------------------------------------------------------
 
@@ -687,6 +815,7 @@ struct Report {
     generated_by: String,
     wap_work_stealing_vs_seed: WapReport,
     dnn_incremental_vs_from_scratch: ScenarioReport,
+    portfolio_large_instances: PortfolioReport,
 }
 
 fn report(
@@ -839,10 +968,113 @@ fn main() {
         assignments_identical,
     };
 
+    // --- Paper-scale exactness: portfolio == sequential B&B, Proven -----
+    let seq_paper = solve(&enc, SolveOptions::default());
+    let pf_paper = solve_portfolio(
+        &enc,
+        SolveOptions::default(),
+        &PortfolioOptions {
+            lns_workers: 2,
+            ..Default::default()
+        },
+    );
+    let paper_scale_bit_identical = match (&seq_paper.best, &pf_paper.best) {
+        (Some((a, c)), Some((b, d))) => a == b && c.to_bits() == d.to_bits(),
+        (None, None) => true,
+        _ => false,
+    };
+    let paper_scale_proven = pf_paper.proven_optimal();
+
+    // --- Portfolio vs B&B-alone on generated large instances ------------
+    let time_budget = Duration::from_secs(20);
+    let lns_workers = 2;
+    let near_best_tolerance = 0.01;
+    let mut pf_instances: Vec<PortfolioInstanceRun> = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let g = generate_instance(seed, 6, 9);
+        let gen_contention = ContentionModel::calibrate(&g.platform);
+        let gen_enc = ScheduleEncoding::new(&g.workload, &gen_contention, g.config);
+        // Best ε-feasible baseline seeds both arms, so neither can end
+        // worse than the paper's static heuristics.
+        let mut seed_best: Option<(Assignment, f64)> = None;
+        for &kind in BaselineKind::all() {
+            let rows = Baseline::assignment(kind, &g.platform, &g.workload);
+            let flat: Vec<u32> = rows
+                .iter()
+                .flat_map(|row| row.iter().map(|&pu| pu as u32))
+                .collect();
+            if let Some(c) = gen_enc.cost(&flat) {
+                if seed_best.as_ref().map(|&(_, b)| c < b).unwrap_or(true) {
+                    seed_best = Some((flat, c));
+                }
+            }
+        }
+        let seed_inc = seed_best.expect("generated instances admit a feasible baseline");
+        let (bb, _) = run_anytime(&gen_enc, &seed_inc, time_budget, 0);
+        let (pf, pf_out) = run_anytime(&gen_enc, &seed_inc, time_budget, lns_workers);
+        let best_cost = bb.final_cost.min(pf.final_cost);
+        let target = best_cost * (1.0 + near_best_tolerance);
+        let (bb_ms, bb_censored) = time_to_target(&bb, seed_inc.1, target);
+        let (pf_ms, pf_censored) = time_to_target(&pf, seed_inc.1, target);
+        // 1 µs floor: both arms start from the same seed, so a seed
+        // already within tolerance would make the ratio 0/0.
+        let floor = 1e-3;
+        let speedup_time = bb_ms.max(floor) / pf_ms.max(floor);
+        let bb_integral = primal_integral(&bb, seed_inc.1, best_cost, time_budget);
+        let pf_integral = primal_integral(&pf, seed_inc.1, best_cost, time_budget);
+        let speedup_integral = bb_integral.max(floor) / pf_integral.max(floor);
+        pf_instances.push(PortfolioInstanceRun {
+            name: g.name.clone(),
+            num_vars: gen_enc.num_vars(),
+            num_pus: g.platform.dnn_pus().len(),
+            baseline_seed_cost: seed_inc.1,
+            bb_cost: bb.final_cost,
+            portfolio_cost: pf.final_cost,
+            best_cost,
+            bb_time_to_near_best_ms: bb_ms,
+            portfolio_time_to_near_best_ms: pf_ms,
+            bb_censored,
+            portfolio_censored: pf_censored,
+            speedup_time_to_near_best: speedup_time,
+            bb_primal_integral: bb_integral,
+            portfolio_primal_integral: pf_integral,
+            speedup_primal_integral: speedup_integral,
+            anytime_speedup: speedup_time.max(speedup_integral),
+            portfolio_exactness: if pf_out.proven_optimal() {
+                "proven".to_string()
+            } else {
+                "heuristic".to_string()
+            },
+            portfolio_winner: match pf_out.winner {
+                Some(Winner::BranchAndBound) => "branch_and_bound".to_string(),
+                Some(Winner::Lns) => "lns".to_string(),
+                Some(Winner::Seed) => "seed".to_string(),
+                None => "none".to_string(),
+            },
+            lns_iters: pf_out.lns.iters,
+            lns_incumbents: pf_out.lns.incumbents,
+        });
+    }
+    let min_speedup = pf_instances
+        .iter()
+        .map(|r| r.anytime_speedup)
+        .fold(f64::INFINITY, f64::min);
+    let portfolio_out = PortfolioReport {
+        platform: "orin-agx-dual-dla".to_string(),
+        time_budget_ms: time_budget.as_secs_f64() * 1e3,
+        lns_workers,
+        near_best_tolerance,
+        instances: pf_instances,
+        min_anytime_speedup: min_speedup,
+        paper_scale_bit_identical,
+        paper_scale_proven,
+    };
+
     let out = Report {
         generated_by: "solver_scaling".to_string(),
         wap_work_stealing_vs_seed: wap_out,
         dnn_incremental_vs_from_scratch: scenario_out,
+        portfolio_large_instances: portfolio_out,
     };
     let json = serde_json::to_string_pretty(&out).expect("serialize");
     println!("{json}");
@@ -871,6 +1103,39 @@ fn main() {
         eprintln!(
             "FAIL: incremental speedup {:.2}x < 1.5x target",
             out.dnn_incremental_vs_from_scratch.speedup_wall_1t
+        );
+        failed = true;
+    }
+    let pf = &out.portfolio_large_instances;
+    if !pf.paper_scale_bit_identical {
+        eprintln!("FAIL: portfolio and sequential B&B disagree on the paper-scale optimum");
+        failed = true;
+    }
+    if !pf.paper_scale_proven {
+        eprintln!("FAIL: unbudgeted portfolio did not prove the paper-scale optimum");
+        failed = true;
+    }
+    if pf.instances.len() < 3 {
+        eprintln!("FAIL: fewer than 3 generated large instances");
+        failed = true;
+    }
+    for r in &pf.instances {
+        if r.num_vars < 50 {
+            eprintln!("FAIL: {} has only {} variables (< 50)", r.name, r.num_vars);
+            failed = true;
+        }
+        if r.portfolio_cost > r.baseline_seed_cost + 1e-9 {
+            eprintln!(
+                "FAIL: {} portfolio ended worse than its baseline seed",
+                r.name
+            );
+            failed = true;
+        }
+    }
+    if pf.min_anytime_speedup < 3.0 {
+        eprintln!(
+            "FAIL: portfolio anytime speedup {:.2}x < 3x target",
+            pf.min_anytime_speedup
         );
         failed = true;
     }

@@ -30,7 +30,10 @@ use haxconn_dnn::Model;
 use haxconn_profiler::NetworkProfile;
 use haxconn_runtime::{execute_with, ExecMode};
 use haxconn_soc::{orin_agx, snapdragon_865, xavier_agx, Platform};
-use haxconn_solver::{brute_force, solve, solve_parallel_with, ParallelOptions, SolveOptions};
+use haxconn_solver::{
+    brute_force, solve, solve_parallel_with, solve_portfolio, Exactness, ParallelOptions,
+    PortfolioOptions, SolveOptions,
+};
 use rustc_hash::FxHashMap;
 use std::fmt;
 
@@ -108,6 +111,9 @@ pub struct FuzzReport {
     /// Schedules replayed on the DES executor and cross-checked against
     /// the sequential simulator (determinism + agreement).
     pub executions_checked: usize,
+    /// Portfolio incumbents validated against the encoding (large-instance
+    /// mode).
+    pub incumbents_validated: usize,
     /// Solver-vs-solver/oracle/baseline disagreements (must be empty).
     pub divergences: Vec<Divergence>,
     /// Validator violations, tagged with their scenario (must be empty).
@@ -125,10 +131,11 @@ impl fmt::Display for FuzzReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fuzz: {} scenarios, {} schedules validated, {} executions checked, {} divergences, {} violations",
+            "fuzz: {} scenarios, {} schedules validated, {} executions checked, {} incumbents validated, {} divergences, {} violations",
             self.scenarios,
             self.schedules_validated,
             self.executions_checked,
+            self.incumbents_validated,
             self.divergences.len(),
             self.violations.len()
         )?;
@@ -245,6 +252,35 @@ pub fn run(config: &FuzzConfig) -> FuzzReport {
                     "feasibility disagreement: sequential found={}, oracle found={}",
                     s.is_some(),
                     o.is_some()
+                ),
+                &mut report,
+            ),
+        }
+        // The portfolio, run to completion, must agree with sequential B&B
+        // bit-exactly *and* certify its result as proven optimal — the
+        // exactness tag is load-bearing for downstream consumers.
+        let pf = solve_portfolio(&enc, SolveOptions::default(), &PortfolioOptions::default());
+        if pf.exactness != Exactness::Proven {
+            diverge(
+                "unbudgeted portfolio failed to prove optimality".into(),
+                &mut report,
+            );
+        }
+        match (&seq.best, &pf.best) {
+            (Some((sa, sc)), Some((pa, pc))) => {
+                if sc.to_bits() != pc.to_bits() || sa != pa {
+                    diverge(
+                        format!("portfolio cost {pc} != sequential {sc}"),
+                        &mut report,
+                    );
+                }
+            }
+            (None, None) => {}
+            (s, p) => diverge(
+                format!(
+                    "portfolio feasibility disagreement: seq={}, portfolio={}",
+                    s.is_some(),
+                    p.is_some()
                 ),
                 &mut report,
             ),
@@ -391,9 +427,140 @@ pub fn run(config: &FuzzConfig) -> FuzzReport {
     report
 }
 
+/// Large-instance fuzzing of the portfolio solver.
+///
+/// Exhaustive oracles are out of reach at 50+ decision variables, so this
+/// mode checks the *anytime* contract instead. Each generated instance
+/// (random layer-group DAG on the dual-DLA Orin, from
+/// [`haxconn_core::generate_instance`]) is solved by the portfolio under a
+/// node budget, seeded with the best ε-feasible baseline, and the run
+/// asserts:
+///
+/// 1. every incumbent the race publishes re-evaluates to its reported cost
+///    bit-exactly on the encoding (i.e. it is a real, feasible schedule —
+///    never a torn read off the shared slot),
+/// 2. the incumbent timeline is strictly decreasing,
+/// 3. the final schedule is no worse than the best baseline (guaranteed by
+///    the seeding, so a violation means the incumbent protocol lost it),
+/// 4. the winning schedule's predicted timeline passes the invariant
+///    validator.
+pub fn run_large(seed: u64, instances: usize, node_budget: u64) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..instances {
+        let scenario = i;
+        let g = haxconn_core::generate_instance(seed.wrapping_add(i as u64), 6, 9);
+        let cm = ContentionModel::calibrate(&g.platform);
+        let enc = ScheduleEncoding::new(&g.workload, &cm, g.config);
+        let diverge = |detail: String, report: &mut FuzzReport| {
+            report.divergences.push(Divergence { scenario, detail });
+        };
+
+        // Best feasible baseline under the encoding's own cost (GPU-only
+        // has zero transitions, so with ε relaxed one always exists).
+        let mut seed_best: Option<(Vec<u32>, f64)> = None;
+        for &kind in BaselineKind::all() {
+            let rows = Baseline::assignment(kind, &g.platform, &g.workload);
+            let flat: Vec<u32> = rows
+                .iter()
+                .flat_map(|row| row.iter().map(|&pu| pu as u32))
+                .collect();
+            if let Some(c) = haxconn_solver::CostModel::cost(&enc, &flat) {
+                if seed_best.as_ref().is_none_or(|&(_, b)| c < b) {
+                    seed_best = Some((flat, c));
+                }
+            }
+        }
+        let Some((seed_a, seed_c)) = seed_best else {
+            diverge(
+                "no feasible baseline on a generated instance".into(),
+                &mut report,
+            );
+            continue;
+        };
+
+        let mut incumbents: Vec<(Vec<u32>, f64)> = Vec::new();
+        let outcome = solve_portfolio(
+            &enc,
+            SolveOptions {
+                node_budget: Some(node_budget),
+                initial_incumbent: Some((seed_a.clone(), seed_c)),
+                on_incumbent: Some(Box::new(|a: &Vec<u32>, c, _| {
+                    incumbents.push((a.clone(), c));
+                })),
+                ..Default::default()
+            },
+            &PortfolioOptions {
+                lns_workers: 2,
+                ..Default::default()
+            },
+        );
+
+        let mut prev = f64::INFINITY;
+        for (a, c) in &incumbents {
+            match haxconn_solver::CostModel::cost(&enc, a) {
+                Some(re) if re.to_bits() == c.to_bits() => {}
+                Some(re) => diverge(
+                    format!("incumbent re-evaluates to {re}, was published as {c}"),
+                    &mut report,
+                ),
+                None => diverge(
+                    format!("published incumbent (cost {c}) is infeasible"),
+                    &mut report,
+                ),
+            }
+            if *c >= prev {
+                diverge(
+                    format!("incumbent timeline not strictly decreasing: {c} after {prev}"),
+                    &mut report,
+                );
+            }
+            prev = *c;
+            report.incumbents_validated += 1;
+        }
+
+        match &outcome.best {
+            Some((a, c)) => {
+                if *c > seed_c + 1e-9 {
+                    diverge(
+                        format!("portfolio {c} worse than best baseline {seed_c}"),
+                        &mut report,
+                    );
+                }
+                let rows = enc.to_rows(a);
+                let mut ev = TimelineEvaluator::new(&g.workload, &cm);
+                ev.contention_aware = g.config.contention_aware;
+                let tl = ev.evaluate(&rows);
+                let vr = validate_timeline(&g.workload, &rows, &tl);
+                report.schedules_validated += 1;
+                for v in vr.violations {
+                    report.violations.push((scenario, v));
+                }
+            }
+            None => diverge(
+                "portfolio lost the baseline seed entirely".into(),
+                &mut report,
+            ),
+        }
+        report.scenarios += 1;
+    }
+    haxconn_telemetry::counter_add("check.fuzz_large_instances", report.scenarios as u64);
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn large_instance_run_is_clean() {
+        let a = run_large(3, 2, 20_000);
+        assert!(a.is_clean(), "{a}");
+        assert_eq!(a.scenarios, 2);
+        assert!(a.schedules_validated >= 2);
+        let b = run_large(3, 2, 20_000);
+        assert_eq!(a.schedules_validated, b.schedules_validated);
+        assert!(b.is_clean(), "{b}");
+    }
 
     #[test]
     fn quick_run_is_clean_and_deterministic() {

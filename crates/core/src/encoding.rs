@@ -12,7 +12,8 @@
 use crate::problem::{Objective, SchedulerConfig, Workload};
 use crate::timeline::{TimelineEvaluator, TimelineWorkspace};
 use haxconn_contention::ContentionModel;
-use haxconn_solver::{Assignment, CostModel, PartialAssignment};
+use haxconn_soc::Platform;
+use haxconn_solver::{Assignment, CostModel, PartialAssignment, SymmetrySpec};
 
 /// The scheduling problem as a [`CostModel`].
 pub struct ScheduleEncoding<'a> {
@@ -201,6 +202,53 @@ impl<'a> ScheduleEncoding<'a> {
                     .collect()
             })
             .collect()
+    }
+
+    /// Detects this instance's symmetries for the solver's
+    /// [`haxconn_solver::Symmetric`] wrapper.
+    ///
+    /// Only **value classes** are emitted: [`Platform::interchangeable_pus`]
+    /// groups PUs with bitwise-identical specs (the dual-DLA Orin's two
+    /// NVDLAs), and relabeling such PUs moves whole per-PU queues wholesale
+    /// — every queue keeps its dispatch order, so the contention timeline
+    /// is preserved exactly. Each candidate class is still re-verified
+    /// against this encoding: every variable's domain must contain all or
+    /// none of the class, and the standalone times of every
+    /// (variable, task) pair must be bitwise equal across the class —
+    /// otherwise the class is dropped rather than risking an unsound cut.
+    ///
+    /// Duplicate DNN *instances* are deliberately **not** emitted as
+    /// variable blocks, even though the solver supports them: the timeline
+    /// dispatches same-PU overlaps in task-index order, so swapping two
+    /// identical instances' assignment vectors changes which instance
+    /// dispatches first and with it the cost (measured: ~7% on a dual-DLA
+    /// 2×GoogleNet instance). Instance interchangeability is a symmetry of
+    /// abstract makespan models, not of this order-sensitive evaluator;
+    /// the block rule stays available for models that are block-invariant.
+    pub fn symmetry_spec(&self, platform: &Platform) -> SymmetrySpec {
+        let mut spec = SymmetrySpec::default();
+        'class: for class in platform.interchangeable_pus() {
+            if class.len() < 2 {
+                continue;
+            }
+            let vals: Vec<u32> = class.iter().map(|&p| p as u32).collect();
+            for dom in &self.domains {
+                let present = vals.iter().filter(|v| dom.contains(v)).count();
+                if present != 0 && present != vals.len() {
+                    continue 'class;
+                }
+            }
+            for rows in &self.time_of_var {
+                for row in rows {
+                    let t0 = row[vals[0] as usize].to_bits();
+                    if vals.iter().any(|&v| row[v as usize].to_bits() != t0) {
+                        continue 'class;
+                    }
+                }
+            }
+            spec.value_classes.push(vals);
+        }
+        spec
     }
 
     /// Σ over `task`'s span of (assigned ? standalone time : cheapest
@@ -596,6 +644,106 @@ mod tests {
         let gpu_cost = enc.cost(&gpu_only).unwrap();
         assert!(cost <= gpu_cost + 1e-9, "optimal {cost} vs gpu {gpu_cost}");
         assert_eq!(best.len(), enc.num_vars());
+    }
+
+    #[test]
+    fn symmetry_spec_detects_the_dual_dla_value_class() {
+        let p = haxconn_soc::orin_agx_dual_dla();
+        let prof = |m: Model| NetworkProfile::profile(&p, m, 6);
+        let w = Workload::concurrent(vec![
+            DnnTask::new("GoogleNet#0", prof(Model::GoogleNet)),
+            DnnTask::new("GoogleNet#1", prof(Model::GoogleNet)),
+            DnnTask::new("ResNet18", prof(Model::ResNet18)),
+        ]);
+        let cm = ContentionModel::calibrate(&p);
+        let enc = ScheduleEncoding::new(&w, &cm, SchedulerConfig::default());
+        let spec = enc.symmetry_spec(&p);
+        // The two NVDLAs are one value class. Duplicate instances are
+        // *not* blocks here (see the next test).
+        assert_eq!(spec.value_classes, vec![vec![1, 2]]);
+        assert!(spec.var_blocks.is_empty());
+        assert_eq!(spec.num_rules(), 1);
+        // The single-DLA Orin has no interchangeable PUs at all.
+        let single = orin_agx();
+        let w1 = Workload::concurrent(vec![DnnTask::new(
+            "a",
+            NetworkProfile::profile(&single, Model::GoogleNet, 6),
+        )]);
+        let cm1 = ContentionModel::calibrate(&single);
+        let enc1 = ScheduleEncoding::new(&w1, &cm1, SchedulerConfig::default());
+        assert!(enc1.symmetry_spec(&single).is_empty());
+    }
+
+    #[test]
+    fn instance_swap_is_not_a_timeline_symmetry() {
+        // Why `symmetry_spec` refuses to emit duplicate-instance variable
+        // blocks: the timeline dispatches same-PU overlaps in task-index
+        // order, so giving the DLA excursion to instance 0 vs instance 1
+        // changes who dispatches first on the GPU — a real cost change,
+        // not a relabeling.
+        let p = haxconn_soc::orin_agx_dual_dla();
+        let prof = || NetworkProfile::profile(&p, Model::GoogleNet, 6);
+        let w = Workload::concurrent(vec![
+            DnnTask::new("GoogleNet#0", prof()),
+            DnnTask::new("GoogleNet#1", prof()),
+        ]);
+        let cm = ContentionModel::calibrate(&p);
+        let cfg = SchedulerConfig {
+            epsilon_ms: None,
+            max_transitions_per_task: 1,
+            ..Default::default()
+        };
+        let enc = ScheduleEncoding::new(&w, &cm, cfg);
+        let n = enc.num_vars();
+        let mut a: Vec<u32> = vec![0; n];
+        // Instance 0 takes a DLA excursion, instance 1 stays on GPU...
+        for v in [2, 3, 4] {
+            if enc.domain(v).contains(&1) {
+                a[v] = 1;
+            }
+        }
+        let mut swapped = a[n / 2..].to_vec();
+        swapped.extend_from_slice(&a[..n / 2]);
+        let (ca, cb) = (enc.cost(&a), enc.cost(&swapped));
+        let (ca, cb) = (ca.expect("feasible"), cb.expect("feasible"));
+        assert!(
+            (ca - cb).abs() > 1e-6,
+            "expected the swapped twin to cost differently ({ca} vs {cb})"
+        );
+    }
+
+    #[test]
+    fn symmetric_wrapper_preserves_the_schedule_optimum() {
+        let p = haxconn_soc::orin_agx_dual_dla();
+        let prof = |m: Model| NetworkProfile::profile(&p, m, 4);
+        let w = Workload::concurrent(vec![
+            DnnTask::new("GoogleNet#0", prof(Model::GoogleNet)),
+            DnnTask::new("GoogleNet#1", prof(Model::GoogleNet)),
+        ]);
+        let cm = ContentionModel::calibrate(&p);
+        let cfg = SchedulerConfig {
+            epsilon_ms: None,
+            max_transitions_per_task: 1,
+            ..Default::default()
+        };
+        let enc = ScheduleEncoding::new(&w, &cm, cfg);
+        let plain = solve(&enc, SolveOptions::default());
+        let spec = enc.symmetry_spec(&p);
+        assert!(!spec.is_empty());
+        let sym = haxconn_solver::Symmetric::new(&enc, spec);
+        let broken = solve(&sym, SolveOptions::default());
+        let (_, c_plain) = plain.best.expect("feasible");
+        let (_, c_sym) = broken.best.expect("feasible");
+        assert!(
+            (c_plain - c_sym).abs() <= 1e-9,
+            "symmetry breaking moved the optimum: {c_plain} vs {c_sym}"
+        );
+        assert!(
+            broken.stats.nodes < plain.stats.nodes,
+            "expected fewer nodes with symmetry broken ({} vs {})",
+            broken.stats.nodes,
+            plain.stats.nodes
+        );
     }
 
     #[test]

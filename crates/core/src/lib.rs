@@ -60,7 +60,7 @@ pub use error::{parse_model, parse_objective, parse_platform, HaxError};
 pub use gantt::render_gantt;
 pub use measure::{measure, Measurement};
 pub use problem::{DnnTask, Objective, SchedulerConfig, Workload};
-pub use scenario::Scenario;
+pub use scenario::{generate_instance, generate_instance_on, GeneratedInstance, Scenario};
 pub use scheduler::{HaxConn, Schedule, ScheduleOrigin, Transition};
 pub use timeline::{PredictedTimeline, TimelineEvaluator, TimelineSummary, TimelineWorkspace};
 pub use trace::{chrome_trace_json, chrome_trace_json_with_snapshot};

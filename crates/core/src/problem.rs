@@ -261,6 +261,24 @@ pub struct SchedulerConfig {
     /// claim). Same optimum, deterministic result; mostly useful for the
     /// large Inception-ResNet-v2-class encodings.
     pub parallel_solve: bool,
+    /// Solve with the portfolio: parallel branch & bound racing
+    /// [`lns_workers`](Self::lns_workers) large-neighborhood-search
+    /// workers over a shared incumbent. If B&B exhausts the tree the
+    /// result is still proven optimal; under budgets the best candidate
+    /// found by either side wins. Takes precedence over
+    /// [`parallel_solve`](Self::parallel_solve).
+    pub portfolio_solve: bool,
+    /// Number of LNS workers the portfolio races alongside B&B (only
+    /// read when [`portfolio_solve`](Self::portfolio_solve) is set; must
+    /// be ≥ 1 then).
+    pub lns_workers: usize,
+    /// Prune symmetric duplicates inside the solver: interchangeable PUs
+    /// (identical DLAs) and duplicate untied DNN instances are restricted
+    /// to canonical representatives. Off by default — a canonical
+    /// representative's cost can differ from its twin's in the last ulp
+    /// (floating-point reassociation in the timeline), so contexts that
+    /// check bit-identity against the unbroken search keep this off.
+    pub break_symmetry: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -272,6 +290,9 @@ impl Default for SchedulerConfig {
             node_budget: None,
             contention_aware: true,
             parallel_solve: false,
+            portfolio_solve: false,
+            lns_workers: 1,
+            break_symmetry: false,
         }
     }
 }
@@ -299,6 +320,11 @@ impl SchedulerConfig {
         if self.node_budget == Some(0) {
             return Err(HaxError::InvalidConfig(
                 "node_budget of 0 can never find a schedule".into(),
+            ));
+        }
+        if self.portfolio_solve && self.lns_workers == 0 {
+            return Err(HaxError::InvalidConfig(
+                "portfolio_solve needs at least one LNS worker".into(),
             ));
         }
         Ok(())
@@ -383,5 +409,16 @@ mod tests {
             ..Default::default()
         };
         assert!(bad_budget.validate().is_err());
+        let bad_portfolio = SchedulerConfig {
+            portfolio_solve: true,
+            lns_workers: 0,
+            ..Default::default()
+        };
+        assert!(bad_portfolio.validate().is_err());
+        let ok_portfolio = SchedulerConfig {
+            portfolio_solve: true,
+            ..Default::default()
+        };
+        assert!(ok_portfolio.validate().is_ok());
     }
 }

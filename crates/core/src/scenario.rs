@@ -10,10 +10,10 @@
 //!   tied per-frame assignments.
 //! * **Scenario 4** — a serial pair plus an independent DNN in parallel.
 
-use crate::problem::{DnnTask, Objective, Workload};
+use crate::problem::{DnnTask, Objective, SchedulerConfig, Workload};
 use haxconn_dnn::Model;
 use haxconn_profiler::NetworkProfile;
-use haxconn_soc::Platform;
+use haxconn_soc::{orin_agx_dual_dla, Platform};
 
 /// One of the paper's evaluation scenarios, with the models involved.
 #[derive(Debug, Clone)]
@@ -134,6 +134,104 @@ impl Scenario {
     }
 }
 
+/// A seeded solver-stress instance: a random layer-group DAG of DNN
+/// instances drawn from the model zoo, on a parameterized SoC. Feeds the
+/// portfolio benchmark, the large-instance fuzzer, and the
+/// `haxconn solve --portfolio` CLI path with instances far beyond the
+/// paper's hand-picked scenarios (50+ decision variables).
+#[derive(Debug, Clone)]
+pub struct GeneratedInstance {
+    /// Reproducible label, e.g. `"gen7-7x8"` (seed 7, 7 tasks × 8 groups).
+    pub name: String,
+    /// Target platform (the default generator uses the dual-DLA Orin, so
+    /// the N-PU path and the DLA value-class symmetry are exercised).
+    pub platform: Platform,
+    /// The random workload: duplicated instances appear naturally (block
+    /// symmetry), and sparse random forward edges form the streaming DAG.
+    pub workload: Workload,
+    /// Configuration tuned for large heuristic instances: ε relaxed
+    /// (queuing modeled, not forbidden) so feasibility reduces to the
+    /// transition budget and LNS repair can always complete a suffix.
+    pub config: SchedulerConfig,
+    /// The generator seed, for reproduction.
+    pub seed: u64,
+}
+
+/// xorshift64* step (same generator family as the solver's LNS — small,
+/// seedable, dependency-free).
+fn gen_next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Generates a random instance on the dual-DLA Orin (GPU + 2×DLA).
+/// `num_tasks × groups` is the decision-variable count; 7×8 already
+/// clears the 50-group mark the portfolio targets.
+pub fn generate_instance(seed: u64, num_tasks: usize, groups: usize) -> GeneratedInstance {
+    generate_instance_on(orin_agx_dual_dla(), seed, num_tasks, groups)
+}
+
+/// [`generate_instance`] on an explicit platform.
+///
+/// Deterministic in `(seed, num_tasks, groups)` and the platform: models
+/// are drawn with replacement from a fixed zoo subset (duplicates are
+/// deliberate — they produce interchangeable-instance symmetry), and each
+/// non-root task receives a random upstream dependency with probability
+/// 1/4 (edges always point forward, so the DAG is acyclic by
+/// construction).
+pub fn generate_instance_on(
+    platform: Platform,
+    seed: u64,
+    num_tasks: usize,
+    groups: usize,
+) -> GeneratedInstance {
+    assert!(num_tasks >= 1 && groups >= 1, "degenerate instance");
+    const POOL: [Model; 6] = [
+        Model::GoogleNet,
+        Model::ResNet18,
+        Model::ResNet50,
+        Model::MobileNetV1,
+        Model::AlexNet,
+        Model::DenseNet121,
+    ];
+    let mut state = (seed ^ 0x9E37_79B9_7F4A_7C15) | 1;
+    let mut profiles: Vec<Option<NetworkProfile>> = vec![None; POOL.len()];
+    let mut counts = [0usize; POOL.len()];
+    let mut tasks = Vec::with_capacity(num_tasks);
+    for _ in 0..num_tasks {
+        let m = (gen_next(&mut state) % POOL.len() as u64) as usize;
+        let profile = profiles[m]
+            .get_or_insert_with(|| NetworkProfile::profile(&platform, POOL[m], groups))
+            .clone();
+        tasks.push(DnnTask::new(
+            format!("{}#{}", POOL[m].name(), counts[m]),
+            profile,
+        ));
+        counts[m] += 1;
+    }
+    let mut workload = Workload::concurrent(tasks);
+    for to in 1..num_tasks {
+        if gen_next(&mut state).is_multiple_of(4) {
+            let from = (gen_next(&mut state) % to as u64) as usize;
+            workload = workload.with_dep(from, to);
+        }
+    }
+    GeneratedInstance {
+        name: format!("gen{seed}-{num_tasks}x{groups}"),
+        platform,
+        workload,
+        config: SchedulerConfig {
+            epsilon_ms: None,
+            ..Default::default()
+        },
+        seed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +322,55 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn generated_instances_are_deterministic_and_large_enough() {
+        let a = generate_instance(7, 7, 8);
+        let b = generate_instance(7, 7, 8);
+        assert_eq!(a.name, "gen7-7x8");
+        assert!(a.workload.num_vars() >= 50, "got {}", a.workload.num_vars());
+        assert_eq!(a.platform.dnn_pus().len(), 3, "N-PU platform expected");
+        let names = |w: &Workload| w.tasks.iter().map(|t| t.name.clone()).collect::<Vec<_>>();
+        assert_eq!(names(&a.workload), names(&b.workload));
+        assert_eq!(a.workload.deps, b.workload.deps);
+        assert!(a.workload.validate().is_ok());
+        assert!(a.config.validate().is_ok());
+    }
+
+    #[test]
+    fn generated_instance_exposes_the_dla_value_class() {
+        use crate::encoding::ScheduleEncoding;
+        let g = generate_instance(3, 4, 4);
+        let cm = ContentionModel::calibrate(&g.platform);
+        let enc = ScheduleEncoding::new(&g.workload, &cm, g.config);
+        let spec = enc.symmetry_spec(&g.platform);
+        assert!(
+            spec.value_classes.contains(&vec![1, 2]),
+            "dual-DLA class missing: {spec:?}"
+        );
+    }
+
+    #[test]
+    fn small_generated_instance_schedules_end_to_end_with_the_portfolio() {
+        let g = generate_instance(11, 3, 3);
+        let cm = ContentionModel::calibrate(&g.platform);
+        let seq = HaxConn::schedule(&g.platform, &g.workload, &cm, g.config);
+        let pf = HaxConn::schedule(
+            &g.platform,
+            &g.workload,
+            &cm,
+            SchedulerConfig {
+                portfolio_solve: true,
+                ..g.config
+            },
+        );
+        assert!(
+            (seq.cost - pf.cost).abs() < 1e-9,
+            "portfolio drifted on a generated instance: {} vs {}",
+            seq.cost,
+            pf.cost
+        );
     }
 
     #[test]

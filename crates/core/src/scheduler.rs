@@ -7,7 +7,10 @@ use crate::problem::{Objective, SchedulerConfig, Workload};
 use crate::timeline::{PredictedTimeline, TimelineEvaluator};
 use haxconn_contention::ContentionModel;
 use haxconn_soc::{Platform, PuId, PuKind};
-use haxconn_solver::{solve, solve_parallel, Solution, SolveOptions};
+use haxconn_solver::{
+    solve, solve_parallel, solve_portfolio, Assignment, CostModel, PortfolioOptions, SolveOptions,
+    Symmetric,
+};
 
 /// An inter-accelerator transition in a schedule (the "TR / Dir." columns of
 /// Table 6).
@@ -140,23 +143,24 @@ impl HaxConn {
         workload.validate()?;
         config.validate()?;
         let schedule_started = std::time::Instant::now();
-        let run_solver = |enc: &ScheduleEncoding<'_>| -> Solution {
-            let opts = SolveOptions {
-                node_budget: config.node_budget,
-                ..Default::default()
-            };
-            if config.parallel_solve {
-                solve_parallel(enc, opts)
-            } else {
-                solve(enc, opts)
+        // Solver dispatch: portfolio > parallel B&B > sequential B&B,
+        // optionally restricted to canonical representatives when the
+        // instance has detectable symmetries.
+        let run_solver = |enc: &ScheduleEncoding<'_>| -> (Option<(Assignment, f64)>, bool) {
+            if config.break_symmetry {
+                let spec = enc.symmetry_spec(platform);
+                if !spec.is_empty() {
+                    let sym = Symmetric::new(enc, spec);
+                    return dispatch_solver(&sym, &config);
+                }
             }
+            dispatch_solver(enc, &config)
         };
 
         // 1. Solve the strict formulation.
         let enc = ScheduleEncoding::new(workload, model, config);
-        let sol = run_solver(&enc);
-        let mut proven = sol.proven_optimal();
-        let mut best = sol.best.map(|(a, _)| enc.to_rows(&a));
+        let (found, mut proven) = run_solver(&enc);
+        let mut best = found.map(|(a, _)| enc.to_rows(&a));
 
         // 2. Infeasible under ε? Relax Eq. 9 and model queuing instead.
         if best.is_none() && config.epsilon_ms.is_some() {
@@ -165,9 +169,9 @@ impl HaxConn {
                 ..config
             };
             let relaxed = ScheduleEncoding::new(workload, model, relaxed_cfg);
-            let sol = run_solver(&relaxed);
-            proven = sol.proven_optimal();
-            best = sol.best.map(|(a, _)| relaxed.to_rows(&a));
+            let (found, p) = run_solver(&relaxed);
+            proven = p;
+            best = found.map(|(a, _)| relaxed.to_rows(&a));
         }
 
         // 3. Score candidates (solver result + all baselines) under the
@@ -289,6 +293,39 @@ impl HaxConn {
     }
 }
 
+/// Runs the configured solver flavor on any [`CostModel`] and returns
+/// `(best, proven_optimal)` — the common denominator of [`solve`],
+/// [`solve_parallel`] and [`solve_portfolio`] results.
+fn dispatch_solver<M: CostModel + Sync>(
+    m: &M,
+    config: &SchedulerConfig,
+) -> (Option<(Assignment, f64)>, bool) {
+    let opts = SolveOptions {
+        node_budget: config.node_budget,
+        ..Default::default()
+    };
+    if config.portfolio_solve {
+        let out = solve_portfolio(
+            m,
+            opts,
+            &PortfolioOptions {
+                lns_workers: config.lns_workers.max(1),
+                ..Default::default()
+            },
+        );
+        let proven = out.proven_optimal();
+        (out.best, proven)
+    } else if config.parallel_solve {
+        let sol = solve_parallel(m, opts);
+        let proven = sol.proven_optimal();
+        (sol.best, proven)
+    } else {
+        let sol = solve(m, opts);
+        let proven = sol.proven_optimal();
+        (sol.best, proven)
+    }
+}
+
 /// Maps a predicted timeline to the (minimized) objective value.
 pub fn objective_cost(objective: Objective, tl: &PredictedTimeline) -> f64 {
     match objective {
@@ -402,6 +439,79 @@ mod tests {
         let m_seq = measure(&p, &w, &seq.assignment).latency_ms;
         let m_par = measure(&p, &w, &par.assignment).latency_ms;
         assert!((m_seq - m_par).abs() / m_seq < 0.02);
+    }
+
+    #[test]
+    fn portfolio_solve_matches_sequential() {
+        let (p, w, cm) = setup(&[Model::GoogleNet, Model::ResNet101], 8);
+        let seq = HaxConn::schedule(&p, &w, &cm, SchedulerConfig::default());
+        let pf = HaxConn::schedule(
+            &p,
+            &w,
+            &cm,
+            SchedulerConfig {
+                portfolio_solve: true,
+                lns_workers: 2,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (seq.cost - pf.cost).abs() < 1e-9,
+            "portfolio optimum drifted: {} vs {}",
+            seq.cost,
+            pf.cost
+        );
+        assert!(pf.proven_optimal, "unbudgeted portfolio must prove");
+    }
+
+    #[test]
+    fn portfolio_with_budget_still_finds_a_schedule() {
+        let (p, w, cm) = setup(&[Model::GoogleNet, Model::ResNet101], 8);
+        let s = HaxConn::schedule(
+            &p,
+            &w,
+            &cm,
+            SchedulerConfig {
+                portfolio_solve: true,
+                node_budget: Some(500),
+                ..Default::default()
+            },
+        );
+        // Budget-starved B&B may not prove, but the LNS side plus the
+        // never-worse fallback always yield a complete schedule.
+        assert_eq!(s.assignment.len(), w.tasks.len());
+    }
+
+    #[test]
+    fn symmetry_breaking_preserves_schedule_quality_on_dual_dla() {
+        let p = haxconn_soc::orin_agx_dual_dla();
+        let tasks = ["GoogleNet#0", "GoogleNet#1"]
+            .iter()
+            .map(|&n| DnnTask::new(n, NetworkProfile::profile(&p, Model::GoogleNet, 6)))
+            .collect();
+        let w = Workload::concurrent(tasks);
+        let cm = ContentionModel::calibrate(&p);
+        let cfg = SchedulerConfig {
+            epsilon_ms: None,
+            max_transitions_per_task: 1,
+            ..Default::default()
+        };
+        let plain = HaxConn::schedule(&p, &w, &cm, cfg);
+        let broken = HaxConn::schedule(
+            &p,
+            &w,
+            &cm,
+            SchedulerConfig {
+                break_symmetry: true,
+                ..cfg
+            },
+        );
+        assert!(
+            (plain.cost - broken.cost).abs() <= 1e-9,
+            "symmetry breaking changed the schedule cost: {} vs {}",
+            plain.cost,
+            broken.cost
+        );
     }
 
     #[test]

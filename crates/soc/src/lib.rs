@@ -37,6 +37,8 @@ pub mod pu;
 pub use concurrent::{simulate, Dep, ItemTiming, Job, RunResult, WorkItem};
 pub use cost::LayerCost;
 pub use emc::EmcSpec;
-pub use platform::{orin_agx, orin_agx_triple, snapdragon_865, xavier_agx, Platform, PlatformId};
+pub use platform::{
+    orin_agx, orin_agx_dual_dla, orin_agx_triple, snapdragon_865, xavier_agx, Platform, PlatformId,
+};
 pub use power::{EnergyReport, PowerModel, PowerSpec};
 pub use pu::{PuId, PuKind, PuSpec};

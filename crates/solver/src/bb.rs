@@ -64,6 +64,12 @@ pub struct SolveOptions<'a> {
     /// (the child then reuses that bound instead of recomputing it).
     /// Determinism is preserved: ties keep domain order (stable sort).
     pub bound_guided_values: bool,
+    /// Start from a known *solution*, not just a bound: the assignment is
+    /// adopted as the incumbent (and returned if nothing better is found),
+    /// and its cost prunes like [`SolveOptions::initial_upper_bound`]. The
+    /// cost must be the model's own `cost` of the assignment (e.g. from a
+    /// previous solve or an LNS pass) — it is trusted, not re-derived.
+    pub initial_incumbent: Option<(Assignment, f64)>,
 }
 
 /// Why the solver stopped.
@@ -204,6 +210,25 @@ impl SharedState {
         self.stop.load(Ordering::Relaxed)
     }
 
+    /// Cooperative stop that is *not* a budget trip: the portfolio raises
+    /// it when B&B exhausts the tree so heuristic workers wind down. The
+    /// outcome stays [`BudgetState::Exhausted`].
+    pub(crate) fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Deadline poll for workers without a node counter (LNS): flags the
+    /// time budget and returns `true` when the deadline has passed.
+    pub(crate) fn time_up(&self) -> bool {
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.flag_time_out();
+                true
+            }
+            _ => false,
+        }
+    }
+
     fn flag_nodes_out(&self) {
         self.nodes_out.store(true, Ordering::Relaxed);
         self.stop.store(true, Ordering::Relaxed);
@@ -246,6 +271,13 @@ pub(crate) struct Engine<'a, M: CostModel, F: FnMut(&Assignment, f64)> {
     /// Incumbent local to the current work item (reset per subtree in the
     /// parallel solver so results do not depend on work distribution).
     pub(crate) local_best: Option<(Assignment, f64)>,
+    /// Whether `local_best` was *adopted* from the shared incumbent rather
+    /// than found by this engine. Adopted incumbents loosen the acceptance
+    /// threshold by [`EPS`] so equal-cost candidates are still offered for
+    /// lexicographic tie-breaking — exactly the candidates `offer` would
+    /// otherwise receive with an empty `local_best`, so adoption never
+    /// changes the solve result (see `parallel.rs` module docs).
+    adopted: bool,
     /// Acceptance ceiling from a warm start.
     init_ub: f64,
     bound_guided: bool,
@@ -281,6 +313,7 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
             scratch: vec![Vec::new(); n],
             inc: model.new_scratch(),
             local_best: None,
+            adopted: false,
             init_ub: initial_upper_bound.unwrap_or(f64::INFINITY),
             bound_guided,
             quota: 0,
@@ -296,13 +329,25 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
     }
 
     /// Local acceptance threshold: the warm-start bound until something
-    /// better is found locally.
+    /// better is found locally. An *adopted* incumbent keeps the threshold
+    /// [`EPS`] above its cost so candidates tying it are still offered
+    /// (the shared slot then resolves the tie lexicographically).
     #[inline]
     fn local_ub(&self) -> f64 {
         match &self.local_best {
+            Some((_, c)) if self.adopted => *c + EPS,
             Some((_, c)) => *c,
             None => self.init_ub,
         }
+    }
+
+    /// Installs an incumbent observed elsewhere (the shared slot, or a
+    /// caller's `initial_incumbent`) as this engine's local best, both
+    /// assignment and cost. `None` clears the slot (fresh work item with
+    /// no incumbent known anywhere).
+    pub(crate) fn adopt(&mut self, incumbent: Option<(Assignment, f64)>) {
+        self.adopted = incumbent.is_some();
+        self.local_best = incumbent;
     }
 
     /// Assigns `var = value`, mirroring the change into the model's
@@ -384,6 +429,7 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
             if let Some(c) = self.model.cost_with(&mut self.inc, &self.complete) {
                 if c < self.local_ub() {
                     self.local_best = Some((self.complete.clone(), c));
+                    self.adopted = false;
                     self.incumbents += 1;
                     (self.sink)(&self.complete, c);
                 }
@@ -458,6 +504,9 @@ pub fn solve<M: CostModel>(model: &M, mut opts: SolveOptions<'_>) -> Solution {
             }
         },
     );
+    if let Some((a, c)) = opts.initial_incumbent.take() {
+        engine.adopt(Some((a, c)));
+    }
     engine.dfs(0, f64::NAN);
     let stats = SolveStats {
         nodes: engine.nodes,
@@ -633,6 +682,36 @@ mod tests {
         assert!(warm.stats.leaves <= cold.stats.leaves);
         // Warm solve still confirms the optimum.
         assert!((warm.best.unwrap().1 - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn initial_incumbent_is_returned_when_the_budget_starves_the_search() {
+        let m = instance(7, 12, 3);
+        let opt = solve(&m, SolveOptions::default()).best.unwrap();
+        let sol = solve(
+            &m,
+            SolveOptions {
+                node_budget: Some(1),
+                initial_incumbent: Some(opt.clone()),
+                ..Default::default()
+            },
+        );
+        assert_eq!(sol.stats.outcome, BudgetState::NodesExhausted);
+        let (a, c) = sol.best.expect("seeded incumbent must survive");
+        assert_eq!(a, opt.0);
+        assert_eq!(c.to_bits(), opt.1.to_bits());
+        // A full solve with a suboptimal seed still proves the optimum.
+        let alt: Assignment = (0..12).map(|i| (i % 3) as u32).collect();
+        let alt_c = m.cost(&alt).expect("feasible");
+        let sol = solve(
+            &m,
+            SolveOptions {
+                initial_incumbent: Some((alt, alt_c)),
+                ..Default::default()
+            },
+        );
+        assert!(sol.proven_optimal());
+        assert_eq!(sol.best.unwrap().1.to_bits(), opt.1.to_bits());
     }
 
     #[test]

@@ -25,9 +25,15 @@
 //! order, so equal-cost ties always resolve identically.
 
 pub mod bb;
+pub mod lns;
 pub mod model;
 pub mod parallel;
+pub mod portfolio;
+pub mod symmetry;
 
 pub use bb::{solve, BudgetState, Solution, SolveOptions, SolveStats};
+pub use lns::{solve_lns, LnsOptions, LnsStats};
 pub use model::{brute_force, Assignment, CostModel, NonIncremental, PartialAssignment};
 pub use parallel::{solve_parallel, solve_parallel_with, ParallelOptions};
+pub use portfolio::{solve_portfolio, Exactness, PortfolioOptions, SolveOutcome, Winner};
+pub use symmetry::{Symmetric, SymmetrySpec};

@@ -26,10 +26,12 @@
 //! The returned optimum cost is identical to the sequential solver's and
 //! the returned assignment does not depend on thread count or timing:
 //!
-//! * workers accept incumbents *locally* per work item (against the work
-//!   item's own running best, seeded from `initial_upper_bound`), so the
-//!   set of candidates offered to the shared incumbent depends only on
-//!   the model, never on which worker ran which item or when;
+//! * workers accept incumbents *locally* per work item. Each item starts
+//!   by adopting the shared incumbent (assignment + cost) with an
+//!   acceptance threshold `EPS` *above* the adopted cost, so the set of
+//!   candidates that survive `offer`'s lock-free reject depends only on
+//!   the model, never on which worker ran which item or when — adoption
+//!   only filters out candidates `offer` was guaranteed to reject;
 //! * cross-worker pruning against the atomic cost uses a *conservative*
 //!   margin (`bound > best + 1e-12`): subtrees whose bound ties the
 //!   incumbent are still explored, so an optimal leaf can never be
@@ -53,9 +55,19 @@ use crate::bb::{
     flush_solve_telemetry, solve, Engine, SharedState, Solution, SolveOptions, SolveStats, EPS,
 };
 use crate::model::{Assignment, CostModel};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Tag for who produced an incumbent (stored in the shared slot so the
+/// portfolio can report which strategy won).
+pub(crate) const SRC_BB: u8 = 0;
+/// The incumbent came from an LNS worker.
+pub(crate) const SRC_LNS: u8 = 1;
+/// The incumbent is the caller's `initial_incumbent` seed.
+pub(crate) const SRC_SEED: u8 = 2;
+/// No incumbent yet.
+pub(crate) const SRC_NONE: u8 = u8::MAX;
 
 /// Hard cap on frontier size when auto-choosing the split depth.
 const MAX_AUTO_ITEMS: usize = 65_536;
@@ -78,19 +90,47 @@ pub struct ParallelOptions {
 
 /// The shared incumbent: lock-free cost in [`SharedState`], full
 /// assignment under this mutex (taken only on candidate improvements).
-struct SharedIncumbent<'a> {
+/// Shared by B&B workers and — in the portfolio — LNS workers.
+pub(crate) struct SharedIncumbent<'a> {
     slot: Mutex<Option<(Assignment, f64)>>,
-    state: &'a SharedState,
+    /// Who produced the current slot content (`SRC_*`; written under the
+    /// slot lock, read after the solve ends).
+    winner: AtomicU8,
+    pub(crate) state: &'a SharedState,
     started: Instant,
 }
 
-impl SharedIncumbent<'_> {
+impl<'a> SharedIncumbent<'a> {
+    pub(crate) fn new(state: &'a SharedState, started: Instant) -> Self {
+        SharedIncumbent {
+            slot: Mutex::new(None),
+            winner: AtomicU8::new(SRC_NONE),
+            state,
+            started,
+        }
+    }
+
+    /// Installs a caller-provided incumbent before any worker starts. The
+    /// cost is published so every worker prunes against it from node one.
+    pub(crate) fn seed(&self, a: Assignment, c: f64) {
+        let mut slot = self.slot.lock().expect("incumbent lock");
+        *slot = Some((a, c));
+        self.winner.store(SRC_SEED, Ordering::Relaxed);
+        self.state.publish_cost(c);
+    }
+
     /// Offers a locally-accepted candidate. Keeps it if strictly better,
     /// or if equal-cost (±1e-12) and lexicographically smaller. Strict
     /// improvements are forwarded to the callback channel from inside the
     /// lock, so the channel sees a strictly-decreasing cost sequence with
     /// monotone timestamps.
-    fn offer(&self, a: &Assignment, c: f64, tx: &mpsc::Sender<(Assignment, f64, Duration)>) {
+    pub(crate) fn offer(
+        &self,
+        a: &Assignment,
+        c: f64,
+        src: u8,
+        tx: &mpsc::Sender<(Assignment, f64, Duration)>,
+    ) {
         // Lock-free fast reject: strictly worse candidates never touch
         // the mutex. Ties (within EPS) fall through for lex comparison.
         if c > self.state.best_cost() + EPS {
@@ -106,6 +146,7 @@ impl SharedIncumbent<'_> {
         };
         if better {
             *slot = Some((a.clone(), c));
+            self.winner.store(src, Ordering::Relaxed);
             self.state.publish_cost(c);
             if strict {
                 // Receiver may have been dropped (no callback): ignore.
@@ -113,10 +154,28 @@ impl SharedIncumbent<'_> {
             }
         }
     }
+
+    /// Clones the current incumbent out of the slot (for adoption by B&B
+    /// workers and LNS reseeding). Callers gate on
+    /// [`SharedState::best_cost`] first so the lock is only taken when
+    /// there is something new to fetch.
+    pub(crate) fn snapshot(&self) -> Option<(Assignment, f64)> {
+        self.slot.lock().expect("incumbent lock").clone()
+    }
+
+    /// Consumes the incumbent at the end of a solve.
+    pub(crate) fn into_best(self) -> (Option<(Assignment, f64)>, u8) {
+        let winner = self.winner.load(Ordering::Relaxed);
+        (self.slot.into_inner().expect("incumbent lock"), winner)
+    }
 }
 
 /// Smallest depth whose prefix count reaches `target` (capped).
-fn choose_depth<M: CostModel>(model: &M, threads: usize, requested: Option<usize>) -> usize {
+pub(crate) fn choose_depth<M: CostModel>(
+    model: &M,
+    threads: usize,
+    requested: Option<usize>,
+) -> usize {
     let n = model.num_vars();
     if let Some(d) = requested {
         return d.min(n);
@@ -137,19 +196,19 @@ fn choose_depth<M: CostModel>(model: &M, threads: usize, requested: Option<usize
 /// Per-solve search totals plus one `(items claimed, busy ms)` entry
 /// per worker, accumulated under a mutex taken once per worker exit.
 #[derive(Default)]
-struct PoolStats {
-    nodes: u64,
-    leaves: u64,
-    pruned: u64,
-    pruned_infeasible: u64,
-    pruned_bound: u64,
-    pruned_incumbent: u64,
-    incumbents: u64,
-    workers: Vec<(u64, f64)>,
+pub(crate) struct PoolStats {
+    pub(crate) nodes: u64,
+    pub(crate) leaves: u64,
+    pub(crate) pruned: u64,
+    pub(crate) pruned_infeasible: u64,
+    pub(crate) pruned_bound: u64,
+    pub(crate) pruned_incumbent: u64,
+    pub(crate) incumbents: u64,
+    pub(crate) workers: Vec<(u64, f64)>,
 }
 
 /// Number of work items at `depth` (saturating).
-fn frontier_size<M: CostModel>(model: &M, depth: usize) -> usize {
+pub(crate) fn frontier_size<M: CostModel>(model: &M, depth: usize) -> usize {
     (0..depth).fold(1usize, |acc, v| acc.saturating_mul(model.domain(v).len()))
 }
 
@@ -162,6 +221,99 @@ fn decode_prefix<M: CostModel>(model: &M, depth: usize, mut k: usize, prefix: &m
         prefix[var] = dom[k % dom.len()];
         k /= dom.len();
     }
+}
+
+/// One B&B worker's run: claims prefixes from the shared injector until
+/// the frontier drains or the solve stops, accumulating its counters into
+/// `stats`. Shared between [`solve_parallel_with`] and the portfolio
+/// solver (`crate::portfolio`).
+///
+/// Each work item starts by *adopting* the shared incumbent — assignment
+/// and cost, not just the bound. Adoption keeps the acceptance threshold
+/// `EPS` above the adopted cost (see `Engine::local_ub`), so the set of
+/// candidates surviving `offer`'s fast reject is exactly what an empty
+/// local incumbent would have produced: adoption saves doomed clones and
+/// makes the incumbent's assignment available for budget-stopped items,
+/// without perturbing the deterministic result.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bb_worker<M: CostModel + Sync>(
+    model: &M,
+    state: &SharedState,
+    incumbent: &SharedIncumbent<'_>,
+    injector: &AtomicUsize,
+    tx: &mpsc::Sender<(Assignment, f64, Duration)>,
+    depth: usize,
+    total_items: usize,
+    initial_ub: Option<f64>,
+    bound_guided: bool,
+    stats: &Mutex<PoolStats>,
+) {
+    let mut engine = Engine::new(
+        model,
+        state,
+        initial_ub,
+        bound_guided,
+        |a: &Assignment, c: f64| incumbent.offer(a, c, SRC_BB, tx),
+    );
+    let mut prefix = vec![0u32; depth];
+    // Worker-local cache of the last adopted incumbent, refreshed only
+    // when the lock-free shared cost says something better exists.
+    let mut adopted: Option<(Assignment, f64)> = None;
+    let worker_started = Instant::now();
+    let mut items_claimed = 0u64;
+    loop {
+        if state.stopped() {
+            break;
+        }
+        let k = injector.fetch_add(1, Ordering::Relaxed);
+        if k >= total_items {
+            break;
+        }
+        items_claimed += 1;
+        decode_prefix(model, depth, k, &mut prefix);
+        // Swap prefixes through assign/unassign so the model's
+        // incremental scratch stays in lockstep with `partial`
+        // across work items (pops in reverse order keep the
+        // LIFO discipline).
+        for var in (0..depth).rev() {
+            if engine.partial[var].is_some() {
+                engine.unassign(var);
+            }
+        }
+        for (var, &v) in prefix.iter().enumerate() {
+            engine.assign(var, v);
+        }
+        // Adopt the shared incumbent for this work item (assignment and
+        // cost). Cross-item pruning still flows through the shared atomic
+        // cost; adoption additionally short-circuits local acceptance of
+        // candidates the shared slot would reject anyway.
+        let shared_cost = state.best_cost();
+        if shared_cost.is_finite() {
+            let stale = match &adopted {
+                Some((_, c)) => shared_cost < *c - EPS,
+                None => true,
+            };
+            if stale {
+                if let Some(snap) = incumbent.snapshot() {
+                    adopted = Some(snap);
+                }
+            }
+        }
+        engine.adopt(adopted.clone());
+        if engine.dfs(depth, f64::NAN) {
+            break; // budget exhausted or solve stopped
+        }
+    }
+    let mut st = stats.lock().expect("stats lock");
+    st.nodes += engine.nodes;
+    st.leaves += engine.leaves;
+    st.pruned += engine.pruned;
+    st.pruned_infeasible += engine.pruned_infeasible;
+    st.pruned_bound += engine.pruned_bound;
+    st.pruned_incumbent += engine.pruned_incumbent;
+    st.incumbents += engine.incumbents;
+    st.workers
+        .push((items_claimed, worker_started.elapsed().as_secs_f64() * 1e3));
 }
 
 /// Minimizes `model` on all available CPUs. See [`solve_parallel_with`].
@@ -197,11 +349,10 @@ pub fn solve_parallel_with<M: CostModel + Sync>(
 
     let started = Instant::now();
     let state = SharedState::new(opts.node_budget, opts.time_budget, opts.initial_upper_bound);
-    let incumbent = SharedIncumbent {
-        slot: Mutex::new(None),
-        state: &state,
-        started,
-    };
+    let incumbent = SharedIncumbent::new(&state, started);
+    if let Some((a, c)) = opts.initial_incumbent.take() {
+        incumbent.seed(a, c);
+    }
     let injector = AtomicUsize::new(0);
     let stats = Mutex::new(PoolStats::default());
     let (tx, rx) = mpsc::channel::<(Assignment, f64, Duration)>();
@@ -216,57 +367,18 @@ pub fn solve_parallel_with<M: CostModel + Sync>(
             let initial_ub = opts.initial_upper_bound;
             let bound_guided = opts.bound_guided_values;
             scope.spawn(move || {
-                let mut engine = Engine::new(
+                bb_worker(
                     model,
                     state,
+                    incumbent,
+                    injector,
+                    &tx,
+                    depth,
+                    total_items,
                     initial_ub,
                     bound_guided,
-                    |a: &Assignment, c: f64| incumbent.offer(a, c, &tx),
+                    stats,
                 );
-                let mut prefix = vec![0u32; depth];
-                let worker_started = Instant::now();
-                let mut items_claimed = 0u64;
-                loop {
-                    if state.stopped() {
-                        break;
-                    }
-                    let k = injector.fetch_add(1, Ordering::Relaxed);
-                    if k >= total_items {
-                        break;
-                    }
-                    items_claimed += 1;
-                    decode_prefix(model, depth, k, &mut prefix);
-                    // Swap prefixes through assign/unassign so the model's
-                    // incremental scratch stays in lockstep with `partial`
-                    // across work items (pops in reverse order keep the
-                    // LIFO discipline).
-                    for var in (0..depth).rev() {
-                        if engine.partial[var].is_some() {
-                            engine.unassign(var);
-                        }
-                    }
-                    for (var, &v) in prefix.iter().enumerate() {
-                        engine.assign(var, v);
-                    }
-                    // Local incumbents are per work item so results never
-                    // depend on which worker ran which items (see module
-                    // docs); cross-item pruning flows through the shared
-                    // atomic cost instead.
-                    engine.local_best = None;
-                    if engine.dfs(depth, f64::NAN) {
-                        break; // budget exhausted or solve stopped
-                    }
-                }
-                let mut st = stats.lock().expect("stats lock");
-                st.nodes += engine.nodes;
-                st.leaves += engine.leaves;
-                st.pruned += engine.pruned;
-                st.pruned_infeasible += engine.pruned_infeasible;
-                st.pruned_bound += engine.pruned_bound;
-                st.pruned_incumbent += engine.pruned_incumbent;
-                st.incumbents += engine.incumbents;
-                st.workers
-                    .push((items_claimed, worker_started.elapsed().as_secs_f64() * 1e3));
             });
         }
         // The workers hold the only remaining senders: once they finish,
@@ -284,7 +396,7 @@ pub fn solve_parallel_with<M: CostModel + Sync>(
     });
 
     let pool = stats.into_inner().expect("stats lock");
-    let best = incumbent.slot.into_inner().expect("incumbent lock");
+    let (best, _winner) = incumbent.into_best();
     let stats = SolveStats {
         nodes: pool.nodes,
         leaves: pool.leaves,
@@ -516,6 +628,53 @@ mod tests {
             },
         );
         assert!((par.best.unwrap().1 - opt).abs() < 1e-9);
+    }
+
+    /// Regression: a worker that observes a better shared incumbent must
+    /// adopt its *assignment*, not just prune on its cost. Before the fix
+    /// a budget-stopped solve seeded via `initial_incumbent` returned
+    /// `None` — the seed's cost pruned everything, but no worker ever
+    /// held the seed's assignment.
+    #[test]
+    fn seeded_incumbent_assignment_survives_a_starved_search() {
+        let m = instance(5, 10);
+        let opt = solve(&m, SolveOptions::default()).best.unwrap();
+        let sol = solve_parallel_with(
+            &m,
+            SolveOptions {
+                node_budget: Some(1),
+                initial_incumbent: Some(opt.clone()),
+                ..Default::default()
+            },
+            &with_threads(2),
+        );
+        assert_eq!(sol.stats.outcome, BudgetState::NodesExhausted);
+        let (a, c) = sol.best.expect("seed must survive");
+        assert_eq!(a, opt.0);
+        assert_eq!(c.to_bits(), opt.1.to_bits());
+    }
+
+    /// Seeding a *suboptimal* incumbent neither changes the final result
+    /// nor its determinism.
+    #[test]
+    fn suboptimal_seed_does_not_perturb_the_optimum() {
+        let m = instance(5, 10);
+        let opt = solve(&m, SolveOptions::default()).best.unwrap();
+        let alt: Assignment = (0..10).map(|i| (i % 2) as u32).collect();
+        let alt_c = m.cost(&alt).expect("alternating assignment is feasible");
+        assert!(alt_c > opt.1);
+        let sol = solve_parallel_with(
+            &m,
+            SolveOptions {
+                initial_incumbent: Some((alt, alt_c)),
+                ..Default::default()
+            },
+            &with_threads(4),
+        );
+        assert!(sol.proven_optimal());
+        let (a, c) = sol.best.unwrap();
+        assert_eq!(a, opt.0);
+        assert_eq!(c.to_bits(), opt.1.to_bits());
     }
 
     #[test]

@@ -1,0 +1,823 @@
+//! Symmetry breaking and dominance pruning for [`CostModel`] searches.
+//!
+//! Two symmetries dominate large concurrent-DNN instances:
+//!
+//! * **Interchangeable values** — identical accelerators (an Orin carries
+//!   two identical NVDLA engines): relabeling the two DLAs in any schedule
+//!   yields another schedule of equal cost. The classic dominance rule for
+//!   identical parallel machines applies: a schedule whose first use of
+//!   the class (in variable order) is not the lowest-id member is
+//!   *dominated* by its relabeling, so the search only visits assignments
+//!   whose class values first appear in ascending order.
+//! * **Interchangeable variable blocks** — identical DNN instances
+//!   (Scenario 1 runs N copies of one network): swapping the two tasks'
+//!   group-assignment vectors yields equal cost, so the search only
+//!   visits assignments whose blocks are in non-decreasing lexicographic
+//!   order.
+//!
+//! [`Symmetric`] wraps any [`CostModel`] and enforces both rules as
+//! *constraints*: `prune`/`prune_with` reject non-canonical prefixes and
+//! `cost`/`cost_with` reject non-canonical completions, so every engine
+//! invariant (prune ⊆ cost-infeasible, incremental equivalence, parallel
+//! determinism) holds unchanged — the wrapped model is simply the
+//! restriction of the original to canonical representatives. Every orbit
+//! of the symmetry group keeps at least one canonical member of equal
+//! cost (equal up to floating-point reassociation in the underlying
+//! evaluator), so the optimal cost is preserved. With a single rule
+//! active the representative is exactly one per orbit (the
+//! lexicographically smallest member); when value classes and variable
+//! blocks interact the breaking is partial — full lex-leader detection
+//! for product groups is NP-hard, and the two local rules still remove
+//! the bulk of the duplication.
+//!
+//! The incremental prefix checks assume the engine's branching discipline:
+//! partial assignments are always *prefixes* (variables assigned in index
+//! order), which holds for the sequential engine, every parallel work
+//! item, and the LNS rebuild loop. The from-scratch `prune` checks the
+//! gap-free prefix only, so it never prunes more than the incremental
+//! path.
+
+use crate::model::{Assignment, CostModel, PartialAssignment};
+
+/// Declaration of the symmetries a model exhibits. Produced by the caller
+/// (e.g. `haxconn-core` detects identical DLAs and duplicate DNN instances
+/// from the platform and profiles) and enforced by [`Symmetric`].
+#[derive(Debug, Clone, Default)]
+pub struct SymmetrySpec {
+    /// Classes of interchangeable domain values (identical PUs), each
+    /// sorted ascending. Requirement: the model's cost is invariant under
+    /// any relabeling of the values within one class, and every variable's
+    /// domain contains either all or none of a class's values.
+    pub value_classes: Vec<Vec<u32>>,
+    /// Groups of interchangeable variable blocks `(start, len)` (identical
+    /// DNN instances), each group sorted by `start`, all blocks in a group
+    /// of equal length and disjoint. Requirement: the model's cost is
+    /// invariant under swapping the value vectors of any two blocks in a
+    /// group.
+    pub var_blocks: Vec<Vec<(usize, usize)>>,
+}
+
+impl SymmetrySpec {
+    /// Whether there is nothing to break.
+    pub fn is_empty(&self) -> bool {
+        self.value_classes.is_empty() && self.var_blocks.is_empty()
+    }
+
+    /// Total independent constraints (for reporting).
+    pub fn num_rules(&self) -> usize {
+        self.value_classes.len()
+            + self
+                .var_blocks
+                .iter()
+                .map(|g| g.len().saturating_sub(1))
+                .sum::<usize>()
+    }
+}
+
+/// Per-pair lex-comparison state for adjacent interchangeable blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairState {
+    /// Offsets `0..k` compared equal; offset `k` is the next to decide.
+    TiedThrough(usize),
+    /// A strictly greater value was seen first: the `left ≤lex right`
+    /// constraint is permanently satisfied for this pair.
+    Satisfied,
+    /// A strictly smaller value was seen first while still tied: the
+    /// prefix is non-canonical as long as this state is live.
+    Violated,
+}
+
+/// Incremental scratch of [`Symmetric`]: the inner model's scratch plus
+/// delta-maintained canonicality state. `Default` yields an unsized
+/// placeholder — real instances come from `new_scratch`.
+pub struct SymScratch<S> {
+    inner: S,
+    /// `uses[class][rank]`: live assignments using that class value.
+    uses: Vec<Vec<u32>>,
+    /// Per class: smallest rank with `uses == 0` (next value allowed to be
+    /// "opened"). Recomputed locally on push/pop.
+    frontier: Vec<usize>,
+    /// Per adjacent block pair: current lex-comparison state.
+    pairs: Vec<PairState>,
+    /// Per variable: saved `(frontier, PairState)` tuples for exact LIFO
+    /// restore. `saved[var] = (class_frontier_before, pair_state_before)`
+    /// using sentinel indices when the var touches no class/pair.
+    saved: Vec<(usize, PairState)>,
+    /// Count of live canonicality violations (value-class or block-pair);
+    /// the incremental prune is `violations > 0`.
+    violations: u32,
+    /// Mirror of the live partial assignment: `(value, assigned)` per
+    /// variable. The push/pop protocol doesn't expose partner values, so
+    /// the scratch tracks them for the block-pair comparison.
+    vals: Vec<(u32, bool)>,
+}
+
+impl<S: Default> Default for SymScratch<S> {
+    fn default() -> Self {
+        SymScratch {
+            inner: S::default(),
+            uses: Vec::new(),
+            frontier: Vec::new(),
+            pairs: Vec::new(),
+            saved: Vec::new(),
+            violations: 0,
+            vals: Vec::new(),
+        }
+    }
+}
+
+/// A [`CostModel`] restricted to the canonical representatives of
+/// `spec`'s symmetry orbits. See the module docs for the rules.
+pub struct Symmetric<'m, M> {
+    inner: &'m M,
+    spec: SymmetrySpec,
+    /// `class_rank[value] = Some((class, rank))` for class members.
+    class_rank: Vec<Option<(usize, usize)>>,
+    /// Per variable: `(pair index, offset, partner var)` when the variable
+    /// sits in the *right* block of an adjacent interchangeable pair.
+    pair_of_var: Vec<Option<(usize, usize, usize)>>,
+    /// Number of adjacent block pairs across all groups.
+    num_pairs: usize,
+}
+
+impl<'m, M: CostModel> Symmetric<'m, M> {
+    /// Wraps `inner`, validating the spec against the model's domains.
+    pub fn new(inner: &'m M, spec: SymmetrySpec) -> Self {
+        let n = inner.num_vars();
+        let max_value = (0..n)
+            .flat_map(|v| inner.domain(v).iter().copied())
+            .max()
+            .map(|v| v as usize + 1)
+            .unwrap_or(0);
+        let mut class_rank: Vec<Option<(usize, usize)>> = vec![None; max_value];
+        for (c, class) in spec.value_classes.iter().enumerate() {
+            assert!(class.len() >= 2, "a value class needs >= 2 members");
+            assert!(
+                class.windows(2).all(|w| w[0] < w[1]),
+                "class values must be sorted ascending"
+            );
+            for (rank, &v) in class.iter().enumerate() {
+                let slot = class_rank
+                    .get_mut(v as usize)
+                    .expect("class value outside any domain");
+                assert!(slot.is_none(), "value {v} in two classes");
+                *slot = Some((c, rank));
+            }
+        }
+        // Domains must treat a class's members uniformly (all or none),
+        // otherwise relabeling could leave the feasible set.
+        for var in 0..n {
+            let dom = inner.domain(var);
+            for class in &spec.value_classes {
+                let present = class.iter().filter(|v| dom.contains(v)).count();
+                assert!(
+                    present == 0 || present == class.len(),
+                    "variable {var}'s domain splits a value class"
+                );
+            }
+        }
+        let mut pair_of_var: Vec<Option<(usize, usize, usize)>> = vec![None; n];
+        let mut num_pairs = 0;
+        for group in &spec.var_blocks {
+            assert!(group.len() >= 2, "a block group needs >= 2 blocks");
+            for w in group.windows(2) {
+                let (s1, l1) = w[0];
+                let (s2, l2) = w[1];
+                assert_eq!(l1, l2, "interchangeable blocks must have equal length");
+                assert!(s1 + l1 <= s2, "blocks must be disjoint and ordered");
+                for o in 0..l2 {
+                    assert!(
+                        pair_of_var[s2 + o].is_none(),
+                        "variable {} in two block pairs",
+                        s2 + o
+                    );
+                    assert_eq!(
+                        inner.domain(s1 + o),
+                        inner.domain(s2 + o),
+                        "interchangeable blocks must share domains"
+                    );
+                    pair_of_var[s2 + o] = Some((num_pairs, o, s1 + o));
+                }
+                num_pairs += 1;
+            }
+        }
+        Symmetric {
+            inner,
+            spec,
+            class_rank,
+            pair_of_var,
+            num_pairs,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &'m M {
+        self.inner
+    }
+
+    /// The enforced spec.
+    pub fn spec(&self) -> &SymmetrySpec {
+        &self.spec
+    }
+
+    /// From-scratch canonicality of a gap-free prefix: class values first
+    /// appear in ascending rank order, and every decided adjacent block
+    /// pair is lex-ordered.
+    fn canonical_prefix(&self, partial: &PartialAssignment) -> bool {
+        let mut frontier = vec![0usize; self.spec.value_classes.len()];
+        let mut opened: Vec<Vec<bool>> = self
+            .spec
+            .value_classes
+            .iter()
+            .map(|c| vec![false; c.len()])
+            .collect();
+        let mut pairs = vec![PairState::TiedThrough(0); self.num_pairs];
+        for (var, slot) in partial.iter().enumerate() {
+            let Some(value) = *slot else { break };
+            if let Some(Some((class, rank))) = self.class_rank.get(value as usize) {
+                if *rank > frontier[*class] {
+                    return false;
+                }
+                if !opened[*class][*rank] {
+                    opened[*class][*rank] = true;
+                    while frontier[*class] < opened[*class].len()
+                        && opened[*class][frontier[*class]]
+                    {
+                        frontier[*class] += 1;
+                    }
+                }
+            }
+            if let Some((pair, offset, partner)) = self.pair_of_var[var] {
+                if pairs[pair] == PairState::TiedThrough(offset) {
+                    let Some(left) = partial[partner] else { break };
+                    pairs[pair] = match value.cmp(&left) {
+                        std::cmp::Ordering::Less => return false,
+                        std::cmp::Ordering::Equal => PairState::TiedThrough(offset + 1),
+                        std::cmp::Ordering::Greater => PairState::Satisfied,
+                    };
+                }
+            }
+        }
+        true
+    }
+
+    /// Canonicality of a complete assignment (used by `cost`).
+    fn canonical_complete(&self, assignment: &Assignment) -> bool {
+        let partial: Vec<Option<u32>> = assignment.iter().map(|&v| Some(v)).collect();
+        self.canonical_prefix(&partial)
+    }
+
+    /// Maps any assignment to an accepted representative of its orbit:
+    /// block groups are sorted lexicographically and class values are
+    /// relabeled by first occurrence, repeated to a fixed point (each
+    /// pass is lexicographically non-increasing and strictly decreasing
+    /// until fixed, so the loop terminates; relabeling can unsort blocks,
+    /// which is why one pass is not enough when both rules are active).
+    /// Cost-preserving up to floating-point reassociation by the spec's
+    /// invariance requirements.
+    pub fn canonicalize(&self, assignment: &mut Assignment) {
+        loop {
+            let before = assignment.clone();
+            self.canonicalize_once(assignment);
+            if *assignment == before {
+                return;
+            }
+        }
+    }
+
+    fn canonicalize_once(&self, assignment: &mut Assignment) {
+        for group in &self.spec.var_blocks {
+            // Insertion sort of the blocks' value vectors (groups are
+            // small: the number of identical DNN instances).
+            let (_, len) = group[0];
+            for i in 1..group.len() {
+                let mut j = i;
+                while j > 0 {
+                    let (s_prev, _) = group[j - 1];
+                    let (s_cur, _) = group[j];
+                    let prev = &assignment[s_prev..s_prev + len];
+                    let cur = &assignment[s_cur..s_cur + len];
+                    if prev <= cur {
+                        break;
+                    }
+                    for o in 0..len {
+                        assignment.swap(s_prev + o, s_cur + o);
+                    }
+                    j -= 1;
+                }
+            }
+        }
+        for class in &self.spec.value_classes {
+            // Relabel class members by first-occurrence order.
+            let mut order: Vec<u32> = Vec::with_capacity(class.len());
+            for &v in assignment.iter() {
+                if class.contains(&v) && !order.contains(&v) {
+                    order.push(v);
+                    if order.len() == class.len() {
+                        break;
+                    }
+                }
+            }
+            if order.is_empty() {
+                continue;
+            }
+            let relabel: Vec<(u32, u32)> = order
+                .iter()
+                .enumerate()
+                .map(|(rank, &v)| (v, class[rank]))
+                .collect();
+            for v in assignment.iter_mut() {
+                if let Some(&(_, to)) = relabel.iter().find(|&&(from, _)| from == *v) {
+                    *v = to;
+                }
+            }
+        }
+    }
+}
+
+impl<M: CostModel> CostModel for Symmetric<'_, M> {
+    type Scratch = SymScratch<M::Scratch>;
+
+    fn num_vars(&self) -> usize {
+        self.inner.num_vars()
+    }
+
+    fn domain(&self, var: usize) -> &[u32] {
+        self.inner.domain(var)
+    }
+
+    fn cost(&self, assignment: &Assignment) -> Option<f64> {
+        if !self.canonical_complete(assignment) {
+            return None;
+        }
+        self.inner.cost(assignment)
+    }
+
+    fn bound(&self, partial: &PartialAssignment) -> f64 {
+        self.inner.bound(partial)
+    }
+
+    fn prune(&self, partial: &PartialAssignment) -> bool {
+        !self.canonical_prefix(partial) || self.inner.prune(partial)
+    }
+
+    fn new_scratch(&self) -> Self::Scratch {
+        SymScratch {
+            inner: self.inner.new_scratch(),
+            uses: self
+                .spec
+                .value_classes
+                .iter()
+                .map(|c| vec![0; c.len()])
+                .collect(),
+            frontier: vec![0; self.spec.value_classes.len()],
+            pairs: vec![PairState::TiedThrough(0); self.num_pairs],
+            saved: vec![(0, PairState::Satisfied); self.inner.num_vars()],
+            violations: 0,
+            vals: vec![(0, false); self.inner.num_vars()],
+        }
+    }
+
+    fn push(&self, scratch: &mut Self::Scratch, var: usize, value: u32) {
+        let mut saved_frontier = usize::MAX;
+        if let Some(Some((class, rank))) = self.class_rank.get(value as usize) {
+            saved_frontier = scratch.frontier[*class];
+            if *rank > scratch.frontier[*class] {
+                scratch.violations += 1;
+            } else {
+                scratch.uses[*class][*rank] += 1;
+                while scratch.frontier[*class] < scratch.uses[*class].len()
+                    && scratch.uses[*class][scratch.frontier[*class]] > 0
+                {
+                    scratch.frontier[*class] += 1;
+                }
+            }
+        }
+        let mut saved_pair = PairState::Satisfied;
+        if let Some((pair, offset, partner)) = self.pair_of_var[var] {
+            saved_pair = scratch.pairs[pair];
+            if scratch.pairs[pair] == PairState::TiedThrough(offset) {
+                // Prefix discipline guarantees the partner (a smaller
+                // variable index) is assigned; LNS rebuilds preserve it.
+                let left = scratch.saved_left(partner);
+                scratch.pairs[pair] = match left {
+                    Some(left) => match value.cmp(&left) {
+                        std::cmp::Ordering::Less => {
+                            scratch.violations += 1;
+                            PairState::Violated
+                        }
+                        std::cmp::Ordering::Equal => PairState::TiedThrough(offset + 1),
+                        std::cmp::Ordering::Greater => PairState::Satisfied,
+                    },
+                    // Partner unassigned (non-prefix caller): leave the
+                    // pair undecided; the from-scratch paths stay exact.
+                    None => scratch.pairs[pair],
+                };
+            }
+        }
+        scratch.saved[var] = (saved_frontier, saved_pair);
+        self.inner.push(&mut scratch.inner, var, value);
+        scratch.note_push(var, value);
+    }
+
+    fn pop(&self, scratch: &mut Self::Scratch, var: usize) {
+        let value = scratch.value_of(var);
+        scratch.note_pop(var);
+        self.inner.pop(&mut scratch.inner, var);
+        let (saved_frontier, saved_pair) = scratch.saved[var];
+        if let Some((pair, _, _)) = self.pair_of_var[var] {
+            if scratch.pairs[pair] == PairState::Violated && saved_pair != PairState::Violated {
+                scratch.violations -= 1;
+            }
+            scratch.pairs[pair] = saved_pair;
+        }
+        if let Some(Some((class, rank))) = self.class_rank.get(value as usize) {
+            if saved_frontier != usize::MAX {
+                if *rank > saved_frontier {
+                    scratch.violations -= 1;
+                } else {
+                    scratch.uses[*class][*rank] -= 1;
+                    scratch.frontier[*class] = saved_frontier;
+                }
+            }
+        }
+    }
+
+    fn prune_with(&self, scratch: &Self::Scratch, partial: &PartialAssignment) -> bool {
+        scratch.violations > 0 || self.inner.prune_with(&scratch.inner, partial)
+    }
+
+    fn bound_with(&self, scratch: &Self::Scratch, partial: &PartialAssignment) -> f64 {
+        self.inner.bound_with(&scratch.inner, partial)
+    }
+
+    fn cost_with(&self, scratch: &mut Self::Scratch, assignment: &Assignment) -> Option<f64> {
+        if scratch.violations > 0 {
+            return None;
+        }
+        debug_assert!(self.canonical_complete(assignment));
+        self.inner.cost_with(&mut scratch.inner, assignment)
+    }
+}
+
+impl<S> SymScratch<S> {
+    /// The engine does not expose partial values to push/pop, so the
+    /// scratch mirrors them for the pair comparison and the pop path.
+    fn note_push(&mut self, var: usize, value: u32) {
+        if self.vals.len() <= var {
+            self.vals.resize(var + 1, (0, false));
+        }
+        self.vals[var] = (value, true);
+    }
+
+    fn note_pop(&mut self, var: usize) {
+        if var < self.vals.len() {
+            self.vals[var].1 = false;
+        }
+    }
+
+    fn value_of(&self, var: usize) -> u32 {
+        self.vals.get(var).map(|&(v, _)| v).unwrap_or(0)
+    }
+
+    fn saved_left(&self, partner: usize) -> Option<u32> {
+        match self.vals.get(partner) {
+            Some(&(v, true)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bb::{solve, SolveOptions};
+    use crate::model::{brute_force, NonIncremental};
+    use crate::parallel::{solve_parallel_with, ParallelOptions};
+
+    /// Identical-parallel-machines makespan: tasks (durations) onto
+    /// machines (speeds); cost = max machine load. Machines with equal
+    /// speed are interchangeable, tasks with equal durations swap freely.
+    struct Machines {
+        dur: Vec<f64>,
+        speed: Vec<f64>,
+        domain: Vec<u32>,
+    }
+
+    impl Machines {
+        fn new(dur: Vec<f64>, speed: Vec<f64>) -> Self {
+            let domain = (0..speed.len() as u32).collect();
+            Machines { dur, speed, domain }
+        }
+    }
+
+    impl CostModel for Machines {
+        type Scratch = ();
+        fn num_vars(&self) -> usize {
+            self.dur.len()
+        }
+        fn domain(&self, _var: usize) -> &[u32] {
+            &self.domain
+        }
+        fn cost(&self, a: &Assignment) -> Option<f64> {
+            let mut load = vec![0.0f64; self.speed.len()];
+            for (i, &m) in a.iter().enumerate() {
+                load[m as usize] += self.dur[i] / self.speed[m as usize];
+            }
+            Some(load.iter().cloned().fold(0.0, f64::max))
+        }
+        fn bound(&self, partial: &PartialAssignment) -> f64 {
+            let mut load = vec![0.0f64; self.speed.len()];
+            for (i, v) in partial.iter().enumerate() {
+                if let Some(m) = v {
+                    load[*m as usize] += self.dur[i] / self.speed[*m as usize];
+                }
+            }
+            load.iter().cloned().fold(0.0, f64::max)
+        }
+    }
+
+    /// 6 tasks, 3 machines, machines 1 and 2 identical (speed 0.5).
+    fn dla_instance() -> Machines {
+        Machines::new(vec![3.0, 1.0, 4.0, 1.0, 5.0, 2.0], vec![1.0, 0.5, 0.5])
+    }
+
+    fn dla_spec() -> SymmetrySpec {
+        SymmetrySpec {
+            value_classes: vec![vec![1, 2]],
+            var_blocks: vec![],
+        }
+    }
+
+    /// Two identical 3-task blocks (duplicate DNN instances) on 2
+    /// distinct machines.
+    fn twin_instance() -> Machines {
+        Machines::new(vec![2.0, 5.0, 1.0, 2.0, 5.0, 1.0], vec![1.0, 0.7])
+    }
+
+    fn twin_spec() -> SymmetrySpec {
+        SymmetrySpec {
+            value_classes: vec![],
+            var_blocks: vec![vec![(0, 3), (3, 3)]],
+        }
+    }
+
+    /// Enumerates every complete assignment of `m`.
+    fn all_assignments(m: &Machines) -> Vec<Assignment> {
+        let n = m.num_vars();
+        let k = m.speed.len() as u32;
+        let mut out = Vec::new();
+        let total = (k as usize).pow(n as u32);
+        for mut idx in 0..total {
+            let mut a = vec![0u32; n];
+            for slot in a.iter_mut().rev() {
+                *slot = (idx % k as usize) as u32;
+                idx /= k as usize;
+            }
+            out.push(a);
+        }
+        out
+    }
+
+    /// Index of an assignment in the mixed-radix enumeration order of
+    /// [`all_assignments`].
+    fn index_of(m: &Machines, a: &Assignment) -> usize {
+        let k = m.speed.len();
+        a.iter().fold(0usize, |acc, &v| acc * k + v as usize)
+    }
+
+    /// True orbits of the symmetry group, computed by union-find over the
+    /// generators: adjacent block swaps and class value transpositions.
+    fn orbits(m: &Machines, spec: &SymmetrySpec) -> Vec<usize> {
+        let all = all_assignments(m);
+        let mut parent: Vec<usize> = (0..all.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for a in &all {
+            let ia = index_of(m, a);
+            let mut neighbors: Vec<Assignment> = Vec::new();
+            for group in &spec.var_blocks {
+                for w in group.windows(2) {
+                    let (s1, len) = w[0];
+                    let (s2, _) = w[1];
+                    let mut b = a.clone();
+                    for o in 0..len {
+                        b.swap(s1 + o, s2 + o);
+                    }
+                    neighbors.push(b);
+                }
+            }
+            for class in &spec.value_classes {
+                for w in class.windows(2) {
+                    let (u, v) = (w[0], w[1]);
+                    let mut b = a.clone();
+                    for slot in b.iter_mut() {
+                        if *slot == u {
+                            *slot = v;
+                        } else if *slot == v {
+                            *slot = u;
+                        }
+                    }
+                    neighbors.push(b);
+                }
+            }
+            for b in neighbors {
+                let ib = index_of(m, &b);
+                let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+                parent[ra] = rb;
+            }
+        }
+        (0..all.len()).map(|i| find(&mut parent, i)).collect()
+    }
+
+    /// `exact`: a single rule is active, so the accepted set must be a
+    /// perfect transversal (exactly one member per orbit). When both
+    /// rules interact the breaking is partial — every orbit must keep at
+    /// least one member, and the overall reduction must still be real.
+    fn uniqueness_check(m: &Machines, spec: SymmetrySpec, exact: bool) {
+        let sym = Symmetric::new(m, spec.clone());
+        let orbit_of = orbits(m, &spec);
+        let mut accepted_per_orbit = std::collections::BTreeMap::<usize, usize>::new();
+        let mut accepted_total = 0usize;
+        let all = all_assignments(m);
+        for a in &all {
+            let mut rep = a.clone();
+            sym.canonicalize(&mut rep);
+            // Canonicalization is cost-preserving up to floating-point
+            // reassociation (block swaps change the per-machine
+            // summation order by the tasks' indices).
+            let c_a = m.cost(a).unwrap();
+            let c_rep = m.cost(&rep).unwrap();
+            assert!(
+                (c_a - c_rep).abs() < 1e-9,
+                "canonicalize changed the cost of {a:?}: {c_a} vs {c_rep}"
+            );
+            // canonicalize lands inside the orbit...
+            assert_eq!(
+                orbit_of[index_of(m, a)],
+                orbit_of[index_of(m, &rep)],
+                "canonicalize left the orbit of {a:?}"
+            );
+            // ...on an accepted member; acceptance = being a fixed point.
+            assert!(sym.cost(&rep).is_some(), "rep {rep:?} not accepted");
+            let accepted = sym.cost(a).is_some();
+            assert_eq!(accepted, rep == *a, "wrong verdict on {a:?} (rep {rep:?})");
+            if accepted {
+                accepted_total += 1;
+                *accepted_per_orbit
+                    .entry(orbit_of[index_of(m, a)])
+                    .or_insert(0) += 1;
+            }
+        }
+        let num_orbits = {
+            let mut roots: Vec<usize> = orbit_of.clone();
+            roots.sort_unstable();
+            roots.dedup();
+            roots.len()
+        };
+        // Every orbit keeps at least one representative (the optimum
+        // always survives symmetry breaking)...
+        assert_eq!(accepted_per_orbit.len(), num_orbits);
+        if exact {
+            // ...and with one rule active, exactly one.
+            assert_eq!(accepted_total, num_orbits);
+            for (&orbit, &count) in &accepted_per_orbit {
+                assert_eq!(count, 1, "orbit {orbit} kept {count} members");
+            }
+        }
+        // The breaking removes real work in all cases.
+        assert!(accepted_total < all.len());
+    }
+
+    #[test]
+    fn canonical_form_is_unique_for_identical_machines() {
+        uniqueness_check(&dla_instance(), dla_spec(), true);
+    }
+
+    #[test]
+    fn canonical_form_is_unique_for_duplicate_task_blocks() {
+        uniqueness_check(&twin_instance(), twin_spec(), true);
+    }
+
+    #[test]
+    fn canonical_form_is_unique_with_both_rules_combined() {
+        // 2 identical blocks AND 2 identical machines (of 3).
+        let m = Machines::new(vec![2.0, 4.0, 2.0, 4.0], vec![1.0, 0.5, 0.5]);
+        let spec = SymmetrySpec {
+            value_classes: vec![vec![1, 2]],
+            var_blocks: vec![vec![(0, 2), (2, 2)]],
+        };
+        uniqueness_check(&m, spec, false);
+    }
+
+    #[test]
+    fn optimum_unchanged_and_node_count_reduced() {
+        for (m, spec) in [(dla_instance(), dla_spec()), (twin_instance(), twin_spec())] {
+            let sym = Symmetric::new(&m, spec);
+            let plain = solve(&m, SolveOptions::default());
+            let broken = solve(&sym, SolveOptions::default());
+            assert!(plain.proven_optimal() && broken.proven_optimal());
+            let (_, c_plain) = plain.best.unwrap();
+            let (a_broken, c_broken) = broken.best.unwrap();
+            assert!(
+                (c_plain - c_broken).abs() < 1e-9,
+                "optimum changed: {c_plain} vs {c_broken}"
+            );
+            // The symmetric optimum is itself canonical.
+            let mut rep = a_broken.clone();
+            sym.canonicalize(&mut rep);
+            assert_eq!(rep, a_broken);
+            // Breaking the symmetry visits strictly fewer nodes.
+            assert!(
+                broken.stats.nodes < plain.stats.nodes,
+                "no reduction: {} vs {}",
+                broken.stats.nodes,
+                plain.stats.nodes
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_checks_match_from_scratch_semantics() {
+        for (m, spec) in [(dla_instance(), dla_spec()), (twin_instance(), twin_spec())] {
+            let sym = Symmetric::new(&m, spec);
+            let inc = solve(&sym, SolveOptions::default());
+            let scratchless = solve(&NonIncremental(&sym), SolveOptions::default());
+            let bf = brute_force(&sym).unwrap();
+            let (a1, c1) = inc.best.unwrap();
+            let (a2, c2) = scratchless.best.unwrap();
+            assert_eq!(a1, a2);
+            assert_eq!(c1.to_bits(), c2.to_bits());
+            assert_eq!(inc.stats.nodes, scratchless.stats.nodes);
+            assert!((c1 - bf.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_solve_handles_the_wrapper() {
+        // Work-item prefix swaps exercise push/pop restore paths the
+        // sequential DFS never hits in the same order.
+        let m = dla_instance();
+        let sym = Symmetric::new(&m, dla_spec());
+        let seq = solve(&sym, SolveOptions::default());
+        for threads in [2, 4] {
+            for depth in [1, 2, 3] {
+                let par = solve_parallel_with(
+                    &sym,
+                    SolveOptions::default(),
+                    &ParallelOptions {
+                        threads,
+                        split_depth: Some(depth),
+                    },
+                );
+                let (a_seq, c_seq) = seq.best.as_ref().unwrap();
+                let (a_par, c_par) = par.best.as_ref().unwrap();
+                assert_eq!(a_seq, a_par, "threads {threads} depth {depth}");
+                assert_eq!(c_seq.to_bits(), c_par.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "splits a value class")]
+    fn spec_validation_rejects_split_domains() {
+        struct Odd;
+        impl CostModel for Odd {
+            type Scratch = ();
+            fn num_vars(&self) -> usize {
+                2
+            }
+            fn domain(&self, var: usize) -> &[u32] {
+                if var == 0 {
+                    &[0, 1, 2]
+                } else {
+                    &[0, 1]
+                }
+            }
+            fn cost(&self, _a: &Assignment) -> Option<f64> {
+                Some(0.0)
+            }
+        }
+        let spec = SymmetrySpec {
+            value_classes: vec![vec![1, 2]],
+            var_blocks: vec![],
+        };
+        Symmetric::new(&Odd, spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn spec_validation_rejects_mismatched_blocks() {
+        let m = dla_instance();
+        let spec = SymmetrySpec {
+            value_classes: vec![],
+            var_blocks: vec![vec![(0, 2), (2, 3)]],
+        };
+        Symmetric::new(&m, spec);
+    }
+}

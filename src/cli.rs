@@ -118,13 +118,38 @@ pub enum Command {
         /// Use the thread-per-DNN executor instead of the DES replay.
         threaded: bool,
     },
+    /// `haxconn solve --seed S [--tasks N] [--groups G] [--portfolio]
+    /// [--lns-workers K] [--budget NODES] [--symmetry]` — crack a
+    /// generated large instance (random layer-group DAG on the dual-DLA
+    /// Orin) with the configured solver flavor.
+    Solve {
+        /// Instance-generator seed.
+        seed: u64,
+        /// DNN instances in the generated workload.
+        tasks: usize,
+        /// Layer groups per instance.
+        groups: usize,
+        /// Race parallel B&B against LNS workers over a shared incumbent
+        /// (anytime; proven optimal only if B&B exhausts the tree).
+        portfolio: bool,
+        /// LNS workers in the portfolio race.
+        lns_workers: usize,
+        /// Global solver node budget (None = run to proven optimality).
+        budget: Option<u64>,
+        /// Restrict the search to canonical representatives under the
+        /// interchangeable-PU symmetry (the two identical DLAs).
+        symmetry: bool,
+    },
     /// `haxconn check --platform P --models A,B [--objective O] [--pipeline]`
-    /// (validate one schedule) or `haxconn check --fuzz N [--seed S]`
-    /// (differential fuzzing).
+    /// (validate one schedule) or `haxconn check --fuzz N [--seed S]
+    /// [--fuzz-large M]` (differential fuzzing).
     Check {
         /// Differential-fuzz scenario count; `None` = schedule-validate
         /// mode.
         fuzz: Option<usize>,
+        /// Large-instance portfolio-fuzz instance count (runs after the
+        /// differential pass when given).
+        fuzz_large: Option<usize>,
         /// Fuzzer seed (deterministic; same seed = same scenarios).
         seed: u64,
         /// Target platform (schedule-validate mode).
@@ -364,11 +389,68 @@ pub fn parse(args: &[String]) -> Result<Command, HaxError> {
                 threaded,
             }
         }
+        "solve" => {
+            let seed = match a.take_value("--seed")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad --seed '{v}'")))?,
+                None => 42,
+            };
+            let tasks = match a.take_value("--tasks")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad --tasks '{v}'")))?,
+                None => 6,
+            };
+            let groups = match a.take_value("--groups")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad --groups '{v}'")))?,
+                None => 9,
+            };
+            let portfolio = a.take_switch("--portfolio");
+            let lns_workers = match a.take_value("--lns-workers")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad --lns-workers '{v}'")))?,
+                None => 2,
+            };
+            let budget = match a.take_value("--budget")? {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| cli_err(format!("bad --budget '{v}'")))?,
+                ),
+                None => None,
+            };
+            let symmetry = a.take_switch("--symmetry");
+            if tasks == 0 || groups == 0 {
+                return Err(cli_err("--tasks and --groups must be at least 1"));
+            }
+            if portfolio && lns_workers == 0 {
+                return Err(cli_err("--portfolio needs at least one LNS worker"));
+            }
+            Command::Solve {
+                seed,
+                tasks,
+                groups,
+                portfolio,
+                lns_workers,
+                budget,
+                symmetry,
+            }
+        }
         "check" => {
             let fuzz = match a.take_value("--fuzz")? {
                 Some(v) => Some(
                     v.parse()
                         .map_err(|_| cli_err(format!("bad --fuzz '{v}'")))?,
+                ),
+                None => None,
+            };
+            let fuzz_large = match a.take_value("--fuzz-large")? {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| cli_err(format!("bad --fuzz-large '{v}'")))?,
                 ),
                 None => None,
             };
@@ -378,9 +460,10 @@ pub fn parse(args: &[String]) -> Result<Command, HaxError> {
                     .map_err(|_| cli_err(format!("bad --seed '{v}'")))?,
                 None => 42,
             };
-            if fuzz.is_some() {
+            if fuzz.is_some() || fuzz_large.is_some() {
                 Command::Check {
                     fuzz,
+                    fuzz_large,
                     seed,
                     platform: None,
                     models: Vec::new(),
@@ -397,6 +480,7 @@ pub fn parse(args: &[String]) -> Result<Command, HaxError> {
                 let pipeline = a.take_switch("--pipeline");
                 Command::Check {
                     fuzz: None,
+                    fuzz_large: None,
                     seed,
                     platform: Some(platform),
                     models,
@@ -430,8 +514,10 @@ USAGE:
   haxconn telemetry --file <FILE.json>
   haxconn fleet     --platform <P> --models <A,B[,C]> [--count N] [--iterations K]
                     [--seed S] [--threads T] [--threaded]
+  haxconn solve     [--seed S] [--tasks N] [--groups G] [--portfolio]
+                    [--lns-workers K] [--budget NODES] [--symmetry]
   haxconn check     --platform <P> --models <A,B[,C]> [--objective O] [--pipeline]
-  haxconn check     --fuzz <N> [--seed S]
+  haxconn check     --fuzz <N> [--seed S] [--fuzz-large M]
 ";
 
 /// Switches the process-global memory recorder on (installing it on first
@@ -457,6 +543,82 @@ fn telemetry_finish(
         .map_err(|e| HaxError::Io(format!("writing {path}: {e}")))?;
     writeln!(out, "telemetry snapshot written to {path}")?;
     Ok(snap)
+}
+
+/// Solver dispatch behind `haxconn solve`, shared by the plain and the
+/// symmetry-broken paths (which differ only in the model type).
+fn run_solve_flavor<M: haxconn_solver::CostModel + Sync>(
+    m: &M,
+    seed_inc: &Option<(Vec<u32>, f64)>,
+    portfolio: bool,
+    lns_workers: usize,
+    budget: Option<u64>,
+    out: &mut String,
+) -> Result<Option<(Vec<u32>, f64)>, HaxError> {
+    use haxconn_solver as hs;
+    let opts = || hs::SolveOptions {
+        node_budget: budget,
+        initial_incumbent: seed_inc.clone(),
+        ..Default::default()
+    };
+    let started = std::time::Instant::now();
+    if portfolio {
+        let outcome = hs::solve_portfolio(
+            m,
+            opts(),
+            &hs::PortfolioOptions {
+                lns_workers,
+                ..Default::default()
+            },
+        );
+        let winner = match outcome.winner {
+            Some(hs::Winner::BranchAndBound) => "branch & bound",
+            Some(hs::Winner::Lns) => "LNS",
+            Some(hs::Winner::Seed) => "baseline seed",
+            None => "none",
+        };
+        writeln!(
+            out,
+            "portfolio: {} B&B nodes, {} LNS iters ({} accepts, {} restarts, {} incumbents), winner: {winner}",
+            outcome.stats.nodes,
+            outcome.lns.iters,
+            outcome.lns.accepts,
+            outcome.lns.restarts,
+            outcome.lns.incumbents,
+        )?;
+        writeln!(
+            out,
+            "exactness: {}",
+            match outcome.exactness {
+                hs::Exactness::Proven => "proven optimal (B&B exhausted the tree)",
+                hs::Exactness::Heuristic => "best-found (budget hit before exhaustion)",
+            }
+        )?;
+        writeln!(
+            out,
+            "solve time: {:.1} ms",
+            started.elapsed().as_secs_f64() * 1e3
+        )?;
+        Ok(outcome.best)
+    } else {
+        let sol = hs::solve_parallel(m, opts());
+        writeln!(out, "parallel B&B: {} nodes", sol.stats.nodes)?;
+        writeln!(
+            out,
+            "exactness: {}",
+            if sol.proven_optimal() {
+                "proven optimal"
+            } else {
+                "best-found (budget hit before exhaustion)"
+            }
+        )?;
+        writeln!(
+            out,
+            "solve time: {:.1} ms",
+            started.elapsed().as_secs_f64() * 1e3
+        )?;
+        Ok(sol.best)
+    }
 }
 
 /// Executes a parsed command, returning the text to print.
@@ -942,33 +1104,125 @@ per-frame service {:.2} ms vs period {:.2} ms",
                 serde_json::from_str(&text).map_err(|e| cli_err(format!("parsing {file}: {e}")))?;
             summarize_snapshot(&v, &mut out)?;
         }
+        Command::Solve {
+            seed,
+            tasks,
+            groups,
+            portfolio,
+            lns_workers,
+            budget,
+            symmetry,
+        } => {
+            use haxconn_solver::CostModel as _;
+            let g = haxconn_core::generate_instance(seed, tasks, groups);
+            let cm = ContentionModel::calibrate(&g.platform);
+            let enc = haxconn_core::ScheduleEncoding::new(&g.workload, &cm, g.config);
+            writeln!(
+                out,
+                "instance {}: {} tasks x {groups} groups = {} vars, {} deps, {} ({} PUs)",
+                g.name,
+                g.workload.tasks.len(),
+                enc.num_vars(),
+                g.workload.deps.len(),
+                g.platform.name,
+                g.platform.pus.len()
+            )?;
+            // Warm-start with the best ε-feasible baseline: the race can
+            // then only improve on it (never-worse by construction).
+            let mut seed_inc: Option<(Vec<u32>, f64)> = None;
+            for &kind in BaselineKind::all() {
+                let rows = Baseline::assignment(kind, &g.platform, &g.workload);
+                let flat: Vec<u32> = rows
+                    .iter()
+                    .flat_map(|r| r.iter().map(|&pu| pu as u32))
+                    .collect();
+                if let Some(c) = enc.cost(&flat) {
+                    if seed_inc.as_ref().is_none_or(|&(_, b)| c < b) {
+                        seed_inc = Some((flat, c));
+                    }
+                }
+            }
+            if let Some((_, c)) = &seed_inc {
+                writeln!(out, "baseline seed cost: {c:.4} ms")?;
+            }
+            let best = if symmetry {
+                let spec = enc.symmetry_spec(&g.platform);
+                writeln!(out, "symmetry: {} rule(s) active", spec.num_rules())?;
+                if spec.is_empty() {
+                    run_solve_flavor(&enc, &seed_inc, portfolio, lns_workers, budget, &mut out)?
+                } else {
+                    let sym = haxconn_solver::Symmetric::new(&enc, spec);
+                    run_solve_flavor(&sym, &seed_inc, portfolio, lns_workers, budget, &mut out)?
+                }
+            } else {
+                run_solve_flavor(&enc, &seed_inc, portfolio, lns_workers, budget, &mut out)?
+            };
+            match best {
+                Some((a, c)) => {
+                    writeln!(out, "best cost: {c:.4} ms")?;
+                    if let Some((_, sc)) = &seed_inc {
+                        if *sc > 0.0 && c <= *sc {
+                            writeln!(
+                                out,
+                                "improvement over baseline: {:.1}%",
+                                (1.0 - c / sc) * 100.0
+                            )?;
+                        }
+                    }
+                    let rows = enc.to_rows(&a);
+                    let used: std::collections::BTreeSet<usize> =
+                        rows.iter().flatten().copied().collect();
+                    let names: Vec<&str> = used
+                        .iter()
+                        .map(|&p| g.platform.pus[p].name.as_str())
+                        .collect();
+                    writeln!(out, "PUs used: {}", names.join(", "))?;
+                }
+                None => writeln!(out, "infeasible under the transition budget")?,
+            }
+        }
         Command::Check {
             fuzz,
+            fuzz_large,
             seed,
             platform,
             models,
             objective,
             pipeline,
-        } => match fuzz {
-            Some(scenarios) => {
-                let report = haxconn_check::fuzz::run(&haxconn_check::FuzzConfig {
-                    seed,
-                    scenarios,
-                    ..Default::default()
-                });
-                writeln!(out, "{report}")?;
-                // Divergences and violations are a hard failure so CI can
-                // gate on the exit status.
-                if !report.is_clean() {
-                    return Err(HaxError::ScheduleInvariant(format!(
-                        "differential fuzzing (seed {seed}) found {} divergence(s) and {} \
-                         invariant violation(s)",
-                        report.divergences.len(),
-                        report.violations.len()
-                    )));
+        } => match (fuzz, fuzz_large) {
+            (Some(_), _) | (_, Some(_)) => {
+                if let Some(scenarios) = fuzz {
+                    let report = haxconn_check::fuzz::run(&haxconn_check::FuzzConfig {
+                        seed,
+                        scenarios,
+                        ..Default::default()
+                    });
+                    writeln!(out, "{report}")?;
+                    // Divergences and violations are a hard failure so CI
+                    // can gate on the exit status.
+                    if !report.is_clean() {
+                        return Err(HaxError::ScheduleInvariant(format!(
+                            "differential fuzzing (seed {seed}) found {} divergence(s) and {} \
+                             invariant violation(s)",
+                            report.divergences.len(),
+                            report.violations.len()
+                        )));
+                    }
+                }
+                if let Some(instances) = fuzz_large {
+                    let report = haxconn_check::fuzz::run_large(seed, instances, 200_000);
+                    writeln!(out, "{report}")?;
+                    if !report.is_clean() {
+                        return Err(HaxError::ScheduleInvariant(format!(
+                            "large-instance fuzzing (seed {seed}) found {} divergence(s) and {} \
+                             invariant violation(s)",
+                            report.divergences.len(),
+                            report.violations.len()
+                        )));
+                    }
                 }
             }
-            None => {
+            (None, None) => {
                 let platform = platform.ok_or_else(|| cli_err("--platform required"))?;
                 let mut session = Session::on(platform).objective(objective);
                 for &m in &models {
@@ -1318,6 +1572,7 @@ mod tests {
             c,
             Command::Check {
                 fuzz: None,
+                fuzz_large: None,
                 seed: 42,
                 platform: Some(PlatformId::OrinAgx),
                 models: vec![Model::GoogleNet, Model::ResNet18],
@@ -1330,6 +1585,7 @@ mod tests {
             c,
             Command::Check {
                 fuzz: Some(25),
+                fuzz_large: None,
                 seed: 9,
                 platform: None,
                 models: Vec::new(),
@@ -1345,6 +1601,7 @@ mod tests {
     fn run_check_command_validates_schedule() {
         let out = run(Command::Check {
             fuzz: None,
+            fuzz_large: None,
             seed: 42,
             platform: Some(PlatformId::OrinAgx),
             models: vec![Model::GoogleNet, Model::ResNet18],
@@ -1359,6 +1616,7 @@ mod tests {
     fn run_check_command_fuzzes_clean() {
         let out = run(Command::Check {
             fuzz: Some(3),
+            fuzz_large: None,
             seed: 11,
             platform: None,
             models: Vec::new(),
@@ -1367,6 +1625,59 @@ mod tests {
         })
         .expect("clean fuzz run");
         assert!(out.contains("3 scenarios"), "{out}");
+    }
+
+    #[test]
+    fn parses_solve() {
+        let c = parsed("solve");
+        assert_eq!(
+            c,
+            Command::Solve {
+                seed: 42,
+                tasks: 6,
+                groups: 9,
+                portfolio: false,
+                lns_workers: 2,
+                budget: None,
+                symmetry: false,
+            }
+        );
+        let c = parsed(
+            "solve --seed 7 --tasks 4 --groups 5 --portfolio --lns-workers 3 \
+             --budget 1000 --symmetry",
+        );
+        assert_eq!(
+            c,
+            Command::Solve {
+                seed: 7,
+                tasks: 4,
+                groups: 5,
+                portfolio: true,
+                lns_workers: 3,
+                budget: Some(1000),
+                symmetry: true,
+            }
+        );
+        assert!(parse_err("solve --tasks 0").contains("at least 1"));
+        assert!(parse_err("solve --budget soon").contains("bad --budget"));
+        assert!(parse_err("solve --portfolio --lns-workers 0").contains("LNS worker"));
+    }
+
+    #[test]
+    fn run_solve_command_cracks_a_small_instance() {
+        let out = run(Command::Solve {
+            seed: 3,
+            tasks: 3,
+            groups: 3,
+            portfolio: true,
+            lns_workers: 2,
+            budget: None,
+            symmetry: true,
+        })
+        .expect("solvable instance");
+        assert!(out.contains("instance gen3-3x3"), "{out}");
+        assert!(out.contains("proven optimal"), "{out}");
+        assert!(out.contains("best cost:"), "{out}");
     }
 
     #[test]

@@ -59,6 +59,47 @@ fn telemetry_end_to_end() {
     assert!(snap.histograms.contains_key("solver.solve_ms"));
     assert!(!snap.spans.is_empty(), "scheduler/solver spans expected");
 
+    // --- 2b. Portfolio path: telemetry stays write-only and the LNS /
+    // portfolio counters plus the incumbent-timeline series land. An
+    // unbudgeted portfolio proves the optimum, so the result is as
+    // deterministic as the sequential solver's.
+    let pf_config = SchedulerConfig {
+        portfolio_solve: true,
+        lns_workers: 2,
+        break_symmetry: true,
+        ..Default::default()
+    };
+    let pf_solve = || {
+        Session::on(PlatformId::OrinAgx)
+            .task(Model::GoogleNet, 6)
+            .task(Model::ResNet101, 6)
+            .config(pf_config)
+            .schedule()
+            .expect("schedulable")
+    };
+    let p1 = pf_solve();
+    rec.reset();
+    tel::set_enabled(true);
+    let p2 = pf_solve();
+    tel::set_enabled(false);
+    assert_eq!(p1.schedule.assignment, p2.schedule.assignment);
+    assert_eq!(p1.schedule.cost.to_bits(), p2.schedule.cost.to_bits());
+    let pf_snap = rec.snapshot();
+    let pf_counter = |name: &str| pf_snap.counters.get(name).copied().unwrap_or(0);
+    assert!(pf_counter("solver.lns.iters") > 0, "{:?}", pf_snap.counters);
+    assert!(
+        pf_counter("solver.portfolio.winner.bb")
+            + pf_counter("solver.portfolio.winner.lns")
+            + pf_counter("solver.portfolio.winner.seed")
+            >= 1,
+        "{:?}",
+        pf_snap.counters
+    );
+    assert!(
+        pf_snap.series.contains_key("solver.portfolio.incumbent"),
+        "incumbent timeline series expected"
+    );
+
     // --- 3. CLI --telemetry round-trip through serde_json. ---
     let path = std::env::temp_dir().join(format!("haxconn-telemetry-{}.json", std::process::id()));
     let path_s = path.to_string_lossy().to_string();
