@@ -58,7 +58,7 @@ pub use encoding::{ScheduleEncoding, ScheduleScratch};
 pub use energy::{dynamic_energy_mj, dynamic_energy_with, energy_of, schedule_min_energy};
 pub use error::{parse_model, parse_objective, parse_platform, HaxError};
 pub use gantt::render_gantt;
-pub use measure::{measure, Measurement};
+pub use measure::{measure, DesWork, Measurement};
 pub use problem::{DnnTask, Objective, SchedulerConfig, Workload};
 pub use scenario::{generate_instance, generate_instance_on, GeneratedInstance, Scenario};
 pub use scheduler::{HaxConn, Schedule, ScheduleOrigin, Transition};

@@ -7,7 +7,7 @@
 //! binaries come from here — exactly as the paper reports wall-clock
 //! measurements, not model predictions.
 
-use crate::problem::Workload;
+use crate::problem::{DnnTask, Workload};
 use haxconn_soc::{simulate, Dep, Job, LayerCost, Platform, PuId, RunResult, WorkItem};
 
 /// Paper-style metrics of one measured run.
@@ -40,6 +40,34 @@ fn transition_item(pu: PuId, time_ms: f64, bytes: f64) -> WorkItem {
     }
 }
 
+/// Appends one task's work items — grouped layers plus explicit
+/// flush/reformat transition items — to `items`, given its PU row. The
+/// single source of item order for [`to_jobs`] and [`DesWork::fill`]; the
+/// two paths stay bit-identical because they run this exact code.
+fn push_task_items(task: &DnnTask, row: &[PuId], items: &mut Vec<WorkItem>) {
+    let profile = &task.profile;
+    for g in 0..profile.len() {
+        let pu = row[g];
+        let cost = profile.groups[g].cost[pu].expect("assignment respects supported PUs");
+        if g > 0 && row[g - 1] != pu {
+            let bytes = profile.grouped.groups[g - 1].boundary_bytes as f64;
+            // Flush out of the previous PU...
+            items.push(transition_item(
+                row[g - 1],
+                profile.groups[g - 1].tr_out_ms[row[g - 1]],
+                bytes,
+            ));
+            // ...then reformat into this one.
+            items.push(transition_item(
+                pu,
+                profile.groups[g - 1].tr_in_ms[pu],
+                bytes,
+            ));
+        }
+        items.push(WorkItem { pu, cost });
+    }
+}
+
 /// Converts a scheduled workload into simulator jobs + cross-job deps.
 ///
 /// Each task becomes one job; inter-accelerator transitions become explicit
@@ -50,28 +78,8 @@ pub fn to_jobs(workload: &Workload, assignment: &[Vec<PuId>]) -> (Vec<Job>, Vec<
     // first/last item index per task, to wire streaming deps.
     let mut last_item = Vec::with_capacity(workload.tasks.len());
     for (t, task) in workload.tasks.iter().enumerate() {
-        let profile = &task.profile;
         let mut items: Vec<WorkItem> = Vec::new();
-        for g in 0..profile.len() {
-            let pu = assignment[t][g];
-            let cost = profile.groups[g].cost[pu].expect("assignment respects supported PUs");
-            if g > 0 && assignment[t][g - 1] != pu {
-                let bytes = profile.grouped.groups[g - 1].boundary_bytes as f64;
-                // Flush out of the previous PU...
-                items.push(transition_item(
-                    assignment[t][g - 1],
-                    profile.groups[g - 1].tr_out_ms[assignment[t][g - 1]],
-                    bytes,
-                ));
-                // ...then reformat into this one.
-                items.push(transition_item(
-                    pu,
-                    profile.groups[g - 1].tr_in_ms[pu],
-                    bytes,
-                ));
-            }
-            items.push(WorkItem { pu, cost });
-        }
+        push_task_items(task, &assignment[t], &mut items);
         last_item.push(items.len() - 1);
         jobs.push(Job {
             name: workload.tasks[t].name.clone(),
@@ -103,6 +111,82 @@ pub fn to_jobs_with_upstream(
         .map(|t| workload.upstream(t))
         .collect();
     (jobs, deps, upstream)
+}
+
+/// Flat, reusable staging of a scheduled workload's executable work —
+/// the allocation-free counterpart of [`to_jobs_with_upstream`] for the
+/// DES executor's hot path.
+///
+/// Layout is struct-of-arrays: every task's [`WorkItem`]s live
+/// concatenated in one buffer addressed by per-task ranges, and likewise
+/// for upstream task indices. No `Job` structs, no per-task `Vec`s, no
+/// cloned name `String`s. [`DesWork::fill`] clears and refills the
+/// buffers in place, so a staging reused across a fleet of scenarios
+/// stops allocating once the buffers reach the largest scenario's size.
+///
+/// Item order per task and upstream order per task are bit-identical to
+/// [`to_jobs_with_upstream`] (same builder code, same dep scan order) —
+/// a property the test suite checks — so the DES replay produces the
+/// same reports whichever staging the caller uses.
+#[derive(Debug, Default, Clone)]
+pub struct DesWork {
+    items: Vec<WorkItem>,
+    item_ranges: Vec<(u32, u32)>,
+    upstream: Vec<u32>,
+    upstream_ranges: Vec<(u32, u32)>,
+}
+
+impl DesWork {
+    /// Empty staging; buffers grow on first [`DesWork::fill`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of staged tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.item_ranges.len()
+    }
+
+    /// Total staged work items across all tasks.
+    pub fn total_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Work items of task `t`, in execution order.
+    pub fn items_of(&self, t: usize) -> &[WorkItem] {
+        let (a, b) = self.item_ranges[t];
+        &self.items[a as usize..b as usize]
+    }
+
+    /// Tasks whose completion gates task `t`'s first item.
+    pub fn upstream_of(&self, t: usize) -> &[u32] {
+        let (a, b) = self.upstream_ranges[t];
+        &self.upstream[a as usize..b as usize]
+    }
+
+    /// Restages `workload` under `assignment`, reusing the buffers.
+    pub fn fill(&mut self, workload: &Workload, assignment: &[Vec<PuId>]) {
+        self.items.clear();
+        self.item_ranges.clear();
+        self.upstream.clear();
+        self.upstream_ranges.clear();
+        for (t, task) in workload.tasks.iter().enumerate() {
+            let start = self.items.len() as u32;
+            push_task_items(task, &assignment[t], &mut self.items);
+            self.item_ranges.push((start, self.items.len() as u32));
+            let up_start = self.upstream.len() as u32;
+            // Same scan `Workload::upstream` performs, minus its Vec.
+            self.upstream.extend(
+                workload
+                    .deps
+                    .iter()
+                    .filter(|d| d.to == t)
+                    .map(|d| d.from as u32),
+            );
+            self.upstream_ranges
+                .push((up_start, self.upstream.len() as u32));
+        }
+    }
 }
 
 /// Measures `assignment` on the platform's ground-truth simulator.
@@ -217,6 +301,47 @@ mod tests {
         // FPS consistent with latencies.
         let fps: f64 = split_m.task_latency_ms.iter().map(|&t| 1000.0 / t).sum();
         assert!((split_m.fps - fps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn des_work_matches_jobs_staging() {
+        let (p, w) = workload(&[Model::ResNet50, Model::GoogleNet]);
+        let mut a = all_on(&w, p.gpu());
+        // Force transitions in task 0 so flush/reformat items are staged.
+        let n = w.tasks[0].num_groups();
+        #[allow(clippy::needless_range_loop)]
+        for g in n / 2..n {
+            if w.tasks[0].profile.groups[g].cost[p.dsa()].is_some() {
+                a[0][g] = p.dsa();
+            }
+        }
+        let (jobs, _, upstream) = to_jobs_with_upstream(&w, &a);
+        let mut work = DesWork::new();
+        work.fill(&w, &a);
+        assert_eq!(work.num_tasks(), jobs.len());
+        assert_eq!(
+            work.total_items(),
+            jobs.iter().map(|j| j.items.len()).sum::<usize>()
+        );
+        for (t, job) in jobs.iter().enumerate() {
+            let staged = work.items_of(t);
+            assert_eq!(staged.len(), job.items.len());
+            for (s, j) in staged.iter().zip(job.items.iter()) {
+                assert_eq!(s.pu, j.pu);
+                assert_eq!(s.cost.time_ms.to_bits(), j.cost.time_ms.to_bits());
+                assert_eq!(s.cost.demand_gbps.to_bits(), j.cost.demand_gbps.to_bits());
+            }
+            let ups: Vec<usize> = work.upstream_of(t).iter().map(|&u| u as usize).collect();
+            assert_eq!(ups, upstream[t]);
+        }
+        // Refill with a different scenario reuses the buffers in place.
+        let b = all_on(&w, p.gpu());
+        work.fill(&w, &b);
+        let (jobs_b, _, _) = to_jobs_with_upstream(&w, &b);
+        assert_eq!(
+            work.total_items(),
+            jobs_b.iter().map(|j| j.items.len()).sum::<usize>()
+        );
     }
 
     #[test]

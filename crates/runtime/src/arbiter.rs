@@ -1,9 +1,22 @@
 //! The virtual-time arbiter: per-PU mutual exclusion, cross-task
 //! dependencies, and quiescence-driven clock advance.
 
-use haxconn_soc::{LayerCost, Platform};
+use haxconn_soc::{GrantScratch, LayerCost, Platform};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+
+/// Caller-owned buffers for [`fluid_step`]. One instance lives in each
+/// DES workspace and in the threaded arbiter's state, so re-arbitration
+/// never allocates once the buffers reach the active-set high-water mark.
+#[derive(Debug, Default)]
+pub(crate) struct FluidScratch {
+    demands: Vec<f64>,
+    /// Per-active-item stretch factors from the last step (read back by
+    /// the DES executor to deplete remaining work).
+    pub(crate) slowdowns: Vec<f64>,
+    grants: Vec<f64>,
+    emc: GrantScratch,
+}
 
 /// An item currently executing on a PU.
 struct ActiveItem {
@@ -22,23 +35,26 @@ struct ActiveItem {
 /// where `dt` is the time to the next completion and `granted_gbps` the
 /// aggregate granted traffic. This is the item-cost core shared by the
 /// threaded arbiter and the DES executor, so both paths stretch work
-/// identically under contention; `demands` and `slowdowns` are caller-owned
-/// scratch so the DES hot loop does not reallocate per event.
+/// identically under contention; every buffer lives in the caller-owned
+/// [`FluidScratch`] so the DES hot loop performs no heap allocation.
 pub(crate) fn fluid_step(
     platform: &Platform,
     active: &[(LayerCost, f64)],
-    demands: &mut Vec<f64>,
-    slowdowns: &mut Vec<f64>,
+    scratch: &mut FluidScratch,
 ) -> (f64, f64) {
-    demands.clear();
-    demands.extend(active.iter().map(|(cost, _)| cost.demand_gbps));
-    let grants = platform.emc.grant(demands);
-    let granted: f64 = grants.iter().sum();
-    slowdowns.clear();
+    scratch.demands.clear();
+    scratch
+        .demands
+        .extend(active.iter().map(|(cost, _)| cost.demand_gbps));
+    platform
+        .emc
+        .grant_into(&scratch.demands, &mut scratch.grants, &mut scratch.emc);
+    let granted: f64 = scratch.grants.iter().sum();
+    scratch.slowdowns.clear();
     let mut dt = f64::INFINITY;
-    for ((cost, remaining), &grant) in active.iter().zip(grants.iter()) {
+    for ((cost, remaining), &grant) in active.iter().zip(scratch.grants.iter()) {
         let s = cost.slowdown_under_grant(grant).max(1.0);
-        slowdowns.push(s);
+        scratch.slowdowns.push(s);
         dt = dt.min(remaining * s);
     }
     (dt, granted)
@@ -88,6 +104,8 @@ struct State {
     /// Number of currently blocked threads whose last predicate check was
     /// at the current `version`.
     fresh: usize,
+    /// Reused arbitration buffers for `advance`.
+    fluid: FluidScratch,
 }
 
 impl State {
@@ -127,6 +145,7 @@ impl Arbiter {
                 next_token: 0,
                 version: 0,
                 fresh: 0,
+                fluid: FluidScratch::default(),
             }),
             cvar: Condvar::new(),
         }
@@ -142,15 +161,15 @@ impl Arbiter {
         );
         let pairs: Vec<(LayerCost, f64)> =
             st.active.iter().map(|a| (a.cost, a.remaining)).collect();
-        let mut demands = Vec::new();
-        let mut slowdowns = Vec::new();
-        let (dt, granted) = fluid_step(&self.platform, &pairs, &mut demands, &mut slowdowns);
+        let mut fluid = std::mem::take(&mut st.fluid);
+        let (dt, granted) = fluid_step(&self.platform, &pairs, &mut fluid);
         st.emc_integral += granted * dt;
         st.now_ms += dt;
         let now = st.now_ms;
-        for (a, &s) in st.active.iter_mut().zip(slowdowns.iter()) {
+        for (a, &s) in st.active.iter_mut().zip(fluid.slowdowns.iter()) {
             a.remaining = (a.remaining - dt / s).max(0.0);
         }
+        st.fluid = fluid;
         let mut i = 0;
         while i < st.active.len() {
             if st.active[i].remaining <= 1e-12 {

@@ -16,12 +16,24 @@
 //! enqueue. Two runs of the same schedule therefore produce bit-identical
 //! reports, and the arithmetic (`remaining -= dt / slowdown`, `now += dt`)
 //! matches the threaded arbiter operation for operation.
+//!
+//! # Allocation discipline
+//!
+//! Every buffer a run needs lives in the [`DesRunner`]'s [`DesWorkspace`]
+//! (work staging, per-PU queues, arbitration scratch, result buffers) and
+//! is cleared — not rebuilt — between runs, and the DES event queue is
+//! recycled through [`Engine::with_queue`]/`into_parts`. After a warmup
+//! run has grown every buffer to the scenario's size, replaying further
+//! scenarios of the same shape performs **zero** heap allocations, a
+//! property the `alloc-truth` test suite and the `runtime_scaling` bench
+//! gate machine-check with `haxconn_telemetry::alloc::AllocGuard`.
 
-use crate::arbiter::{fluid_step, ItemRecord};
-use haxconn_core::measure::to_jobs_with_upstream;
+use crate::arbiter::{fluid_step, FluidScratch, ItemRecord};
+use haxconn_core::measure::DesWork;
 use haxconn_core::problem::Workload;
 use haxconn_des::{Engine, EventQueue, SimModel, SimTime};
-use haxconn_soc::{Job, LayerCost, Platform, PuId};
+use haxconn_soc::LayerCost;
+use haxconn_soc::{Platform, PuId};
 use std::collections::VecDeque;
 
 /// Mode-independent result of one executed run; the public
@@ -33,6 +45,17 @@ pub(crate) struct RawRun {
     pub emc_mean_gbps: f64,
     pub items_executed: usize,
     pub records: Vec<ItemRecord>,
+}
+
+/// Borrowed view of the last run's metrics, backed by the runner's pooled
+/// workspace — the allocation-free counterpart of [`RawRun`].
+pub(crate) struct RunView<'a> {
+    pub task_latency_ms: &'a [f64],
+    pub makespan_ms: f64,
+    pub pu_busy_ms: &'a [f64],
+    pub emc_mean_gbps: f64,
+    pub items_executed: usize,
+    pub records: &'a [ItemRecord],
 }
 
 /// The single event kind: advance to the next item completion.
@@ -49,10 +72,13 @@ struct Running {
     start_ms: f64,
 }
 
+/// Per-task replay cursor. Upstream dependencies live in the workspace's
+/// [`DesWork`] staging, so this is plain `Copy` data the workspace resets
+/// in place.
+#[derive(Clone, Copy)]
 struct TaskState {
-    upstream: Vec<usize>,
     frames_done: usize,
-    /// Index into the job's item chain of the item currently queued,
+    /// Index into the task's item chain of the item currently queued,
     /// running, or about to be released.
     next_item: usize,
     end_ms: f64,
@@ -60,58 +86,112 @@ struct TaskState {
     blocked: bool,
 }
 
-struct DesModel<'a> {
-    platform: &'a Platform,
-    jobs: Vec<Job>,
-    iterations: usize,
+const FRESH_TASK: TaskState = TaskState {
+    frames_done: 0,
+    next_item: 0,
+    end_ms: 0.0,
+    blocked: true,
+};
+
+/// Every buffer one DES replay needs, pooled across runs. `reset` sizes
+/// the buffers for a scenario without shrinking them, so a workspace that
+/// has executed one scenario of a given shape replays further ones without
+/// touching the heap.
+#[derive(Default)]
+pub(crate) struct DesWorkspace {
+    /// Flat work staging (items + upstream deps, SoA).
+    work: DesWork,
     tasks: Vec<TaskState>,
     /// Per-PU FIFO of released-but-not-started items: `(token, task)`.
     ready: Vec<VecDeque<(u64, usize)>>,
     /// Per-PU occupant.
     active: Vec<Option<Running>>,
-    /// PU indices of the occupied slots, in PU order (parallel to
-    /// `slowdowns` from the last arbitration).
+    /// PU indices of the occupied slots, in PU order (parallel to the
+    /// slowdowns of the last arbitration).
     live_pus: Vec<usize>,
-    /// Scratch reused across events so the hot loop does not allocate.
+    /// Active `(cost, remaining)` pairs handed to `fluid_step`.
     pairs: Vec<(LayerCost, f64)>,
-    demands: Vec<f64>,
-    slowdowns: Vec<f64>,
+    /// Arbitration buffers (demands, grants, slowdowns, EMC scratch).
+    fluid: FluidScratch,
+    pu_busy_ms: Vec<f64>,
+    records: Vec<ItemRecord>,
+    task_latency_ms: Vec<f64>,
+}
+
+impl DesWorkspace {
+    /// Restages `workload`/`assignment` and resets all run state. Returns
+    /// the total number of item completions the run must retire.
+    fn reset(
+        &mut self,
+        platform: &Platform,
+        workload: &Workload,
+        assignment: &[Vec<PuId>],
+        iterations: usize,
+    ) -> usize {
+        self.work.fill(workload, assignment);
+        let n_tasks = self.work.num_tasks();
+        let n_pus = platform.pus.len();
+        let pending = self.work.total_items() * iterations;
+        self.tasks.clear();
+        self.tasks.resize(n_tasks, FRESH_TASK);
+        if self.ready.len() != n_pus {
+            self.ready.resize_with(n_pus, VecDeque::new);
+        }
+        for q in &mut self.ready {
+            q.clear();
+        }
+        self.active.clear();
+        self.active.resize(n_pus, None);
+        self.live_pus.clear();
+        self.pairs.clear();
+        self.pu_busy_ms.clear();
+        self.pu_busy_ms.resize(n_pus, 0.0);
+        self.records.clear();
+        self.records.reserve(pending);
+        self.task_latency_ms.clear();
+        pending
+    }
+}
+
+struct DesModel<'a, 'w> {
+    platform: &'a Platform,
+    ws: &'w mut DesWorkspace,
+    iterations: usize,
     /// The `dt` the pending `Advance` was scheduled with — used verbatim to
     /// settle progress (`remaining -= dt / s`), mirroring the arbiter's
     /// arithmetic instead of re-deriving the interval from timestamps.
     pending_dt: f64,
     granted_gbps: f64,
     emc_integral: f64,
-    pu_busy_ms: Vec<f64>,
-    records: Vec<ItemRecord>,
     next_token: u64,
     /// Items not yet completed across all frames.
     pending: usize,
     makespan_ms: f64,
 }
 
-impl DesModel<'_> {
+impl DesModel<'_, '_> {
     /// Whether `task` may start its next frame: every upstream task has
     /// completed strictly more frames (frame k waits for upstream frame k).
     fn upstream_satisfied(&self, task: usize) -> bool {
-        let frame = self.tasks[task].frames_done;
-        self.tasks[task]
-            .upstream
+        let frame = self.ws.tasks[task].frames_done;
+        self.ws
+            .work
+            .upstream_of(task)
             .iter()
-            .all(|&u| self.tasks[u].frames_done > frame)
+            .all(|&u| self.ws.tasks[u as usize].frames_done > frame)
     }
 
     /// Releases `task`'s `next_item` onto its PU's FIFO, assigning the next
     /// token (token order is release order, which is deterministic).
     fn enqueue_next(&mut self, task: usize) {
-        let item = &self.jobs[task].items[self.tasks[task].next_item];
+        let pu = self.ws.work.items_of(task)[self.ws.tasks[task].next_item].pu;
         let token = self.next_token;
         self.next_token += 1;
-        self.ready[item.pu].push_back((token, task));
+        self.ws.ready[pu].push_back((token, task));
     }
 }
 
-impl SimModel for DesModel<'_> {
+impl SimModel for DesModel<'_, '_> {
     type Event = Advance;
 
     fn handle(&mut self, now: SimTime, _ev: Advance, queue: &mut EventQueue<Advance>) {
@@ -122,62 +202,62 @@ impl SimModel for DesModel<'_> {
         self.pending_dt = 0.0;
         if dt > 0.0 {
             self.emc_integral += self.granted_gbps * dt;
-            for (k, &pu) in self.live_pus.iter().enumerate() {
-                if let Some(item) = self.active[pu].as_mut() {
-                    item.remaining = (item.remaining - dt / self.slowdowns[k]).max(0.0);
+            for (k, &pu) in self.ws.live_pus.iter().enumerate() {
+                if let Some(item) = self.ws.active[pu].as_mut() {
+                    item.remaining = (item.remaining - dt / self.ws.fluid.slowdowns[k]).max(0.0);
                 }
             }
         }
         // 2. Retire finished items in PU order; each completion releases
         //    the task's chain successor (or its next frame) immediately.
-        for pu in 0..self.active.len() {
-            let finished = match self.active[pu] {
+        for pu in 0..self.ws.active.len() {
+            let finished = match self.ws.active[pu] {
                 Some(item) if item.remaining <= 1e-12 => item,
                 _ => continue,
             };
-            self.active[pu] = None;
+            self.ws.active[pu] = None;
             self.pending -= 1;
-            self.pu_busy_ms[pu] += now_ms - finished.start_ms;
+            self.ws.pu_busy_ms[pu] += now_ms - finished.start_ms;
             self.makespan_ms = now_ms;
-            self.records.push(ItemRecord {
+            self.ws.records.push(ItemRecord {
                 token: finished.token,
                 pu,
                 start_ms: finished.start_ms,
                 end_ms: now_ms,
             });
             let t = finished.task;
-            self.tasks[t].next_item += 1;
-            if self.tasks[t].next_item < self.jobs[t].items.len() {
+            self.ws.tasks[t].next_item += 1;
+            if self.ws.tasks[t].next_item < self.ws.work.items_of(t).len() {
                 self.enqueue_next(t);
             } else {
-                self.tasks[t].frames_done += 1;
-                if self.tasks[t].frames_done < self.iterations {
-                    self.tasks[t].next_item = 0;
+                self.ws.tasks[t].frames_done += 1;
+                if self.ws.tasks[t].frames_done < self.iterations {
+                    self.ws.tasks[t].next_item = 0;
                     if self.upstream_satisfied(t) {
                         self.enqueue_next(t);
                     } else {
-                        self.tasks[t].blocked = true;
+                        self.ws.tasks[t].blocked = true;
                     }
                 } else {
-                    self.tasks[t].end_ms = now_ms;
+                    self.ws.tasks[t].end_ms = now_ms;
                 }
             }
         }
         // 3. Wake parked tasks whose upstream frames arrived, in task-index
         //    order (the initial event at t=0 seeds every dependency-free
         //    task through this scan).
-        for t in 0..self.tasks.len() {
-            if self.tasks[t].blocked && self.upstream_satisfied(t) {
-                self.tasks[t].blocked = false;
+        for t in 0..self.ws.tasks.len() {
+            if self.ws.tasks[t].blocked && self.upstream_satisfied(t) {
+                self.ws.tasks[t].blocked = false;
                 self.enqueue_next(t);
             }
         }
         // 4. Start queued items on free PUs, in PU order.
-        for pu in 0..self.active.len() {
-            if self.active[pu].is_none() {
-                if let Some((token, t)) = self.ready[pu].pop_front() {
-                    let cost = self.jobs[t].items[self.tasks[t].next_item].cost;
-                    self.active[pu] = Some(Running {
+        for pu in 0..self.ws.active.len() {
+            if self.ws.active[pu].is_none() {
+                if let Some((token, t)) = self.ws.ready[pu].pop_front() {
+                    let cost = self.ws.work.items_of(t)[self.ws.tasks[t].next_item].cost;
+                    self.ws.active[pu] = Some(Running {
                         token,
                         task: t,
                         cost,
@@ -189,15 +269,15 @@ impl SimModel for DesModel<'_> {
         }
         // 5. Re-arbitrate EMC bandwidth over the (possibly changed) active
         //    set and schedule the next completion.
-        self.live_pus.clear();
-        self.pairs.clear();
-        for (pu, slot) in self.active.iter().enumerate() {
+        self.ws.live_pus.clear();
+        self.ws.pairs.clear();
+        for (pu, slot) in self.ws.active.iter().enumerate() {
             if let Some(item) = slot {
-                self.live_pus.push(pu);
-                self.pairs.push((item.cost, item.remaining));
+                self.ws.live_pus.push(pu);
+                self.ws.pairs.push((item.cost, item.remaining));
             }
         }
-        if self.pairs.is_empty() {
+        if self.ws.pairs.is_empty() {
             assert!(
                 self.pending == 0,
                 "virtual-time deadlock: no runnable work with {} items pending \
@@ -207,33 +287,89 @@ impl SimModel for DesModel<'_> {
             self.granted_gbps = 0.0;
             return;
         }
-        let (dt, granted) = fluid_step(
-            self.platform,
-            &self.pairs,
-            &mut self.demands,
-            &mut self.slowdowns,
-        );
+        let (dt, granted) = fluid_step(self.platform, &self.ws.pairs, &mut self.ws.fluid);
         self.granted_gbps = granted;
         self.pending_dt = dt;
         queue.schedule(now + SimTime::from_ms(dt), Advance);
     }
 }
 
-/// Reusable DES execution driver: recycles the engine's event-queue
-/// allocation across runs (via [`Engine::with_queue`] / `into_parts`), which
-/// is what the fleet evaluator's per-worker loop relies on. Reuse never
-/// changes results — a reset queue behaves exactly like a fresh one.
+/// Reusable DES execution driver: owns a pooled [`DesWorkspace`] and
+/// recycles the engine's event-queue allocation across runs (via
+/// [`Engine::with_queue`] / `into_parts`) — the steady-state zero-alloc
+/// loop the fleet evaluator's per-worker threads rely on. Reuse never
+/// changes results — a reset workspace behaves exactly like a fresh one.
+#[derive(Default)]
 pub(crate) struct DesRunner {
     queue: Option<EventQueue<Advance>>,
+    ws: DesWorkspace,
 }
 
 impl DesRunner {
     pub(crate) fn new() -> Self {
-        DesRunner { queue: None }
+        DesRunner {
+            queue: None,
+            ws: DesWorkspace::default(),
+        }
     }
 
-    /// Executes `assignment` for `iterations` frames per task and returns
-    /// the run metrics. Deterministic: same inputs, bit-identical output.
+    /// Executes `assignment` for `iterations` frames per task, leaving the
+    /// metrics in the pooled workspace and returning a borrowed view of
+    /// them. Deterministic: same inputs, bit-identical output. Performs no
+    /// heap allocation once the workspace is warm for the scenario shape.
+    pub(crate) fn run_view(
+        &mut self,
+        platform: &Platform,
+        workload: &Workload,
+        assignment: &[Vec<PuId>],
+        iterations: usize,
+    ) -> RunView<'_> {
+        assert!(iterations >= 1);
+        let pending = self.ws.reset(platform, workload, assignment, iterations);
+        let queue = self.queue.take();
+        let model = DesModel {
+            platform,
+            ws: &mut self.ws,
+            iterations,
+            pending_dt: 0.0,
+            granted_gbps: 0.0,
+            emc_integral: 0.0,
+            next_token: 0,
+            pending,
+            makespan_ms: 0.0,
+        };
+        let mut engine = match queue {
+            Some(q) => Engine::with_queue(model, q),
+            None => Engine::with_capacity(model, 4),
+        };
+        engine.schedule(SimTime::ZERO, Advance);
+        engine.run();
+        let (m, q) = engine.into_parts();
+        assert!(m.pending == 0, "DES run drained with items pending");
+        let emc_mean_gbps = if m.makespan_ms > 0.0 {
+            m.emc_integral / m.makespan_ms
+        } else {
+            0.0
+        };
+        let makespan_ms = m.makespan_ms;
+        for t in m.ws.tasks.iter() {
+            m.ws.task_latency_ms.push(t.end_ms);
+        }
+        // End `m`'s `&mut self.ws` borrow so the view can re-borrow below.
+        let _ = m;
+        self.queue = Some(q);
+        RunView {
+            task_latency_ms: &self.ws.task_latency_ms,
+            makespan_ms,
+            pu_busy_ms: &self.ws.pu_busy_ms,
+            emc_mean_gbps,
+            items_executed: self.ws.records.len(),
+            records: &self.ws.records,
+        }
+    }
+
+    /// [`DesRunner::run_view`] with owned (allocating) results, for callers
+    /// that keep the report beyond the next run.
     pub(crate) fn run(
         &mut self,
         platform: &Platform,
@@ -241,61 +377,14 @@ impl DesRunner {
         assignment: &[Vec<PuId>],
         iterations: usize,
     ) -> RawRun {
-        assert!(iterations >= 1);
-        let (jobs, _, upstream) = to_jobs_with_upstream(workload, assignment);
-        let pending: usize = jobs.iter().map(|j| j.items.len()).sum::<usize>() * iterations;
-        let n_pus = platform.pus.len();
-        let tasks = upstream
-            .into_iter()
-            .map(|ups| TaskState {
-                upstream: ups,
-                frames_done: 0,
-                next_item: 0,
-                end_ms: 0.0,
-                blocked: true,
-            })
-            .collect();
-        let model = DesModel {
-            platform,
-            jobs,
-            iterations,
-            tasks,
-            ready: vec![VecDeque::new(); n_pus],
-            active: vec![None; n_pus],
-            live_pus: Vec::with_capacity(n_pus),
-            pairs: Vec::with_capacity(n_pus),
-            demands: Vec::with_capacity(n_pus),
-            slowdowns: Vec::with_capacity(n_pus),
-            pending_dt: 0.0,
-            granted_gbps: 0.0,
-            emc_integral: 0.0,
-            pu_busy_ms: vec![0.0; n_pus],
-            records: Vec::with_capacity(pending),
-            next_token: 0,
-            pending,
-            makespan_ms: 0.0,
-        };
-        let mut engine = match self.queue.take() {
-            Some(q) => Engine::with_queue(model, q),
-            None => Engine::with_capacity(model, 4),
-        };
-        engine.schedule(SimTime::ZERO, Advance);
-        engine.run();
-        let (m, q) = engine.into_parts();
-        self.queue = Some(q);
-        assert!(m.pending == 0, "DES run drained with items pending");
-        let emc_mean_gbps = if m.makespan_ms > 0.0 {
-            m.emc_integral / m.makespan_ms
-        } else {
-            0.0
-        };
+        let v = self.run_view(platform, workload, assignment, iterations);
         RawRun {
-            task_latency_ms: m.tasks.iter().map(|t| t.end_ms).collect(),
-            makespan_ms: m.makespan_ms,
-            pu_busy_ms: m.pu_busy_ms,
-            emc_mean_gbps,
-            items_executed: m.records.len(),
-            records: m.records,
+            task_latency_ms: v.task_latency_ms.to_vec(),
+            makespan_ms: v.makespan_ms,
+            pu_busy_ms: v.pu_busy_ms.to_vec(),
+            emc_mean_gbps: v.emc_mean_gbps,
+            items_executed: v.items_executed,
+            records: v.records.to_vec(),
         }
     }
 }

@@ -49,7 +49,7 @@ pub struct ExecutionReport {
 /// Aggregate single-shot FPS: each task contributes `1000 / latency`.
 /// Degenerate latencies (zero-cost tasks, non-finite values) are skipped so
 /// the aggregate stays finite instead of blowing up to `inf`.
-fn aggregate_fps(task_latency_ms: &[f64]) -> f64 {
+pub(crate) fn aggregate_fps(task_latency_ms: &[f64]) -> f64 {
     task_latency_ms
         .iter()
         .filter(|l| l.is_finite() && **l > 0.0)
@@ -58,7 +58,7 @@ fn aggregate_fps(task_latency_ms: &[f64]) -> f64 {
 }
 
 /// Steady-state loop FPS: frames completed per second of virtual time.
-fn loop_fps(iterations: usize, tasks: usize, makespan_ms: f64) -> f64 {
+pub(crate) fn loop_fps(iterations: usize, tasks: usize, makespan_ms: f64) -> f64 {
     if makespan_ms > 0.0 && makespan_ms.is_finite() {
         1000.0 * (iterations * tasks) as f64 / makespan_ms
     } else {
@@ -204,23 +204,44 @@ pub(crate) fn run_scenario(
     mode: ExecMode,
 ) -> ExecutionReport {
     assert!(iterations >= 1);
-    let raw = match mode {
-        ExecMode::Des => runner.run(platform, workload, assignment, iterations),
+    match mode {
+        // The replay itself is allocation-free on a warm runner; the phase
+        // counters attribute the report conversion (the only remaining
+        // per-scenario heap traffic on this path) to `des_replay`.
+        ExecMode::Des => {
+            haxconn_telemetry::alloc::phase(haxconn_telemetry::alloc::PHASE_DES_REPLAY, || {
+                let v = runner.run_view(platform, workload, assignment, iterations);
+                let fps = if iterations == 1 {
+                    aggregate_fps(v.task_latency_ms)
+                } else {
+                    loop_fps(iterations, v.task_latency_ms.len(), v.makespan_ms)
+                };
+                ExecutionReport {
+                    task_latency_ms: v.task_latency_ms.to_vec(),
+                    makespan_ms: v.makespan_ms,
+                    fps,
+                    pu_busy_ms: v.pu_busy_ms.to_vec(),
+                    emc_mean_gbps: v.emc_mean_gbps,
+                    items_executed: v.items_executed,
+                    records: v.records.to_vec(),
+                }
+            })
+        }
         ExecMode::Threaded => {
             let frames = if iterations == 1 {
                 None
             } else {
                 Some(iterations)
             };
-            run_threaded(platform, workload, assignment, frames)
+            let raw = run_threaded(platform, workload, assignment, frames);
+            let fps = if iterations == 1 {
+                aggregate_fps(&raw.task_latency_ms)
+            } else {
+                loop_fps(iterations, raw.task_latency_ms.len(), raw.makespan_ms)
+            };
+            raw.into_report(fps)
         }
-    };
-    let fps = if iterations == 1 {
-        aggregate_fps(&raw.task_latency_ms)
-    } else {
-        loop_fps(iterations, raw.task_latency_ms.len(), raw.makespan_ms)
-    };
-    raw.into_report(fps)
+    }
 }
 
 /// Executes `assignment` on `platform` in the default [`ExecMode::Des`].
@@ -245,7 +266,11 @@ pub fn execute_with(
     mode: ExecMode,
 ) -> ExecutionReport {
     let raw = match mode {
-        ExecMode::Des => des_exec::run_raw(platform, workload, assignment, 1),
+        ExecMode::Des => {
+            haxconn_telemetry::alloc::phase(haxconn_telemetry::alloc::PHASE_DES_REPLAY, || {
+                des_exec::run_raw(platform, workload, assignment, 1)
+            })
+        }
         ExecMode::Threaded => run_threaded(platform, workload, assignment, None),
     };
     let fps = aggregate_fps(&raw.task_latency_ms);
@@ -284,7 +309,11 @@ pub fn execute_loop_with(
 ) -> ExecutionReport {
     assert!(iterations >= 1);
     let raw = match mode {
-        ExecMode::Des => des_exec::run_raw(platform, workload, assignment, iterations),
+        ExecMode::Des => {
+            haxconn_telemetry::alloc::phase(haxconn_telemetry::alloc::PHASE_DES_REPLAY, || {
+                des_exec::run_raw(platform, workload, assignment, iterations)
+            })
+        }
         ExecMode::Threaded => run_threaded(platform, workload, assignment, Some(iterations)),
     };
     let fps = loop_fps(iterations, raw.task_latency_ms.len(), raw.makespan_ms);

@@ -40,5 +40,8 @@ pub use arbiter::Arbiter;
 pub use executor::{
     execute, execute_loop, execute_loop_with, execute_with, ExecMode, ExecutionReport,
 };
-pub use fleet::{evaluate_fleet, par_map, par_map_with, FleetOptions, FleetReport, FleetScenario};
+pub use fleet::{
+    evaluate_fleet, par_map, par_map_with, FleetArena, FleetEvaluator, FleetOptions, FleetReport,
+    FleetScenario, FleetView,
+};
 pub use stream::{simulate_stream, try_simulate_stream, StreamConfig, StreamReport};

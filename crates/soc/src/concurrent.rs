@@ -23,7 +23,7 @@ use haxconn_des::{SimTime, TimeWeighted};
 use std::collections::VecDeque;
 
 /// One unit of mapped work (a layer group on a specific PU).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct WorkItem {
     /// The PU this item executes on.
     pub pu: PuId,

@@ -36,7 +36,7 @@ pub mod pu;
 
 pub use concurrent::{simulate, Dep, ItemTiming, Job, RunResult, WorkItem};
 pub use cost::LayerCost;
-pub use emc::EmcSpec;
+pub use emc::{EmcSpec, GrantScratch};
 pub use platform::{
     orin_agx, orin_agx_dual_dla, orin_agx_triple, snapdragon_865, xavier_agx, Platform, PlatformId,
 };

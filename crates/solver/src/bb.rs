@@ -251,15 +251,26 @@ impl SharedState {
     }
 }
 
-/// The DFS engine: one per worker thread (or one total, sequentially).
+/// Caller-owned search buffers for branch & bound over one model: the
+/// partial/complete assignment buffers, the per-depth value-ordering
+/// scratch, and the model's incremental-evaluation state.
 ///
-/// All buffers are owned and reused — running another subtree from the
-/// same engine allocates nothing new (beyond incumbent clones, which only
-/// happen on strict improvement).
-pub(crate) struct Engine<'a, M: CostModel, F: FnMut(&Assignment, f64)> {
-    model: &'a M,
-    shared: &'a SharedState,
-    /// Reused partial-assignment buffer (`None` = unassigned).
+/// [`solve`] creates one internally; [`solve_with`] borrows yours, so a
+/// caller re-solving the same model (warm restarts, bound sweeps, the
+/// D-HaX-CoNN re-solve loop) pays the per-solve setup allocation once.
+/// After the first solve has warmed the per-depth scratch, a re-solve
+/// that finds no new incumbent (e.g. warm-started at the known optimum)
+/// performs **zero** heap allocations — machine-checked by the
+/// `alloc-truth` gate in the `runtime_scaling` bench.
+///
+/// A workspace is bound to the model it was created from: the DFS keeps
+/// the incremental scratch in lockstep with that model's `push`/`pop`.
+/// Reusing it with a different model of the same size is undefined
+/// results (not memory-unsafe, just wrong); sizes are asserted.
+pub struct Workspace<M: CostModel> {
+    /// Reused partial-assignment buffer (`None` = unassigned). The strict
+    /// LIFO discipline of `dfs` restores every entry to `None` before
+    /// returning, even on abort, so the workspace is always re-solvable.
     pub(crate) partial: Vec<Option<u32>>,
     /// Reused complete-assignment buffer for leaf evaluation.
     complete: Assignment,
@@ -268,6 +279,30 @@ pub(crate) struct Engine<'a, M: CostModel, F: FnMut(&Assignment, f64)> {
     /// The model's incremental-evaluation state, kept in lockstep with
     /// `partial` through push/pop.
     inc: M::Scratch,
+}
+
+impl<M: CostModel> Workspace<M> {
+    /// Fresh buffers sized for `model`.
+    pub fn new(model: &M) -> Self {
+        let n = model.num_vars();
+        Workspace {
+            partial: vec![None; n],
+            complete: vec![0; n],
+            scratch: vec![Vec::new(); n],
+            inc: model.new_scratch(),
+        }
+    }
+}
+
+/// The DFS engine: one per worker thread (or one total, sequentially).
+///
+/// All buffers live in the borrowed [`Workspace`] and are reused — running
+/// another subtree from the same engine allocates nothing new (beyond
+/// incumbent clones, which only happen on strict improvement).
+pub(crate) struct Engine<'a, M: CostModel, F: FnMut(&Assignment, f64)> {
+    model: &'a M,
+    shared: &'a SharedState,
+    pub(crate) ws: &'a mut Workspace<M>,
     /// Incumbent local to the current work item (reset per subtree in the
     /// parallel solver so results do not depend on work distribution).
     pub(crate) local_best: Option<(Assignment, f64)>,
@@ -300,18 +335,21 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
     pub(crate) fn new(
         model: &'a M,
         shared: &'a SharedState,
+        ws: &'a mut Workspace<M>,
         initial_upper_bound: Option<f64>,
         bound_guided: bool,
         sink: F,
     ) -> Self {
         let n = model.num_vars();
+        assert_eq!(ws.partial.len(), n, "workspace sized for a different model");
+        debug_assert!(
+            ws.partial.iter().all(|v| v.is_none()),
+            "workspace left mid-search"
+        );
         Engine {
             model,
             shared,
-            partial: vec![None; n],
-            complete: vec![0; n],
-            scratch: vec![Vec::new(); n],
-            inc: model.new_scratch(),
+            ws,
             local_best: None,
             adopted: false,
             init_ub: initial_upper_bound.unwrap_or(f64::INFINITY),
@@ -354,16 +392,16 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
     /// incremental scratch.
     #[inline]
     pub(crate) fn assign(&mut self, var: usize, value: u32) {
-        self.partial[var] = Some(value);
-        self.model.push(&mut self.inc, var, value);
+        self.ws.partial[var] = Some(value);
+        self.model.push(&mut self.ws.inc, var, value);
     }
 
     /// Unassigns `var` (which must be the most recently assigned live
     /// variable — the LIFO discipline the incremental protocol requires).
     #[inline]
     pub(crate) fn unassign(&mut self, var: usize) {
-        self.model.pop(&mut self.inc, var);
-        self.partial[var] = None;
+        self.model.pop(&mut self.ws.inc, var);
+        self.ws.partial[var] = None;
     }
 
     /// Runs the subtree rooted at the current `partial` prefix, branching
@@ -395,13 +433,13 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
                 }
             }
         }
-        if self.model.prune_with(&self.inc, &self.partial) {
+        if self.model.prune_with(&self.ws.inc, &self.ws.partial) {
             self.pruned += 1;
             self.pruned_infeasible += 1;
             return false;
         }
         let bound = if bound_memo.is_nan() {
-            self.model.bound_with(&self.inc, &self.partial)
+            self.model.bound_with(&self.ws.inc, &self.ws.partial)
         } else {
             bound_memo
         };
@@ -423,15 +461,15 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
         let n = self.model.num_vars();
         if var == n {
             self.leaves += 1;
-            for (dst, src) in self.complete.iter_mut().zip(self.partial.iter()) {
+            for (dst, src) in self.ws.complete.iter_mut().zip(self.ws.partial.iter()) {
                 *dst = src.expect("complete assignment");
             }
-            if let Some(c) = self.model.cost_with(&mut self.inc, &self.complete) {
+            if let Some(c) = self.model.cost_with(&mut self.ws.inc, &self.ws.complete) {
                 if c < self.local_ub() {
-                    self.local_best = Some((self.complete.clone(), c));
+                    self.local_best = Some((self.ws.complete.clone(), c));
                     self.adopted = false;
                     self.incumbents += 1;
-                    (self.sink)(&self.complete, c);
+                    (self.sink)(&self.ws.complete, c);
                 }
             }
             return false;
@@ -441,12 +479,12 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
             // Key children by their bound in the per-depth scratch buffer
             // (taken out to satisfy the borrow checker; no allocation
             // after the first visit of this depth).
-            let mut keyed = std::mem::take(&mut self.scratch[var]);
+            let mut keyed = std::mem::take(&mut self.ws.scratch[var]);
             keyed.clear();
             for i in 0..dlen {
                 let v = self.model.domain(var)[i];
                 self.assign(var, v);
-                keyed.push((self.model.bound_with(&self.inc, &self.partial), v));
+                keyed.push((self.model.bound_with(&self.ws.inc, &self.ws.partial), v));
                 self.unassign(var);
             }
             // Stable insertion sort: ties keep domain order, and domains
@@ -464,11 +502,11 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
                 let abort = self.dfs(var + 1, child_bound);
                 self.unassign(var);
                 if abort {
-                    self.scratch[var] = keyed;
+                    self.ws.scratch[var] = keyed;
                     return true;
                 }
             }
-            self.scratch[var] = keyed;
+            self.ws.scratch[var] = keyed;
         } else {
             for i in 0..dlen {
                 let v = self.model.domain(var)[i];
@@ -485,7 +523,20 @@ impl<'a, M: CostModel, F: FnMut(&Assignment, f64)> Engine<'a, M, F> {
 }
 
 /// Minimizes `model` by exhaustive branch & bound (subject to budgets).
-pub fn solve<M: CostModel>(model: &M, mut opts: SolveOptions<'_>) -> Solution {
+pub fn solve<M: CostModel>(model: &M, opts: SolveOptions<'_>) -> Solution {
+    let mut ws = Workspace::new(model);
+    solve_with(model, opts, &mut ws)
+}
+
+/// Like [`solve`], but reuses a caller-owned [`Workspace`] so repeated
+/// solves over the same model allocate nothing in the search loop (beyond
+/// incumbent clones when a strictly better leaf is found). The workspace
+/// must have been built for `model` (same variable count and domains).
+pub fn solve_with<M: CostModel>(
+    model: &M,
+    mut opts: SolveOptions<'_>,
+    ws: &mut Workspace<M>,
+) -> Solution {
     let n = model.num_vars();
     for v in 0..n {
         assert!(!model.domain(v).is_empty(), "variable {v} has empty domain");
@@ -496,6 +547,7 @@ pub fn solve<M: CostModel>(model: &M, mut opts: SolveOptions<'_>) -> Solution {
     let mut engine = Engine::new(
         model,
         &shared,
+        ws,
         opts.initial_upper_bound,
         opts.bound_guided_values,
         |a: &Assignment, c: f64| {
@@ -507,7 +559,9 @@ pub fn solve<M: CostModel>(model: &M, mut opts: SolveOptions<'_>) -> Solution {
     if let Some((a, c)) = opts.initial_incumbent.take() {
         engine.adopt(Some((a, c)));
     }
-    engine.dfs(0, f64::NAN);
+    haxconn_telemetry::alloc::phase(haxconn_telemetry::alloc::PHASE_SOLVE, || {
+        engine.dfs(0, f64::NAN)
+    });
     let stats = SolveStats {
         nodes: engine.nodes,
         leaves: engine.leaves,
@@ -767,6 +821,92 @@ mod tests {
         assert_eq!(a.best.as_ref().unwrap().0, b.best.as_ref().unwrap().0);
         assert_eq!(a.stats.leaves, b.stats.leaves);
         assert_eq!(a.stats.nodes, b.stats.nodes);
+    }
+
+    /// A caller-owned workspace reused across solves must behave exactly
+    /// like fresh buffers: same assignment, same cost bits, same node and
+    /// leaf counts — on the second and third reuse too.
+    #[test]
+    fn workspace_reuse_is_equivalent_to_fresh_solve() {
+        for seed in [5, 23, 61] {
+            let m = instance(seed, 9, 3);
+            let fresh = solve(&m, SolveOptions::default());
+            let mut ws = Workspace::new(&m);
+            for round in 0..3 {
+                let reused = solve_with(&m, SolveOptions::default(), &mut ws);
+                let (fa, fc) = fresh.best.as_ref().expect("feasible");
+                let (ra, rc) = reused.best.as_ref().expect("feasible");
+                assert_eq!(fa, ra, "seed {seed} round {round}");
+                assert_eq!(fc.to_bits(), rc.to_bits(), "seed {seed} round {round}");
+                assert_eq!(fresh.stats.nodes, reused.stats.nodes);
+                assert_eq!(fresh.stats.leaves, reused.stats.leaves);
+            }
+        }
+    }
+
+    /// The LIFO discipline restores the workspace to all-`None` even when
+    /// a budget aborts the search mid-tree, so the workspace stays
+    /// re-solvable after a starved solve.
+    #[test]
+    fn workspace_survives_budget_abort() {
+        let m = instance(7, 12, 3);
+        let mut ws = Workspace::new(&m);
+        let starved = solve_with(
+            &m,
+            SolveOptions {
+                node_budget: Some(50),
+                ..Default::default()
+            },
+            &mut ws,
+        );
+        assert_eq!(starved.stats.outcome, BudgetState::NodesExhausted);
+        let full = solve_with(&m, SolveOptions::default(), &mut ws);
+        assert!(full.proven_optimal());
+        let reference = solve(&m, SolveOptions::default());
+        assert_eq!(
+            full.best.unwrap().1.to_bits(),
+            reference.best.unwrap().1.to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for a different model")]
+    fn workspace_for_wrong_model_rejected() {
+        let small = instance(1, 5, 3);
+        let large = instance(1, 9, 3);
+        let mut ws = Workspace::new(&small);
+        solve_with(&large, SolveOptions::default(), &mut ws);
+    }
+
+    /// A warm re-solve at the known optimum must not allocate: every leaf
+    /// is pruned by `bound >= local_ub` before an incumbent clone, and all
+    /// search buffers come from the workspace. Meaningful only with the
+    /// `alloc-truth` feature; vacuous (but still run) without it.
+    #[test]
+    fn warm_resolve_at_optimum_is_allocation_free() {
+        let m = instance(13, 9, 3);
+        let mut ws = Workspace::new(&m);
+        let cold = solve_with(&m, SolveOptions::default(), &mut ws);
+        let optimum = cold.best.expect("feasible").1;
+        let warm = |ws: &mut Workspace<Wap>| {
+            solve_with(
+                &m,
+                SolveOptions {
+                    initial_upper_bound: Some(optimum),
+                    ..Default::default()
+                },
+                ws,
+            )
+        };
+        // One warm pass outside the guard so lazily-grown scratch (e.g.
+        // bound-guided buffers) reaches steady state.
+        let warmup = warm(&mut ws);
+        assert!(warmup.proven_optimal());
+        assert!(warmup.best.is_none(), "ub == optimum prunes equal leaves");
+        let guard = haxconn_telemetry::alloc::AllocGuard::begin("bb.warm_resolve");
+        let gated = warm(&mut ws);
+        guard.assert_zero();
+        assert!(gated.proven_optimal());
     }
 
     /// The memoized child bound must behave exactly like recomputing it:

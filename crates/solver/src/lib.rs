@@ -31,7 +31,7 @@ pub mod parallel;
 pub mod portfolio;
 pub mod symmetry;
 
-pub use bb::{solve, BudgetState, Solution, SolveOptions, SolveStats};
+pub use bb::{solve, solve_with, BudgetState, Solution, SolveOptions, SolveStats, Workspace};
 pub use lns::{solve_lns, LnsOptions, LnsStats};
 pub use model::{brute_force, Assignment, CostModel, NonIncremental, PartialAssignment};
 pub use parallel::{solve_parallel, solve_parallel_with, ParallelOptions};

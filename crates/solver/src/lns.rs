@@ -359,7 +359,9 @@ pub(crate) fn lns_worker<M: CostModel>(
     let mut temp = 0.0f64;
     let mut non_improving = 0u64;
 
-    loop {
+    // Per-thread drain: allocation counters are thread-local, so each LNS
+    // worker accounts its destroy/repair traffic under the repair phase.
+    haxconn_telemetry::alloc::phase(haxconn_telemetry::alloc::PHASE_LNS_REPAIR, || loop {
         if state.stopped() {
             break;
         }
@@ -451,7 +453,7 @@ pub(crate) fn lns_worker<M: CostModel>(
             }
         }
         cur = Some((cur_a, cur_c));
-    }
+    });
     stats.elapsed = started.elapsed();
     stats
 }

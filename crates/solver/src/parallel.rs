@@ -52,7 +52,8 @@
 //! monotone) and the caller's thread delivers them while the workers run.
 
 use crate::bb::{
-    flush_solve_telemetry, solve, Engine, SharedState, Solution, SolveOptions, SolveStats, EPS,
+    flush_solve_telemetry, solve, Engine, SharedState, Solution, SolveOptions, SolveStats,
+    Workspace, EPS,
 };
 use crate::model::{Assignment, CostModel};
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
@@ -248,9 +249,11 @@ pub(crate) fn bb_worker<M: CostModel + Sync>(
     bound_guided: bool,
     stats: &Mutex<PoolStats>,
 ) {
+    let mut ws = Workspace::new(model);
     let mut engine = Engine::new(
         model,
         state,
+        &mut ws,
         initial_ub,
         bound_guided,
         |a: &Assignment, c: f64| incumbent.offer(a, c, SRC_BB, tx),
@@ -261,7 +264,9 @@ pub(crate) fn bb_worker<M: CostModel + Sync>(
     let mut adopted: Option<(Assignment, f64)> = None;
     let worker_started = Instant::now();
     let mut items_claimed = 0u64;
-    loop {
+    // Per-thread drain: allocation counters are thread-local, so each
+    // worker accounts its own search traffic under the solve phase.
+    haxconn_telemetry::alloc::phase(haxconn_telemetry::alloc::PHASE_SOLVE, || loop {
         if state.stopped() {
             break;
         }
@@ -276,7 +281,7 @@ pub(crate) fn bb_worker<M: CostModel + Sync>(
         // across work items (pops in reverse order keep the
         // LIFO discipline).
         for var in (0..depth).rev() {
-            if engine.partial[var].is_some() {
+            if engine.ws.partial[var].is_some() {
                 engine.unassign(var);
             }
         }
@@ -303,7 +308,7 @@ pub(crate) fn bb_worker<M: CostModel + Sync>(
         if engine.dfs(depth, f64::NAN) {
             break; // budget exhausted or solve stopped
         }
-    }
+    });
     let mut st = stats.lock().expect("stats lock");
     st.nodes += engine.nodes;
     st.leaves += engine.leaves;

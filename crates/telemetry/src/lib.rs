@@ -39,6 +39,8 @@
 //! bit-identical schedules and measurements by construction (a property
 //! the facade's end-to-end test machine-checks).
 
+pub mod alloc;
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};

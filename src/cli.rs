@@ -1279,10 +1279,53 @@ fn summarize_snapshot(v: &serde_json::Value, out: &mut String) -> Result<(), Hax
     }
     writeln!(out, "telemetry snapshot (schema 1)")?;
     let counters = entries(field(v, "counters"));
-    if !counters.is_empty() {
+    // `alloc.{count,bytes}.<phase>` pairs come from the `alloc-truth`
+    // counting allocator; they render as their own per-phase table below
+    // instead of interleaving with ordinary counters.
+    let is_alloc =
+        |name: &str| name.starts_with("alloc.count.") || name.starts_with("alloc.bytes.");
+    if counters.iter().any(|(name, _)| !is_alloc(name)) {
         writeln!(out, "\ncounters:")?;
         for (name, val) in counters {
-            writeln!(out, "  {name:<36} {:>14}", num(Some(val)) as u64)?;
+            if !is_alloc(name) {
+                writeln!(out, "  {name:<36} {:>14}", num(Some(val)) as u64)?;
+            }
+        }
+    }
+    let mut alloc_phases: Vec<&str> = Vec::new();
+    for (name, _) in counters {
+        let phase = name
+            .strip_prefix("alloc.count.")
+            .or_else(|| name.strip_prefix("alloc.bytes."));
+        if let Some(p) = phase {
+            if !alloc_phases.contains(&p) {
+                alloc_phases.push(p);
+            }
+        }
+    }
+    if !alloc_phases.is_empty() {
+        writeln!(
+            out,
+            "\nallocations (alloc-truth):{:>17} {:>14}",
+            "allocs", "bytes"
+        )?;
+        for phase in alloc_phases {
+            let value_of = |prefix: &str| {
+                counters
+                    .iter()
+                    .find(|(name, _)| {
+                        name.strip_prefix(prefix)
+                            .is_some_and(|suffix| suffix == phase)
+                    })
+                    .map(|(_, val)| num(Some(val)) as u64)
+                    .unwrap_or(0)
+            };
+            writeln!(
+                out,
+                "  {phase:<36} {:>6} {:>14}",
+                value_of("alloc.count."),
+                value_of("alloc.bytes.")
+            )?;
         }
     }
     let gauges = entries(field(v, "gauges"));
@@ -1763,5 +1806,37 @@ mod tests {
         summarize_snapshot(&v, &mut out).expect("schema 1");
         assert!(out.contains("telemetry snapshot (schema 1)"));
         assert!(out.contains("spans: 0 recorded, 0 dropped"));
+    }
+
+    #[test]
+    fn summarize_groups_alloc_counters_into_their_own_section() {
+        let doc = concat!(
+            "{\"schema\":1,\"counters\":{",
+            "\"alloc.bytes.des_replay\":4096,",
+            "\"alloc.count.des_replay\":12,",
+            "\"alloc.count.solve\":0,",
+            "\"solver.nodes\":1234",
+            "}}"
+        );
+        let v: serde_json::Value = serde_json::from_str(doc).expect("valid json");
+        let mut out = String::new();
+        summarize_snapshot(&v, &mut out).expect("schema 1");
+        assert!(out.contains("allocations (alloc-truth):"));
+        // One row per phase, pairing count with bytes.
+        let row = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("des_replay"))
+            .expect("des_replay row");
+        assert!(row.contains("12"), "{row}");
+        assert!(row.contains("4096"), "{row}");
+        assert!(out.lines().any(|l| l.trim_start().starts_with("solve")));
+        // The ordinary counter stays in the counters section, the alloc
+        // pairs do not appear there.
+        let counters_section = out
+            .split("allocations")
+            .next()
+            .expect("counters before allocations");
+        assert!(counters_section.contains("solver.nodes"));
+        assert!(!counters_section.contains("alloc.count"));
     }
 }
