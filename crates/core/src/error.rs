@@ -28,6 +28,10 @@ pub enum HaxError {
     /// (precedence, occupancy, bandwidth conservation, …) — see
     /// `crate::validate`.
     ScheduleInvariant(String),
+    /// The serving engine refused new work: the solver pool is saturated
+    /// and the request could not be queued (admission control). Retry
+    /// later, or enable degraded baseline responses.
+    Overloaded(String),
     /// Command-line arguments could not be parsed.
     Cli(String),
     /// An I/O operation failed (path included in the message).
@@ -52,6 +56,7 @@ impl fmt::Display for HaxError {
             HaxError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
             HaxError::Infeasible(s) => write!(f, "no feasible schedule: {s}"),
             HaxError::ScheduleInvariant(s) => write!(f, "schedule invariant violated: {s}"),
+            HaxError::Overloaded(s) => write!(f, "engine overloaded: {s}"),
             HaxError::Cli(s) => write!(f, "{s}"),
             HaxError::Io(s) => write!(f, "{s}"),
         }

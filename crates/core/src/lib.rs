@@ -32,6 +32,11 @@
 //! * [`validate`] — schedule/timeline invariant checking (read-only;
 //!   wired behind `debug_assertions` in the scheduler and surfaced through
 //!   the `haxconn-check` crate),
+//! * [`spec`] — the serializable, canonicalizable [`WorkloadSpec`]
+//!   request type shared by the CLI, `Session`, and `haxconn serve`,
+//! * [`engine`] — the thread-shareable serving [`Engine`] (sharded
+//!   [`shard_cache`] cache, request coalescing, admission control,
+//!   degraded baseline fallback),
 //! * [`mod@measure`] — conversion of schedules into ground-truth simulator runs
 //!   and paper-style metrics (latency, FPS, slowdown).
 
@@ -40,6 +45,7 @@ pub mod cache;
 pub mod dynamic;
 pub mod encoding;
 pub mod energy;
+pub mod engine;
 pub mod error;
 pub mod gantt;
 pub mod interval;
@@ -47,6 +53,8 @@ pub mod measure;
 pub mod problem;
 pub mod scenario;
 pub mod scheduler;
+pub mod shard_cache;
+pub mod spec;
 pub mod timeline;
 pub mod trace;
 pub mod validate;
@@ -56,12 +64,17 @@ pub use cache::{ScheduleCache, WorkloadSignature};
 pub use dynamic::DHaxConn;
 pub use encoding::{ScheduleEncoding, ScheduleScratch};
 pub use energy::{dynamic_energy_mj, dynamic_energy_with, energy_of, schedule_min_energy};
+pub use engine::{
+    Engine, EngineOptions, EngineSchedule, EngineStatsSnapshot, PlatformCtx, SolvedEntry,
+};
 pub use error::{parse_model, parse_objective, parse_platform, HaxError};
 pub use gantt::render_gantt;
 pub use measure::{measure, DesWork, Measurement};
 pub use problem::{DnnTask, Objective, SchedulerConfig, Workload};
 pub use scenario::{generate_instance, generate_instance_on, GeneratedInstance, Scenario};
 pub use scheduler::{HaxConn, Schedule, ScheduleOrigin, Transition};
+pub use shard_cache::ShardedCache;
+pub use spec::{TaskSpec, WorkloadSpec};
 pub use timeline::{PredictedTimeline, TimelineEvaluator, TimelineSummary, TimelineWorkspace};
 pub use trace::{chrome_trace_json, chrome_trace_json_with_snapshot};
 pub use validate::{

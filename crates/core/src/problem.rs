@@ -236,7 +236,7 @@ pub enum Objective {
 }
 
 /// Scheduler configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SchedulerConfig {
     /// Objective function.
     pub objective: Objective,

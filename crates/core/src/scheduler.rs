@@ -293,6 +293,49 @@ impl HaxConn {
     }
 }
 
+impl HaxConn {
+    /// The best *baseline* schedule for `workload` — no solver search,
+    /// just every naive baseline scored under the predictive cost, best
+    /// one wins. Orders of magnitude cheaper than [`HaxConn::try_schedule`]
+    /// (a handful of timeline evaluations), which is what makes it a
+    /// usable degraded answer when a serving engine is saturated: the
+    /// response is a valid, never-absurd schedule, just not the optimum.
+    pub fn best_baseline(
+        platform: &Platform,
+        workload: &Workload,
+        model: &ContentionModel,
+        config: SchedulerConfig,
+    ) -> Result<Schedule, HaxError> {
+        workload.validate()?;
+        config.validate()?;
+        let mut winner: Option<(Vec<Vec<PuId>>, f64, PredictedTimeline, BaselineKind)> = None;
+        for &kind in BaselineKind::all() {
+            let a = Baseline::assignment(kind, platform, workload);
+            let mut ev = TimelineEvaluator::new(workload, model);
+            ev.contention_aware = config.contention_aware;
+            let tl = ev.evaluate(&a);
+            let cost = objective_cost(config.objective, &tl);
+            let better = match &winner {
+                None => true,
+                Some((_, wc, _, _)) => cost < *wc - 1e-9,
+            };
+            if better {
+                winner = Some((a, cost, tl, kind));
+            }
+        }
+        let (assignment, cost, predicted, kind) = winner.ok_or_else(|| {
+            HaxError::Infeasible("no baseline schedule could be constructed".into())
+        })?;
+        Ok(Schedule {
+            assignment,
+            predicted,
+            cost,
+            origin: ScheduleOrigin::Fallback(kind),
+            proven_optimal: false,
+        })
+    }
+}
+
 /// Runs the configured solver flavor on any [`CostModel`] and returns
 /// `(best, proven_optimal)` — the common denominator of [`solve`],
 /// [`solve_parallel`] and [`solve_portfolio`] results.

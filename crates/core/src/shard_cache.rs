@@ -1,0 +1,229 @@
+//! A thread-shareable, sharded schedule cache keyed by canonical
+//! workload JSON.
+//!
+//! The per-session [`crate::cache::ScheduleCache`] is a single-owner
+//! LRU sized for one autonomous loop's CFG phases. A serving engine is
+//! different: many worker threads hit one shared cache at high rate, so
+//! the cache is split into independently locked shards (key hash picks
+//! the shard) and all counters are relaxed atomics — a hit takes one
+//! short shard lock and two atomic increments, and disjoint keys on
+//! different shards never contend.
+//!
+//! Values are `Arc`s chosen by the caller (the engine stores the solved
+//! schedule plus its precomputed transitions), so a hit is a pointer
+//! clone, never a deep copy.
+
+use rustc_hash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+struct Shard<V> {
+    entries: FxHashMap<String, Entry<V>>,
+    /// Monotone per-shard access counter stamping LRU order.
+    tick: u64,
+}
+
+/// A sharded, mutex-per-shard LRU cache with relaxed atomic counters.
+/// `V` is cloned out on hits, so it should be an `Arc` (or otherwise
+/// cheap to clone).
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    /// Max entries per shard (total capacity = shards × per-shard).
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// Default shard count — enough to keep worker threads off each
+    /// other's locks without fragmenting the LRU meaningfully.
+    pub const DEFAULT_SHARDS: usize = 8;
+    /// Default total capacity across all shards.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A cache with the default shard count and capacity.
+    pub fn new() -> Self {
+        Self::with_shards(Self::DEFAULT_SHARDS, Self::DEFAULT_CAPACITY)
+    }
+
+    /// A cache of `shards` shards holding at most `capacity` entries in
+    /// total (each bound is clamped to at least 1 shard / 1 entry per
+    /// shard).
+    pub fn with_shards(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = (capacity.max(1)).div_ceil(shards);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: FxHashMap::default(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity (shards × per-shard bound).
+    pub fn capacity(&self) -> usize {
+        self.per_shard * self.shards.len()
+    }
+
+    fn shard_for(&self, key: &str) -> &Mutex<Shard<V>> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn lock<'a>(shard: &'a Mutex<Shard<V>>) -> std::sync::MutexGuard<'a, Shard<V>> {
+        // A panic while holding a shard lock (allocation failure at
+        // worst — the critical sections call no user code) only loses
+        // cache entries, never corrupts them; serving must not stop.
+        shard
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Returns a clone of the cached value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<V> {
+        let mut shard = Self::lock(self.shard_for(key));
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                haxconn_telemetry::counter_add("engine.cache.hits", 1);
+                Some(e.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                haxconn_telemetry::counter_add("engine.cache.misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key`, evicting the shard's LRU entry if the
+    /// shard is full.
+    pub fn insert(&self, key: String, value: V) {
+        let mut shard = Self::lock(self.shard_for(&key));
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.entries.len() >= self.per_shard && !shard.entries.contains_key(&key) {
+            let lru = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = lru {
+                shard.entries.remove(&k);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                haxconn_telemetry::counter_add("engine.cache.evictions", 1);
+            }
+        }
+        shard.entries.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// `(hits, misses, evictions)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| Self::lock(s).entries.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<V: Clone> Default for ShardedCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn get_insert_round_trip_with_counters() {
+        let c: ShardedCache<Arc<u32>> = ShardedCache::new();
+        assert!(c.get("a").is_none());
+        c.insert("a".into(), Arc::new(7));
+        assert_eq!(*c.get("a").unwrap(), 7);
+        assert_eq!(c.stats(), (1, 1, 0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn per_shard_lru_eviction_bounds_growth() {
+        // One shard so LRU order is globally observable.
+        let c: ShardedCache<Arc<u32>> = ShardedCache::with_shards(1, 2);
+        c.insert("a".into(), Arc::new(0));
+        c.insert("b".into(), Arc::new(1));
+        assert!(c.get("a").is_some()); // touch a => b becomes LRU
+        c.insert("c".into(), Arc::new(2));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b").is_none());
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.stats().2, 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c: Arc<ShardedCache<Arc<u64>>> = Arc::new(ShardedCache::with_shards(4, 64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..16u64 {
+                    c.insert(format!("k{}", (t * 16 + i) % 32), Arc::new(i));
+                    let _ = c.get(&format!("k{}", i % 32));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 32);
+        let (h, m, _) = c.stats();
+        assert_eq!(h + m, 64);
+    }
+}

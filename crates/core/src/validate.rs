@@ -448,6 +448,51 @@ fn timeline_checks(
     r
 }
 
+/// Checks that `assignment` is executable for `workload` on `platform`:
+/// one row per task, one PU per layer group, every PU in range and
+/// supporting its group (the simulator's preconditions). This is the
+/// cheap upfront gate the `Session` facade and the serving batch
+/// endpoint run before handing candidates to the DES fleet, so a bad
+/// candidate fails with a typed [`HaxError::Infeasible`] instead of
+/// panicking a worker mid-batch.
+pub fn check_assignment(
+    platform: &Platform,
+    workload: &Workload,
+    assignment: &[Vec<PuId>],
+) -> Result<(), HaxError> {
+    if assignment.len() != workload.tasks.len() {
+        return Err(HaxError::Infeasible(format!(
+            "assignment covers {} tasks, workload has {}",
+            assignment.len(),
+            workload.tasks.len()
+        )));
+    }
+    for (t, row) in assignment.iter().enumerate() {
+        let profile = &workload.tasks[t].profile;
+        if row.len() != profile.len() {
+            return Err(HaxError::Infeasible(format!(
+                "task {t} assignment covers {} groups, profile has {}",
+                row.len(),
+                profile.len()
+            )));
+        }
+        for (g, &pu) in row.iter().enumerate() {
+            if pu >= platform.pus.len() {
+                return Err(HaxError::Infeasible(format!(
+                    "task {t} group {g} assigned to out-of-range PU {pu}"
+                )));
+            }
+            if profile.groups[g].cost[pu].is_none() {
+                return Err(HaxError::Infeasible(format!(
+                    "task {t} group {g} assigned to unsupported PU {}",
+                    platform.pus[pu].name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Validates a complete [`Schedule`] on `platform`: everything
 /// [`validate_timeline`] checks, plus layer-group contiguity, PU support,
 /// EMC bandwidth conservation, the per-task transition budget (for

@@ -41,6 +41,17 @@ impl PlatformId {
             PlatformId::Snapdragon865 => snapdragon_865(),
         }
     }
+
+    /// The canonical lowercase name of this platform — the spelling every
+    /// alias parses back to, used as the normalized form in workload cache
+    /// keys and serialized specs.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            PlatformId::OrinAgx => "orin-agx",
+            PlatformId::XavierAgx => "xavier-agx",
+            PlatformId::Snapdragon865 => "sd865",
+        }
+    }
 }
 
 /// A shared-memory SoC: a set of PUs behind one EMC.

@@ -40,6 +40,9 @@
 //! the facade's end-to-end test machine-checks).
 
 pub mod alloc;
+pub mod shared;
+
+pub use shared::SharedHistogram;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -169,10 +172,10 @@ pub fn span_event(track: &str, name: &str, start_ms: f64, dur_ms: f64) {
 /// Number of log₂ buckets. Bucket `i` covers values in
 /// `[2^(i - OFFSET), 2^(i + 1 - OFFSET))`; with OFFSET = 20 the range
 /// spans ~1 µs to ~8.8 Tms when values are milliseconds.
-const HIST_BUCKETS: usize = 64;
+pub(crate) const HIST_BUCKETS: usize = 64;
 const HIST_OFFSET: i32 = 20;
 
-fn bucket_index(value: f64) -> usize {
+pub(crate) fn bucket_index(value: f64) -> usize {
     if value <= 0.0 || !value.is_finite() {
         return 0;
     }
@@ -182,7 +185,7 @@ fn bucket_index(value: f64) -> usize {
 
 /// Upper edge of bucket `i` (used as the quantile estimate — a
 /// conservative, deterministic over-estimate within one power of two).
-fn bucket_upper(i: usize) -> f64 {
+pub(crate) fn bucket_upper(i: usize) -> f64 {
     2f64.powi(i as i32 + 1 - HIST_OFFSET)
 }
 

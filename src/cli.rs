@@ -161,6 +161,29 @@ pub enum Command {
         /// Chain the models as a streaming pipeline.
         pipeline: bool,
     },
+    /// `haxconn serve [--addr A] [--workers N] [--queue-depth Q]
+    /// [--cache-capacity C] [--max-solves S] [--max-pending P]
+    /// [--no-degrade] [--no-telemetry]` — the scheduling-as-a-service
+    /// daemon (see the `serve` module).
+    Serve {
+        /// Bind address (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Worker threads (`None` = one per core, capped at 8).
+        workers: Option<usize>,
+        /// Accepted connections allowed to queue for a worker.
+        queue_depth: usize,
+        /// Schedule-cache capacity across shards.
+        cache_capacity: usize,
+        /// Concurrent solve limit (`None` = unlimited).
+        max_solves: Option<usize>,
+        /// Callers allowed to queue for a solve slot.
+        max_pending: usize,
+        /// Return typed 503s under overload instead of degraded
+        /// baseline schedules.
+        no_degrade: bool,
+        /// Skip installing the in-memory telemetry recorder.
+        no_telemetry: bool,
+    },
     /// `haxconn help`
     Help,
 }
@@ -489,6 +512,59 @@ pub fn parse(args: &[String]) -> Result<Command, HaxError> {
                 }
             }
         }
+        "serve" => {
+            let addr = a
+                .take_value("--addr")?
+                .unwrap_or("127.0.0.1:8787")
+                .to_string();
+            let workers = match a.take_value("--workers")? {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| cli_err(format!("bad --workers '{v}'")))?,
+                ),
+                None => None,
+            };
+            let queue_depth = match a.take_value("--queue-depth")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad --queue-depth '{v}'")))?,
+                None => 128,
+            };
+            let cache_capacity = match a.take_value("--cache-capacity")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad --cache-capacity '{v}'")))?,
+                None => 1024,
+            };
+            let max_solves = match a.take_value("--max-solves")? {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| cli_err(format!("bad --max-solves '{v}'")))?,
+                ),
+                None => None,
+            };
+            let max_pending = match a.take_value("--max-pending")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad --max-pending '{v}'")))?,
+                None => 64,
+            };
+            let no_degrade = a.take_switch("--no-degrade");
+            let no_telemetry = a.take_switch("--no-telemetry");
+            if let Some(0) = workers {
+                return Err(cli_err("--workers must be at least 1"));
+            }
+            Command::Serve {
+                addr,
+                workers,
+                queue_depth,
+                cache_capacity,
+                max_solves,
+                max_pending,
+                no_degrade,
+                no_telemetry,
+            }
+        }
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(cli_err(format!("unknown command '{other}'"))),
     };
@@ -518,6 +594,9 @@ USAGE:
                     [--lns-workers K] [--budget NODES] [--symmetry]
   haxconn check     --platform <P> --models <A,B[,C]> [--objective O] [--pipeline]
   haxconn check     --fuzz <N> [--seed S] [--fuzz-large M]
+  haxconn serve     [--addr HOST:PORT] [--workers N] [--queue-depth Q]
+                    [--cache-capacity C] [--max-solves S] [--max-pending P]
+                    [--no-degrade] [--no-telemetry]
 ";
 
 /// Switches the process-global memory recorder on (installing it on first
@@ -1181,6 +1260,42 @@ per-frame service {:.2} ms vs period {:.2} ms",
                 None => writeln!(out, "infeasible under the transition budget")?,
             }
         }
+        Command::Serve {
+            addr,
+            workers,
+            queue_depth,
+            cache_capacity,
+            max_solves,
+            max_pending,
+            no_degrade,
+            no_telemetry,
+        } => {
+            let mut options = crate::serve::ServeOptions {
+                addr,
+                queue_depth,
+                enable_telemetry: !no_telemetry,
+                engine: haxconn_core::EngineOptions {
+                    cache_capacity,
+                    max_concurrent_solves: max_solves,
+                    max_pending_solves: max_pending,
+                    degrade_on_overload: !no_degrade,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            if let Some(w) = workers {
+                options.workers = w;
+            }
+            let handle = crate::serve::serve(options)?;
+            // Foreground daemon: announce the bound address on stdout
+            // (tests and scripts parse it), then serve until killed.
+            println!("haxconn serve: listening on http://{}", handle.addr());
+            println!(
+                "endpoints: POST /v1/schedule  POST /v1/batch  GET /v1/telemetry  GET /v1/health"
+            );
+            handle.join();
+            writeln!(out, "haxconn serve: stopped")?;
+        }
         Command::Check {
             fuzz,
             fuzz_large,
@@ -1778,6 +1893,43 @@ mod tests {
         assert!(out.contains("fleet: 10 scenarios"), "{out}");
         assert!(out.contains("HaX-CoNN") || out.contains("random#"), "{out}");
         assert!(out.contains("scenarios/s"), "{out}");
+    }
+
+    #[test]
+    fn parses_serve() {
+        let c = parsed("serve");
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "127.0.0.1:8787".into(),
+                workers: None,
+                queue_depth: 128,
+                cache_capacity: 1024,
+                max_solves: None,
+                max_pending: 64,
+                no_degrade: false,
+                no_telemetry: false,
+            }
+        );
+        let c = parsed(
+            "serve --addr 0.0.0.0:9000 --workers 4 --queue-depth 16 --cache-capacity 64 \
+             --max-solves 2 --max-pending 8 --no-degrade --no-telemetry",
+        );
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                workers: Some(4),
+                queue_depth: 16,
+                cache_capacity: 64,
+                max_solves: Some(2),
+                max_pending: 8,
+                no_degrade: true,
+                no_telemetry: true,
+            }
+        );
+        assert!(parse_err("serve --workers 0").contains("--workers"));
+        assert!(parse_err("serve --max-solves many").contains("bad --max-solves"));
     }
 
     #[test]

@@ -39,7 +39,9 @@
 //! them. Library APIs report failures as `Result<_, HaxError>`; the
 //! `haxconn` binary prints the error and exits nonzero.
 
+pub mod api;
 pub mod cli;
+pub mod serve;
 pub mod session;
 
 pub use haxconn_check as check;
@@ -53,19 +55,23 @@ pub use haxconn_soc as soc;
 pub use haxconn_solver as solver;
 pub use haxconn_telemetry as telemetry;
 
+pub use serve::{serve, ServeOptions, ServerHandle};
 pub use session::{ModelSpec, PlatformSpec, ScheduledSession, Session};
 
 /// The most common imports, in one place.
 pub mod prelude {
+    pub use crate::serve::{serve, ServeOptions, ServerHandle};
     pub use crate::session::{ScheduledSession, Session};
     pub use haxconn_contention::ContentionModel;
     pub use haxconn_core::{
         baselines::{Baseline, BaselineKind},
         dynamic::DHaxConn,
+        engine::{Engine, EngineOptions, EngineSchedule, EngineStatsSnapshot},
         measure::{measure, Measurement},
         parse_model, parse_objective, parse_platform,
         problem::{DnnTask, Objective, SchedulerConfig, Workload},
         scheduler::{HaxConn, Schedule, ScheduleOrigin, Transition},
+        spec::{TaskSpec, WorkloadSpec},
         timeline::TimelineEvaluator,
         validate::{validate_schedule, validate_timeline, InvariantClass, ValidationReport},
         HaxError,

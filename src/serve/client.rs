@@ -1,0 +1,94 @@
+//! A minimal blocking HTTP/1.1 client for the serve endpoints.
+//!
+//! Shared by the integration tests and the load generator in
+//! `haxconn-bench`, so both drive the server through real sockets with
+//! persistent connections — the same framing production clients use —
+//! instead of poking handler functions directly.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One persistent connection to a server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the response. `body = None` sends no
+    /// body (GET); `Some` posts JSON.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: haxconn\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(raw.as_bytes())?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(bad("EOF inside response headers"));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("bad Content-Length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|b| (status, b))
+            .map_err(|_| bad("response body is not UTF-8"))
+    }
+}

@@ -1,0 +1,252 @@
+//! Minimal HTTP/1.1 framing over blocking `std::net` streams.
+//!
+//! The build is offline — no tokio, no hyper — so `haxconn serve`
+//! speaks exactly the subset of HTTP/1.1 a JSON API needs:
+//! request-line plus headers plus `Content-Length` bodies, persistent
+//! connections by default (`Connection: close` honored), UTF-8 JSON
+//! payloads, and a hard body-size cap as the first line of defense
+//! against misbehaving clients. No chunked transfer, no TLS, no
+//! pipelining guarantees beyond strict request/response alternation.
+
+use std::io::{BufRead, Write};
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method, e.g. `"POST"`.
+    pub method: String,
+    /// Path with query string attached (the router matches on the path
+    /// part only).
+    pub path: String,
+    /// UTF-8 body (empty when no `Content-Length`).
+    pub body: String,
+    /// Whether the client wants the connection kept open.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpReadError {
+    /// Protocol violation — respond 400 and close.
+    Malformed(String),
+    /// Declared body exceeds the cap — respond 413 and close.
+    TooLarge(usize),
+    /// Transport-level failure or timeout — close (or retry on idle
+    /// timeouts; see the server loop).
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpReadError {
+    fn from(e: std::io::Error) -> Self {
+        HttpReadError::Io(e)
+    }
+}
+
+/// Reads one request. `Ok(None)` is a clean close: EOF before the
+/// first byte of a request line.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<Option<Request>, HttpReadError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let line = line.trim_end();
+    if line.is_empty() {
+        // Stray CRLF between pipelined requests; tolerate one.
+        return Err(HttpReadError::Malformed("empty request line".into()));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpReadError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpReadError::Malformed("missing request target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpReadError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpReadError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(HttpReadError::Malformed("EOF inside headers".into()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpReadError::Malformed(format!("bad header '{header}'")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpReadError::Malformed("bad Content-Length".into()))?;
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "transfer-encoding" => {
+                return Err(HttpReadError::Malformed(
+                    "chunked transfer encoding is not supported".into(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    if content_length > max_body_bytes {
+        return Err(HttpReadError::TooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| HttpReadError::Malformed("body is not UTF-8".into()))?;
+    Ok(Some(Request {
+        method,
+        path: target,
+        body,
+        keep_alive,
+    }))
+}
+
+/// The standard reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        status,
+        reason(status),
+        body.len(),
+        connection,
+        body
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /v1/schedule HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/schedule");
+        assert_eq!(req.body, "{\"a\"");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = parse("GET /v1/health HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn eof_before_request_is_clean_close() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_without_reading_it() {
+        let e = parse("POST / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n").unwrap_err();
+        assert!(matches!(e, HttpReadError::TooLarge(99999)));
+    }
+
+    #[test]
+    fn malformed_requests_are_typed() {
+        assert!(matches!(
+            parse("NOT-HTTP\r\n\r\n"),
+            Err(HttpReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(HttpReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{}", true).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 2\r\n"));
+        assert!(s.contains("Connection: keep-alive\r\n"));
+        assert!(s.ends_with("\r\n\r\n{}"));
+        let mut out = Vec::new();
+        write_response(&mut out, 503, "{}", false).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(s.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn two_keep_alive_requests_parse_back_to_back() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let a = read_request(&mut reader, 1024).unwrap().unwrap();
+        let b = read_request(&mut reader, 1024).unwrap().unwrap();
+        assert_eq!((a.path.as_str(), b.path.as_str()), ("/a", "/b"));
+        assert!(read_request(&mut reader, 1024).unwrap().is_none());
+    }
+}

@@ -1,0 +1,454 @@
+//! `haxconn serve` — scheduling as a long-running service.
+//!
+//! A from-scratch HTTP/1.1 server on `std::net` (the build is offline:
+//! no async runtime) in the classic accept-thread + worker-pool shape:
+//!
+//! * the accept thread hands each connection to a bounded queue; when
+//!   the queue is full the connection is answered `503` immediately —
+//!   backpressure is explicit, never an unbounded backlog;
+//! * each worker owns one connection at a time and serves its
+//!   keep-alive request stream until close or idle timeout;
+//! * all scheduling goes through one shared [`Engine`], which supplies
+//!   the sharded schedule cache, request coalescing, admission control
+//!   on the solver pool, and degraded baseline fallback under overload.
+//!
+//! Endpoints (all JSON; see [`crate::api`] for the wire types):
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/schedule` | [`WorkloadSpec`] body → schedule |
+//! | `POST /v1/batch` | spec + candidates → DES fleet reports |
+//! | `GET /v1/telemetry` | deterministic telemetry [`Snapshot`] JSON |
+//! | `GET /v1/health` | liveness + engine/server counters |
+//!
+//! [`Snapshot`]: haxconn_telemetry::Snapshot
+
+pub mod client;
+pub mod http;
+
+use crate::api::{
+    BatchRequest, BatchResponse, ErrorBody, HealthResponse, ScheduleResponse, ServerStatsWire,
+    SCHEMA_VERSION,
+};
+use crate::session::Session;
+use haxconn_core::engine::{Engine, EngineOptions};
+use haxconn_core::{HaxError, WorkloadSpec};
+use haxconn_telemetry::SharedHistogram;
+use http::{HttpReadError, Request};
+use serde::Serialize;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; port 0 picks an ephemeral port (tests use this).
+    pub addr: String,
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Hard request-body cap.
+    pub max_body_bytes: usize,
+    /// Accepted connections allowed to wait for a free worker; beyond
+    /// this the accept loop answers 503 directly.
+    pub queue_depth: usize,
+    /// Idle keep-alive read timeout per connection.
+    pub read_timeout: Duration,
+    /// Engine knobs (cache size, solver admission, degradation).
+    pub engine: EngineOptions,
+    /// Install + enable the process-global in-memory telemetry recorder
+    /// so `GET /v1/telemetry` has data.
+    pub enable_telemetry: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            max_body_bytes: 1 << 20,
+            queue_depth: 128,
+            read_timeout: Duration::from_millis(500),
+            engine: EngineOptions::default(),
+            enable_telemetry: true,
+        }
+    }
+}
+
+/// HTTP-layer counters (the engine keeps its own).
+#[derive(Default)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    http_2xx: AtomicU64,
+    http_4xx: AtomicU64,
+    http_5xx: AtomicU64,
+    accept_queue_rejections: AtomicU64,
+    latency_us: SharedHistogram,
+}
+
+impl ServerStats {
+    /// Snapshot onto the wire shape.
+    pub fn wire(&self) -> ServerStatsWire {
+        let latency = self.latency_us.snapshot();
+        ServerStatsWire {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            http_2xx: self.http_2xx.load(Ordering::Relaxed),
+            http_4xx: self.http_4xx.load(Ordering::Relaxed),
+            http_5xx: self.http_5xx.load(Ordering::Relaxed),
+            accept_queue_rejections: self.accept_queue_rejections.load(Ordering::Relaxed),
+            latency_p50_us: latency.quantile(0.5),
+            latency_p99_us: latency.quantile(0.99),
+            latency_mean_us: latency.mean(),
+        }
+    }
+}
+
+struct ServerCtx {
+    engine: Arc<Engine>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    max_body_bytes: usize,
+    read_timeout: Duration,
+    started: Instant,
+}
+
+/// A running server. Dropping the handle stops it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared scheduling engine (tests read its counters).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// HTTP-layer counters.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// Blocks until the server stops (the CLI foreground mode).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Stops the server and joins every thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() || !self.workers.is_empty() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Boots the server and returns its handle.
+pub fn serve(options: ServeOptions) -> Result<ServerHandle, HaxError> {
+    if options.enable_telemetry {
+        // Installs the process-wide memory recorder on first use; a
+        // foreign recorder installed earlier keeps precedence and
+        // /v1/telemetry reports 503.
+        let _ = haxconn_telemetry::memory_recorder();
+        haxconn_telemetry::set_enabled(true);
+    }
+    let listener = TcpListener::bind(&options.addr)
+        .map_err(|e| HaxError::Io(format!("bind {}: {e}", options.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| HaxError::Io(format!("local_addr: {e}")))?;
+    let engine = Arc::new(Engine::new(options.engine));
+    let stats = Arc::new(ServerStats::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+        std::sync::mpsc::sync_channel(options.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::with_capacity(options.workers.max(1));
+    for i in 0..options.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let ctx = ServerCtx {
+            engine: Arc::clone(&engine),
+            stats: Arc::clone(&stats),
+            stop: Arc::clone(&stop),
+            max_body_bytes: options.max_body_bytes,
+            read_timeout: options.read_timeout,
+            started: Instant::now(),
+        };
+        let worker = std::thread::Builder::new()
+            .name(format!("haxconn-serve-{i}"))
+            .spawn(move || loop {
+                let stream = {
+                    let Ok(guard) = rx.lock() else { return };
+                    guard.recv()
+                };
+                match stream {
+                    Ok(s) => handle_connection(s, &ctx),
+                    // Sender dropped: the accept loop exited.
+                    Err(_) => return,
+                }
+            })
+            .map_err(|e| HaxError::Io(format!("spawn worker: {e}")))?;
+        workers.push(worker);
+    }
+
+    let accept_stats = Arc::clone(&stats);
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("haxconn-accept".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                haxconn_telemetry::counter_add("serve.connections", 1);
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut stream)) => {
+                        // Explicit backpressure: tell the client to back
+                        // off instead of queuing without bound.
+                        accept_stats
+                            .accept_queue_rejections
+                            .fetch_add(1, Ordering::Relaxed);
+                        haxconn_telemetry::counter_add("serve.accept_rejections", 1);
+                        let body = serialize(&ErrorBody::protocol(
+                            "overloaded",
+                            "connection queue is full, retry later",
+                        ));
+                        let _ = http::write_response(&mut stream, 503, &body, false);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            // tx drops here; workers drain the queue and exit.
+        })
+        .map_err(|e| HaxError::Io(format!("spawn accept thread: {e}")))?;
+
+    Ok(ServerHandle {
+        addr,
+        engine,
+        stats,
+        stop,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+fn serialize<T: Serialize>(value: &T) -> String {
+    // The value-tree serializer cannot fail for the wire types (no
+    // maps with non-string keys, no non-finite floats required to be
+    // exact); fall back to a minimal literal rather than panicking a
+    // worker if that ever changes.
+    serde_json::to_string(value)
+        .unwrap_or_else(|_| format!("{{\"schema\":{SCHEMA_VERSION},\"error\":\"serialize\"}}"))
+}
+
+fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        if ctx.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match http::read_request(&mut reader, ctx.max_body_bytes) {
+            Ok(Some(req)) => {
+                let started = Instant::now();
+                ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+                haxconn_telemetry::counter_add("serve.requests", 1);
+                let keep_alive = req.keep_alive;
+                let (status, body) = route(ctx, &req);
+                let class = match status {
+                    200..=299 => &ctx.stats.http_2xx,
+                    400..=499 => &ctx.stats.http_4xx,
+                    _ => &ctx.stats.http_5xx,
+                };
+                class.fetch_add(1, Ordering::Relaxed);
+                let us = started.elapsed().as_secs_f64() * 1e6;
+                ctx.stats.latency_us.record(us);
+                if haxconn_telemetry::enabled() {
+                    haxconn_telemetry::histogram_record("serve.request_us", us);
+                }
+                if http::write_response(&mut writer, status, &body, keep_alive).is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(HttpReadError::Malformed(m)) => {
+                let body = serialize(&ErrorBody::protocol("bad_request", m));
+                ctx.stats.http_4xx.fetch_add(1, Ordering::Relaxed);
+                let _ = http::write_response(&mut writer, 400, &body, false);
+                return;
+            }
+            Err(HttpReadError::TooLarge(n)) => {
+                let body = serialize(&ErrorBody::protocol(
+                    "payload_too_large",
+                    format!("declared body of {n} bytes exceeds the cap"),
+                ));
+                ctx.stats.http_4xx.fetch_add(1, Ordering::Relaxed);
+                let _ = http::write_response(&mut writer, 413, &body, false);
+                return;
+            }
+            Err(HttpReadError::Io(e)) => {
+                // Idle keep-alive timeout: keep waiting unless stopping.
+                let idle = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                );
+                if !idle || ctx.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn route(ctx: &ServerCtx, req: &Request) -> (u16, String) {
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("POST", "/v1/schedule") => handle_schedule(ctx, &req.body),
+        ("POST", "/v1/batch") => handle_batch(&req.body),
+        ("GET", "/v1/telemetry") => handle_telemetry(),
+        ("GET", "/v1/health") => handle_health(ctx),
+        (_, "/v1/schedule" | "/v1/batch" | "/v1/telemetry" | "/v1/health") => (
+            405,
+            serialize(&ErrorBody::protocol(
+                "method_not_allowed",
+                format!("{} is not valid for {path}", req.method),
+            )),
+        ),
+        _ => (
+            404,
+            serialize(&ErrorBody::protocol(
+                "not_found",
+                format!("no route for {path}"),
+            )),
+        ),
+    }
+}
+
+fn error_response(e: &HaxError) -> (u16, String) {
+    let (status, body) = ErrorBody::of(e);
+    (status, serialize(&body))
+}
+
+fn handle_schedule(ctx: &ServerCtx, body: &str) -> (u16, String) {
+    let spec: WorkloadSpec = match serde_json::from_str(body) {
+        Ok(s) => s,
+        Err(e) => {
+            return (
+                400,
+                serialize(&ErrorBody::protocol("bad_json", format!("{e}"))),
+            )
+        }
+    };
+    let canonical = match spec.canonicalize() {
+        Ok(c) => c,
+        Err(e) => return error_response(&e),
+    };
+    let key = match canonical.to_json() {
+        Ok(k) => k,
+        Err(e) => return error_response(&e),
+    };
+    match ctx.engine.schedule_canonical(key, &canonical) {
+        Ok(out) => (200, serialize(&ScheduleResponse::from_engine(&out))),
+        Err(e) => error_response(&e),
+    }
+}
+
+fn handle_batch(body: &str) -> (u16, String) {
+    let req: BatchRequest = match serde_json::from_str(body) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                400,
+                serialize(&ErrorBody::protocol("bad_json", format!("{e}"))),
+            )
+        }
+    };
+    let run = || -> Result<BatchResponse, HaxError> {
+        let session = Session::from_spec(&req.spec).schedule()?;
+        let reports = session.measure_many(&req.candidates, req.iterations.unwrap_or(1))?;
+        Ok(BatchResponse {
+            schema: SCHEMA_VERSION,
+            reports: reports
+                .iter()
+                .map(crate::api::BatchReport::from_execution)
+                .collect(),
+        })
+    };
+    match run() {
+        Ok(resp) => (200, serialize(&resp)),
+        Err(e) => error_response(&e),
+    }
+}
+
+fn handle_telemetry() -> (u16, String) {
+    match haxconn_telemetry::memory_recorder() {
+        Some(rec) => (200, rec.snapshot().to_json()),
+        None => (
+            503,
+            serialize(&ErrorBody::protocol(
+                "telemetry_unavailable",
+                "no in-memory telemetry recorder is installed",
+            )),
+        ),
+    }
+}
+
+fn handle_health(ctx: &ServerCtx) -> (u16, String) {
+    let resp = HealthResponse {
+        schema: SCHEMA_VERSION,
+        status: "ok".to_string(),
+        uptime_ms: ctx.started.elapsed().as_millis() as u64,
+        engine: ctx.engine.stats(),
+        server: ctx.stats.wire(),
+    };
+    (200, serialize(&resp))
+}

@@ -20,9 +20,11 @@
 //! ```
 
 use haxconn_contention::ContentionModel;
+use haxconn_core::engine::{Engine, EngineOptions};
 use haxconn_core::measure::{measure, Measurement};
 use haxconn_core::problem::{DnnTask, Objective, SchedulerConfig, Workload};
 use haxconn_core::scheduler::{HaxConn, Schedule};
+use haxconn_core::spec::WorkloadSpec;
 use haxconn_core::{chrome_trace_json, parse_model, parse_platform, HaxError};
 use haxconn_dnn::Model;
 use haxconn_profiler::NetworkProfile;
@@ -93,6 +95,7 @@ pub struct Session {
     platform: PlatformSpec,
     tasks: Vec<(ModelSpec, usize)>,
     deps: Vec<(usize, usize)>,
+    ties: Vec<(usize, usize)>,
     pipeline: bool,
     config: SchedulerConfig,
 }
@@ -105,9 +108,29 @@ impl Session {
             platform: platform.into(),
             tasks: Vec::new(),
             deps: Vec::new(),
+            ties: Vec::new(),
             pipeline: false,
             config: SchedulerConfig::default(),
         }
+    }
+
+    /// Builds a session from a serializable [`WorkloadSpec`] — the same
+    /// request type `haxconn serve` accepts over HTTP, so a request
+    /// replayed from a file or built in code schedules identically.
+    pub fn from_spec(spec: &WorkloadSpec) -> Session {
+        let mut session = Session::on(spec.platform.clone());
+        for t in &spec.tasks {
+            session = session.task(t.model.as_str(), t.groups);
+        }
+        for d in &spec.deps {
+            session = session.dep(d.from, d.to);
+        }
+        for (t, tie) in spec.ties.iter().enumerate() {
+            if let Some(r) = tie {
+                session = session.tie(t, *r);
+            }
+        }
+        session.config(spec.effective_config())
     }
 
     /// Adds a DNN task: `model` (a [`Model`] or a name) profiled into
@@ -142,26 +165,105 @@ impl Session {
         self
     }
 
+    /// Ties task `task`'s assignment to task `representative`'s (they
+    /// share one assignment row in the solved schedule).
+    pub fn tie(mut self, task: usize, representative: usize) -> Self {
+        self.ties.push((task, representative));
+        self
+    }
+
+    /// The session as a serializable [`WorkloadSpec`], when it can be
+    /// expressed as one: the platform must be a built-in id or name (a
+    /// custom [`Platform`] value has no canonical spelling). A pipeline
+    /// lowers into explicit consecutive dependencies.
+    pub fn to_spec(&self) -> Option<WorkloadSpec> {
+        let platform = match &self.platform {
+            PlatformSpec::Ready(_) => return None,
+            PlatformSpec::Id(id) => id.slug().to_string(),
+            PlatformSpec::Name(name) => name.clone(),
+        };
+        let mut spec = WorkloadSpec::new(platform).with_config(self.config);
+        for (model, groups) in &self.tasks {
+            let name = match model {
+                ModelSpec::Ready(m) => m.name().to_string(),
+                ModelSpec::Name(n) => n.clone(),
+            };
+            spec = spec.task(name, *groups);
+        }
+        if self.pipeline {
+            for i in 1..self.tasks.len() {
+                spec = spec.dep(i - 1, i);
+            }
+        }
+        for &(from, to) in &self.deps {
+            spec = spec.dep(from, to);
+        }
+        for &(task, rep) in &self.ties {
+            spec = spec.tie(task, rep);
+        }
+        Some(spec)
+    }
+
     /// Resolves the platform and models, profiles the workload, calibrates
     /// the contention model and solves for the optimal schedule.
+    ///
+    /// A thin wrapper over the [`Engine`]: built-in platforms route
+    /// through the same spec → canonicalize → solve path the server
+    /// uses (so an HTTP schedule for the same [`WorkloadSpec`] is
+    /// bit-identical), through a private engine so each call still
+    /// performs a full solve — the facade's documented behavior, which
+    /// telemetry contracts rely on. Custom [`Platform`] values keep the
+    /// direct path.
     pub fn schedule(self) -> Result<ScheduledSession, HaxError> {
-        let platform = match self.platform {
-            PlatformSpec::Ready(p) => p,
-            PlatformSpec::Id(id) => id.platform(),
-            PlatformSpec::Name(name) => parse_platform(&name)?.platform(),
-        };
         if self.tasks.is_empty() {
             return Err(HaxError::InvalidWorkload(
                 "a session needs at least one task (use .task(model, groups))".into(),
             ));
         }
+        if self.tasks.iter().any(|(_, groups)| *groups == 0) {
+            return Err(HaxError::InvalidWorkload(
+                "a task needs at least one layer group".into(),
+            ));
+        }
+        if self.pipeline && self.tasks.len() < 2 {
+            return Err(HaxError::InvalidWorkload(format!(
+                "a pipeline needs at least 2 tasks, got {}",
+                self.tasks.len()
+            )));
+        }
+        match self.to_spec() {
+            Some(spec) => Session::schedule_spec(&spec),
+            None => self.schedule_direct(),
+        }
+    }
+
+    /// The engine-routed path shared with `haxconn serve`.
+    fn schedule_spec(spec: &WorkloadSpec) -> Result<ScheduledSession, HaxError> {
+        let canonical = spec.canonicalize()?;
+        let key = canonical.to_json()?;
+        let engine = Engine::new(EngineOptions::default());
+        let out = engine.schedule_canonical(key, &canonical)?;
+        let ctx = engine.context(&canonical.platform)?;
+        let (_, workload) = canonical.resolve()?;
+        Ok(ScheduledSession {
+            platform: ctx.platform.clone(),
+            workload,
+            contention: ctx.contention.clone(),
+            schedule: out.entry.schedule.clone(),
+            config: canonical.effective_config(),
+            spec: Some(canonical),
+        })
+    }
+
+    /// The legacy direct path for user-constructed [`Platform`] values.
+    fn schedule_direct(self) -> Result<ScheduledSession, HaxError> {
+        let platform = match self.platform {
+            PlatformSpec::Ready(p) => p,
+            PlatformSpec::Id(id) => id.platform(),
+            PlatformSpec::Name(name) => parse_platform(&name)?.platform(),
+        };
         let mut tasks = Vec::with_capacity(self.tasks.len());
         for (spec, groups) in self.tasks {
-            if groups == 0 {
-                return Err(HaxError::InvalidWorkload(
-                    "a task needs at least one layer group".into(),
-                ));
-            }
             let model = match spec {
                 ModelSpec::Ready(m) => m,
                 ModelSpec::Name(name) => parse_model(&name)?,
@@ -179,6 +281,9 @@ impl Session {
         for (from, to) in self.deps {
             workload = workload.try_with_dep(from, to)?;
         }
+        for (task, rep) in self.ties {
+            workload = workload.try_with_tie(task, rep)?;
+        }
         let contention = ContentionModel::calibrate(&platform);
         let schedule = HaxConn::try_schedule(&platform, &workload, &contention, self.config)?;
         Ok(ScheduledSession {
@@ -187,6 +292,7 @@ impl Session {
             contention,
             schedule,
             config: self.config,
+            spec: None,
         })
     }
 }
@@ -205,9 +311,20 @@ pub struct ScheduledSession {
     /// The configuration the schedule was solved under (validation re-uses
     /// its objective and transition budget).
     pub config: SchedulerConfig,
+    /// The canonical spec this session was solved from, when it came
+    /// from one (private: set by [`Session::schedule`]).
+    spec: Option<WorkloadSpec>,
 }
 
 impl ScheduledSession {
+    /// The canonical [`WorkloadSpec`] this schedule was solved from —
+    /// serialize it to replay the exact problem later or submit it to
+    /// `haxconn serve`. `None` when the session was built on a custom
+    /// [`Platform`] value (no canonical spelling exists).
+    pub fn spec(&self) -> Option<&WorkloadSpec> {
+        self.spec.as_ref()
+    }
+
     /// Checks that every assigned PU actually supports its layer group
     /// (the simulator's preconditions), so measurement cannot panic.
     fn check_assignment(&self) -> Result<(), HaxError> {
@@ -215,39 +332,10 @@ impl ScheduledSession {
     }
 
     /// [`Self::check_assignment`] for an arbitrary candidate assignment of
-    /// this session's workload.
+    /// this session's workload (delegates to
+    /// [`haxconn_core::validate::check_assignment`]).
     fn check_candidate(&self, assignment: &[Vec<PuId>]) -> Result<(), HaxError> {
-        if assignment.len() != self.workload.tasks.len() {
-            return Err(HaxError::Infeasible(format!(
-                "assignment covers {} tasks, workload has {}",
-                assignment.len(),
-                self.workload.tasks.len()
-            )));
-        }
-        for (t, row) in assignment.iter().enumerate() {
-            let profile = &self.workload.tasks[t].profile;
-            if row.len() != profile.len() {
-                return Err(HaxError::Infeasible(format!(
-                    "task {t} assignment covers {} groups, profile has {}",
-                    row.len(),
-                    profile.len()
-                )));
-            }
-            for (g, &pu) in row.iter().enumerate() {
-                if pu >= self.platform.pus.len() {
-                    return Err(HaxError::Infeasible(format!(
-                        "task {t} group {g} assigned to out-of-range PU {pu}"
-                    )));
-                }
-                if profile.groups[g].cost[pu].is_none() {
-                    return Err(HaxError::Infeasible(format!(
-                        "task {t} group {g} assigned to unsupported PU {}",
-                        self.platform.pus[pu].name
-                    )));
-                }
-            }
-        }
-        Ok(())
+        haxconn_core::validate::check_assignment(&self.platform, &self.workload, assignment)
     }
 
     /// Measures the schedule on the ground-truth SoC simulator.
@@ -471,6 +559,62 @@ mod tests {
             .measure_many(&[vec![vec![99usize; 6]]], 1)
             .expect_err("out-of-range PU");
         assert!(matches!(err, HaxError::Infeasible(_)), "{err}");
+    }
+
+    #[test]
+    fn from_spec_matches_builder_bit_for_bit() {
+        use haxconn_core::spec::WorkloadSpec;
+        let spec = WorkloadSpec::new("orin")
+            .task("googlenet", 6)
+            .task("resnet18", 6)
+            .dep(0, 1);
+        let via_spec = Session::from_spec(&spec).schedule().expect("schedulable");
+        let via_builder = Session::on("orin-agx")
+            .task(Model::GoogleNet, 6)
+            .task(Model::ResNet18, 6)
+            .dep(0, 1)
+            .schedule()
+            .expect("schedulable");
+        assert_eq!(
+            via_spec.schedule.assignment,
+            via_builder.schedule.assignment
+        );
+        assert_eq!(
+            via_spec.schedule.cost.to_bits(),
+            via_builder.schedule.cost.to_bits()
+        );
+        // Both report the same canonical spec.
+        assert_eq!(via_spec.spec(), via_builder.spec());
+        let canonical = via_spec.spec().expect("built-in platform has a spec");
+        assert_eq!(canonical.platform, "orin-agx");
+        assert_eq!(canonical.tasks.len(), 2);
+    }
+
+    #[test]
+    fn custom_platform_session_has_no_spec() {
+        let s = Session::on(PlatformId::OrinAgx.platform())
+            .task(Model::GoogleNet, 6)
+            .schedule()
+            .expect("schedulable");
+        assert!(s.spec().is_none());
+        assert!(s.measure().is_ok());
+    }
+
+    #[test]
+    fn tied_session_resolves_the_tie() {
+        let s = Session::on(PlatformId::OrinAgx)
+            .task(Model::GoogleNet, 6)
+            .task(Model::GoogleNet, 6)
+            .tie(1, 0)
+            .schedule()
+            .expect("schedulable");
+        // The tie lands in the resolved workload (solver variables are
+        // shared; a never-worse baseline may still win the scorer loop)
+        // and the canonical spec round-trips it.
+        assert_eq!(s.workload.ties[1], Some(0));
+        let spec = s.spec().expect("built-in platform has a spec");
+        assert_eq!(spec.ties, vec![None, Some(0)]);
+        assert!(s.measure().is_ok());
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! End-to-end tests of `haxconn serve`: a real server on an ephemeral
+//! port, driven through real sockets by the blocking client the load
+//! generator also uses.
+//!
+//! One process-wide note: the engine behind each test is private to its
+//! `ServerHandle`, so tests are independent; the telemetry recorder is
+//! process-global but these assertions only require counters to be
+//! present, never exact.
+
+use haxconn::api::{ErrorBody, HealthResponse, ScheduleResponse, SCHEMA_VERSION};
+use haxconn::prelude::*;
+use haxconn::serve::client::Client;
+use haxconn::serve::{serve, ServeOptions};
+use std::sync::{Arc, Barrier};
+
+fn boot(options: ServeOptions) -> haxconn::serve::ServerHandle {
+    serve(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        ..options
+    })
+    .expect("server boots on an ephemeral port")
+}
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec::new("orin")
+        .task("googlenet", 5)
+        .task("resnet18", 5)
+}
+
+fn spec_json() -> String {
+    spec().to_json().expect("spec serializes")
+}
+
+#[test]
+fn schedule_endpoint_matches_session_bit_for_bit() {
+    let server = boot(ServeOptions::default());
+    let mut client = Client::connect(server.addr()).expect("connects");
+    let (status, body) = client.post("/v1/schedule", &spec_json()).expect("responds");
+    assert_eq!(status, 200, "{body}");
+    let resp: ScheduleResponse = serde_json::from_str(&body).expect("schedule response parses");
+    assert_eq!(resp.schema, SCHEMA_VERSION);
+    assert!(!resp.degraded);
+    assert_eq!(resp.origin, "optimal");
+
+    // The acceptance gate: HTTP schedules are bit-identical to
+    // Session::schedule for the same WorkloadSpec.
+    let local = Session::from_spec(&spec()).schedule().expect("schedulable");
+    assert_eq!(resp.assignment, local.schedule.assignment);
+    assert_eq!(resp.cost.to_bits(), local.schedule.cost.to_bits());
+    assert_eq!(
+        resp.makespan_ms.to_bits(),
+        local.schedule.predicted.makespan_ms.to_bits()
+    );
+
+    // Second submit over the same keep-alive connection: cache hit,
+    // still identical.
+    let (status, body) = client.post("/v1/schedule", &spec_json()).expect("responds");
+    assert_eq!(status, 200);
+    let cached: ScheduleResponse = serde_json::from_str(&body).expect("parses");
+    assert!(cached.cached);
+    assert_eq!(cached.assignment, resp.assignment);
+    assert_eq!(cached.cost.to_bits(), resp.cost.to_bits());
+    server.stop();
+}
+
+#[test]
+fn batch_endpoint_evaluates_candidates_in_order() {
+    let server = boot(ServeOptions::default());
+    let mut client = Client::connect(server.addr()).expect("connects");
+
+    // Get the solved assignment first, then batch it with an all-GPU
+    // candidate.
+    let (status, body) = client.post("/v1/schedule", &spec_json()).expect("responds");
+    assert_eq!(status, 200, "{body}");
+    let solved: ScheduleResponse = serde_json::from_str(&body).expect("parses");
+    let all_gpu: Vec<Vec<usize>> = solved.assignment.iter().map(|r| vec![0; r.len()]).collect();
+    let req = haxconn::api::BatchRequest {
+        spec: spec(),
+        candidates: vec![solved.assignment.clone(), all_gpu],
+        iterations: Some(1),
+    };
+    let body = serde_json::to_string(&req).expect("serializes");
+    let (status, body) = client.post("/v1/batch", &body).expect("responds");
+    assert_eq!(status, 200, "{body}");
+    let resp: haxconn::api::BatchResponse = serde_json::from_str(&body).expect("parses");
+    assert_eq!(resp.reports.len(), 2);
+
+    // Reports match a local measure_many bit for bit.
+    let local = Session::from_spec(&spec()).schedule().expect("schedulable");
+    let reports = local
+        .measure_many(&req.candidates, 1)
+        .expect("batch measures");
+    for (wire, local) in resp.reports.iter().zip(&reports) {
+        assert_eq!(wire.makespan_ms.to_bits(), local.makespan_ms.to_bits());
+        assert_eq!(wire.fps.to_bits(), local.fps.to_bits());
+    }
+
+    // An infeasible candidate is a typed 422, not a panic.
+    let bad = haxconn::api::BatchRequest {
+        spec: spec(),
+        candidates: vec![vec![vec![99; 5], vec![99; 5]]],
+        iterations: Some(1),
+    };
+    let body = serde_json::to_string(&bad).expect("serializes");
+    let (status, body) = client.post("/v1/batch", &body).expect("responds");
+    assert_eq!(status, 422, "{body}");
+    let err: ErrorBody = serde_json::from_str(&body).expect("parses");
+    assert_eq!(err.error, "infeasible");
+    server.stop();
+}
+
+#[test]
+fn health_and_telemetry_report_the_server() {
+    let server = boot(ServeOptions::default());
+    let mut client = Client::connect(server.addr()).expect("connects");
+    client.post("/v1/schedule", &spec_json()).expect("responds");
+
+    let (status, body) = client.get("/v1/health").expect("responds");
+    assert_eq!(status, 200, "{body}");
+    let health: HealthResponse = serde_json::from_str(&body).expect("parses");
+    assert_eq!(health.status, "ok");
+    assert_eq!(health.schema, SCHEMA_VERSION);
+    assert!(health.engine.requests >= 1);
+    assert!(health.engine.solves >= 1);
+    assert_eq!(health.engine.duplicate_inflight_solves, 0);
+    assert!(health.server.requests >= 1);
+    assert!(health.server.latency_p99_us >= health.server.latency_p50_us);
+
+    let (status, body) = client.get("/v1/telemetry").expect("responds");
+    assert_eq!(status, 200);
+    let snap: serde_json::Value = serde_json::from_str(&body).expect("snapshot is JSON");
+    let re = serde_json::to_string(&snap).expect("re-serializes");
+    assert!(re.contains("engine.requests"), "{re}");
+    server.stop();
+}
+
+#[test]
+fn identical_concurrent_requests_coalesce_to_one_solve() {
+    let server = boot(ServeOptions::default());
+    const N: usize = 6;
+    let addr = server.addr();
+    let barrier = Arc::new(Barrier::new(N));
+    let mut handles = Vec::new();
+    for _ in 0..N {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connects");
+            barrier.wait();
+            let (status, body) = client.post("/v1/schedule", &spec_json()).expect("responds");
+            assert_eq!(status, 200, "{body}");
+            let resp: ScheduleResponse = serde_json::from_str(&body).expect("parses");
+            (resp.cost.to_bits(), resp.assignment)
+        }));
+    }
+    let results: Vec<(u64, Vec<Vec<usize>>)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panic"))
+        .collect();
+    for r in &results {
+        assert_eq!(r.0, results[0].0, "coalesced responses must be identical");
+        assert_eq!(r.1, results[0].1);
+    }
+    let stats = server.engine().stats();
+    assert_eq!(
+        stats.solves, 1,
+        "N identical concurrent requests → 1 solve: {stats:?}"
+    );
+    assert_eq!(stats.duplicate_inflight_solves, 0);
+    assert_eq!(
+        stats.cache_hits + stats.coalesced + stats.solves,
+        N as u64,
+        "{stats:?}"
+    );
+    server.stop();
+}
+
+#[test]
+fn overload_degrades_to_baseline_not_errors() {
+    // A zero-slot solver pool: every request overflows admission and
+    // must be served the degraded baseline with a 200, never an error.
+    let server = boot(ServeOptions {
+        engine: EngineOptions {
+            max_concurrent_solves: Some(0),
+            max_pending_solves: 0,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let mut client = Client::connect(server.addr()).expect("connects");
+    for _ in 0..3 {
+        let (status, body) = client.post("/v1/schedule", &spec_json()).expect("responds");
+        assert_eq!(status, 200, "overload must degrade, not fail: {body}");
+        let resp: ScheduleResponse = serde_json::from_str(&body).expect("parses");
+        assert!(resp.degraded);
+        assert!(resp.origin.starts_with("fallback:"), "{}", resp.origin);
+    }
+    let stats = server.engine().stats();
+    assert_eq!(stats.degraded, 3);
+    assert_eq!(stats.solves, 0);
+
+    // With degradation off, the same overload is a typed 503.
+    let strict = boot(ServeOptions {
+        engine: EngineOptions {
+            max_concurrent_solves: Some(0),
+            max_pending_solves: 0,
+            degrade_on_overload: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let mut client = Client::connect(strict.addr()).expect("connects");
+    let (status, body) = client.post("/v1/schedule", &spec_json()).expect("responds");
+    assert_eq!(status, 503, "{body}");
+    let err: ErrorBody = serde_json::from_str(&body).expect("parses");
+    assert_eq!(err.error, "overloaded");
+    strict.stop();
+    server.stop();
+}
+
+#[test]
+fn protocol_and_domain_errors_are_typed() {
+    let server = boot(ServeOptions::default());
+    let mut client = Client::connect(server.addr()).expect("connects");
+
+    let cases: [(&str, &str, Option<&str>, u16, &str); 5] = [
+        ("POST", "/v1/schedule", Some("{nope"), 400, "bad_json"),
+        // `config: null` is valid wire input (default configuration),
+        // so this body parses and fails on the platform instead.
+        (
+            "POST",
+            "/v1/schedule",
+            Some("{\"platform\":\"tpu9000\",\"tasks\":[{\"model\":\"alexnet\",\"groups\":4}],\"deps\":[],\"ties\":[],\"config\":null}"),
+            400,
+            "unknown_platform",
+        ),
+        ("GET", "/v1/nope", None, 404, "not_found"),
+        ("GET", "/v1/schedule", None, 405, "method_not_allowed"),
+        ("POST", "/v1/health", Some("{}"), 405, "method_not_allowed"),
+    ];
+    for (method, path, body, want_status, want_code) in cases {
+        let (status, resp) = client.request(method, path, body).expect("responds");
+        assert_eq!(status, want_status, "{method} {path}: {resp}");
+        let err: ErrorBody = serde_json::from_str(&resp).expect("typed error body");
+        assert_eq!(err.error, want_code, "{method} {path}");
+        assert_eq!(err.schema, SCHEMA_VERSION);
+    }
+
+    // A well-formed spec with an unknown platform maps to the stable
+    // unknown_platform code.
+    let bad = WorkloadSpec::new("tpu9000").task("alexnet", 4);
+    let body = bad.to_json().expect("serializes");
+    let (status, resp) = client.post("/v1/schedule", &body).expect("responds");
+    assert_eq!(status, 400, "{resp}");
+    let err: ErrorBody = serde_json::from_str(&resp).expect("parses");
+    assert_eq!(err.error, "unknown_platform");
+
+    // Unknown model → unknown_model.
+    let bad = WorkloadSpec::new("orin").task("transformerXXL", 4);
+    let body = bad.to_json().expect("serializes");
+    let (status, resp) = client.post("/v1/schedule", &body).expect("responds");
+    assert_eq!(status, 400, "{resp}");
+    let err: ErrorBody = serde_json::from_str(&resp).expect("parses");
+    assert_eq!(err.error, "unknown_model");
+    server.stop();
+}
+
+#[test]
+fn oversized_bodies_are_rejected_without_reading() {
+    let server = boot(ServeOptions {
+        max_body_bytes: 256,
+        ..Default::default()
+    });
+    let mut client = Client::connect(server.addr()).expect("connects");
+    let huge = format!("{{\"pad\":\"{}\"}}", "x".repeat(1024));
+    let (status, body) = client.post("/v1/schedule", &huge).expect("responds");
+    assert_eq!(status, 413, "{body}");
+    let err: ErrorBody = serde_json::from_str(&body).expect("parses");
+    assert_eq!(err.error, "payload_too_large");
+    server.stop();
+}

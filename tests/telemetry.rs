@@ -86,7 +86,16 @@ fn telemetry_end_to_end() {
     assert_eq!(p1.schedule.cost.to_bits(), p2.schedule.cost.to_bits());
     let pf_snap = rec.snapshot();
     let pf_counter = |name: &str| pf_snap.counters.get(name).copied().unwrap_or(0);
-    assert!(pf_counter("solver.lns.iters") > 0, "{:?}", pf_snap.counters);
+    // The LNS counters are flushed once per portfolio solve. How many
+    // iterations the workers complete before the B&B raises the
+    // cooperative stop is a race (zero is common on an instance this
+    // small), so assert the flush happened, not a winning iteration
+    // count.
+    assert!(
+        pf_snap.counters.contains_key("solver.lns.iters"),
+        "{:?}",
+        pf_snap.counters
+    );
     assert!(
         pf_counter("solver.portfolio.winner.bb")
             + pf_counter("solver.portfolio.winner.lns")
