@@ -21,9 +21,11 @@
 //! 500 on a fixed seed.
 
 use haxconn_contention::ContentionModel;
+use haxconn_core::scheduler::objective_cost;
 use haxconn_core::validate::{validate_schedule, validate_timeline, Violation};
 use haxconn_core::{
-    Baseline, BaselineKind, DnnTask, HaxConn, Objective, ScheduleEncoding, SchedulerConfig,
+    parse_model, replay_arrivals, ArrivalTrace, Baseline, BaselineKind, DnnTask, HaxConn,
+    Objective, ReplayOptions, ResolvePolicy, ScheduleEncoding, SchedulerConfig, TenantEvent,
     TimelineEvaluator, Workload,
 };
 use haxconn_dnn::Model;
@@ -547,6 +549,146 @@ pub fn run_large(seed: u64, instances: usize, node_budget: u64) -> FuzzReport {
     report
 }
 
+/// Arrival-trace fuzzing of the multi-tenant replay engine.
+///
+/// Each trace is generated deterministically from the seed and replayed
+/// with re-solve validation on; the run then cross-checks three contracts:
+///
+/// 1. **byte determinism** — a second replay with identical options must
+///    produce a byte-identical [`haxconn_core::TenantReport::to_json`],
+/// 2. **worker independence** — a third replay with a different
+///    parallel-solver thread count must also match byte for byte,
+/// 3. **re-solve integrity** — every recorded re-solve point is
+///    independently re-checked: the adopted assignment is re-evaluated on
+///    a freshly built workload, run through the timeline invariant
+///    validator, and its recorded objective cost must re-evaluate
+///    bit-exactly.
+///
+/// Policies rotate per trace (Immediate / Debounced / UtilityThreshold) so
+/// all re-solve paths — including the skip/patch paths — are exercised.
+pub fn run_arrival(seed: u64, traces: usize, events_per_trace: usize) -> FuzzReport {
+    let platform = orin_agx();
+    let cm = ContentionModel::calibrate(&platform);
+    let mut profiles: FxHashMap<(Model, usize), NetworkProfile> = FxHashMap::default();
+    let mut report = FuzzReport::default();
+
+    for i in 0..traces {
+        let scenario = i;
+        let diverge = |detail: String, report: &mut FuzzReport| {
+            report.divergences.push(Divergence { scenario, detail });
+        };
+        let trace = ArrivalTrace::generate(seed.wrapping_add(i as u64), events_per_trace, 3);
+        let policy = match i % 3 {
+            0 => ResolvePolicy::Immediate,
+            1 => ResolvePolicy::Debounced { window_ms: 40.0 },
+            _ => ResolvePolicy::UtilityThreshold { min_gain: 0.05 },
+        };
+        let opts = ReplayOptions {
+            policy,
+            validate: true,
+            record_resolves: true,
+            workers: 1,
+            ..Default::default()
+        };
+        let a = match replay_arrivals(&platform, &cm, &trace, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                diverge(format!("replay failed: {e}"), &mut report);
+                continue;
+            }
+        };
+        if a.violations > 0 {
+            diverge(
+                format!(
+                    "replay reported {} invariant violations: {:?}",
+                    a.violations, a.violation_samples
+                ),
+                &mut report,
+            );
+        }
+
+        // Contract 1: replay is a pure function of (platform, trace, opts).
+        match replay_arrivals(&platform, &cm, &trace, &opts) {
+            Ok(b) if a.to_json() == b.to_json() => {}
+            Ok(_) => diverge(
+                "replay not byte-deterministic across runs".into(),
+                &mut report,
+            ),
+            Err(e) => diverge(format!("second replay failed: {e}"), &mut report),
+        }
+
+        // Contract 2: the parallel-solver worker count must not matter.
+        let wide = ReplayOptions {
+            workers: 4,
+            ..opts.clone()
+        };
+        match replay_arrivals(&platform, &cm, &trace, &wide) {
+            Ok(c) if a.to_json() == c.to_json() => {}
+            Ok(_) => diverge(
+                "replay diverged across solver worker counts (1 vs 4)".into(),
+                &mut report,
+            ),
+            Err(e) => diverge(format!("wide replay failed: {e}"), &mut report),
+        }
+        report.executions_checked += 1;
+
+        // Contract 3: re-check every adopted schedule from scratch.
+        let mut specs: FxHashMap<&str, (Model, usize)> = FxHashMap::default();
+        for e in &trace.events {
+            if let TenantEvent::Join { tenant } = &e.event {
+                if let Ok(model) = parse_model(&tenant.model) {
+                    specs.insert(tenant.name.as_str(), (model, tenant.groups));
+                }
+            }
+        }
+        for rp in &a.resolve_points {
+            let mut tasks = Vec::with_capacity(rp.tenants.len());
+            let mut known = true;
+            for name in &rp.tenants {
+                let Some(&(model, groups)) = specs.get(name.as_str()) else {
+                    diverge(
+                        format!("resolve point references unknown tenant '{name}'"),
+                        &mut report,
+                    );
+                    known = false;
+                    break;
+                };
+                let profile = profiles
+                    .entry((model, groups))
+                    .or_insert_with(|| NetworkProfile::profile(&platform, model, groups))
+                    .clone();
+                tasks.push(DnnTask::new(name.clone(), profile));
+            }
+            if !known {
+                continue;
+            }
+            let workload = Workload::concurrent(tasks);
+            let mut ev = TimelineEvaluator::new(&workload, &cm);
+            ev.contention_aware = opts.config.contention_aware;
+            let tl = ev.evaluate(&rp.assignment);
+            let vr = validate_timeline(&workload, &rp.assignment, &tl);
+            report.schedules_validated += 1;
+            for v in vr.violations {
+                report.violations.push((scenario, v));
+            }
+            let re = objective_cost(opts.config.objective, &tl);
+            if re.to_bits() != rp.cost.to_bits() {
+                diverge(
+                    format!(
+                        "resolve point at {} ms: cost re-evaluates to {re}, recorded {}",
+                        rp.at_ms, rp.cost
+                    ),
+                    &mut report,
+                );
+            }
+        }
+        report.scenarios += 1;
+    }
+
+    haxconn_telemetry::counter_add("check.fuzz_arrival_traces", report.scenarios as u64);
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +700,21 @@ mod tests {
         assert_eq!(a.scenarios, 2);
         assert!(a.schedules_validated >= 2);
         let b = run_large(3, 2, 20_000);
+        assert_eq!(a.schedules_validated, b.schedules_validated);
+        assert!(b.is_clean(), "{b}");
+    }
+
+    #[test]
+    fn arrival_run_is_clean_and_deterministic() {
+        let a = run_arrival(5, 3, 40);
+        assert!(a.is_clean(), "{a}");
+        assert_eq!(a.scenarios, 3);
+        assert!(
+            a.schedules_validated >= 3,
+            "expected re-solve points to be re-validated, got {}",
+            a.schedules_validated
+        );
+        let b = run_arrival(5, 3, 40);
         assert_eq!(a.schedules_validated, b.schedules_validated);
         assert!(b.is_clean(), "{b}");
     }

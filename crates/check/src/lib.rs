@@ -14,7 +14,10 @@
 //!   small workloads cross-checking the sequential branch & bound, the
 //!   work-stealing parallel solver (across thread counts), exhaustive
 //!   enumeration, and every baseline: costs must agree bit-exactly and
-//!   every emitted schedule must validate.
+//!   every emitted schedule must validate. [`fuzz::run_arrival`] extends
+//!   the same treatment to the multi-tenant arrival engine: every
+//!   re-solve point is re-validated from scratch and replays must be
+//!   byte-identical across runs and solver worker counts.
 //! * **Mutation tooling** ([`mutate`]) — helpers that corrupt one
 //!   invariant class at a time in an otherwise-valid schedule, workload,
 //!   or platform, proving the validator actually rejects each class.

@@ -35,10 +35,40 @@ pub struct Incumbent {
     pub at: Duration,
 }
 
+/// Source of the timestamps stamped onto recorded incumbents.
+///
+/// The solver reports each improvement with its wall-clock offset from the
+/// start of the solve. That is the honest number for Fig. 7-style plots,
+/// but it makes `schedule_at` checkpoints nondeterministic across runs and
+/// machines. Tests, the arrival-trace fuzzer, and the determinism gates use
+/// [`IncumbentClock::Virtual`], which stamps the k-th improvement at
+/// `k * tick` of virtual time so replays are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IncumbentClock {
+    /// Use the solver's wall-clock offsets (default; nondeterministic).
+    Solver,
+    /// Stamp the k-th improvement (1-based) at `k * tick` of virtual time.
+    Virtual {
+        /// Virtual spacing between consecutive incumbents.
+        tick: Duration,
+    },
+}
+
+impl IncumbentClock {
+    /// A virtual clock ticking once per millisecond of virtual time.
+    pub fn virtual_ms() -> Self {
+        IncumbentClock::Virtual {
+            tick: Duration::from_millis(1),
+        }
+    }
+}
+
 /// The dynamic scheduler.
 pub struct DHaxConn {
     /// Initial (naive) schedule the system starts executing with.
     pub initial: Incumbent,
+    /// Which instant baseline won the initial selection in [`DHaxConn::run`].
+    pub initial_kind: BaselineKind,
     /// Strictly improving incumbents, in discovery order.
     pub trace: Vec<Incumbent>,
     /// Whether the background solve ran to proven optimality.
@@ -48,30 +78,46 @@ pub struct DHaxConn {
 impl DHaxConn {
     /// Runs the D-HaX-CoNN pipeline for one workload: picks the best naive
     /// starting schedule, then solves (bounded by `config.node_budget` if
-    /// set), recording the incumbent trace.
+    /// set), recording the incumbent trace with wall-clock timestamps.
     pub fn run(
         platform: &Platform,
         workload: &Workload,
         model: &ContentionModel,
         config: SchedulerConfig,
     ) -> Self {
+        Self::run_with(platform, workload, model, config, IncumbentClock::Solver)
+    }
+
+    /// Like [`DHaxConn::run`], but with an injectable incumbent clock so
+    /// deterministic callers (tests, fuzzers, trace replays) get
+    /// bit-identical `schedule_at` checkpoints.
+    pub fn run_with(
+        platform: &Platform,
+        workload: &Workload,
+        model: &ContentionModel,
+        config: SchedulerConfig,
+        clock: IncumbentClock,
+    ) -> Self {
         let run_started = std::time::Instant::now();
         // 1. Initial schedule: best of the *instant* baselines only.
         let mut ev = TimelineEvaluator::new(workload, model);
         ev.contention_aware = config.contention_aware;
         let naive = [BaselineKind::GpuOnly, BaselineKind::NaiveSplit];
-        let initial = naive
+        let (initial_kind, initial) = naive
             .iter()
             .map(|&k| {
                 let a = Baseline::assignment(k, platform, workload);
                 let tl = ev.evaluate(&a);
-                Incumbent {
-                    cost: objective_cost(config.objective, &tl),
-                    assignment: a,
-                    at: Duration::ZERO,
-                }
+                (
+                    k,
+                    Incumbent {
+                        cost: objective_cost(config.objective, &tl),
+                        assignment: a,
+                        at: Duration::ZERO,
+                    },
+                )
             })
-            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+            .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
             .expect("baselines nonempty");
 
         // 2. Background solve with anytime incumbents, warm-started from
@@ -88,12 +134,18 @@ impl DHaxConn {
         let sol = {
             let trace_ref = &mut trace;
             let enc_ref = &enc;
+            let mut seen = 0u32;
             solve_parallel(
                 &enc,
                 SolveOptions {
                     node_budget: config.node_budget,
                     initial_upper_bound: Some(initial.cost),
                     on_incumbent: Some(Box::new(move |a, c, at| {
+                        seen += 1;
+                        let at = match clock {
+                            IncumbentClock::Solver => at,
+                            IncumbentClock::Virtual { tick } => tick * seen,
+                        };
                         trace_ref.push(Incumbent {
                             assignment: enc_ref.to_rows(a),
                             cost: c,
@@ -119,6 +171,7 @@ impl DHaxConn {
         }
         DHaxConn {
             initial,
+            initial_kind,
             trace,
             proven_optimal: sol.proven_optimal(),
         }
@@ -151,7 +204,10 @@ impl DHaxConn {
         ev.contention_aware = config.contention_aware;
         let predicted = ev.evaluate(&best.assignment);
         let origin = if self.trace.is_empty() {
-            ScheduleOrigin::Fallback(BaselineKind::GpuOnly)
+            // No improving incumbent was found: the schedule being returned
+            // IS the winning instant baseline, so report that kind rather
+            // than assuming GPU-only.
+            ScheduleOrigin::Fallback(self.initial_kind)
         } else {
             ScheduleOrigin::Optimal
         };
@@ -244,6 +300,53 @@ mod tests {
         assert!(!d.proven_optimal);
         // The initial schedule always exists even with a tiny budget.
         assert!(d.initial.cost.is_finite());
+    }
+
+    #[test]
+    fn empty_trace_origin_reports_winning_baseline() {
+        // Two heavy nets: splitting across GPU+DSA beats GPU-only, so the
+        // initial selection picks NaiveSplit. A node budget of 1 cannot
+        // reach a leaf, so the trace stays empty and `into_schedule` must
+        // report the *winning* baseline, not a hard-coded GPU-only.
+        let (p, w, cm) = setup(&[Model::ResNet152, Model::InceptionV4]);
+        let cfg = SchedulerConfig {
+            node_budget: Some(1),
+            ..Default::default()
+        };
+        let d = DHaxConn::run(&p, &w, &cm, cfg);
+        assert!(d.trace.is_empty(), "budget 1 must not produce incumbents");
+        assert_eq!(
+            d.initial_kind,
+            BaselineKind::NaiveSplit,
+            "test premise: NaiveSplit wins the instant-baseline selection"
+        );
+        let s = d.into_schedule(&w, &cm, cfg);
+        assert_eq!(s.origin, ScheduleOrigin::Fallback(BaselineKind::NaiveSplit));
+    }
+
+    #[test]
+    fn virtual_clock_makes_checkpoints_deterministic() {
+        let (p, w, cm) = setup(&[Model::ResNet152, Model::InceptionV4]);
+        let cfg = SchedulerConfig::default();
+        let a = DHaxConn::run_with(&p, &w, &cm, cfg, IncumbentClock::virtual_ms());
+        let b = DHaxConn::run_with(&p, &w, &cm, cfg, IncumbentClock::virtual_ms());
+        assert!(!a.trace.is_empty());
+        assert_eq!(a.trace.len(), b.trace.len());
+        for (i, (x, y)) in a.trace.iter().zip(&b.trace).enumerate() {
+            // k-th improvement lands at exactly k * tick of virtual time.
+            assert_eq!(x.at, Duration::from_millis(i as u64 + 1));
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.cost.to_bits(), y.cost.to_bits());
+            assert_eq!(x.assignment, y.assignment);
+        }
+        // And therefore any checkpoint query replays bit-identically.
+        for ms in [0u64, 1, 2, 5, 1000] {
+            let (xa, xb) = (
+                a.schedule_at(Duration::from_millis(ms)),
+                b.schedule_at(Duration::from_millis(ms)),
+            );
+            assert_eq!(xa.cost.to_bits(), xb.cost.to_bits());
+        }
     }
 
     #[test]

@@ -29,6 +29,9 @@
 //! * [`scheduler`] — `HaxConn` (static optimal schedules) including the
 //!   never-worse-than-baseline fallback,
 //! * [`dynamic`] — `DHaxConn`, the anytime/dynamic variant (Fig. 7),
+//! * [`arrival`] — the multi-tenant arrival engine: trace-driven
+//!   joins/leaves/SLA changes with re-solve policies, contention-aware
+//!   throttling of best-effort co-runners, and per-tenant accounting,
 //! * [`validate`] — schedule/timeline invariant checking (read-only;
 //!   wired behind `debug_assertions` in the scheduler and surfaced through
 //!   the `haxconn-check` crate),
@@ -40,6 +43,7 @@
 //! * [`mod@measure`] — conversion of schedules into ground-truth simulator runs
 //!   and paper-style metrics (latency, FPS, slowdown).
 
+pub mod arrival;
 pub mod baselines;
 pub mod cache;
 pub mod dynamic;
@@ -59,9 +63,13 @@ pub mod timeline;
 pub mod trace;
 pub mod validate;
 
+pub use arrival::{
+    replay as replay_arrivals, ArrivalEvent, ArrivalTrace, ReplayOptions, ResolveAction,
+    ResolvePoint, ResolvePolicy, SlaClass, TenantEvent, TenantReport, TenantSpec, TenantStats,
+};
 pub use baselines::{Baseline, BaselineKind};
 pub use cache::{ScheduleCache, WorkloadSignature};
-pub use dynamic::DHaxConn;
+pub use dynamic::{DHaxConn, IncumbentClock};
 pub use encoding::{ScheduleEncoding, ScheduleScratch};
 pub use energy::{dynamic_energy_mj, dynamic_energy_with, energy_of, schedule_min_energy};
 pub use engine::{

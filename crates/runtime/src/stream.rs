@@ -157,11 +157,9 @@ pub fn try_simulate_stream(cfg: StreamConfig) -> Result<StreamReport, HaxError> 
             cfg.service_ms
         )));
     }
-    if cfg.queue_capacity == 0 {
-        return Err(HaxError::InvalidConfig(
-            "stream needs at least one frame buffer".into(),
-        ));
-    }
+    // queue_capacity == 0 is a valid degenerate configuration — no frame
+    // buffer means every arrival is dropped and `processed` stays 0, which
+    // is exactly the case the latency aggregation below must survive.
     let mut engine = Engine::new(Model {
         cfg,
         queue: VecDeque::new(),
@@ -174,15 +172,19 @@ pub fn try_simulate_stream(cfg: StreamConfig) -> Result<StreamReport, HaxError> 
     engine.schedule(SimTime::ZERO, Ev::Arrival(0));
     let end = engine.run();
     let m = engine.into_model();
+    // Mirror the fps guard in `aggregate_fps`: with zero processed frames
+    // there are no latency observations, so both aggregates pin to 0.0
+    // instead of dividing by zero or reporting a stale accumulator.
+    let (worst, mean) = if m.processed > 0 {
+        (m.worst, m.latency_sum / m.processed as f64)
+    } else {
+        (0.0, 0.0)
+    };
     let report = StreamReport {
         processed: m.processed,
         dropped: m.dropped,
-        worst_latency_ms: m.worst,
-        mean_latency_ms: if m.processed > 0 {
-            m.latency_sum / m.processed as f64
-        } else {
-            0.0
-        },
+        worst_latency_ms: worst,
+        mean_latency_ms: mean,
         horizon_ms: end.as_ms(),
     };
     if haxconn_telemetry::enabled() {
@@ -282,10 +284,6 @@ mod tests {
                 service_ms: f64::NAN,
                 ..ok
             },
-            StreamConfig {
-                queue_capacity: 0,
-                ..ok
-            },
         ] {
             let err = try_simulate_stream(bad).expect_err("invalid config");
             assert!(matches!(err, HaxError::InvalidConfig(_)), "{err}");
@@ -293,13 +291,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one frame buffer")]
-    fn zero_capacity_rejected() {
-        simulate_stream(StreamConfig {
+    fn zero_capacity_drops_everything_with_finite_latencies() {
+        // No frame buffer: every arrival is dropped, nothing is processed,
+        // and the latency aggregates must stay finite (0.0) rather than
+        // NaN-ing out of an empty observation set.
+        let r = simulate_stream(StreamConfig {
             period_ms: 33.3,
             service_ms: 10.0,
             queue_capacity: 0,
             frames: 10,
         });
+        assert_eq!(r.processed, 0);
+        assert_eq!(r.dropped, 10);
+        assert_eq!(r.drop_rate(), 1.0);
+        assert!(r.mean_latency_ms.is_finite());
+        assert!(r.worst_latency_ms.is_finite());
+        assert_eq!(r.mean_latency_ms, 0.0);
+        assert_eq!(r.worst_latency_ms, 0.0);
+        // The horizon still spans all arrivals.
+        assert!(r.horizon_ms >= 9.0 * 33.3 - 1e-9);
     }
 }

@@ -69,17 +69,27 @@ pub enum Command {
         layers: bool,
     },
     /// `haxconn dynamic --platform P --phases A,B[;C,D...] [--rounds N]
-    /// [--budget N] [--telemetry FILE]`
+    /// [--budget N] [--telemetry FILE]` (CFG phase toggling), or
+    /// `haxconn dynamic --platform P --trace FILE|gen:SEED:EVENTS[:TENANTS]
+    /// [--policy immediate|debounce:<ms>|utility:<gain>] [--budget N]
+    /// [--report FILE] [--telemetry FILE]` (multi-tenant arrival replay).
     Dynamic {
         /// Target platform.
         platform: PlatformId,
         /// CFG phases, each a set of concurrent models; the autonomous
-        /// loop toggles through them `rounds` times.
+        /// loop toggles through them `rounds` times. Empty in trace mode.
         phases: Vec<Vec<Model>>,
         /// How many times to cycle through the phases.
         rounds: usize,
-        /// Global solver node budget per phase (None = optimal).
+        /// Global solver node budget per phase/re-solve (None = optimal).
         budget: Option<u64>,
+        /// Arrival-trace replay mode: a trace file path or a
+        /// `gen:SEED:EVENTS[:TENANTS]` generator spec.
+        trace: Option<String>,
+        /// Re-solve policy for trace mode.
+        policy: ResolvePolicy,
+        /// Optional tenant-report output path (JSON), trace mode only.
+        report: Option<String>,
         /// Optional telemetry snapshot output path (JSON).
         telemetry: Option<String>,
     },
@@ -150,6 +160,10 @@ pub enum Command {
         /// Large-instance portfolio-fuzz instance count (runs after the
         /// differential pass when given).
         fuzz_large: Option<usize>,
+        /// Arrival-trace fuzz count: replays that many generated tenant
+        /// traces, re-validating every re-solve point and checking byte
+        /// determinism across runs and solver worker counts.
+        fuzz_arrival: Option<usize>,
         /// Fuzzer seed (deterministic; same seed = same scenarios).
         seed: u64,
         /// Target platform (schedule-validate mode).
@@ -209,6 +223,70 @@ fn parse_models(s: &str) -> Result<Vec<Model>, HaxError> {
         return Err(cli_err("at least one model required"));
     }
     Ok(models)
+}
+
+/// Parses a `--policy` spec: `immediate`, `debounce:<ms>` or
+/// `utility:<gain>`.
+fn parse_policy(s: &str) -> Result<ResolvePolicy, HaxError> {
+    let lower = s.to_ascii_lowercase();
+    if lower == "immediate" {
+        return Ok(ResolvePolicy::Immediate);
+    }
+    if let Some(ms) = lower.strip_prefix("debounce:") {
+        let window_ms: f64 = ms
+            .parse()
+            .map_err(|_| cli_err(format!("bad --policy debounce window '{ms}'")))?;
+        if !window_ms.is_finite() || window_ms < 0.0 {
+            return Err(cli_err(format!(
+                "debounce window must be finite and non-negative, got {window_ms}"
+            )));
+        }
+        return Ok(ResolvePolicy::Debounced { window_ms });
+    }
+    if let Some(gain) = lower.strip_prefix("utility:") {
+        let min_gain: f64 = gain
+            .parse()
+            .map_err(|_| cli_err(format!("bad --policy utility gain '{gain}'")))?;
+        if !min_gain.is_finite() || min_gain < 0.0 {
+            return Err(cli_err(format!(
+                "utility gain must be finite and non-negative, got {min_gain}"
+            )));
+        }
+        return Ok(ResolvePolicy::UtilityThreshold { min_gain });
+    }
+    Err(cli_err(format!(
+        "bad --policy '{s}' (want immediate, debounce:<ms> or utility:<gain>)"
+    )))
+}
+
+/// Resolves a `--trace` spec for arrival replay: either a JSON trace
+/// file or a deterministic generator spec `gen:SEED:EVENTS[:TENANTS]`.
+fn load_arrival_trace(spec: &str) -> Result<ArrivalTrace, HaxError> {
+    if let Some(rest) = spec.strip_prefix("gen:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        if parts.len() != 2 && parts.len() != 3 {
+            return Err(cli_err(format!(
+                "bad --trace spec '{spec}' (want gen:SEED:EVENTS[:TENANTS])"
+            )));
+        }
+        let seed: u64 = parts[0]
+            .parse()
+            .map_err(|_| cli_err(format!("bad trace seed '{}'", parts[0])))?;
+        let events: usize = parts[1]
+            .parse()
+            .map_err(|_| cli_err(format!("bad trace event count '{}'", parts[1])))?;
+        let tenants: usize = match parts.get(2) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| cli_err(format!("bad trace tenant cap '{v}'")))?,
+            None => 3,
+        };
+        Ok(ArrivalTrace::generate(seed, events, tenants))
+    } else {
+        let text = std::fs::read_to_string(spec)
+            .map_err(|e| cli_err(format!("cannot read trace '{spec}': {e}")))?;
+        ArrivalTrace::from_json(&text)
+    }
 }
 
 /// Extracts `--flag value` pairs and standalone `--switch`es.
@@ -319,11 +397,12 @@ pub fn parse(args: &[String]) -> Result<Command, HaxError> {
         }
         "dynamic" => {
             let platform = parse_platform_arg(a.require("--platform")?)?;
-            let phases = a
-                .require("--phases")?
-                .split(';')
-                .map(parse_models)
-                .collect::<Result<Vec<_>, _>>()?;
+            let trace = a.take_value("--trace")?.map(str::to_string);
+            let phases = match a.take_value("--phases")? {
+                Some(v) => v.split(';').map(parse_models).collect::<Result<_, _>>()?,
+                None if trace.is_some() => Vec::new(),
+                None => return Err(cli_err("--phases required (or --trace for arrival replay)")),
+            };
             let rounds = match a.take_value("--rounds")? {
                 Some(v) => v.parse().map_err(|_| cli_err("bad --rounds"))?,
                 None => 2,
@@ -332,12 +411,20 @@ pub fn parse(args: &[String]) -> Result<Command, HaxError> {
                 Some(v) => Some(v.parse().map_err(|_| cli_err("bad --budget"))?),
                 None => None,
             };
+            let policy = match a.take_value("--policy")? {
+                Some(v) => parse_policy(v)?,
+                None => ResolvePolicy::Immediate,
+            };
+            let report = a.take_value("--report")?.map(str::to_string);
             let telemetry = a.take_value("--telemetry")?.map(str::to_string);
             Command::Dynamic {
                 platform,
                 phases,
                 rounds,
                 budget,
+                trace,
+                policy,
+                report,
                 telemetry,
             }
         }
@@ -477,16 +564,24 @@ pub fn parse(args: &[String]) -> Result<Command, HaxError> {
                 ),
                 None => None,
             };
+            let fuzz_arrival = match a.take_value("--fuzz-arrival")? {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| cli_err(format!("bad --fuzz-arrival '{v}'")))?,
+                ),
+                None => None,
+            };
             let seed = match a.take_value("--seed")? {
                 Some(v) => v
                     .parse()
                     .map_err(|_| cli_err(format!("bad --seed '{v}'")))?,
                 None => 42,
             };
-            if fuzz.is_some() || fuzz_large.is_some() {
+            if fuzz.is_some() || fuzz_large.is_some() || fuzz_arrival.is_some() {
                 Command::Check {
                     fuzz,
                     fuzz_large,
+                    fuzz_arrival,
                     seed,
                     platform: None,
                     models: Vec::new(),
@@ -504,6 +599,7 @@ pub fn parse(args: &[String]) -> Result<Command, HaxError> {
                 Command::Check {
                     fuzz: None,
                     fuzz_large: None,
+                    fuzz_arrival: None,
                     seed,
                     platform: Some(platform),
                     models,
@@ -585,6 +681,9 @@ USAGE:
   haxconn energy    --platform <P> --models <A,B> --budget-ms <X>
   haxconn dynamic   --platform <P> --phases <A,B[;C,D...]> [--rounds N] [--budget N]
                     [--telemetry FILE.json]
+  haxconn dynamic   --platform <P> --trace <FILE.json|gen:SEED:EVENTS[:TENANTS]>
+                    [--policy immediate|debounce:<ms>|utility:<gain>] [--budget N]
+                    [--report FILE.json] [--telemetry FILE.json]
   haxconn inspect   --model <NAME> [--layers]
   haxconn stream    --platform <P> --models <A,B> --fps <F> [--buffers N]
   haxconn telemetry --file <FILE.json>
@@ -593,7 +692,7 @@ USAGE:
   haxconn solve     [--seed S] [--tasks N] [--groups G] [--portfolio]
                     [--lns-workers K] [--budget NODES] [--symmetry]
   haxconn check     --platform <P> --models <A,B[,C]> [--objective O] [--pipeline]
-  haxconn check     --fuzz <N> [--seed S] [--fuzz-large M]
+  haxconn check     --fuzz <N> [--seed S] [--fuzz-large M] [--fuzz-arrival T]
   haxconn serve     [--addr HOST:PORT] [--workers N] [--queue-depth Q]
                     [--cache-capacity C] [--max-solves S] [--max-pending P]
                     [--no-degrade] [--no-telemetry]
@@ -887,18 +986,93 @@ pub fn run(command: Command) -> Result<String, HaxError> {
             phases,
             rounds,
             budget,
+            trace,
+            policy,
+            report,
             telemetry,
         } => {
             // The D-HaX-CoNN loop (paper Fig. 7 + Section 3.5 CFG
             // toggling): each phase starts from the best naive schedule,
             // improves it anytime via the parallel solver, and lands in
             // the schedule cache so returning to a phase is instant.
+            // With `--trace`, the multi-tenant arrival engine replays a
+            // join/leave/SLA-change trace instead.
             let recorder = match &telemetry {
                 Some(_) => Some(telemetry_start()?),
                 None => None,
             };
             let p = platform.platform();
             let contention = ContentionModel::calibrate(&p);
+            if let Some(spec) = &trace {
+                let arrival_trace = load_arrival_trace(spec)?;
+                let options = ReplayOptions {
+                    policy,
+                    config: SchedulerConfig {
+                        node_budget: budget,
+                        ..Default::default()
+                    },
+                    validate: true,
+                    record_resolves: report.is_some(),
+                    ..Default::default()
+                };
+                let r = replay_arrivals(&p, &contention, &arrival_trace, &options)?;
+                writeln!(
+                    out,
+                    "arrival replay: {} events over {:.1} ms ({} joins, {} leaves, {} SLA \
+                     changes, {} ignored)",
+                    r.events, r.horizon_ms, r.joins, r.leaves, r.sla_changes, r.ignored
+                )?;
+                writeln!(
+                    out,
+                    "re-solves: {} solved, {} skipped, {} cache hits / {} misses, {} throttle \
+                     passes, {} invariant violations",
+                    r.resolves,
+                    r.resolve_skips,
+                    r.cache_hits,
+                    r.cache_misses,
+                    r.throttles,
+                    r.violations
+                )?;
+                for sample in &r.violation_samples {
+                    writeln!(out, "  violation: {sample}")?;
+                }
+                writeln!(out, "jain fairness: {:.4}", r.jain_fairness)?;
+                writeln!(
+                    out,
+                    "\n{:<8} {:<16} {:>10} {:>10} {:>10} {:>9} {:>7}",
+                    "tenant", "model", "active", "mean", "p99", "deadline", "SLA"
+                )?;
+                for t in &r.tenants {
+                    let deadline = match t.deadline_ms {
+                        Some(d) => format!("{d:.0}ms"),
+                        None => "-".into(),
+                    };
+                    let sla = match t.sla_attainment {
+                        Some(x) => format!("{:.0}%", x * 100.0),
+                        None => "-".into(),
+                    };
+                    writeln!(
+                        out,
+                        "{:<8} {:<16} {:>8.1}ms {:>8.2}ms {:>8.2}ms {:>9} {:>7}",
+                        t.name,
+                        t.model,
+                        t.active_ms,
+                        t.mean_latency_ms,
+                        t.p99_latency_ms,
+                        deadline,
+                        sla
+                    )?;
+                }
+                if let Some(path) = &report {
+                    std::fs::write(path, r.to_json())
+                        .map_err(|e| cli_err(format!("cannot write report '{path}': {e}")))?;
+                    writeln!(out, "\ntenant report written to {path}")?;
+                }
+                if let (Some(rec), Some(path)) = (recorder, &telemetry) {
+                    telemetry_finish(rec, path, &mut out)?;
+                }
+                return Ok(out);
+            }
             let cfg = SchedulerConfig {
                 node_budget: budget,
                 ..Default::default()
@@ -1299,13 +1473,14 @@ per-frame service {:.2} ms vs period {:.2} ms",
         Command::Check {
             fuzz,
             fuzz_large,
+            fuzz_arrival,
             seed,
             platform,
             models,
             objective,
             pipeline,
-        } => match (fuzz, fuzz_large) {
-            (Some(_), _) | (_, Some(_)) => {
+        } => match (fuzz, fuzz_large, fuzz_arrival) {
+            (Some(_), _, _) | (_, Some(_), _) | (_, _, Some(_)) => {
                 if let Some(scenarios) = fuzz {
                     let report = haxconn_check::fuzz::run(&haxconn_check::FuzzConfig {
                         seed,
@@ -1336,8 +1511,20 @@ per-frame service {:.2} ms vs period {:.2} ms",
                         )));
                     }
                 }
+                if let Some(traces) = fuzz_arrival {
+                    let report = haxconn_check::fuzz::run_arrival(seed, traces, 120);
+                    writeln!(out, "{report}")?;
+                    if !report.is_clean() {
+                        return Err(HaxError::ScheduleInvariant(format!(
+                            "arrival-trace fuzzing (seed {seed}) found {} divergence(s) and {} \
+                             invariant violation(s)",
+                            report.divergences.len(),
+                            report.violations.len()
+                        )));
+                    }
+                }
             }
-            (None, None) => {
+            (None, None, None) => {
                 let platform = platform.ok_or_else(|| cli_err("--platform required"))?;
                 let mut session = Session::on(platform).objective(objective);
                 for &m in &models {
@@ -1654,6 +1841,9 @@ mod tests {
                 ],
                 rounds: 3,
                 budget: Some(500),
+                trace: None,
+                policy: ResolvePolicy::Immediate,
+                report: None,
                 telemetry: None,
             }
         );
@@ -1671,6 +1861,72 @@ mod tests {
     }
 
     #[test]
+    fn parses_dynamic_trace_mode() {
+        let c = parsed("dynamic --platform orin --trace gen:7:50:2 --policy debounce:25");
+        assert_eq!(
+            c,
+            Command::Dynamic {
+                platform: PlatformId::OrinAgx,
+                phases: Vec::new(),
+                rounds: 2,
+                budget: None,
+                trace: Some("gen:7:50:2".into()),
+                policy: ResolvePolicy::Debounced { window_ms: 25.0 },
+                report: None,
+                telemetry: None,
+            }
+        );
+        let c = parsed("dynamic --platform orin --trace t.json --policy utility:0.1");
+        assert!(matches!(
+            c,
+            Command::Dynamic {
+                policy: ResolvePolicy::UtilityThreshold { .. },
+                ..
+            }
+        ));
+        assert!(
+            parse_err("dynamic --platform orin --trace t.json --policy sometimes")
+                .contains("bad --policy")
+        );
+    }
+
+    #[test]
+    fn run_dynamic_trace_mode_replays_arrivals() {
+        let out = run(Command::Dynamic {
+            platform: PlatformId::OrinAgx,
+            phases: Vec::new(),
+            rounds: 2,
+            budget: None,
+            trace: Some("gen:11:30:2".into()),
+            policy: ResolvePolicy::Immediate,
+            report: None,
+            telemetry: None,
+        })
+        .expect("runs");
+        assert!(out.contains("arrival replay: 30 events"), "{out}");
+        assert!(out.contains("0 invariant violations"), "{out}");
+        assert!(out.contains("jain fairness:"), "{out}");
+    }
+
+    #[test]
+    fn run_dynamic_trace_mode_rejects_bad_specs() {
+        for bad in ["gen:zzz:30", "gen:1", "/no/such/trace.json"] {
+            let err = run(Command::Dynamic {
+                platform: PlatformId::OrinAgx,
+                phases: Vec::new(),
+                rounds: 2,
+                budget: None,
+                trace: Some(bad.into()),
+                policy: ResolvePolicy::Immediate,
+                report: None,
+                telemetry: None,
+            })
+            .expect_err("bad trace spec");
+            assert!(matches!(err, HaxError::Cli(_)), "{bad}: {err}");
+        }
+    }
+
+    #[test]
     fn run_dynamic_command_toggles_phases_through_the_cache() {
         let out = run(Command::Dynamic {
             platform: PlatformId::OrinAgx,
@@ -1680,6 +1936,9 @@ mod tests {
             ],
             rounds: 2,
             budget: None,
+            trace: None,
+            policy: ResolvePolicy::Immediate,
+            report: None,
             telemetry: None,
         })
         .expect("runs");
@@ -1731,6 +1990,7 @@ mod tests {
             Command::Check {
                 fuzz: None,
                 fuzz_large: None,
+                fuzz_arrival: None,
                 seed: 42,
                 platform: Some(PlatformId::OrinAgx),
                 models: vec![Model::GoogleNet, Model::ResNet18],
@@ -1744,6 +2004,7 @@ mod tests {
             Command::Check {
                 fuzz: Some(25),
                 fuzz_large: None,
+                fuzz_arrival: None,
                 seed: 9,
                 platform: None,
                 models: Vec::new(),
@@ -1751,8 +2012,19 @@ mod tests {
                 pipeline: false,
             }
         );
+        let c = parsed("check --fuzz-arrival 4 --seed 3");
+        assert!(matches!(
+            c,
+            Command::Check {
+                fuzz: None,
+                fuzz_arrival: Some(4),
+                seed: 3,
+                ..
+            }
+        ));
         assert!(parse_err("check").contains("--platform required"));
         assert!(parse_err("check --fuzz many").contains("bad --fuzz"));
+        assert!(parse_err("check --fuzz-arrival many").contains("bad --fuzz-arrival"));
     }
 
     #[test]
@@ -1760,6 +2032,7 @@ mod tests {
         let out = run(Command::Check {
             fuzz: None,
             fuzz_large: None,
+            fuzz_arrival: None,
             seed: 42,
             platform: Some(PlatformId::OrinAgx),
             models: vec![Model::GoogleNet, Model::ResNet18],
@@ -1775,6 +2048,7 @@ mod tests {
         let out = run(Command::Check {
             fuzz: Some(3),
             fuzz_large: None,
+            fuzz_arrival: None,
             seed: 11,
             platform: None,
             models: Vec::new(),
@@ -1783,6 +2057,22 @@ mod tests {
         })
         .expect("clean fuzz run");
         assert!(out.contains("3 scenarios"), "{out}");
+    }
+
+    #[test]
+    fn run_check_command_fuzzes_arrivals_clean() {
+        let out = run(Command::Check {
+            fuzz: None,
+            fuzz_large: None,
+            fuzz_arrival: Some(2),
+            seed: 5,
+            platform: None,
+            models: Vec::new(),
+            objective: Objective::MinMaxLatency,
+            pipeline: false,
+        })
+        .expect("clean arrival fuzz run");
+        assert!(out.contains("2 scenarios"), "{out}");
     }
 
     #[test]

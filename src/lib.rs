@@ -64,6 +64,10 @@ pub mod prelude {
     pub use crate::session::{ScheduledSession, Session};
     pub use haxconn_contention::ContentionModel;
     pub use haxconn_core::{
+        arrival::{
+            replay as replay_arrivals, ArrivalTrace, ReplayOptions, ResolvePolicy, SlaClass,
+            TenantEvent, TenantReport, TenantSpec,
+        },
         baselines::{Baseline, BaselineKind},
         dynamic::DHaxConn,
         engine::{Engine, EngineOptions, EngineSchedule, EngineStatsSnapshot},

@@ -20,6 +20,7 @@
 //! ```
 
 use haxconn_contention::ContentionModel;
+use haxconn_core::arrival::{ArrivalTrace, ReplayOptions, ResolvePolicy, TenantReport};
 use haxconn_core::engine::{Engine, EngineOptions};
 use haxconn_core::measure::{measure, Measurement};
 use haxconn_core::problem::{DnnTask, Objective, SchedulerConfig, Workload};
@@ -235,6 +236,33 @@ impl Session {
             Some(spec) => Session::schedule_spec(&spec),
             None => self.schedule_direct(),
         }
+    }
+
+    /// Replays a multi-tenant arrival trace on this session's platform
+    /// with the session's scheduler configuration driving every re-solve
+    /// (see [`haxconn_core::arrival`]). The trace itself defines the
+    /// tenants, so tasks added with [`Session::task`] are not consulted;
+    /// invariant validation is always on. Deterministic: the same
+    /// `(platform, config, trace, policy)` yield a byte-identical
+    /// [`TenantReport::to_json`].
+    pub fn replay_arrivals(
+        self,
+        trace: &ArrivalTrace,
+        policy: ResolvePolicy,
+    ) -> Result<TenantReport, HaxError> {
+        let platform = match self.platform {
+            PlatformSpec::Ready(p) => p,
+            PlatformSpec::Id(id) => id.platform(),
+            PlatformSpec::Name(name) => parse_platform(&name)?.platform(),
+        };
+        let contention = ContentionModel::calibrate(&platform);
+        let options = ReplayOptions {
+            policy,
+            config: self.config,
+            validate: true,
+            ..Default::default()
+        };
+        haxconn_core::arrival::replay(&platform, &contention, trace, &options)
     }
 
     /// The engine-routed path shared with `haxconn serve`.
@@ -615,6 +643,18 @@ mod tests {
         let spec = s.spec().expect("built-in platform has a spec");
         assert_eq!(spec.ties, vec![None, Some(0)]);
         assert!(s.measure().is_ok());
+    }
+
+    #[test]
+    fn session_replays_arrival_traces() {
+        let trace = ArrivalTrace::generate(3, 24, 2);
+        let r = Session::on("orin")
+            .replay_arrivals(&trace, ResolvePolicy::Immediate)
+            .expect("replayable");
+        assert_eq!(r.events, 24);
+        assert_eq!(r.violations, 0);
+        assert!(!r.tenants.is_empty());
+        assert!(r.jain_fairness > 0.0 && r.jain_fairness <= 1.0 + 1e-12);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Property tests for the anytime dynamic scheduler and the multi-tenant
+//! arrival engine.
+//!
+//! Written with the repo's deterministic sampler idiom (no external
+//! `proptest`; README § Offline builds): every run checks the same cases,
+//! so failures are trivially reproducible.
+
+use haxconn::core::{generate_instance, IncumbentClock, ResolveAction};
+use haxconn::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Anytime contract of `DHaxConn::schedule_at`: under the virtual
+/// incumbent clock, the cost of `schedule_at(at)` is non-increasing as
+/// `at` grows, starts at the initial baseline, and agrees with `best()`
+/// bit-exactly at (and past) the horizon — across instance seeds,
+/// objectives, and solver node budgets.
+#[test]
+fn schedule_at_is_monotone_and_agrees_with_best() {
+    let mut non_trivial_traces = 0;
+    for seed in [1u64, 2, 3, 4, 5] {
+        for budget in [None, Some(50_000u64)] {
+            let g = generate_instance(seed, 3, 5);
+            let cm = ContentionModel::calibrate(&g.platform);
+            let config = SchedulerConfig {
+                node_budget: budget,
+                ..g.config
+            };
+            let d = DHaxConn::run_with(
+                &g.platform,
+                &g.workload,
+                &cm,
+                config,
+                IncumbentClock::virtual_ms(),
+            );
+            let ctx = format!("seed {seed}, budget {budget:?}");
+            non_trivial_traces += usize::from(!d.trace.is_empty());
+
+            // The improving trace itself is strictly decreasing and never
+            // above the initial baseline.
+            let mut prev = d.initial.cost;
+            for inc in &d.trace {
+                assert!(inc.cost < prev, "{ctx}: trace not strictly decreasing");
+                prev = inc.cost;
+            }
+
+            // Before the first (virtual) improvement the initial schedule
+            // is in effect.
+            assert_eq!(
+                d.schedule_at(Duration::ZERO).cost.to_bits(),
+                d.initial.cost.to_bits(),
+                "{ctx}: schedule_at(0) must be the initial baseline"
+            );
+
+            // Query at a fine virtual-time sweep: cost is monotone
+            // non-increasing in `at`.
+            let horizon = d.best().at.max(Duration::from_millis(1));
+            let mut last = f64::INFINITY;
+            let steps = 4 * d.trace.len().max(1) as u32 + 4;
+            for k in 0..=steps {
+                let at = horizon * k / steps;
+                let c = d.schedule_at(at).cost;
+                assert!(
+                    c <= last + 1e-12,
+                    "{ctx}: schedule_at({at:?}) = {c} worse than earlier {last}"
+                );
+                last = c;
+            }
+
+            // At and past the horizon the anytime query agrees with
+            // `best()` bit for bit (cost and assignment).
+            for at in [horizon, horizon * 2, horizon + Duration::from_secs(60)] {
+                let q = d.schedule_at(at);
+                assert_eq!(q.cost.to_bits(), d.best().cost.to_bits(), "{ctx}");
+                assert_eq!(q.assignment, d.best().assignment, "{ctx}");
+            }
+        }
+    }
+    // The property must not pass vacuously: at least some sampled
+    // instances have to produce a non-empty improving trace.
+    assert!(
+        non_trivial_traces >= 3,
+        "only {non_trivial_traces} instances produced anytime improvements"
+    );
+}
+
+/// Re-solve policies change *when* the solver runs, never *what* it
+/// finds: for any tenant mix both policies actually solved (or served
+/// from cache), the adopted cost is bit-identical across policies.
+#[test]
+fn resolved_mix_costs_agree_across_policies() {
+    let trace = ArrivalTrace::generate(17, 60, 3);
+    let policies = [
+        ResolvePolicy::Immediate,
+        ResolvePolicy::Debounced { window_ms: 30.0 },
+        ResolvePolicy::UtilityThreshold { min_gain: 0.02 },
+    ];
+    let platform = haxconn::soc::orin_agx();
+    let cm = ContentionModel::calibrate(&platform);
+
+    // mix (sorted tenant names) -> cost bits per policy index.
+    let mut solved: Vec<BTreeMap<String, u64>> = Vec::new();
+    for policy in policies {
+        let options = ReplayOptions {
+            policy,
+            validate: true,
+            record_resolves: true,
+            ..Default::default()
+        };
+        let r = replay_arrivals(&platform, &cm, &trace, &options).expect("replayable");
+        assert_eq!(r.violations, 0, "{policy:?}: invariant violations");
+        let mut mixes = BTreeMap::new();
+        for rp in &r.resolve_points {
+            if matches!(rp.action, ResolveAction::Solved | ResolveAction::CacheHit) {
+                mixes.insert(rp.tenants.join("+"), rp.cost.to_bits());
+            }
+        }
+        assert!(!mixes.is_empty(), "{policy:?}: no solved mixes recorded");
+        solved.push(mixes);
+    }
+    let mut compared = 0;
+    for (mix, bits) in &solved[0] {
+        for other in &solved[1..] {
+            if let Some(o) = other.get(mix) {
+                assert_eq!(
+                    o, bits,
+                    "mix [{mix}] solved to different costs under different policies"
+                );
+                compared += 1;
+            }
+        }
+    }
+    assert!(
+        compared >= 3,
+        "only {compared} mixes overlapped across policies"
+    );
+}
