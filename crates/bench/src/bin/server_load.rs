@@ -1,33 +1,53 @@
 //! Closed- and open-loop load generator for `haxconn serve`, plus the
-//! serving-path acceptance gates of the API redesign (PR 8).
+//! serving-path acceptance gates of the API redesign (PR 8) and the
+//! epoll reactor (PR 10).
 //!
-//! The bench boots a real server on an ephemeral port and drives it
+//! The bench boots real servers on ephemeral ports and drives them
 //! through real sockets with the same blocking keep-alive [`Client`]
-//! the integration tests use. Five phases, each feeding the
-//! machine-checked report written to `BENCH_server.json`:
+//! the integration tests use. Phases, each feeding the machine-checked
+//! report written to `BENCH_server.json`:
 //!
 //! 1. **Warmup / bit-identity** — every spec in a small catalog is
-//!    submitted once (populating the sharded schedule cache) and each
-//!    HTTP response is checked **bit-for-bit** against
-//!    `Session::from_spec(spec).schedule()` run locally: assignment
-//!    rows equal, `cost` and `makespan_ms` equal to the bit.
-//! 2. **Closed loop** — [`CLOSED_CLIENTS`] persistent connections each
-//!    fire [`CLOSED_REQUESTS_PER_CLIENT`] back-to-back `POST
-//!    /v1/schedule` requests, picking specs with a zipfian(1.0) rank
-//!    distribution over the warmed catalog. Gates: ≥
-//!    [`THROUGHPUT_GATE_RPS`] req/s, zero non-200 responses, and a
-//!    cache hit rate ≥ [`CACHE_HIT_GATE`] on the phase's own
-//!    engine-counter deltas.
-//! 3. **Open loop** — one connection paced at [`OPEN_LOOP_RPS`]
+//!    submitted once to BOTH serving modes (populating each sharded
+//!    schedule cache) and each HTTP response is checked **bit-for-bit**
+//!    against `Session::from_spec(spec).schedule()` run locally:
+//!    assignment rows equal, `cost` and `makespan_ms` equal to the bit
+//!    — so Reactor ≡ Blocking ≡ Session transitively.
+//! 2. **Mode comparison** — [`COMPARISON_CLIENTS`] persistent
+//!    connections drive first the blocking server, then the reactor,
+//!    closed-loop over the warmed catalog with
+//!    [`COMPARISON_THINK_US`] µs of client think time between requests
+//!    (each connection is mostly idle — the regime the ROADMAP
+//!    headroom line names). Thread-per-connection pins a worker to
+//!    each idle connection, so concurrency is capped at [`WORKERS`]
+//!    and the rest starve in the accept queue; the reactor multiplexes
+//!    all of them and answers cache hits inline off a batched
+//!    `epoll_wait`. Gate: reactor req/s ≥ [`MODE_RATIO_GATE`] ×
+//!    blocking req/s, same run. (A think-free closed loop would only
+//!    measure CPU saturation, identical in both modes on a small box.)
+//! 3. **Closed loop** — [`CLOSED_CLIENTS`] connections each fire
+//!    [`CLOSED_REQUESTS_PER_CLIENT`] back-to-back `POST /v1/schedule`
+//!    requests at the reactor, zipfian(1.0) over the warmed catalog.
+//!    Gates: ≥ [`THROUGHPUT_GATE_RPS`] req/s, zero non-200 responses,
+//!    and a cache hit rate ≥ [`CACHE_HIT_GATE`] on the phase's own
+//!    engine-counter deltas. Its p99 is the budget reference for the
+//!    many-connection phase.
+//! 4. **Open loop** — one connection paced at [`OPEN_LOOP_RPS`]
 //!    requests/sec (send-at-deadline; a late response never excuses the
 //!    next deadline), recording per-request latency. Reported as
 //!    p50/p99/mean; not gated (absolute latency is machine-dependent).
-//! 4. **Coalescing** — [`COALESCE_CLIENTS`] threads behind a barrier
+//! 5. **Many connections** — [`MANY_CONNS`] keep-alive connections,
+//!    each mostly idle, paced at [`MANY_CONN_RPS`] aggregate
+//!    (round-robin). The readiness loop must hold hundreds of idle
+//!    fds for free. Gates: achieved ≥ [`MANY_CONN_RPS_TOLERANCE`] ×
+//!    target, zero errors, and p99 ≤ [`MANY_CONN_P99_FACTOR`] × the
+//!    4-client closed-loop p99.
+//! 6. **Coalescing** — [`COALESCE_CLIENTS`] threads behind a barrier
 //!    submit an identical *fresh* spec concurrently. Gates: exactly one
 //!    solver run for the whole burst and `duplicate_inflight_solves ==
 //!    0` as reported by `GET /v1/health` (the telemetry-backed proof
 //!    that request coalescing, not luck, deduplicated the work).
-//! 5. **Overload** — a second server with a zero-slot solver pool
+//! 7. **Overload** — a second server with a zero-slot solver pool
 //!    (`max_concurrent_solves = Some(0)`, no pending queue) receives
 //!    fresh specs. Gates: every response is a 200 carrying a
 //!    `degraded: true` fallback schedule — overload degrades, it never
@@ -42,20 +62,40 @@
 use haxconn::api::{HealthResponse, ScheduleResponse};
 use haxconn::prelude::*;
 use haxconn::serve::client::Client;
-use haxconn::serve::{serve, ServeOptions, ServerHandle};
+use haxconn::serve::{serve, ServeMode, ServeOptions, ServerHandle};
 use serde::Serialize;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-/// Worker threads of the server under test.
+/// Worker threads of the servers under test (both modes, for fairness).
 const WORKERS: usize = 6;
 
-/// Concurrent closed-loop connections (must stay ≤ [`WORKERS`]: a
-/// keep-alive connection pins a worker for its lifetime).
+/// Concurrent closed-loop connections in the main reactor phase (kept
+/// ≤ [`WORKERS`] so the same phase is comparable with PR 8 numbers).
 const CLOSED_CLIENTS: usize = 4;
 
 /// Requests per closed-loop client (overridable via argv[1]).
 const CLOSED_REQUESTS_PER_CLIENT: usize = 5000;
+
+/// Connections in the mode-comparison phase — deliberately far more
+/// than [`WORKERS`], the regime thread-per-connection handles worst.
+const COMPARISON_CLIENTS: usize = 32;
+
+/// Client think time between requests in the mode-comparison phase.
+/// Mostly-idle keep-alive connections are what pins blocking workers
+/// uselessly; without think time a closed loop on a small box only
+/// measures CPU saturation, which is mode-independent.
+const COMPARISON_THINK_US: u64 = 500;
+
+/// Keep-alive connections in the many-connection phase.
+const MANY_CONNS: usize = 256;
+
+/// Aggregate paced rate across all many-connection clients (each
+/// individual connection sits idle ~99% of the time).
+const MANY_CONN_RPS: u64 = 2000;
+
+/// Requests sent in the many-connection phase (2 s at target rate).
+const MANY_CONN_REQUESTS: usize = 4000;
 
 /// Concurrent connections in the coalescing burst.
 const COALESCE_CLIENTS: usize = 6;
@@ -75,6 +115,18 @@ const THROUGHPUT_GATE_RPS: f64 = 10_000.0;
 /// Cache hit rate gate for the closed-loop phase (the catalog is fully
 /// warmed, so every request should be a hit).
 const CACHE_HIT_GATE: f64 = 0.99;
+
+/// Reactor closed-loop throughput must beat the blocking baseline by
+/// at least this factor in the same run (ISSUE 10 acceptance gate).
+const MODE_RATIO_GATE: f64 = 1.3;
+
+/// The many-connection phase must achieve at least this fraction of
+/// its target rate.
+const MANY_CONN_RPS_TOLERANCE: f64 = 0.95;
+
+/// Many-connection p99 budget, as a multiple of the 4-client
+/// closed-loop p99 from the same run.
+const MANY_CONN_P99_FACTOR: f64 = 2.0;
 
 /// Deterministic xorshift64 — the repo's offline `rand` stand-in.
 struct Rng(u64);
@@ -199,6 +251,40 @@ struct OpenLoopReport {
 }
 
 #[derive(Serialize)]
+struct ModeComparisonReport {
+    clients: usize,
+    requests_per_client: usize,
+    /// Client think time between requests — connections are mostly
+    /// idle, the regime that exposes per-connection worker pinning.
+    think_us: u64,
+    /// Blocking server responses bit-identical to Session::schedule
+    /// during its warmup (gate: true).
+    blocking_bit_identical: bool,
+    blocking_rps: f64,
+    reactor_rps: f64,
+    /// reactor_rps / blocking_rps (gate: ≥ [`MODE_RATIO_GATE`]).
+    reactor_speedup: f64,
+    blocking_latency: LatencyWire,
+    reactor_latency: LatencyWire,
+}
+
+#[derive(Serialize)]
+struct ManyConnReport {
+    connections: usize,
+    target_rps: u64,
+    requests: usize,
+    /// Non-200 responses (gate: 0).
+    errors: usize,
+    /// Gate: ≥ [`MANY_CONN_RPS_TOLERANCE`] × target.
+    achieved_rps: f64,
+    /// Open connections the server reported mid-phase (all clients
+    /// registered at once).
+    open_connections_seen: u64,
+    /// Gate: p99 ≤ [`MANY_CONN_P99_FACTOR`] × closed_loop.latency.p99.
+    latency: LatencyWire,
+}
+
+#[derive(Serialize)]
 struct CoalescingReport {
     clients: usize,
     /// Solver runs the whole concurrent burst cost (gate: 1).
@@ -233,11 +319,15 @@ struct BitIdentityReport {
 struct Report {
     generated_by: String,
     schema: u64,
+    /// Serving mode of the main server under test.
+    mode: String,
     catalog_size: usize,
     workers: usize,
     bit_identity: BitIdentityReport,
+    mode_comparison: ModeComparisonReport,
     closed_loop: ClosedLoopReport,
     open_loop: OpenLoopReport,
+    many_conn: ManyConnReport,
     coalescing: CoalescingReport,
     overload: OverloadReport,
     /// Final engine counters of the main server.
@@ -280,17 +370,21 @@ fn warm_and_check_identity(
     }
 }
 
-/// Phase 2: closed-loop zipfian hammering of the warmed catalog.
+/// Closed-loop zipfian hammering of the warmed catalog with `clients`
+/// persistent connections (the mode-comparison and main closed-loop
+/// phases share this engine).
 fn closed_loop(
     server: &ServerHandle,
     bodies: &Arc<Vec<String>>,
+    clients: usize,
     per_client: usize,
+    think: Duration,
 ) -> ClosedLoopReport {
     let before = server.engine().stats();
     let zipf = Arc::new(Zipf::new(bodies.len()));
     let started = Instant::now();
     let mut handles = Vec::new();
-    for c in 0..CLOSED_CLIENTS {
+    for c in 0..clients {
         let bodies = Arc::clone(bodies);
         let zipf = Arc::clone(&zipf);
         let addr = server.addr();
@@ -306,6 +400,9 @@ fn closed_loop(
                     Ok((200, _)) => latencies_us.push(sent.elapsed().as_secs_f64() * 1e6),
                     Ok(_) | Err(_) => errors += 1,
                 }
+                if !think.is_zero() {
+                    std::thread::sleep(think);
+                }
             }
             (latencies_us, errors)
         }));
@@ -319,11 +416,11 @@ fn closed_loop(
     }
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let after = server.engine().stats();
-    let requests = CLOSED_CLIENTS * per_client;
+    let requests = clients * per_client;
     let hit_rate = (after.cache_hits - before.cache_hits) as f64
         / (after.requests - before.requests).max(1) as f64;
     ClosedLoopReport {
-        clients: CLOSED_CLIENTS,
+        clients,
         requests,
         errors,
         wall_ms,
@@ -364,6 +461,52 @@ fn open_loop(addr: std::net::SocketAddr, bodies: &[String]) -> OpenLoopReport {
         requests: OPEN_LOOP_REQUESTS,
         errors,
         achieved_rps: OPEN_LOOP_REQUESTS as f64 / wall_s.max(1e-9),
+        latency: LatencyWire::of(latencies_us),
+    }
+}
+
+/// Many-connection phase: [`MANY_CONNS`] keep-alive connections all
+/// registered at once, each mostly idle. A single pacer walks them
+/// round-robin at an aggregate [`MANY_CONN_RPS`] with absolute
+/// deadlines, so every connection sees traffic but sits idle between
+/// turns — the hundreds-of-idle-fds regime the readiness loop exists
+/// for.
+fn many_conn(server: &ServerHandle, bodies: &[String]) -> ManyConnReport {
+    let mut conns: Vec<Client> = (0..MANY_CONNS)
+        .map(|_| Client::connect(server.addr()).expect("connects"))
+        .collect();
+    // Every connection must be registered concurrently for the phase
+    // to mean anything; the server's own gauge is the proof.
+    let open_connections_seen = server.stats().wire().open_connections;
+
+    let interval = Duration::from_nanos(1_000_000_000 / MANY_CONN_RPS);
+    let zipf = Zipf::new(bodies.len());
+    let mut rng = Rng(0xC0FF_EE00 | 1);
+    let mut latencies_us = Vec::with_capacity(MANY_CONN_REQUESTS);
+    let mut errors = 0usize;
+    let started = Instant::now();
+    for i in 0..MANY_CONN_REQUESTS {
+        let deadline = interval * i as u32;
+        let now = started.elapsed();
+        if now < deadline {
+            std::thread::sleep(deadline - now);
+        }
+        let body = &bodies[zipf.pick(&mut rng)];
+        let client = &mut conns[i % MANY_CONNS];
+        let sent = Instant::now();
+        match client.post("/v1/schedule", body) {
+            Ok((200, _)) => latencies_us.push(sent.elapsed().as_secs_f64() * 1e6),
+            Ok(_) | Err(_) => errors += 1,
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    ManyConnReport {
+        connections: MANY_CONNS,
+        target_rps: MANY_CONN_RPS,
+        requests: MANY_CONN_REQUESTS,
+        errors,
+        achieved_rps: MANY_CONN_REQUESTS as f64 / wall_s.max(1e-9),
+        open_connections_seen,
         latency: LatencyWire::of(latencies_us),
     }
 }
@@ -475,15 +618,68 @@ fn main() {
             .collect(),
     );
 
+    // Mode comparison, blocking leg first: same workers, same warmed
+    // catalog, far more connections than workers.
+    let comparison_per_client = (per_client / 5).max(200);
+    let blocking = boot(ServeOptions {
+        mode: ServeMode::Blocking,
+        ..Default::default()
+    });
+    eprintln!(
+        "blocking server on {} ({} workers)",
+        blocking.addr(),
+        WORKERS
+    );
+    let think = Duration::from_micros(COMPARISON_THINK_US);
+    let blocking_identity = warm_and_check_identity(blocking.addr(), &specs);
+    let blocking_closed = closed_loop(
+        &blocking,
+        &bodies,
+        COMPARISON_CLIENTS,
+        comparison_per_client,
+        think,
+    );
+    blocking.stop();
+    eprintln!(
+        "blocking {} clients: {:.0} req/s, p99 {:.0} µs",
+        COMPARISON_CLIENTS, blocking_closed.req_per_sec, blocking_closed.latency.p99_us
+    );
+
     let server = boot(ServeOptions::default());
-    eprintln!("server on {} ({} workers)", server.addr(), WORKERS);
+    eprintln!("reactor server on {} ({} workers)", server.addr(), WORKERS);
 
     let bit_identity = warm_and_check_identity(server.addr(), &specs);
     eprintln!(
-        "warmup: {} specs cached, bit_identical={}",
-        bit_identity.specs_checked, bit_identity.identical
+        "warmup: {} specs cached, bit_identical={} (blocking leg: {})",
+        bit_identity.specs_checked, bit_identity.identical, blocking_identity.identical
     );
-    let closed = closed_loop(&server, &bodies, per_client);
+    let reactor_closed = closed_loop(
+        &server,
+        &bodies,
+        COMPARISON_CLIENTS,
+        comparison_per_client,
+        think,
+    );
+    eprintln!(
+        "reactor {} clients: {:.0} req/s, p99 {:.0} µs ({:.2}x blocking)",
+        COMPARISON_CLIENTS,
+        reactor_closed.req_per_sec,
+        reactor_closed.latency.p99_us,
+        reactor_closed.req_per_sec / blocking_closed.req_per_sec.max(1e-9)
+    );
+    let mode_comparison = ModeComparisonReport {
+        clients: COMPARISON_CLIENTS,
+        requests_per_client: comparison_per_client,
+        think_us: COMPARISON_THINK_US,
+        blocking_bit_identical: blocking_identity.identical,
+        blocking_rps: blocking_closed.req_per_sec,
+        reactor_rps: reactor_closed.req_per_sec,
+        reactor_speedup: reactor_closed.req_per_sec / blocking_closed.req_per_sec.max(1e-9),
+        blocking_latency: blocking_closed.latency,
+        reactor_latency: reactor_closed.latency,
+    };
+
+    let closed = closed_loop(&server, &bodies, CLOSED_CLIENTS, per_client, Duration::ZERO);
     eprintln!(
         "closed loop: {:.0} req/s, hit rate {:.4}, p99 {:.0} µs",
         closed.req_per_sec, closed.cache_hit_rate, closed.latency.p99_us
@@ -492,6 +688,15 @@ fn main() {
     eprintln!(
         "open loop: {:.0}/{} req/s, p50 {:.0} µs, p99 {:.0} µs",
         open.achieved_rps, open.target_rps, open.latency.p50_us, open.latency.p99_us
+    );
+    let many = many_conn(&server, &bodies);
+    eprintln!(
+        "many-conn: {} conns ({} seen open), {:.0}/{} req/s, p99 {:.0} µs",
+        many.connections,
+        many.open_connections_seen,
+        many.achieved_rps,
+        many.target_rps,
+        many.latency.p99_us
     );
     let coalesce = coalescing(&server);
     eprintln!(
@@ -509,11 +714,14 @@ fn main() {
     let out = Report {
         generated_by: "server_load".to_string(),
         schema: haxconn::api::SCHEMA_VERSION,
+        mode: "reactor".to_string(),
         catalog_size: specs.len(),
         workers: WORKERS,
         bit_identity,
+        mode_comparison,
         closed_loop: closed,
         open_loop: open,
+        many_conn: many,
         coalescing: coalesce,
         overload,
         engine,
@@ -527,6 +735,40 @@ fn main() {
     let mut failed = false;
     if !out.bit_identity.identical {
         eprintln!("FAIL: HTTP schedules are not bit-identical to Session::schedule");
+        failed = true;
+    }
+    if !out.mode_comparison.blocking_bit_identical {
+        eprintln!("FAIL: blocking-mode schedules are not bit-identical to Session::schedule");
+        failed = true;
+    }
+    if out.mode_comparison.reactor_speedup < MODE_RATIO_GATE {
+        eprintln!(
+            "FAIL: reactor {:.0} req/s is only {:.2}x blocking {:.0} req/s (gate {MODE_RATIO_GATE}x)",
+            out.mode_comparison.reactor_rps,
+            out.mode_comparison.reactor_speedup,
+            out.mode_comparison.blocking_rps
+        );
+        failed = true;
+    }
+    if out.many_conn.errors != 0 {
+        eprintln!(
+            "FAIL: {} non-200 responses across {} mostly-idle connections",
+            out.many_conn.errors, out.many_conn.connections
+        );
+        failed = true;
+    }
+    if out.many_conn.achieved_rps < MANY_CONN_RPS_TOLERANCE * out.many_conn.target_rps as f64 {
+        eprintln!(
+            "FAIL: many-conn achieved {:.0} req/s < {MANY_CONN_RPS_TOLERANCE} x {} target",
+            out.many_conn.achieved_rps, out.many_conn.target_rps
+        );
+        failed = true;
+    }
+    if out.many_conn.latency.p99_us > MANY_CONN_P99_FACTOR * out.closed_loop.latency.p99_us {
+        eprintln!(
+            "FAIL: many-conn p99 {:.0} µs > {MANY_CONN_P99_FACTOR} x closed-loop p99 {:.0} µs",
+            out.many_conn.latency.p99_us, out.closed_loop.latency.p99_us
+        );
         failed = true;
     }
     if out.closed_loop.req_per_sec < THROUGHPUT_GATE_RPS {

@@ -341,6 +341,28 @@ impl Engine {
         self.schedule_canonical(key, &canonical)
     }
 
+    /// An opportunistic cache-only lookup: returns the schedule if it
+    /// is already cached, `None` otherwise — never solves, never
+    /// blocks on the admission gate, O(one shard lock). A hit counts a
+    /// request + cache hit exactly as [`schedule_canonical`] would; a
+    /// miss counts nothing, so a caller falling through to
+    /// [`schedule_canonical`] keeps every counter exactly-once. The
+    /// serve reactor uses this to answer hot requests inline without a
+    /// thread hop.
+    ///
+    /// [`schedule_canonical`]: Engine::schedule_canonical
+    pub fn schedule_cached(&self, key: &str) -> Option<EngineSchedule> {
+        let entry = self.cache.probe(key)?;
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        haxconn_telemetry::counter_add("engine.requests", 1);
+        Some(EngineSchedule {
+            entry,
+            cached: true,
+            coalesced: false,
+            degraded: false,
+        })
+    }
+
     /// [`Engine::schedule`] for a spec the caller has already
     /// canonicalized (with `key` its canonical JSON) — the hot path for
     /// servers that parse and canonicalize once per request.

@@ -120,6 +120,23 @@ impl<V: Clone> ShardedCache<V> {
         }
     }
 
+    /// Like [`get`](Self::get), but a miss counts *nothing*: the caller
+    /// will fall through to the full lookup path, which does the miss
+    /// accounting, so per-request hit/miss counters stay exactly-once.
+    /// A hit still bumps the LRU stamp and the hit counters. This is
+    /// the probe for opportunistic fast paths (the serve reactor
+    /// answers cache hits inline and dispatches everything else).
+    pub fn probe(&self, key: &str) -> Option<V> {
+        let mut shard = Self::lock(self.shard_for(key));
+        shard.tick += 1;
+        let tick = shard.tick;
+        let e = shard.entries.get_mut(key)?;
+        e.last_used = tick;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        haxconn_telemetry::counter_add("engine.cache.hits", 1);
+        Some(e.value.clone())
+    }
+
     /// Stores `value` under `key`, evicting the shard's LRU entry if the
     /// shard is full.
     pub fn insert(&self, key: String, value: V) {

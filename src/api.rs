@@ -198,6 +198,9 @@ pub struct BatchResponse {
 pub struct ServerStatsWire {
     /// Connections accepted.
     pub connections: u64,
+    /// Connections currently open (reactor: registered in epoll;
+    /// blocking: actively held by a worker).
+    pub open_connections: u64,
     /// HTTP requests parsed.
     pub requests: u64,
     /// 2xx responses sent.
@@ -207,8 +210,13 @@ pub struct ServerStatsWire {
     /// 5xx responses sent (503s included).
     pub http_5xx: u64,
     /// Connections answered 503 straight from the accept loop because
-    /// the worker queue was full (backpressure).
+    /// the worker queue was full / the connection cap was reached
+    /// (backpressure).
     pub accept_queue_rejections: u64,
+    /// Keep-alive connections evicted after the idle timeout.
+    pub idle_closed: u64,
+    /// Responses that failed to serialize (answered `500 internal`).
+    pub serialize_errors: u64,
     /// Request latency, microseconds: median estimate.
     pub latency_p50_us: f64,
     /// Request latency, microseconds: p99 estimate.

@@ -175,17 +175,26 @@ pub enum Command {
         /// Chain the models as a streaming pipeline.
         pipeline: bool,
     },
-    /// `haxconn serve [--addr A] [--workers N] [--queue-depth Q]
+    /// `haxconn serve [--addr A] [--mode reactor|blocking] [--workers N]
+    /// [--queue-depth Q] [--max-conns C] [--idle-timeout-ms MS]
     /// [--cache-capacity C] [--max-solves S] [--max-pending P]
     /// [--no-degrade] [--no-telemetry]` — the scheduling-as-a-service
     /// daemon (see the `serve` module).
     Serve {
         /// Bind address (`host:port`; port 0 picks an ephemeral port).
         addr: String,
+        /// Connection multiplexing: epoll reactor (default) or the
+        /// blocking thread-per-connection fallback.
+        mode: crate::serve::ServeMode,
         /// Worker threads (`None` = one per core, capped at 8).
         workers: Option<usize>,
-        /// Accepted connections allowed to queue for a worker.
+        /// Blocking mode: accepted connections allowed to queue for a
+        /// worker.
         queue_depth: usize,
+        /// Reactor mode: open-connection cap before accept-edge 503s.
+        max_conns: usize,
+        /// Idle keep-alive connections are evicted after this long.
+        idle_timeout_ms: u64,
         /// Schedule-cache capacity across shards.
         cache_capacity: usize,
         /// Concurrent solve limit (`None` = unlimited).
@@ -620,11 +629,27 @@ pub fn parse(args: &[String]) -> Result<Command, HaxError> {
                 ),
                 None => None,
             };
+            let mode = match a.take_value("--mode")? {
+                Some(v) => crate::serve::ServeMode::parse(v).map_err(cli_err)?,
+                None => crate::serve::ServeMode::Reactor,
+            };
             let queue_depth = match a.take_value("--queue-depth")? {
                 Some(v) => v
                     .parse()
                     .map_err(|_| cli_err(format!("bad --queue-depth '{v}'")))?,
                 None => 128,
+            };
+            let max_conns = match a.take_value("--max-conns")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad --max-conns '{v}'")))?,
+                None => 1024,
+            };
+            let idle_timeout_ms = match a.take_value("--idle-timeout-ms")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad --idle-timeout-ms '{v}'")))?,
+                None => 60_000,
             };
             let cache_capacity = match a.take_value("--cache-capacity")? {
                 Some(v) => v
@@ -650,10 +675,16 @@ pub fn parse(args: &[String]) -> Result<Command, HaxError> {
             if let Some(0) = workers {
                 return Err(cli_err("--workers must be at least 1"));
             }
+            if max_conns == 0 {
+                return Err(cli_err("--max-conns must be at least 1"));
+            }
             Command::Serve {
                 addr,
+                mode,
                 workers,
                 queue_depth,
+                max_conns,
+                idle_timeout_ms,
                 cache_capacity,
                 max_solves,
                 max_pending,
@@ -693,7 +724,8 @@ USAGE:
                     [--lns-workers K] [--budget NODES] [--symmetry]
   haxconn check     --platform <P> --models <A,B[,C]> [--objective O] [--pipeline]
   haxconn check     --fuzz <N> [--seed S] [--fuzz-large M] [--fuzz-arrival T]
-  haxconn serve     [--addr HOST:PORT] [--workers N] [--queue-depth Q]
+  haxconn serve     [--addr HOST:PORT] [--mode reactor|blocking] [--workers N]
+                    [--queue-depth Q] [--max-conns C] [--idle-timeout-ms MS]
                     [--cache-capacity C] [--max-solves S] [--max-pending P]
                     [--no-degrade] [--no-telemetry]
 ";
@@ -1436,8 +1468,11 @@ per-frame service {:.2} ms vs period {:.2} ms",
         }
         Command::Serve {
             addr,
+            mode,
             workers,
             queue_depth,
+            max_conns,
+            idle_timeout_ms,
             cache_capacity,
             max_solves,
             max_pending,
@@ -1446,7 +1481,10 @@ per-frame service {:.2} ms vs period {:.2} ms",
         } => {
             let mut options = crate::serve::ServeOptions {
                 addr,
+                mode,
                 queue_depth,
+                max_conns,
+                idle_timeout: std::time::Duration::from_millis(idle_timeout_ms.max(1)),
                 enable_telemetry: !no_telemetry,
                 engine: haxconn_core::EngineOptions {
                     cache_capacity,
@@ -1463,7 +1501,14 @@ per-frame service {:.2} ms vs period {:.2} ms",
             let handle = crate::serve::serve(options)?;
             // Foreground daemon: announce the bound address on stdout
             // (tests and scripts parse it), then serve until killed.
-            println!("haxconn serve: listening on http://{}", handle.addr());
+            println!(
+                "haxconn serve: listening on http://{} ({} mode)",
+                handle.addr(),
+                match handle.mode() {
+                    crate::serve::ServeMode::Reactor => "reactor",
+                    crate::serve::ServeMode::Blocking => "blocking",
+                }
+            );
             println!(
                 "endpoints: POST /v1/schedule  POST /v1/batch  GET /v1/telemetry  GET /v1/health"
             );
@@ -2192,8 +2237,11 @@ mod tests {
             c,
             Command::Serve {
                 addr: "127.0.0.1:8787".into(),
+                mode: crate::serve::ServeMode::Reactor,
                 workers: None,
                 queue_depth: 128,
+                max_conns: 1024,
+                idle_timeout_ms: 60_000,
                 cache_capacity: 1024,
                 max_solves: None,
                 max_pending: 64,
@@ -2202,15 +2250,19 @@ mod tests {
             }
         );
         let c = parsed(
-            "serve --addr 0.0.0.0:9000 --workers 4 --queue-depth 16 --cache-capacity 64 \
+            "serve --addr 0.0.0.0:9000 --mode blocking --workers 4 --queue-depth 16 \
+             --max-conns 256 --idle-timeout-ms 5000 --cache-capacity 64 \
              --max-solves 2 --max-pending 8 --no-degrade --no-telemetry",
         );
         assert_eq!(
             c,
             Command::Serve {
                 addr: "0.0.0.0:9000".into(),
+                mode: crate::serve::ServeMode::Blocking,
                 workers: Some(4),
                 queue_depth: 16,
+                max_conns: 256,
+                idle_timeout_ms: 5000,
                 cache_capacity: 64,
                 max_solves: Some(2),
                 max_pending: 8,
@@ -2220,6 +2272,8 @@ mod tests {
         );
         assert!(parse_err("serve --workers 0").contains("--workers"));
         assert!(parse_err("serve --max-solves many").contains("bad --max-solves"));
+        assert!(parse_err("serve --mode epoll").contains("unknown serve mode"));
+        assert!(parse_err("serve --max-conns 0").contains("--max-conns"));
     }
 
     #[test]

@@ -31,6 +31,14 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<(u16, String)> {
+        self.send(method, path, body)?;
+        self.read_response()
+    }
+
+    /// Writes one request without waiting for the reply — tests use
+    /// this to pipeline, or to model a client that never reads. Pair
+    /// with [`read_reply`](Client::read_reply).
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> std::io::Result<()> {
         let body = body.unwrap_or("");
         let raw = format!(
             "{method} {path} HTTP/1.1\r\nHost: haxconn\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
@@ -38,8 +46,31 @@ impl Client {
         );
         let stream = self.reader.get_mut();
         stream.write_all(raw.as_bytes())?;
-        stream.flush()?;
+        stream.flush()
+    }
+
+    /// Writes raw bytes on the connection (malformed framing, slowloris
+    /// dribbles).
+    pub fn write_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let stream = self.reader.get_mut();
+        stream.write_all(bytes)?;
+        stream.flush()
+    }
+
+    /// Reads one pending response (status + body).
+    pub fn read_reply(&mut self) -> std::io::Result<(u16, String)> {
         self.read_response()
+    }
+
+    /// Reads one pending response keeping the raw header lines, so
+    /// tests can assert on `Connection: close` and friends.
+    pub fn read_reply_with_headers(&mut self) -> std::io::Result<(u16, Vec<String>, String)> {
+        self.read_response_inner().map(|r| (r.0, r.1, r.2))
+    }
+
+    /// The underlying stream (deadline knobs, shutdown).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        self.reader.get_mut()
     }
 
     /// `GET path`.
@@ -53,6 +84,10 @@ impl Client {
     }
 
     fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        self.read_response_inner().map(|r| (r.0, r.2))
+    }
+
+    fn read_response_inner(&mut self) -> std::io::Result<(u16, Vec<String>, String)> {
         let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
         let mut status_line = String::new();
         if self.reader.read_line(&mut status_line)? == 0 {
@@ -66,6 +101,7 @@ impl Client {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad("bad status line"))?;
+        let mut headers = Vec::new();
         let mut content_length = 0usize;
         loop {
             let mut header = String::new();
@@ -84,11 +120,12 @@ impl Client {
                         .map_err(|_| bad("bad Content-Length"))?;
                 }
             }
+            headers.push(header.to_string());
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         String::from_utf8(body)
-            .map(|b| (status, b))
+            .map(|b| (status, headers, b))
             .map_err(|_| bad("response body is not UTF-8"))
     }
 }

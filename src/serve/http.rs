@@ -1,4 +1,4 @@
-//! Minimal HTTP/1.1 framing over blocking `std::net` streams.
+//! Minimal HTTP/1.1 framing for `haxconn serve`.
 //!
 //! The build is offline — no tokio, no hyper — so `haxconn serve`
 //! speaks exactly the subset of HTTP/1.1 a JSON API needs:
@@ -7,8 +7,25 @@
 //! payloads, and a hard body-size cap as the first line of defense
 //! against misbehaving clients. No chunked transfer, no TLS, no
 //! pipelining guarantees beyond strict request/response alternation.
+//!
+//! Two entry points share the same framing rules (the request-line and
+//! header grammar live in one pair of helpers):
+//!
+//! * [`read_request`] — pull parsing off a blocking [`BufRead`] stream
+//!   (the `ServeMode::Blocking` worker loop);
+//! * [`parse_request`] — incremental parsing out of a byte buffer that
+//!   grows as nonblocking reads land (the reactor's per-connection
+//!   state machine). It returns `Ok(None)` until a complete request is
+//!   buffered, so a slowloris client dribbling one byte at a time
+//!   never blocks anyone — its bytes just accumulate.
 
 use std::io::{BufRead, Write};
+
+/// Byte cap on a request head (request line + headers) for the
+/// incremental parser: a client that streams garbage without ever
+/// finishing its headers is cut off as malformed instead of growing
+/// the connection buffer without bound.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// A parsed request.
 #[derive(Debug, Clone)]
@@ -42,21 +59,9 @@ impl From<std::io::Error> for HttpReadError {
     }
 }
 
-/// Reads one request. `Ok(None)` is a clean close: EOF before the
-/// first byte of a request line.
-pub fn read_request(
-    reader: &mut impl BufRead,
-    max_body_bytes: usize,
-) -> Result<Option<Request>, HttpReadError> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
-    }
-    let line = line.trim_end();
-    if line.is_empty() {
-        // Stray CRLF between pipelined requests; tolerate one.
-        return Err(HttpReadError::Malformed("empty request line".into()));
-    }
+/// Parses `METHOD TARGET HTTP/1.x` into `(method, target, keep_alive
+/// default)`.
+fn parse_request_line(line: &str) -> Result<(String, String, bool), HttpReadError> {
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -75,7 +80,66 @@ pub fn read_request(
         )));
     }
     // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
-    let mut keep_alive = version != "HTTP/1.0";
+    Ok((method, target, version != "HTTP/1.0"))
+}
+
+/// Applies one header line to the connection/body framing state.
+fn apply_header(
+    header: &str,
+    keep_alive: &mut bool,
+    content_length: &mut usize,
+) -> Result<(), HttpReadError> {
+    let Some((name, value)) = header.split_once(':') else {
+        return Err(HttpReadError::Malformed(format!("bad header '{header}'")));
+    };
+    let name = name.trim().to_ascii_lowercase();
+    let value = value.trim();
+    match name.as_str() {
+        "content-length" => {
+            *content_length = value
+                .parse()
+                .map_err(|_| HttpReadError::Malformed("bad Content-Length".into()))?;
+        }
+        "connection" => {
+            let v = value.to_ascii_lowercase();
+            if v.contains("close") {
+                *keep_alive = false;
+            } else if v.contains("keep-alive") {
+                *keep_alive = true;
+            }
+        }
+        "transfer-encoding" => {
+            return Err(HttpReadError::Malformed(
+                "chunked transfer encoding is not supported".into(),
+            ));
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Reads one request off a blocking stream. `Ok(None)` is a clean
+/// close: EOF before the first byte of a request line.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<Option<Request>, HttpReadError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    if line.trim_end().is_empty() {
+        // A stray CRLF between pipelined requests is tolerated — once.
+        // A second empty line is a protocol violation.
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        if line.trim_end().is_empty() {
+            return Err(HttpReadError::Malformed("empty request line".into()));
+        }
+    }
+    let (method, target, mut keep_alive) = parse_request_line(line.trim_end())?;
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
@@ -86,32 +150,7 @@ pub fn read_request(
         if header.is_empty() {
             break;
         }
-        let Some((name, value)) = header.split_once(':') else {
-            return Err(HttpReadError::Malformed(format!("bad header '{header}'")));
-        };
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim();
-        match name.as_str() {
-            "content-length" => {
-                content_length = value
-                    .parse()
-                    .map_err(|_| HttpReadError::Malformed("bad Content-Length".into()))?;
-            }
-            "connection" => {
-                let v = value.to_ascii_lowercase();
-                if v.contains("close") {
-                    keep_alive = false;
-                } else if v.contains("keep-alive") {
-                    keep_alive = true;
-                }
-            }
-            "transfer-encoding" => {
-                return Err(HttpReadError::Malformed(
-                    "chunked transfer encoding is not supported".into(),
-                ));
-            }
-            _ => {}
-        }
+        apply_header(header, &mut keep_alive, &mut content_length)?;
     }
     if content_length > max_body_bytes {
         return Err(HttpReadError::TooLarge(content_length));
@@ -126,6 +165,104 @@ pub fn read_request(
         body,
         keep_alive,
     }))
+}
+
+/// Incrementally parses one request out of `buf` (a nonblocking
+/// connection's accumulation buffer). Returns:
+///
+/// * `Ok(None)` — the buffer does not yet hold a complete request
+///   (head still open, or declared body not fully received);
+/// * `Ok(Some((request, consumed)))` — a complete request, with the
+///   number of buffer bytes it consumed (drain them before the next
+///   call);
+/// * `Err(..)` — same taxonomy as [`read_request`], including the
+///   one-stray-CRLF tolerance and the [`MAX_HEAD_BYTES`] head cap.
+///
+/// Note the 413 check fires as soon as the head completes — the
+/// oversized body never needs to be buffered.
+pub fn parse_request(
+    buf: &[u8],
+    max_body_bytes: usize,
+) -> Result<Option<(Request, usize)>, HttpReadError> {
+    // Line-at-a-time scan. `pos` tracks consumed bytes.
+    let mut pos = 0usize;
+    let next_line = |pos: usize| -> Option<(&str, usize)> {
+        let rest = &buf[pos..];
+        let nl = rest.iter().position(|&b| b == b'\n')?;
+        let line = &rest[..nl];
+        let line = if line.ends_with(b"\r") {
+            &line[..line.len() - 1]
+        } else {
+            line
+        };
+        // Header text must be UTF-8; lossy replacement keeps the error
+        // message printable and the grammar check will reject it.
+        Some((
+            std::str::from_utf8(line).unwrap_or("\u{fffd}"),
+            pos + nl + 1,
+        ))
+    };
+
+    // Request line, tolerating exactly one stray empty line.
+    let mut stray = 0usize;
+    let (request_line, after_line) = loop {
+        match next_line(pos) {
+            Some(("", next)) => {
+                stray += 1;
+                if stray > 1 {
+                    return Err(HttpReadError::Malformed("empty request line".into()));
+                }
+                pos = next;
+            }
+            Some((line, next)) => break (line.to_string(), next),
+            None => {
+                if buf.len() - pos > MAX_HEAD_BYTES {
+                    return Err(HttpReadError::Malformed("request head too large".into()));
+                }
+                return Ok(None);
+            }
+        }
+    };
+    let (method, target, mut keep_alive) = parse_request_line(&request_line)?;
+
+    // Headers until the empty line.
+    let mut content_length = 0usize;
+    pos = after_line;
+    loop {
+        match next_line(pos) {
+            Some((line, next)) => {
+                pos = next;
+                if line.is_empty() {
+                    break;
+                }
+                apply_header(line, &mut keep_alive, &mut content_length)?;
+            }
+            None => {
+                if buf.len() - after_line > MAX_HEAD_BYTES {
+                    return Err(HttpReadError::Malformed("request head too large".into()));
+                }
+                return Ok(None);
+            }
+        }
+    }
+    if content_length > max_body_bytes {
+        return Err(HttpReadError::TooLarge(content_length));
+    }
+    let body_end = pos + content_length;
+    if buf.len() < body_end {
+        return Ok(None);
+    }
+    let body = String::from_utf8(buf[pos..body_end].to_vec())
+        .map_err(|_| HttpReadError::Malformed("body is not UTF-8".into()))?;
+    Ok(Some((
+        Request {
+            method,
+            path: target,
+            body,
+            keep_alive,
+        },
+        body_end,
+    )))
 }
 
 /// The standard reason phrase for the statuses this server emits.
@@ -143,23 +280,30 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one JSON response.
-pub fn write_response(
-    writer: &mut impl Write,
-    status: u16,
-    body: &str,
-    keep_alive: bool,
-) -> std::io::Result<()> {
+/// Renders one JSON response onto the wire format. The reactor queues
+/// these bytes into a per-connection write buffer (partial writes
+/// resume where they left off); the blocking path writes them
+/// directly.
+pub fn format_response(status: u16, body: &str, keep_alive: bool) -> String {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    write!(
-        writer,
+    format!(
         "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
         status,
         reason(status),
         body.len(),
         connection,
         body
-    )?;
+    )
+}
+
+/// Writes one JSON response to a blocking stream.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    writer.write_all(format_response(status, body, keep_alive).as_bytes())?;
     writer.flush()
 }
 
@@ -196,6 +340,23 @@ mod tests {
     #[test]
     fn eof_before_request_is_clean_close() {
         assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn one_stray_crlf_between_requests_is_tolerated() {
+        // The pipelined-client case the comment always promised: one
+        // leading empty line is skipped...
+        let req = parse("\r\nGET /v1/health HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/v1/health");
+        // ...and an EOF after the stray CRLF is still a clean close.
+        assert!(parse("\r\n").unwrap().is_none());
+        // Two empty lines stay a protocol violation.
+        assert!(matches!(
+            parse("\r\n\r\nGET / HTTP/1.1\r\n\r\n"),
+            Err(HttpReadError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -248,5 +409,68 @@ mod tests {
         let b = read_request(&mut reader, 1024).unwrap().unwrap();
         assert_eq!((a.path.as_str(), b.path.as_str()), ("/a", "/b"));
         assert!(read_request(&mut reader, 1024).unwrap().is_none());
+    }
+
+    // ---- incremental parser ----
+
+    #[test]
+    fn incremental_parse_waits_for_the_full_request() {
+        let full = b"POST /v1/schedule HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        // Every proper prefix is incomplete, never an error — the
+        // byte-at-a-time slowloris contract.
+        for cut in 0..full.len() {
+            assert!(
+                parse_request(&full[..cut], 1024).unwrap().is_none(),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        let (req, consumed) = parse_request(full, 1024).unwrap().unwrap();
+        assert_eq!(consumed, full.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, "{\"a\"");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn incremental_parse_reports_consumed_bytes_for_pipelining() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (a, consumed) = parse_request(raw, 1024).unwrap().unwrap();
+        assert_eq!(a.path, "/a");
+        let (b, rest) = parse_request(&raw[consumed..], 1024).unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        assert_eq!(consumed + rest, raw.len());
+    }
+
+    #[test]
+    fn incremental_parse_matches_blocking_framing_rules() {
+        // One stray CRLF tolerated, two rejected — same rule as
+        // read_request.
+        let (req, _) = parse_request(b"\r\nGET /x HTTP/1.1\r\n\r\n", 1024)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/x");
+        assert!(matches!(
+            parse_request(b"\r\n\r\nGET /x HTTP/1.1\r\n\r\n", 1024),
+            Err(HttpReadError::Malformed(_))
+        ));
+        // 413 fires off the declared length before any body arrives.
+        assert!(matches!(
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n", 1024),
+            Err(HttpReadError::TooLarge(99999))
+        ));
+        assert!(matches!(
+            parse_request(b"NOT-HTTP\r\n\r\n", 1024),
+            Err(HttpReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unbounded_heads_are_cut_off() {
+        let mut junk = b"GET / HTTP/1.1\r\n".to_vec();
+        junk.extend(std::iter::repeat_n(b'x', MAX_HEAD_BYTES + 16));
+        assert!(matches!(
+            parse_request(&junk, 1024),
+            Err(HttpReadError::Malformed(_))
+        ));
     }
 }

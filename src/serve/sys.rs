@@ -1,0 +1,273 @@
+//! Direct `extern "C"` bindings to the Linux readiness syscalls the
+//! reactor needs: `epoll_create1` / `epoll_ctl` / `epoll_wait`, an
+//! `eventfd` wakeup channel, and `setsockopt` for the send-buffer test
+//! knob.
+//!
+//! The build is offline — no `libc`, `mio` or `nix` crates — but std
+//! already links the platform libc, so declaring the symbols directly
+//! is all it takes. Everything unsafe is wrapped here behind two small
+//! RAII types ([`Epoll`], [`EventFd`]) that return `std::io::Error`
+//! from `errno`; the reactor itself contains no `unsafe`.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_uint, c_void};
+
+// ---- syscall surface ----
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn setsockopt(
+        sockfd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: c_uint,
+    ) -> c_int;
+}
+
+/// Readiness: the fd has bytes to read (or a pending accept).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the fd can accept more written bytes.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never needs registering).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, never needs registering).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+const SOL_SOCKET: c_int = 1;
+const SO_SNDBUF: c_int = 7;
+const EINTR: i32 = 4;
+
+/// One readiness record, kernel layout (packed on x86_64 so the u64
+/// payload sits right after the mask — matching `<sys/epoll.h>`).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness mask (`EPOLLIN | ...`).
+    pub events: u32,
+    /// Caller-chosen token identifying the fd.
+    pub token: u64,
+}
+
+impl EpollEvent {
+    /// An empty record for the wait buffer.
+    pub fn zeroed() -> EpollEvent {
+        EpollEvent {
+            events: 0,
+            token: 0,
+        }
+    }
+}
+
+fn check(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An epoll instance (closed on drop).
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// `epoll_create1(EPOLL_CLOEXEC)`.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            token,
+        };
+        check(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Registers `fd` under `token` with the given interest mask.
+    pub fn add(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Re-arms `fd` with a new interest mask.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Deregisters `fd` (closing the fd does this implicitly; explicit
+    /// removal keeps the kernel set tight when a connection is evicted
+    /// but its fd briefly lives on).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` (`-1` = forever) for readiness;
+    /// returns how many records landed in `events`. `EINTR` is
+    /// reported as zero events, not an error.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as c_int,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() == Some(EINTR) {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A nonblocking `eventfd` used as the reactor's wakeup channel: solve
+/// workers [`signal`](EventFd::signal) it after queueing a completion,
+/// and shutdown signals it to break the reactor out of `epoll_wait`.
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// `eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)`.
+    pub fn new() -> io::Result<EventFd> {
+        let fd = check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(EventFd { fd })
+    }
+
+    /// The raw fd (registered in the reactor's epoll set).
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Adds 1 to the eventfd counter, waking an `epoll_wait` sleeper.
+    /// Callable from any thread; a full counter (the fd is nonblocking)
+    /// is fine — nonzero already means "wake up".
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Resets the counter so the next `signal` is a fresh edge.
+    pub fn drain(&self) {
+        let mut count: u64 = 0;
+        unsafe { read(self.fd, (&mut count as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Shrinks (or grows) a socket's kernel send buffer. The slowloris
+/// tests use a tiny buffer to force partial writes deterministically;
+/// the kernel clamps to its own floor and doubles the value for
+/// bookkeeping, so treat this as advisory.
+pub fn set_send_buffer(fd: RawFd, bytes: usize) -> io::Result<()> {
+    let val: c_int = bytes.min(c_int::MAX as usize) as c_int;
+    check(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_SNDBUF,
+            (&val as *const c_int).cast(),
+            std::mem::size_of::<c_int>() as c_uint,
+        )
+    })
+    .map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_wakes_epoll() {
+        let epoll = Epoll::new().expect("epoll_create1");
+        let efd = EventFd::new().expect("eventfd");
+        epoll.add(efd.fd(), 7, EPOLLIN).expect("epoll_ctl add");
+
+        let mut events = [EpollEvent::zeroed(); 4];
+        // Nothing signaled: a zero-timeout wait returns no events.
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0);
+
+        efd.signal();
+        efd.signal();
+        let n = epoll.wait(&mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        let token = events[0].token;
+        assert_eq!(token, 7);
+
+        // Drain resets the level; the next wait is quiet again.
+        efd.drain();
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0);
+
+        // And a post-drain signal is a fresh edge.
+        efd.signal();
+        assert_eq!(epoll.wait(&mut events, 1000).expect("wait"), 1);
+    }
+
+    #[test]
+    fn epoll_reports_socket_readiness() {
+        use std::io::Write as _;
+        use std::os::fd::AsRawFd;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        let epoll = Epoll::new().expect("epoll");
+        epoll
+            .add(server.as_raw_fd(), 42, EPOLLIN | EPOLLRDHUP)
+            .expect("add");
+        let mut events = [EpollEvent::zeroed(); 4];
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0);
+
+        client.write_all(b"ping").expect("write");
+        let n = epoll.wait(&mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        let token = events[0].token;
+        let mask = events[0].events;
+        assert_eq!(token, 42);
+        assert_ne!(mask & EPOLLIN, 0);
+
+        // Re-arming with a different mask works.
+        epoll
+            .modify(server.as_raw_fd(), 42, EPOLLIN | EPOLLOUT)
+            .expect("modify");
+        let n = epoll.wait(&mut events, 1000).expect("wait");
+        assert!(n >= 1);
+        epoll.delete(server.as_raw_fd()).expect("delete");
+    }
+}
